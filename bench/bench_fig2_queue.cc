@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reproduction of Figure 2: the work-queue fragment with the missing
+ * Test&Set, its weak execution, and the happens-before-1 analysis
+ * separating sequentially consistent from non-SC data races.
+ *
+ * Regenerates the figure's content:
+ *  - the dequeued stale offset (the paper's 37),
+ *  - the SC data races on Q/QEmpty (first partition, in the SCP),
+ *  - the non-SC data races on the region (non-first partition),
+ *  - the SCP boundary after P2's Unset(s),
+ * and sweeps the region size to show the non-SC race volume grows
+ * with the overlap while the reported first partition stays put.
+ */
+
+#include "bench_util.hh"
+
+#include "detect/analysis.hh"
+#include "detect/report.hh"
+#include "workload/scenarios.hh"
+
+namespace {
+
+using namespace wmr;
+using namespace wmr::benchutil;
+
+void
+reproduce()
+{
+    section("Figure 2(b): the staged weak execution");
+    const auto s = stageFigure2bExecution();
+    const auto det = analyzeExecution(s.result);
+    std::printf("%s", formatReport(det, &s.program).c_str());
+    note("P2 dequeued " +
+         std::to_string(s.result.finalRegs[1][2]) +
+         " (paper: 37); its region work is post-SCP.");
+
+    section("region-size sweep: non-SC races grow, report stays put");
+    std::printf("  %-8s %10s %12s %14s %14s\n", "region", "races",
+                "SCP races", "non-SC races", "first parts");
+    for (const std::uint32_t n : {8u, 16u, 32u, 64u, 100u, 200u}) {
+        const auto sw = stageFigure2bExecution(
+            {.regionSize = n, .staleOffset = n / 3});
+        const auto d = analyzeExecution(sw.result);
+        std::size_t scp = 0;
+        for (RaceId r = 0;
+             r < static_cast<RaceId>(d.races().size()); ++r) {
+            scp += d.scp().raceInScp[r];
+        }
+        std::printf("  %-8u %10zu %12zu %14zu %14zu\n", n,
+                    d.races().size(), scp, d.races().size() - scp,
+                    d.partitions().firstPartitions.size());
+    }
+    note("the programmer always sees ONE first partition: the "
+         "missing Test&Set.");
+
+    section("the corrected program (Test&Set restored)");
+    std::size_t races = 0;
+    std::uint64_t stale = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(
+            figure2Queue({.regionSize = 100,
+                          .staleOffset = 37,
+                          .withTestAndSet = true}),
+            opts);
+        stale += res.staleReads;
+        races += analyzeExecution(res).numDataRaces();
+    }
+    std::printf("  30 weak runs: %zu data races, %llu stale reads\n",
+                races, static_cast<unsigned long long>(stale));
+}
+
+void
+BM_StageFigure2b(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stageFigure2bExecution({.regionSize = n,
+                                    .staleOffset = n / 3})
+                .result.ops.size());
+    }
+}
+BENCHMARK(BM_StageFigure2b)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_AnalyzeFigure2b(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    const auto s = stageFigure2bExecution(
+        {.regionSize = n, .staleOffset = n / 3});
+    for (auto _ : state) {
+        auto det = analyzeExecution(s.result);
+        benchmark::DoNotOptimize(det.races().size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(s.result.ops.size()));
+}
+BENCHMARK(BM_AnalyzeFigure2b)->Arg(16)->Arg(64)->Arg(256);
+
+} // namespace
+
+WMR_BENCH_MAIN(reproduce)

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Section 5 accuracy claim: reporting only the FIRST partitions
+ * filters out the races that could never occur on a sequentially
+ * consistent machine, while the naive method (report every race of
+ * the weak execution) floods the programmer with them.
+ *
+ * For small lock-free programs the SC model checker provides exact
+ * ground truth: a reported race is a FALSE ALARM when no SC
+ * execution exhibits any of its static pairs.  The table compares
+ * the naive and first-partition reports on that metric; the staged
+ * Figure 2(b) execution is included as the paper's own worked case
+ * (regions make the false-alarm volume arbitrarily large).
+ */
+
+#include "bench_util.hh"
+
+#include "detect/analysis.hh"
+#include "mc/explorer.hh"
+#include "workload/random_gen.hh"
+#include "workload/scenarios.hh"
+
+namespace {
+
+using namespace wmr;
+using namespace wmr::benchutil;
+
+Program
+tinyRacy(std::uint64_t seed)
+{
+    RandomProgConfig cfg;
+    cfg.seed = seed;
+    cfg.procs = 3;
+    cfg.blocksPerProc = 1;
+    cfg.opsPerBlock = 2;
+    cfg.dataWords = 3;
+    cfg.numLocks = 1;
+    cfg.unlockedProb = 1.0;
+    return randomProgram(cfg);
+}
+
+/** Is race @p r SC-feasible per ground truth? */
+bool
+feasible(const DetectionResult &det, RaceId r,
+         const std::vector<MemOp> &ops, const ScGroundTruth &truth)
+{
+    for (const auto &pair : staticPairsOfRace(det, r, ops)) {
+        if (truth.races.count(pair))
+            return true;
+    }
+    return false;
+}
+
+void
+reproduce()
+{
+    section("straight-line racy programs: every race is SC-feasible "
+            "(baseline sanity)");
+    std::printf("  %-8s %16s %16s %18s %18s\n", "program",
+                "naive reported", "naive false", "first reported",
+                "first false");
+    std::size_t naiveTotal = 0, naiveFalse = 0, firstTotal = 0,
+                firstFalse = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const Program p = tinyRacy(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 1.0;
+        const auto res = runProgram(p, opts);
+        const auto det = analyzeExecution(res);
+        if (!det.anyDataRace())
+            continue;
+        const auto truth =
+            exploreScExecutions(p, {.maxExecutions = 30'000});
+
+        std::size_t nf = 0;
+        for (RaceId r = 0;
+             r < static_cast<RaceId>(det.races().size()); ++r) {
+            if (det.races()[r].isDataRace &&
+                !feasible(det, r, res.ops, truth)) {
+                ++nf;
+            }
+        }
+        std::size_t ff = 0;
+        const auto reported = det.reportedRaces();
+        for (const auto r : reported) {
+            if (det.races()[r].isDataRace &&
+                !feasible(det, r, res.ops, truth)) {
+                ++ff;
+            }
+        }
+        naiveTotal += det.numDataRaces();
+        naiveFalse += nf;
+        firstTotal += reported.size();
+        firstFalse += ff;
+    }
+    std::printf("  %-8s %16zu %16zu %18zu %18zu\n", "30 progs",
+                naiveTotal, naiveFalse, firstTotal, firstFalse);
+    note("without data-dependent control/addressing a weak "
+         "execution cannot invent");
+    note("non-SC races: naive reporting is safe here and the "
+         "methods coincide.");
+
+    section("divergent executions (queue family): non-SC races "
+            "appear, mc-checked");
+    std::printf("  %-8s %14s %18s %20s %14s\n", "region",
+                "naive races", "SCP-flag non-SC",
+                "mc-unconfirmed(*)", "first-part.");
+    for (const std::uint32_t n : {2u, 3u}) {
+        const auto s = stageFigure2bExecution(
+            {.regionSize = n, .staleOffset = n / 2});
+        const auto det = analyzeExecution(s.result);
+        const auto truth = exploreScExecutions(
+            s.program, {.maxExecutions = 60'000});
+        std::size_t nonScFlag = 0, mcUnconfirmed = 0;
+        for (RaceId r = 0;
+             r < static_cast<RaceId>(det.races().size()); ++r) {
+            if (!det.races()[r].isDataRace)
+                continue;
+            nonScFlag += !det.scp().raceInScp[r];
+            mcUnconfirmed +=
+                !feasible(det, r, s.result.ops, truth);
+        }
+        std::printf("  %-8u %14zu %18zu %20zu %14zu\n", n,
+                    det.races().size(), nonScFlag, mcUnconfirmed,
+                    det.reportedRaces().size());
+    }
+    note("(*) no SC execution within the exploration bound exhibits "
+         "the race's static");
+    note("pairs — the region races P2/P3 are exactly the ones the "
+         "SCP flags demote.");
+
+    section("the paper's own case: Figure 2(b) region sweep");
+    std::printf("  %-8s %14s %20s %22s\n", "region", "naive races",
+                "naive non-SC races", "first-partition races");
+    for (const std::uint32_t n : {16u, 64u, 100u, 256u}) {
+        const auto s = stageFigure2bExecution(
+            {.regionSize = n, .staleOffset = n / 3});
+        const auto det = analyzeExecution(s.result);
+        std::size_t nonSc = 0;
+        for (RaceId r = 0;
+             r < static_cast<RaceId>(det.races().size()); ++r) {
+            nonSc += !det.scp().raceInScp[r];
+        }
+        std::printf("  %-8u %14zu %20zu %22zu\n", n,
+                    det.races().size(), nonSc,
+                    det.reportedRaces().size());
+    }
+    note("the region races P2/P3 'would never have occurred' on SC "
+         "(Sec. 3.1): the");
+    note("naive report scales with the region, the first partition "
+         "stays a single race.");
+}
+
+void
+BM_NaiveReport(benchmark::State &state)
+{
+    const auto s = stageFigure2bExecution(
+        {.regionSize = 128, .staleOffset = 40});
+    for (auto _ : state) {
+        const auto det = analyzeExecution(s.result);
+        benchmark::DoNotOptimize(det.races().size());
+    }
+}
+BENCHMARK(BM_NaiveReport);
+
+void
+BM_FirstPartitionReport(benchmark::State &state)
+{
+    const auto s = stageFigure2bExecution(
+        {.regionSize = 128, .staleOffset = 40});
+    for (auto _ : state) {
+        const auto det = analyzeExecution(s.result);
+        benchmark::DoNotOptimize(det.reportedRaces().size());
+    }
+}
+BENCHMARK(BM_FirstPartitionReport);
+
+} // namespace
+
+WMR_BENCH_MAIN(reproduce)

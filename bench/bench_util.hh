@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/reproduction binaries.
+ *
+ * Every bench binary follows the same shape: main() first prints the
+ * reproduced figure/claim as a plain-text table (the "reproduction"
+ * part), then hands over to google-benchmark for the timing part.
+ */
+
+#ifndef WMR_BENCH_BENCH_UTIL_HH
+#define WMR_BENCH_BENCH_UTIL_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace wmr::benchutil {
+
+/** Print a section header. */
+inline void
+section(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Print a sub-note line. */
+inline void
+note(const std::string &text)
+{
+    std::printf("    %s\n", text.c_str());
+}
+
+/**
+ * Standard bench main body: print the reproduction, then run the
+ * registered google-benchmark timings.
+ */
+inline int
+runBenchMain(int argc, char **argv, void (*reproduce)())
+{
+    setQuiet(true);
+    reproduce();
+    std::printf("\n--- timings (google-benchmark) ---\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace wmr::benchutil
+
+/** Define the standard main for a bench binary. */
+#define WMR_BENCH_MAIN(reproduceFn)                                     \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        return ::wmr::benchutil::runBenchMain(argc, argv,               \
+                                              (reproduceFn));           \
+    }
+
+#endif // WMR_BENCH_BENCH_UTIL_HH

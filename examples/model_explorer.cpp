@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Model explorer: run the same programs under all five memory models
+ * and compare outcomes, performance, and race reports side by side.
+ *
+ * Demonstrates the paper's framing: the weak models buy performance
+ * (fewer stall cycles) and remain indistinguishable from SC exactly
+ * as long as the program is data-race-free; racy programs expose the
+ * difference, and the detector keeps working on all of them.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "detect/analysis.hh"
+#include "onthefly/vc_detector.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+
+namespace {
+
+using namespace wmr;
+
+struct Row
+{
+    std::string model;
+    Tick cycles = 0;
+    std::uint64_t staleReads = 0;
+    std::size_t races = 0;
+    std::size_t firstPartitions = 0;
+};
+
+Row
+measure(const Program &prog, ModelKind kind, std::uint64_t seeds)
+{
+    Row row;
+    row.model = modelName(kind);
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+        ExecOptions opts;
+        opts.model = kind;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(prog, opts);
+        row.cycles += res.totalCycles;
+        row.staleReads += res.staleReads;
+        const auto det = analyzeExecution(res);
+        row.races += det.numDataRaces();
+        row.firstPartitions +=
+            det.partitions().firstPartitions.size();
+    }
+    row.cycles /= seeds;
+    return row;
+}
+
+void
+table(const char *title, const Program &prog, std::uint64_t seeds)
+{
+    std::printf("\n%s  (averaged over %llu seeded runs)\n", title,
+                static_cast<unsigned long long>(seeds));
+    std::printf("  %-6s %12s %12s %10s %12s\n", "model", "avg cycles",
+                "stale reads", "races", "first parts");
+    for (const auto kind : kAllModels) {
+        const Row r = measure(prog, kind, seeds);
+        std::printf("  %-6s %12llu %12llu %10zu %12zu\n",
+                    r.model.c_str(),
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.staleReads),
+                    r.races, r.firstPartitions);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("wmrace model explorer: SC vs WO vs RCsc vs DRF0 vs "
+                "DRF1\n");
+
+    table("race-free: locked counter (4 procs x 8 increments)",
+          lockedCounter(4, 8), 10);
+    std::printf("  -> weak models run faster; zero stale reads and "
+                "zero races:\n     sequential consistency is "
+                "preserved for free (Condition 3.4(1)).\n");
+
+    table("race-free: message passing (release/acquire flag)",
+          messagePassing(8, false), 10);
+
+    table("racy: message passing with a DATA flag (bug)",
+          messagePassing(8, true), 10);
+    std::printf("  -> the data-flag handshake races on every model; "
+                "on the weak\n     models stale reads appear — but "
+                "the detector still reports\n     the same first "
+                "partition, no SC debug mode needed.\n");
+
+    table("racy: unlocked shared counter",
+          lockedCounter(4, 8, /*racy=*/true), 10);
+
+    table("mixed: random program, 5% unlocked blocks", [] {
+        RandomProgConfig cfg;
+        cfg.seed = 7;
+        cfg.procs = 4;
+        cfg.blocksPerProc = 10;
+        cfg.opsPerBlock = 6;
+        cfg.dataWords = 16;
+        cfg.numLocks = 4;
+        cfg.unlockedProb = 0.05;
+        return randomProgram(cfg);
+    }(), 10);
+
+    std::printf("\ndone: weak models preserve SC until a data race "
+                "actually occurs,\nso dynamic race detection needs "
+                "no slower SC debugging mode.\n");
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's running example, end to end: debugging the work-queue
+ * program of Figure 2.
+ *
+ * A programmer forgot the Test&Set critical sections around a shared
+ * queue.  On a weakly ordered machine the bug manifests bizarrely:
+ * processor P2 starts working on a region that overlaps P3's, and a
+ * naive race detector would drown the programmer in races between P2
+ * and P3 — races that can NEVER happen on a sequentially consistent
+ * machine and say nothing about the real bug.
+ *
+ * This example walks the paper's method: stage the weak execution of
+ * Figure 2(b), run the post-mortem analysis, and show how the FIRST
+ * partition points straight at the missing synchronization while the
+ * region races are demoted to a non-first partition.  It finishes by
+ * applying the fix and re-running.
+ */
+
+#include <cstdio>
+
+#include "detect/analysis.hh"
+#include "detect/report.hh"
+#include "mc/scp_witness.hh"
+#include "trace/timeline.hh"
+#include "workload/scenarios.hh"
+
+namespace {
+
+void
+banner(const char *text)
+{
+    std::printf("\n================================================="
+                "=====\n%s\n================================================"
+                "======\n",
+                text);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wmr;
+
+    banner("The buggy program (Figure 2a: Test&Set missing)");
+    const Scenario s = stageFigure2bExecution();
+    std::printf("%s\n", s.program.disassembleAll().c_str());
+
+    banner("One weak (WO) execution of it (Figure 2b)");
+    {
+        const auto trace =
+            buildTrace(s.result, {.keepMemberOps = true});
+        std::printf("%s\n",
+                    renderTimeline(trace, &s.program, &s.result)
+                        .c_str());
+    }
+    std::printf(
+        "P2 read QEmpty=0 but dequeued the STALE offset %lld "
+        "(the paper's 37)\nand went to work on region "
+        "[37,137) while P3 works on [0,100).\n",
+        static_cast<long long>(s.result.finalRegs[1][2]));
+    std::printf("stale reads: %llu, first at operation %llu\n",
+                static_cast<unsigned long long>(s.result.staleReads),
+                static_cast<unsigned long long>(
+                    s.result.firstStaleRead));
+
+    banner("Post-mortem analysis (Section 4)");
+    const DetectionResult det = analyzeExecution(s.result);
+    std::printf("%s", formatReport(det, &s.program).c_str());
+
+    banner("Why only the first partition matters");
+    std::printf(
+        "The region races (P2 vs P3) are labelled non-SCP: no\n"
+        "sequentially consistent execution exhibits them, because on\n"
+        "an SC machine P2 could never have dequeued 37.  Reporting\n"
+        "them would send the programmer chasing ghosts.  The first\n"
+        "partition — the Q/QEmpty races between P1 and P2 — is the\n"
+        "real bug: the missing critical section.\n");
+
+    banner("Constructive evidence (the SCP witness Eseq)");
+    const ScpWitness w = buildScpWitness(s.program, s.result);
+    std::printf(
+        "replayed the SC prefix (%llu ops) and continued under SC:\n"
+        "prefix matched: %s; Eseq races found: %zu static pair(s)\n",
+        static_cast<unsigned long long>(w.prefixOps),
+        w.prefixMatched ? "yes" : "NO (bug!)", w.eseqRaces.size());
+
+    banner("The fix: put the Test&Set back (Figure 2a corrected)");
+    const Program fixedProg = figure2Queue(
+        {.regionSize = 100, .staleOffset = 37, .withTestAndSet = true});
+    bool anyRace = false;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(fixedProg, opts);
+        anyRace |= analyzeExecution(res).anyDataRace();
+    }
+    std::printf("20 weak executions of the corrected program: %s\n",
+                anyRace ? "RACES REMAIN (bug!)"
+                        : "no data races — every execution "
+                          "sequentially consistent (Condition "
+                          "3.4(1))");
+    return anyRace ? 1 : 0;
+}

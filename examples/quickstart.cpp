@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: build a small multithreaded program, run it on a weak
+ * memory model, and detect its data races post-mortem.
+ *
+ *   $ ./quickstart
+ *
+ * The program is the paper's Figure 1(a): two processors touching
+ * shared x and y with no synchronization.  The detector finds the
+ * race and — because the race is in the sequentially consistent
+ * prefix — tells you it is a REAL bug you can reason about with
+ * sequentially consistent intuition.
+ */
+
+#include <cstdio>
+
+#include "detect/analysis.hh"
+#include "detect/report.hh"
+#include "prog/builder.hh"
+#include "sim/executor.hh"
+
+int
+main()
+{
+    using namespace wmr;
+
+    // 1. Build the program with the fluent builder API.
+    ProgramBuilder pb;
+    pb.var("x", 0).var("y", 1);
+
+    ThreadBuilder p1;
+    p1.storei(0, 1).note("Write(x)")
+      .storei(1, 1).note("Write(y)")
+      .halt();
+
+    ThreadBuilder p2;
+    p2.load(0, 1).note("Read(y)")
+      .load(1, 0).note("Read(x)")
+      .halt();
+
+    pb.thread(p1).thread(p2);
+    const Program prog = pb.build();
+
+    std::printf("--- program ---\n%s\n",
+                prog.disassembleAll().c_str());
+
+    // 2. Execute it on a weakly ordered (WO) machine.
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 42;
+    const ExecutionResult res = runProgram(prog, opts);
+
+    std::printf("executed %llu instructions, %zu memory operations, "
+                "%llu simulated cycles\n",
+                static_cast<unsigned long long>(res.steps),
+                res.ops.size(),
+                static_cast<unsigned long long>(res.totalCycles));
+    std::printf("P2 observed y=%lld x=%lld%s\n\n",
+                static_cast<long long>(res.finalRegs[1][0]),
+                static_cast<long long>(res.finalRegs[1][1]),
+                res.staleReads
+                    ? "  <-- a combination no SC machine produces!"
+                    : "");
+
+    // 3. Detect data races post-mortem (Section 4 of the paper).
+    const DetectionResult det = analyzeExecution(res);
+    std::printf("%s", formatReport(det, &prog).c_str());
+
+    // 4. Act on the verdict.
+    if (det.anyDataRace()) {
+        std::printf("\n=> fix: order the accesses with Unset/Test&Set"
+                    " (see Figure 1(b), workload/patterns.hh)\n");
+    }
+    return det.anyDataRace() ? 1 : 0;
+}

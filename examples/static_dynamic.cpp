@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The complementary workflow the paper endorses: run the STATIC
+ * analyzer over the program text first (covers every possible
+ * execution, conservative), then confirm or refute its findings with
+ * the DYNAMIC detector on weak executions (precise about what
+ * actually happened).
+ *
+ * The subject is the Figure 2 work queue: statically the missing
+ * Test&Set shows up as unprotected accesses to Q and QEmpty; the
+ * dynamic run shows the bug manifesting and the first partition
+ * pinpointing it; after the fix the static report still carries an
+ * aliasing warning for the region (an artifact of conservatism) that
+ * the dynamic detector refutes execution by execution.
+ */
+
+#include <cstdio>
+
+#include "detect/analysis.hh"
+#include "detect/report.hh"
+#include "staticdet/static_analyzer.hh"
+#include "workload/scenarios.hh"
+
+int
+main()
+{
+    using namespace wmr;
+
+    std::printf("== step 1: static analysis of the buggy queue ==\n");
+    const Program buggy = figure2Queue();
+    StaticOptions sopts;
+    sopts.firstDataAddr = 3; // Q, QEmpty, S are sync/queue infra
+    const auto staticBuggy = analyzeStatically(buggy, sopts);
+    std::printf("%s\n",
+                formatStaticReport(staticBuggy, &buggy).c_str());
+
+    std::printf("== step 2: dynamic confirmation on a weak "
+                "execution ==\n");
+    const auto s = stageFigure2bExecution();
+    const auto det = analyzeExecution(s.result);
+    std::printf("%s\n", formatReport(det, &s.program).c_str());
+
+    std::printf("== step 3: fix and re-check both ways ==\n");
+    const Program fixed = figure2Queue(
+        {.regionSize = 100, .staleOffset = 37, .withTestAndSet = true});
+    const auto staticFixed = analyzeStatically(fixed, sopts);
+    std::printf("static: %zu potential race(s) remain%s\n",
+                staticFixed.races.size(),
+                staticFixed.races.empty()
+                    ? ""
+                    : " (aliasing conservatism on the region -- "
+                      "check dynamically)");
+    std::size_t dynamicRaces = 0;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        dynamicRaces += analyzeExecution(runProgram(fixed, opts))
+                            .numDataRaces();
+    }
+    std::printf("dynamic: %zu data races across 20 weak "
+                "executions\n",
+                dynamicRaces);
+    std::printf("\nconclusion: static analysis caught the missing "
+                "Test&Set without running\nanything; the dynamic "
+                "detector separated the real bug from the region\n"
+                "fallout and certified the fix — 'both static and "
+                "dynamic techniques in a\ncomplementary fashion' "
+                "[EmP88], exactly as the paper recommends.\n");
+    return dynamicRaces == 0 ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+#include "common/dense_bitset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t
+wordsFor(std::size_t nbits)
+{
+    return (nbits + kWordBits - 1) / kWordBits;
+}
+} // namespace
+
+DenseBitset::DenseBitset(std::size_t nbits)
+    : nbits_(nbits), words_(wordsFor(nbits), 0)
+{
+}
+
+void
+DenseBitset::resize(std::size_t nbits)
+{
+    if (nbits <= nbits_)
+        return;
+    nbits_ = nbits;
+    words_.resize(wordsFor(nbits), 0);
+}
+
+void
+DenseBitset::set(std::size_t i)
+{
+    if (i >= nbits_)
+        resize(i + 1);
+    words_[i / kWordBits] |= (1ull << (i % kWordBits));
+}
+
+void
+DenseBitset::reset(std::size_t i)
+{
+    if (i >= nbits_)
+        return;
+    words_[i / kWordBits] &= ~(1ull << (i % kWordBits));
+}
+
+bool
+DenseBitset::test(std::size_t i) const
+{
+    if (i >= nbits_)
+        return false;
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ull;
+}
+
+void
+DenseBitset::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0ull);
+}
+
+std::size_t
+DenseBitset::count() const
+{
+    std::size_t n = 0;
+    for (const auto w : words_)
+        n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+}
+
+bool
+DenseBitset::empty() const
+{
+    for (const auto w : words_) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+DenseBitset &
+DenseBitset::operator|=(const DenseBitset &other)
+{
+    if (other.nbits_ > nbits_)
+        resize(other.nbits_);
+    for (std::size_t i = 0; i < other.words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+DenseBitset &
+DenseBitset::operator&=(const DenseBitset &other)
+{
+    const std::size_t common = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < common; ++i)
+        words_[i] &= other.words_[i];
+    for (std::size_t i = common; i < words_.size(); ++i)
+        words_[i] = 0;
+    return *this;
+}
+
+bool
+DenseBitset::intersects(const DenseBitset &other) const
+{
+    const std::size_t common = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (words_[i] & other.words_[i])
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::uint32_t>
+DenseBitset::toVector() const
+{
+    std::vector<std::uint32_t> out;
+    out.reserve(count());
+    forEach([&out](std::size_t i) {
+        out.push_back(static_cast<std::uint32_t>(i));
+    });
+    return out;
+}
+
+bool
+DenseBitset::operator==(const DenseBitset &other) const
+{
+    const std::size_t common = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        if (words_[i] != other.words_[i])
+            return false;
+    }
+    for (std::size_t i = common; i < words_.size(); ++i) {
+        if (words_[i])
+            return false;
+    }
+    for (std::size_t i = common; i < other.words_.size(); ++i) {
+        if (other.words_[i])
+            return false;
+    }
+    return true;
+}
+
+DenseBitset
+DenseBitset::fromWords(std::vector<std::uint64_t> words, std::size_t nbits)
+{
+    wmr_assert(words.size() >= wordsFor(nbits));
+    DenseBitset bs;
+    bs.nbits_ = nbits;
+    bs.words_ = std::move(words);
+    bs.words_.resize(wordsFor(nbits));
+    return bs;
+}
+
+} // namespace wmr

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Dynamically sized bitset used for READ/WRITE sets and reachability.
+ *
+ * The paper's Section 4.1 proposes recording the shared variables a
+ * computation event touches as bit-vectors rather than tracing every
+ * memory operation.  DenseBitset is that bit-vector: a flat array of
+ * 64-bit words with the set operations race detection needs —
+ * membership, union, and fast intersection tests.
+ */
+
+#ifndef WMR_COMMON_DENSE_BITSET_HH
+#define WMR_COMMON_DENSE_BITSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wmr {
+
+/** Flat bit-vector with set-algebra helpers. */
+class DenseBitset
+{
+  public:
+    /** Construct an empty set over a universe of @p nbits elements. */
+    explicit DenseBitset(std::size_t nbits = 0);
+
+    /** @return number of addressable bits (the universe size). */
+    std::size_t size() const { return nbits_; }
+
+    /** Grow the universe to at least @p nbits, preserving contents. */
+    void resize(std::size_t nbits);
+
+    /** Set bit @p i (grows the universe if needed). */
+    void set(std::size_t i);
+
+    /** Clear bit @p i (no-op when out of range). */
+    void reset(std::size_t i);
+
+    /** @return whether bit @p i is set (false when out of range). */
+    bool test(std::size_t i) const;
+
+    /** Clear every bit, keeping the universe size. */
+    void clear();
+
+    /** @return number of set bits. */
+    std::size_t count() const;
+
+    /** @return whether no bit is set. */
+    bool empty() const;
+
+    /** In-place union with @p other. */
+    DenseBitset &operator|=(const DenseBitset &other);
+
+    /** In-place intersection with @p other. */
+    DenseBitset &operator&=(const DenseBitset &other);
+
+    /** @return whether this set and @p other share any element. */
+    bool intersects(const DenseBitset &other) const;
+
+    /** @return indices of all set bits, ascending. */
+    std::vector<std::uint32_t> toVector() const;
+
+    /**
+     * Visit every set bit in ascending order.
+     * @param fn callable taking the bit index as std::size_t.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                fn(w * 64 + static_cast<std::size_t>(b));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    bool operator==(const DenseBitset &other) const;
+
+    /** Serialized word storage, for trace file I/O. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+    /** Rebuild from serialized words over a universe of @p nbits. */
+    static DenseBitset fromWords(std::vector<std::uint64_t> words,
+                                 std::size_t nbits);
+
+  private:
+    std::size_t nbits_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace wmr
+
+#endif // WMR_COMMON_DENSE_BITSET_HH

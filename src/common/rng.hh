@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Small, fast, deterministic pseudo-random number generator.
+ *
+ * All randomized components of wmrace (schedulers, drain policies,
+ * workload generators) take an explicit seed so every execution is
+ * reproducible.  We use xoshiro256** which has excellent statistical
+ * quality for simulation purposes and is trivially seedable.
+ */
+
+#ifndef WMR_COMMON_RNG_HH
+#define WMR_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace wmr {
+
+/** Deterministic xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the full state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next raw 64-bit random word. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded sampling (biased by at
+        // most 2^-64, irrelevant for simulation workloads).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace wmr
+
+#endif // WMR_COMMON_RNG_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers used by the assembler, reporters and benches.
+ */
+
+#ifndef WMR_COMMON_STRING_UTIL_HH
+#define WMR_COMMON_STRING_UTIL_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wmr {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Split @p text on arbitrary whitespace, dropping empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/** Strip leading and trailing whitespace. */
+std::string_view trim(std::string_view text);
+
+/** Case-sensitive prefix test. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Render a count with thousands separators, e.g. 1234567 -> 1,234,567. */
+std::string withCommas(std::uint64_t value);
+
+} // namespace wmr
+
+#endif // WMR_COMMON_STRING_UTIL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every wmrace module.
+ *
+ * The simulated machine is a word-addressed shared-memory
+ * multiprocessor: addresses name 64-bit words, values are signed
+ * 64-bit integers, and processors are small dense ids.
+ */
+
+#ifndef WMR_COMMON_TYPES_HH
+#define WMR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace wmr {
+
+/** Word address in the simulated shared memory. */
+using Addr = std::uint32_t;
+
+/** Value stored in a memory word or a register. */
+using Value = std::int64_t;
+
+/** Dense processor identifier, 0-based. */
+using ProcId = std::uint16_t;
+
+/** Register index inside one processor. */
+using RegId = std::uint8_t;
+
+/** Global identifier of a dynamic memory operation. */
+using OpId = std::uint64_t;
+
+/** Identifier of a dynamic event (sync or computation event). */
+using EventId = std::uint32_t;
+
+/** Simulated time in cycles. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no operation". */
+inline constexpr OpId kNoOp = std::numeric_limits<OpId>::max();
+
+/** Sentinel for "no event". */
+inline constexpr EventId kNoEvent = std::numeric_limits<EventId>::max();
+
+/** Sentinel for "no processor". */
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+} // namespace wmr
+
+#endif // WMR_COMMON_TYPES_HH

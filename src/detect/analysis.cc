@@ -1,0 +1,48 @@
+#include "detect/analysis.hh"
+
+namespace wmr {
+
+DetectionResult::DetectionResult(ExecutionTrace trace,
+                                 const AnalysisOptions &opts,
+                                 const std::vector<MemOp> *ops)
+    : trace_(std::move(trace))
+{
+    hb_ = std::make_unique<HbGraph>(trace_);
+    reach_ = std::make_unique<ReachabilityIndex>(*hb_, trace_);
+    races_ = findRaces(trace_, *reach_, opts.finder);
+    aug_ = std::make_unique<AugmentedGraph>(*hb_, races_, trace_);
+    parts_ = partitionRaces(races_, *aug_);
+    scp_ = analyzeScp(trace_, races_, ops);
+}
+
+bool
+DetectionResult::anyDataRace() const
+{
+    return numDataRaces() > 0;
+}
+
+std::size_t
+DetectionResult::numDataRaces() const
+{
+    std::size_t n = 0;
+    for (const auto &r : races_) {
+        if (r.isDataRace)
+            ++n;
+    }
+    return n;
+}
+
+DetectionResult
+analyzeTrace(ExecutionTrace trace, const AnalysisOptions &opts)
+{
+    return DetectionResult(std::move(trace), opts, nullptr);
+}
+
+DetectionResult
+analyzeExecution(const ExecutionResult &res, const AnalysisOptions &opts)
+{
+    ExecutionTrace trace = buildTrace(res, opts.traceOpts);
+    return DetectionResult(std::move(trace), opts, &res.ops);
+}
+
+} // namespace wmr

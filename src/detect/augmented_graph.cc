@@ -1,0 +1,63 @@
+#include "detect/augmented_graph.hh"
+
+namespace wmr {
+
+namespace {
+
+AdjList
+augment(const HbGraph &hb, const std::vector<DataRace> &races)
+{
+    AdjList adj = hb.adjacency();
+    for (const auto &r : races) {
+        adj[r.a].push_back(r.b);
+        adj[r.b].push_back(r.a);
+    }
+    return adj;
+}
+
+std::vector<ProcId>
+procsOf(const ExecutionTrace &trace)
+{
+    std::vector<ProcId> out(trace.events().size());
+    for (const auto &ev : trace.events())
+        out[ev.id] = ev.proc;
+    return out;
+}
+
+std::vector<std::uint32_t>
+indicesOf(const ExecutionTrace &trace)
+{
+    std::vector<std::uint32_t> out(trace.events().size());
+    for (const auto &ev : trace.events())
+        out[ev.id] = ev.indexInProc;
+    return out;
+}
+
+} // namespace
+
+AugmentedGraph::AugmentedGraph(const HbGraph &hb,
+                               const std::vector<DataRace> &races,
+                               const ExecutionTrace &trace)
+    : adj_(augment(hb, races)),
+      reach_(adj_, procsOf(trace), indicesOf(trace), trace.numProcs())
+{
+}
+
+bool
+AugmentedGraph::raceAffectsEvent(const DataRace &r, EventId z) const
+{
+    // The race edge makes a and b mutually reachable, so reachability
+    // from either endpoint is reachability from both.
+    return reach_.reaches(r.a, z);
+}
+
+bool
+AugmentedGraph::raceAffectsRace(const DataRace &r,
+                                const DataRace &s) const
+{
+    if (r.a == s.a && r.b == s.b)
+        return false; // a race does not "affect" itself (Def. 3.3)
+    return raceAffectsEvent(r, s.a) || raceAffectsEvent(r, s.b);
+}
+
+} // namespace wmr

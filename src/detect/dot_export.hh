@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Graphviz (DOT) export of the analysis graphs.
+ *
+ * Renders what the paper draws by hand: the happens-before-1 graph
+ * with processor columns (Figures 1-2), augmented with doubly
+ * directed race edges and the first / non-first partition distinction
+ * (Figure 3), plus SCP membership shading.
+ *
+ *   dot -Tsvg graph.dot -o graph.svg
+ */
+
+#ifndef WMR_DETECT_DOT_EXPORT_HH
+#define WMR_DETECT_DOT_EXPORT_HH
+
+#include <string>
+
+#include "detect/analysis.hh"
+#include "prog/program.hh"
+
+namespace wmr {
+
+/** What to draw. */
+struct DotOptions
+{
+    /** Draw the doubly directed race edges (Figure 3 view). */
+    bool showRaceEdges = true;
+
+    /** Shade events by SCP membership. */
+    bool shadeScp = true;
+
+    /** Group events into per-processor columns. */
+    bool processorColumns = true;
+};
+
+/** Render @p result as a DOT digraph. */
+std::string toDot(const DetectionResult &result,
+                  const Program *prog = nullptr,
+                  const DotOptions &opts = {});
+
+/** Render to a .dot file; fatal() on I/O error. */
+void writeDotFile(const DetectionResult &result,
+                  const std::string &path,
+                  const Program *prog = nullptr,
+                  const DotOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_DETECT_DOT_EXPORT_HH

@@ -1,0 +1,66 @@
+#include "detect/partition.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+RacePartitions
+partitionRaces(const std::vector<DataRace> &races,
+               const AugmentedGraph &aug)
+{
+    const auto &scc = aug.reach().scc();
+
+    RacePartitions out;
+    out.partitionOf.assign(races.size(), 0);
+
+    // Group races by their G'-component.  The doubly directed race
+    // edge guarantees both endpoints share a component.
+    std::map<std::uint32_t, std::vector<RaceId>> byComp;
+    for (RaceId r = 0; r < races.size(); ++r) {
+        const std::uint32_t ca = scc.componentOf[races[r].a];
+        wmr_assert(ca == scc.componentOf[races[r].b]);
+        byComp[ca].push_back(r);
+    }
+
+    for (const auto &[comp, rs] : byComp) {
+        RacePartition part;
+        part.component = comp;
+        part.races = rs;
+        for (const auto r : rs)
+            part.hasDataRace |= races[r].isDataRace;
+        const auto idx = static_cast<std::uint32_t>(
+            out.partitions.size());
+        for (const auto r : rs)
+            out.partitionOf[r] = idx;
+        out.partitions.push_back(std::move(part));
+    }
+
+    // First partitions: not preceded (Def. 4.1) by any OTHER
+    // partition containing a data race.
+    for (std::size_t i = 0; i < out.partitions.size(); ++i) {
+        auto &pi = out.partitions[i];
+        if (!pi.hasDataRace)
+            continue;
+        bool first = true;
+        for (std::size_t j = 0; j < out.partitions.size() && first;
+             ++j) {
+            if (j == i || !out.partitions[j].hasDataRace)
+                continue;
+            if (aug.reach().componentReaches(
+                    out.partitions[j].component, pi.component)) {
+                first = false;
+            }
+        }
+        pi.first = first;
+        if (first) {
+            out.firstPartitions.push_back(
+                static_cast<std::uint32_t>(i));
+        }
+    }
+    return out;
+}
+
+} // namespace wmr

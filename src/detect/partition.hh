@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Race partitions and the partial order P of Section 4.2.
+ *
+ * Two races belong to the same partition iff their events lie in the
+ * same strongly connected component of G'.  Part1 P Part2 iff a G'
+ * path leads from an event of Part1 to an event of Part2 (Def. 4.1).
+ * A partition is FIRST if no other partition containing a data race
+ * precedes it — Theorem 4.1: there are first partitions with data
+ * races iff the execution exhibited data races; Theorem 4.2: every
+ * first partition holds at least one race belonging to an SCP.
+ */
+
+#ifndef WMR_DETECT_PARTITION_HH
+#define WMR_DETECT_PARTITION_HH
+
+#include <vector>
+
+#include "detect/augmented_graph.hh"
+#include "detect/race.hh"
+
+namespace wmr {
+
+/** One partition: the races of one racy SCC of G'. */
+struct RacePartition
+{
+    /** G'-SCC id backing this partition. */
+    std::uint32_t component = 0;
+
+    /** Indices into the race vector. */
+    std::vector<RaceId> races;
+
+    /** Whether this partition holds at least one DATA race. */
+    bool hasDataRace = false;
+
+    /** First per Section 4.2's partial order. */
+    bool first = false;
+};
+
+/** The full partition structure of one analysis. */
+struct RacePartitions
+{
+    /** All partitions, ordered by component id. */
+    std::vector<RacePartition> partitions;
+
+    /** partitionOf[r] = index into partitions for race r. */
+    std::vector<std::uint32_t> partitionOf;
+
+    /** Indices of first partitions containing data races. */
+    std::vector<std::uint32_t> firstPartitions;
+
+    /** @return races of all first partitions (the reportable set). */
+    std::vector<RaceId>
+    reportableRaces() const
+    {
+        std::vector<RaceId> out;
+        for (const auto pi : firstPartitions) {
+            for (const auto r : partitions[pi].races)
+                out.push_back(r);
+        }
+        return out;
+    }
+};
+
+/**
+ * Partition @p races by the SCCs of @p aug and identify the first
+ * partitions (Sec. 4.2).
+ */
+RacePartitions partitionRaces(const std::vector<DataRace> &races,
+                              const AugmentedGraph &aug);
+
+} // namespace wmr
+
+#endif // WMR_DETECT_PARTITION_HH

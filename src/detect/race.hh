@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The race record shared by the detection pipeline.
+ */
+
+#ifndef WMR_DETECT_RACE_HH
+#define WMR_DETECT_RACE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wmr {
+
+/** Index of a race within a detection result. */
+using RaceId = std::uint32_t;
+
+/**
+ * A higher-level race 〈a,b〉 between two events (Sec. 4.1): the
+ * events conflict on at least one location and are unordered by hb1.
+ * When at least one of the two events is a computation event the pair
+ * contains a data operation, making it a DATA race (Def. 2.4); a
+ * sync-sync pair is a general race only.
+ */
+struct DataRace
+{
+    EventId a = kNoEvent;   ///< smaller event id of the pair
+    EventId b = kNoEvent;   ///< larger event id of the pair
+
+    /** Locations on which the events conflict. */
+    std::vector<Addr> addrs;
+
+    /** At least one side contains a data operation. */
+    bool isDataRace = true;
+};
+
+} // namespace wmr
+
+#endif // WMR_DETECT_RACE_HH

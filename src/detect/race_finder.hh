@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Enumeration of the races of a traced execution.
+ *
+ * Candidate pairs are generated per address (only events whose
+ * READ/WRITE sets or sync operation touch a common word can race),
+ * filtered by processor (same-processor events are always po-ordered)
+ * and then by the hb1 reachability oracle.
+ */
+
+#ifndef WMR_DETECT_RACE_FINDER_HH
+#define WMR_DETECT_RACE_FINDER_HH
+
+#include <vector>
+
+#include "detect/race.hh"
+#include "hb/reachability.hh"
+#include "trace/execution_trace.hh"
+
+namespace wmr {
+
+/** Options of the race enumeration. */
+struct RaceFinderOptions
+{
+    /**
+     * Also report sync-sync conflicting unordered pairs (general
+     * races that are NOT data races, Def. 2.4).  Off by default; the
+     * paper's method reports data races.
+     */
+    bool includeSyncSyncRaces = false;
+};
+
+/**
+ * Enumerate the races of @p trace under the hb1 order @p reach.
+ * Pairs are deduplicated across addresses; each returned race lists
+ * every conflicting location of its event pair.
+ */
+std::vector<DataRace> findRaces(const ExecutionTrace &trace,
+                                const ReachabilityIndex &reach,
+                                const RaceFinderOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_DETECT_RACE_FINDER_HH

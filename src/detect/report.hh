@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Human-readable race reports.
+ *
+ * Renders a DetectionResult the way Section 4.2 prescribes reporting:
+ * first partitions (and their races) prominently, non-first
+ * partitions listed as affected follow-ups, SCP classification and
+ * the Theorem 4.1 conclusion ("no data races ⇒ execution was
+ * sequentially consistent") spelled out.  When the originating
+ * Program is supplied, addresses print with their symbolic names and
+ * races carry static instruction attribution.
+ */
+
+#ifndef WMR_DETECT_REPORT_HH
+#define WMR_DETECT_REPORT_HH
+
+#include <string>
+
+#include "detect/analysis.hh"
+#include "prog/program.hh"
+
+namespace wmr {
+
+/** Formatting options. */
+struct ReportOptions
+{
+    /** Also list non-first partitions. */
+    bool showNonFirst = true;
+
+    /** Include per-event detail (op ranges, READ/WRITE sets). */
+    bool showEvents = false;
+
+    /** Maximum addresses printed per race. */
+    std::size_t maxAddrsPerRace = 8;
+};
+
+/** Render one event as a one-line summary. */
+std::string describeEvent(const Event &ev, const Program *prog);
+
+/** Render one race as a one-line summary. */
+std::string describeRace(const DetectionResult &result, RaceId r,
+                         const Program *prog,
+                         const ReportOptions &opts = {});
+
+/** Render the full report. */
+std::string formatReport(const DetectionResult &result,
+                         const Program *prog = nullptr,
+                         const ReportOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_DETECT_REPORT_HH

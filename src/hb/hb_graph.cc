@@ -1,0 +1,32 @@
+#include "hb/hb_graph.hh"
+
+namespace wmr {
+
+HbGraph::HbGraph(const ExecutionTrace &trace)
+{
+    adj_.assign(trace.events().size(), {});
+
+    // po edges: consecutive events of each processor.  Transitivity
+    // is recovered by reachability, so the chain suffices.
+    for (ProcId p = 0; p < trace.numProcs(); ++p) {
+        const auto &seq = trace.procEvents(p);
+        for (std::size_t i = 1; i < seq.size(); ++i) {
+            adj_[seq[i - 1]].push_back(seq[i]);
+            edges_.push_back(
+                {seq[i - 1], seq[i], HbEdgeKind::ProgramOrder});
+        }
+    }
+
+    // so1 edges: paired release → acquire (Def. 2.2).
+    for (const auto &ev : trace.events()) {
+        if (ev.kind == EventKind::Sync &&
+            ev.pairedRelease != kNoEvent) {
+            adj_[ev.pairedRelease].push_back(ev.id);
+            edges_.push_back(
+                {ev.pairedRelease, ev.id, HbEdgeKind::SyncOrder});
+            ++numSyncEdges_;
+        }
+    }
+}
+
+} // namespace wmr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The happens-before-1 graph of Section 4.1.
+ *
+ * One node per event; edges represent po (consecutive events of a
+ * processor) and so1 (paired release → acquire, Def. 2.2).  hb1 is
+ * the transitive closure of the edge set (Def. 2.3).  On a weak
+ * execution hb1 need not be a partial order, so nothing here assumes
+ * acyclicity — reachability queries go through ReachabilityIndex,
+ * which condenses SCCs first.
+ */
+
+#ifndef WMR_HB_HB_GRAPH_HH
+#define WMR_HB_HB_GRAPH_HH
+
+#include "hb/scc.hh"
+#include "trace/execution_trace.hh"
+
+namespace wmr {
+
+/** Kinds of hb1 edges, kept for reporting/visualization. */
+enum class HbEdgeKind : std::uint8_t { ProgramOrder, SyncOrder };
+
+/** One labelled hb1 edge. */
+struct HbEdge
+{
+    EventId from;
+    EventId to;
+    HbEdgeKind kind;
+};
+
+/** The hb1 relation as an explicit graph over trace events. */
+class HbGraph
+{
+  public:
+    /** Build the hb1 graph of @p trace. */
+    explicit HbGraph(const ExecutionTrace &trace);
+
+    /** @return number of nodes (== trace events). */
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(adj_.size());
+    }
+
+    /** @return successor adjacency (po ∪ so1 edges). */
+    const AdjList &adjacency() const { return adj_; }
+
+    /** @return all labelled edges. */
+    const std::vector<HbEdge> &edges() const { return edges_; }
+
+    /** @return count of so1 edges. */
+    std::uint32_t numSyncEdges() const { return numSyncEdges_; }
+
+  private:
+    AdjList adj_;
+    std::vector<HbEdge> edges_;
+    std::uint32_t numSyncEdges_ = 0;
+};
+
+} // namespace wmr
+
+#endif // WMR_HB_HB_GRAPH_HH

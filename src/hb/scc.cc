@@ -1,0 +1,97 @@
+#include "hb/scc.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+SccResult
+stronglyConnectedComponents(const AdjList &graph)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(graph.size());
+    constexpr std::uint32_t kUnvisited = UINT32_MAX;
+
+    SccResult res;
+    res.componentOf.assign(n, kUnvisited);
+
+    std::vector<std::uint32_t> index(n, kUnvisited);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> onStack(n, false);
+    std::vector<std::uint32_t> stack;
+    std::uint32_t nextIndex = 0;
+
+    // Iterative Tarjan: frame = (node, next-edge cursor).
+    struct Frame
+    {
+        std::uint32_t v;
+        std::uint32_t edge;
+    };
+    std::vector<Frame> call;
+
+    for (std::uint32_t root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        call.push_back({root, 0});
+        while (!call.empty()) {
+            Frame &f = call.back();
+            const std::uint32_t v = f.v;
+            if (f.edge == 0) {
+                index[v] = lowlink[v] = nextIndex++;
+                stack.push_back(v);
+                onStack[v] = true;
+            }
+            bool descended = false;
+            while (f.edge < graph[v].size()) {
+                const std::uint32_t w = graph[v][f.edge++];
+                if (index[w] == kUnvisited) {
+                    call.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+            if (descended)
+                continue;
+            // v finished: pop an SCC if v is a root.
+            if (lowlink[v] == index[v]) {
+                const std::uint32_t comp = res.numComponents++;
+                res.members.emplace_back();
+                while (true) {
+                    const std::uint32_t w = stack.back();
+                    stack.pop_back();
+                    onStack[w] = false;
+                    res.componentOf[w] = comp;
+                    res.members[comp].push_back(w);
+                    if (w == v)
+                        break;
+                }
+            }
+            call.pop_back();
+            if (!call.empty()) {
+                Frame &parent = call.back();
+                lowlink[parent.v] =
+                    std::min(lowlink[parent.v], lowlink[v]);
+            }
+        }
+    }
+
+    // Build the deduplicated condensation DAG.
+    res.condensation.assign(res.numComponents, {});
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const std::uint32_t cv = res.componentOf[v];
+        for (const std::uint32_t w : graph[v]) {
+            const std::uint32_t cw = res.componentOf[w];
+            if (cv != cw)
+                res.condensation[cv].push_back(cw);
+        }
+    }
+    for (auto &succ : res.condensation) {
+        std::sort(succ.begin(), succ.end());
+        succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+    }
+    return res;
+}
+
+} // namespace wmr

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Strongly connected components of a directed graph.
+ *
+ * Section 4.2 partitions data races by the strongly connected
+ * components of the augmented graph G'.  We implement Tarjan's
+ * algorithm iteratively (no recursion — augmented graphs of large
+ * executions can be deep) over a plain adjacency-list graph.
+ */
+
+#ifndef WMR_HB_SCC_HH
+#define WMR_HB_SCC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wmr {
+
+/** Adjacency-list digraph over nodes 0..n-1. */
+using AdjList = std::vector<std::vector<std::uint32_t>>;
+
+/** Result of an SCC decomposition. */
+struct SccResult
+{
+    /** componentOf[v] = id of v's component, in REVERSE topological
+     *  order of the condensation (Tarjan property: an edge u→v across
+     *  components satisfies componentOf[u] > componentOf[v]). */
+    std::vector<std::uint32_t> componentOf;
+
+    /** Number of components. */
+    std::uint32_t numComponents = 0;
+
+    /** members[c] = nodes of component c. */
+    std::vector<std::vector<std::uint32_t>> members;
+
+    /**
+     * Condensation DAG: edges between distinct components, deduped.
+     * condensation[c] lists successors of component c.
+     */
+    AdjList condensation;
+};
+
+/** Decompose @p graph into strongly connected components. */
+SccResult stronglyConnectedComponents(const AdjList &graph);
+
+} // namespace wmr
+
+#endif // WMR_HB_SCC_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Classic Lamport/Mattern vector clocks.
+ *
+ * Used by the on-the-fly detectors (onthefly/) to maintain the hb1
+ * relation incrementally: each processor carries a clock; release
+ * writes publish the clock at the released location; acquire reads
+ * join the publisher's clock (so1), and po advances the issuing
+ * processor's own component.
+ */
+
+#ifndef WMR_HB_VECTOR_CLOCK_HH
+#define WMR_HB_VECTOR_CLOCK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wmr {
+
+/** A vector timestamp over a fixed set of processors. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+
+    /** Zero clock over @p nprocs processors. */
+    explicit VectorClock(ProcId nprocs)
+        : c_(nprocs, 0)
+    {
+    }
+
+    /** @return component for processor @p p. */
+    std::uint64_t
+    get(ProcId p) const
+    {
+        return p < c_.size() ? c_[p] : 0;
+    }
+
+    /** Set component @p p to @p v. */
+    void
+    set(ProcId p, std::uint64_t v)
+    {
+        if (p >= c_.size())
+            c_.resize(p + 1, 0);
+        c_[p] = v;
+    }
+
+    /** Advance own component of @p p by one. */
+    void
+    tick(ProcId p)
+    {
+        set(p, get(p) + 1);
+    }
+
+    /** Pointwise maximum with @p other (the join at an acquire). */
+    void
+    join(const VectorClock &other)
+    {
+        if (other.c_.size() > c_.size())
+            c_.resize(other.c_.size(), 0);
+        for (std::size_t i = 0; i < other.c_.size(); ++i)
+            c_[i] = std::max(c_[i], other.c_[i]);
+    }
+
+    /** @return whether this ≤ other pointwise (this hb1 other). */
+    bool
+    lessOrEqual(const VectorClock &other) const
+    {
+        for (std::size_t i = 0; i < c_.size(); ++i) {
+            if (c_[i] > other.get(static_cast<ProcId>(i)))
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * @return whether the single epoch (p, t) is ≤ this clock —
+     * the FastTrack-style O(1) ordering test.
+     */
+    bool
+    epochLeq(ProcId p, std::uint64_t t) const
+    {
+        return t <= get(p);
+    }
+
+    bool
+    operator==(const VectorClock &other) const
+    {
+        const std::size_t n = std::max(c_.size(), other.c_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const ProcId p = static_cast<ProcId>(i);
+            if (get(p) != other.get(p))
+                return false;
+        }
+        return true;
+    }
+
+    /** Render as "<3,0,7>" for reports. */
+    std::string
+    str() const
+    {
+        std::string out = "<";
+        for (std::size_t i = 0; i < c_.size(); ++i) {
+            if (i)
+                out += ",";
+            out += std::to_string(c_[i]);
+        }
+        out += ">";
+        return out;
+    }
+
+  private:
+    std::vector<std::uint64_t> c_;
+};
+
+} // namespace wmr
+
+#endif // WMR_HB_VECTOR_CLOCK_HH

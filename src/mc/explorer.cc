@@ -1,0 +1,432 @@
+#include "mc/explorer.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "detect/analysis.hh"
+
+namespace wmr {
+
+namespace {
+
+/** Snapshot-able interpreter state of one exploration path. */
+struct McState
+{
+    std::vector<std::uint32_t> pcs;
+    std::vector<std::array<Value, kNumRegs>> regs;
+    std::vector<bool> halted;
+    std::vector<std::uint32_t> poIndex;
+    std::vector<Value> memory;
+    std::vector<OpId> lastWriter;
+    std::uint64_t steps = 0;
+
+    /** FNV-1a hash of the semantic state (pcs/regs/halted/memory),
+     *  used for no-progress cycle pruning. */
+    std::uint64_t
+    semanticHash() const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        const auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        for (std::size_t p = 0; p < pcs.size(); ++p) {
+            mix(pcs[p]);
+            mix(halted[p]);
+            for (const auto r : regs[p])
+                mix(static_cast<std::uint64_t>(r));
+        }
+        for (const auto v : memory)
+            mix(static_cast<std::uint64_t>(v));
+        return h;
+    }
+};
+
+/** DFS driver enumerating SC executions. */
+class McRunner
+{
+  public:
+    McRunner(const Program &prog, const McLimits &limits,
+             const ExecutionCallback &cb)
+        : prog_(prog), limits_(limits), cb_(cb)
+    {
+        const ProcId n = prog.numProcs();
+        state_.pcs.assign(n, 0);
+        state_.regs.assign(n, {});
+        state_.halted.assign(n, false);
+        state_.poIndex.assign(n, 0);
+        state_.memory.assign(prog.memWords(), 0);
+        state_.lastWriter.assign(prog.memWords(), kNoOp);
+        for (const auto &[addr, value] : prog.initialMemory())
+            state_.memory[addr] = value;
+        truth_.exhaustive = true;
+    }
+
+    ScGroundTruth
+    run()
+    {
+        dfs();
+        return truth_;
+    }
+
+  private:
+    /** @return effective address of @p i on processor @p p. */
+    Addr
+    ea(ProcId p, const Instr &i) const
+    {
+        Addr a = i.addr;
+        if (i.indexed) {
+            a += static_cast<Addr>(
+                static_cast<std::uint64_t>(state_.regs[p][i.a]));
+        }
+        return a;
+    }
+
+    void
+    ensureAddr(Addr a)
+    {
+        if (a >= state_.memory.size()) {
+            state_.memory.resize(a + 1, 0);
+            state_.lastWriter.resize(a + 1, kNoOp);
+        }
+    }
+
+    /**
+     * Execute local (non-memory) instructions of @p p until the next
+     * memory instruction, the Halt, or the step bound.
+     * @return false when the step bound was exceeded.
+     */
+    bool
+    advanceLocal(ProcId p)
+    {
+        const auto &code = prog_.thread(p).code;
+        auto &pc = state_.pcs[p];
+        auto &regs = state_.regs[p];
+        while (!state_.halted[p]) {
+            if (pc >= code.size()) {
+                state_.halted[p] = true;
+                return true;
+            }
+            const Instr &i = code[pc];
+            if (opcodeAccessesMemory(i.op))
+                return true;
+            if (++state_.steps > limits_.maxStepsPerExec)
+                return false;
+            std::uint32_t next = pc + 1;
+            switch (i.op) {
+              case Opcode::Nop: break;
+              case Opcode::MovI: regs[i.dst] = i.imm; break;
+              case Opcode::Mov: regs[i.dst] = regs[i.a]; break;
+              case Opcode::Add:
+                regs[i.dst] = regs[i.a] + regs[i.b];
+                break;
+              case Opcode::AddI:
+                regs[i.dst] = regs[i.a] + i.imm;
+                break;
+              case Opcode::Sub:
+                regs[i.dst] = regs[i.a] - regs[i.b];
+                break;
+              case Opcode::Mul:
+                regs[i.dst] = regs[i.a] * regs[i.b];
+                break;
+              case Opcode::CmpEq:
+                regs[i.dst] = regs[i.a] == regs[i.b];
+                break;
+              case Opcode::CmpNe:
+                regs[i.dst] = regs[i.a] != regs[i.b];
+                break;
+              case Opcode::CmpLt:
+                regs[i.dst] = regs[i.a] < regs[i.b];
+                break;
+              case Opcode::CmpEqI:
+                regs[i.dst] = regs[i.a] == i.imm;
+                break;
+              case Opcode::CmpLtI:
+                regs[i.dst] = regs[i.a] < i.imm;
+                break;
+              case Opcode::Fence: break; // SC: no-op
+              case Opcode::Branch:
+                if (regs[i.a] != 0)
+                    next = i.target;
+                break;
+              case Opcode::BranchZ:
+                if (regs[i.a] == 0)
+                    next = i.target;
+                break;
+              case Opcode::Jump: next = i.target; break;
+              case Opcode::Halt: state_.halted[p] = true; break;
+              default:
+                panic("advanceLocal: memory opcode slipped through");
+            }
+            pc = next;
+        }
+        return true;
+    }
+
+    void
+    emit(ProcId p, std::uint32_t pc, OpKind kind, bool sync, bool acq,
+         bool rel, Addr addr, Value value)
+    {
+        MemOp op;
+        op.id = static_cast<OpId>(trail_.size());
+        op.proc = p;
+        op.poIndex = state_.poIndex[p]++;
+        op.pc = pc;
+        op.kind = kind;
+        op.sync = sync;
+        op.acquire = acq;
+        op.release = rel;
+        op.addr = addr;
+        op.value = value;
+        if (kind == OpKind::Read) {
+            op.observedWrite = state_.lastWriter[addr];
+        } else {
+            state_.memory[addr] = value;
+            state_.lastWriter[addr] = op.id;
+        }
+        trail_.push_back(op);
+    }
+
+    /** Execute the pending memory instruction of @p p (SC memory). */
+    void
+    execMemInstr(ProcId p)
+    {
+        const auto &code = prog_.thread(p).code;
+        const std::uint32_t pc = state_.pcs[p];
+        const Instr &i = code[pc];
+        auto &regs = state_.regs[p];
+        const Addr a = ea(p, i);
+        ensureAddr(a);
+        ++state_.steps;
+        switch (i.op) {
+          case Opcode::Load:
+            regs[i.dst] = state_.memory[a];
+            emit(p, pc, OpKind::Read, false, false, false, a,
+                 regs[i.dst]);
+            break;
+          case Opcode::Store:
+            emit(p, pc, OpKind::Write, false, false, false, a,
+                 regs[i.b]);
+            break;
+          case Opcode::StoreI:
+            emit(p, pc, OpKind::Write, false, false, false, a, i.imm);
+            break;
+          case Opcode::TestAndSet: {
+            const Value old = state_.memory[a];
+            regs[i.dst] = old;
+            emit(p, pc, OpKind::Read, true, true, false, a, old);
+            emit(p, pc, OpKind::Write, true, false, false, a, 1);
+            break;
+          }
+          case Opcode::Unset:
+            emit(p, pc, OpKind::Write, true, false, true, a, 0);
+            break;
+          case Opcode::SyncLoad:
+            regs[i.dst] = state_.memory[a];
+            emit(p, pc, OpKind::Read, true, true, false, a,
+                 regs[i.dst]);
+            break;
+          case Opcode::SyncStore:
+            emit(p, pc, OpKind::Write, true, false, true, a,
+                 regs[i.b]);
+            break;
+          case Opcode::SyncStoreI:
+            emit(p, pc, OpKind::Write, true, false, true, a, i.imm);
+            break;
+          default:
+            panic("execMemInstr: non-memory opcode");
+        }
+        state_.pcs[p] = pc + 1;
+    }
+
+    /** @return false to stop the whole exploration. */
+    bool
+    dfs()
+    {
+        // Deterministically advance every processor to its next
+        // memory instruction (or halt).
+        for (ProcId p = 0; p < prog_.numProcs(); ++p) {
+            if (!state_.halted[p] && !advanceLocal(p)) {
+                ++truth_.truncated;
+                truth_.exhaustive = false;
+                return true; // prune this path only
+            }
+        }
+
+        std::vector<ProcId> runnable;
+        for (ProcId p = 0; p < prog_.numProcs(); ++p) {
+            if (!state_.halted[p])
+                runnable.push_back(p);
+        }
+
+        if (runnable.empty())
+            return leaf();
+
+        if (state_.steps > limits_.maxStepsPerExec) {
+            ++truth_.truncated;
+            truth_.exhaustive = false;
+            return true;
+        }
+
+        // No-progress cycle pruning: a state already on the current
+        // path means some spin iteration changed nothing; the same
+        // behaviors are covered by the branch that never scheduled
+        // the spinner.
+        std::uint64_t h = 0;
+        if (limits_.pruneCycles) {
+            h = state_.semanticHash();
+            if (pathStates_.count(h)) {
+                ++truth_.cyclesPruned;
+                return true;
+            }
+            pathStates_.insert(h);
+        }
+
+        for (const ProcId p : runnable) {
+            const McState snapshot = state_;
+            const std::size_t trailLen = trail_.size();
+            execMemInstr(p);
+            const bool keep_going = dfs();
+            state_ = snapshot;
+            trail_.resize(trailLen);
+            if (!keep_going) {
+                if (limits_.pruneCycles)
+                    pathStates_.erase(h);
+                return false;
+            }
+            if (truth_.executions >= limits_.maxExecutions) {
+                truth_.exhaustive = false;
+                if (limits_.pruneCycles)
+                    pathStates_.erase(h);
+                return false;
+            }
+        }
+        if (limits_.pruneCycles)
+            pathStates_.erase(h);
+        return true;
+    }
+
+    /** A complete SC execution: analyze and aggregate. */
+    bool
+    leaf()
+    {
+        ++truth_.executions;
+
+        ExecutionResult res;
+        res.model = ModelKind::SC;
+        res.ops = trail_;
+        res.completed = true;
+        res.steps = state_.steps;
+        res.firstStaleRead = kNoOp;
+        res.finalMemory = state_.memory;
+        res.finalRegs = state_.regs;
+        res.procCycles.assign(prog_.numProcs(), 0);
+
+        DetectionResult det = analyzeExecution(res);
+        if (det.anyDataRace()) {
+            truth_.anyDataRace = true;
+            for (RaceId r = 0;
+                 r < static_cast<RaceId>(det.races().size()); ++r) {
+                if (!det.races()[r].isDataRace)
+                    continue;
+                const auto pairs =
+                    staticPairsOfRace(det, r, res.ops);
+                truth_.races.insert(pairs.begin(), pairs.end());
+            }
+        }
+
+        if (cb_ && !cb_(res))
+            return false;
+        return true;
+    }
+
+    const Program &prog_;
+    const McLimits &limits_;
+    const ExecutionCallback &cb_;
+    McState state_;
+    std::vector<MemOp> trail_;
+    std::unordered_set<std::uint64_t> pathStates_;
+    ScGroundTruth truth_;
+};
+
+} // namespace
+
+ScGroundTruth
+exploreScExecutions(const Program &prog, const McLimits &limits,
+                    const ExecutionCallback &onExecution)
+{
+    prog.validate();
+    McRunner runner(prog, limits, onExecution);
+    return runner.run();
+}
+
+bool
+raceFeasibleOnSc(const Program &prog, const StaticRace &target,
+                 const McLimits &limits)
+{
+    bool found = false;
+    exploreScExecutions(
+        prog, limits, [&](const ExecutionResult &res) {
+            DetectionResult det = analyzeExecution(res);
+            for (RaceId r = 0;
+                 r < static_cast<RaceId>(det.races().size()); ++r) {
+                if (!det.races()[r].isDataRace)
+                    continue;
+                const auto pairs =
+                    staticPairsOfRace(det, r, res.ops);
+                if (pairs.count(target)) {
+                    found = true;
+                    return false; // stop exploring
+                }
+            }
+            return true;
+        });
+    return found;
+}
+
+StaticRaceSet
+staticPairsOfRace(const DetectionResult &result, RaceId r,
+                  const std::vector<MemOp> &ops)
+{
+    const DataRace &race = result.races()[r];
+    const Event &ea = result.trace().event(race.a);
+    const Event &eb = result.trace().event(race.b);
+
+    const auto members = [&](const Event &ev) {
+        std::vector<OpId> out;
+        if (ev.kind == EventKind::Sync)
+            out.push_back(ev.syncOp.id);
+        else
+            out = ev.memberOps;
+        return out;
+    };
+
+    StaticRaceSet set;
+    for (const OpId oa : members(ea)) {
+        for (const OpId ob : members(eb)) {
+            const MemOp &x = ops[oa];
+            const MemOp &y = ops[ob];
+            if (!conflict(x, y) || (x.sync && y.sync))
+                continue;
+            set.insert(StaticRace::make({x.proc, x.pc},
+                                        {y.proc, y.pc}));
+        }
+    }
+    return set;
+}
+
+StaticRaceSet
+staticPairsOfRaces(const DetectionResult &result,
+                   const std::vector<RaceId> &raceIds,
+                   const std::vector<MemOp> &ops)
+{
+    StaticRaceSet set;
+    for (const auto r : raceIds) {
+        const auto pairs = staticPairsOfRace(result, r, ops);
+        set.insert(pairs.begin(), pairs.end());
+    }
+    return set;
+}
+
+} // namespace wmr

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Exhaustive enumeration of the sequentially consistent executions of
+ * a (small) program — the ground-truth oracle behind the paper's
+ * definitions.
+ *
+ * Definitions 2.4 and 3.2 quantify over "some/all sequentially
+ * consistent execution(s)": a program is data-race-free iff ALL its
+ * SC executions are race-free, and a detected race is a valid report
+ * iff it occurs in SOME SC execution.  The explorer decides both for
+ * programs small enough to enumerate, which is what the property
+ * tests and the accuracy benchmark need.
+ *
+ * The exploration branches only at shared-memory operations (local
+ * instructions of the chosen processor run atomically with it), which
+ * is sound for race detection because local instructions neither read
+ * nor write shared state.
+ */
+
+#ifndef WMR_MC_EXPLORER_HH
+#define WMR_MC_EXPLORER_HH
+
+#include <functional>
+
+#include "mc/static_race.hh"
+#include "prog/program.hh"
+#include "sim/executor.hh"
+
+namespace wmr {
+
+/** Exploration bounds. */
+struct McLimits
+{
+    /** Stop after this many complete executions. */
+    std::uint64_t maxExecutions = 50'000;
+
+    /** Per-execution instruction bound (spin-loop guard). */
+    std::uint64_t maxStepsPerExec = 20'000;
+
+    /**
+     * Prune no-progress cycles: when a scheduling choice returns the
+     * interpreter to a state already on the current path (a failed
+     * spin iteration changed nothing), the subtree is skipped — the
+     * same behaviors are reachable through the sibling branch where
+     * the spinning processor simply is not scheduled.  Without this,
+     * programs with spin locks have an INFINITE execution tree.
+     * Disable only for loop-free programs.
+     */
+    bool pruneCycles = true;
+};
+
+/** Ground truth extracted from the explored SC executions. */
+struct ScGroundTruth
+{
+    /** All executions were enumerated within the limits. */
+    bool exhaustive = false;
+
+    /** Complete executions explored. */
+    std::uint64_t executions = 0;
+
+    /** Executions that hit the step bound (treated as incomplete). */
+    std::uint64_t truncated = 0;
+
+    /** Subtrees skipped by no-progress cycle pruning. */
+    std::uint64_t cyclesPruned = 0;
+
+    /** Some explored SC execution exhibited a data race. */
+    bool anyDataRace = false;
+
+    /** Static data races observed across the explored executions. */
+    StaticRaceSet races;
+
+    /** @return data-race-freedom verdict (valid when exhaustive). */
+    bool
+    dataRaceFree() const
+    {
+        return !anyDataRace;
+    }
+};
+
+/**
+ * Callback invoked per complete SC execution; return false to stop
+ * exploring early.
+ */
+using ExecutionCallback =
+    std::function<bool(const ExecutionResult &)>;
+
+/**
+ * Enumerate SC executions of @p prog within @p limits.  When
+ * @p onExecution is provided it is invoked for each one.  The
+ * returned ground truth aggregates dynamic race analyses of every
+ * explored execution.
+ */
+ScGroundTruth exploreScExecutions(const Program &prog,
+                                  const McLimits &limits = {},
+                                  const ExecutionCallback &onExecution =
+                                      nullptr);
+
+/**
+ * @return whether some SC execution within @p limits exhibits a data
+ * race matching @p target (static identity).
+ */
+bool raceFeasibleOnSc(const Program &prog, const StaticRace &target,
+                      const McLimits &limits = {});
+
+} // namespace wmr
+
+#endif // WMR_MC_EXPLORER_HH

@@ -1,0 +1,64 @@
+#include "mc/scp_witness.hh"
+
+#include <algorithm>
+
+#include "detect/analysis.hh"
+#include "sim/scheduler.hh"
+
+namespace wmr {
+
+ScpWitness
+buildScpWitness(const Program &prog, const ExecutionResult &weak,
+                std::uint64_t continuationSeed)
+{
+    ScpWitness w;
+
+    // Prefix = operations before the first stale read (all of them
+    // when the execution stayed on the SC witness).
+    const OpId end = weak.firstStaleRead == kNoOp
+                         ? static_cast<OpId>(weak.ops.size())
+                         : weak.firstStaleRead;
+    w.prefixOps = end;
+
+    // Scheduling script: all picks strictly before the pick that
+    // issued the first stale read.
+    std::vector<ProcId> script;
+    if (weak.firstStaleRead == kNoOp) {
+        script = weak.stepOrder;
+    } else {
+        const std::uint64_t cut = weak.ops[weak.firstStaleRead].step;
+        script.assign(weak.stepOrder.begin(),
+                      weak.stepOrder.begin() +
+                          static_cast<std::ptrdiff_t>(cut));
+    }
+
+    ScriptedScheduler sched(std::move(script));
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.seed = continuationSeed;
+    opts.scheduler = &sched;
+    w.eseq = runProgram(prog, opts);
+
+    // Verify the replay reproduced the SCP operations exactly.
+    w.prefixMatched = w.eseq.ops.size() >= end;
+    for (OpId i = 0; w.prefixMatched && i < end; ++i) {
+        const MemOp &a = weak.ops[i];
+        const MemOp &b = w.eseq.ops[i];
+        w.prefixMatched = a.proc == b.proc && a.pc == b.pc &&
+                          a.kind == b.kind && a.addr == b.addr &&
+                          a.value == b.value && a.sync == b.sync;
+    }
+
+    // Collect the static data races of Eseq.
+    DetectionResult det = analyzeExecution(w.eseq);
+    for (RaceId r = 0; r < static_cast<RaceId>(det.races().size());
+         ++r) {
+        if (!det.races()[r].isDataRace)
+            continue;
+        const auto pairs = staticPairsOfRace(det, r, w.eseq.ops);
+        w.eseqRaces.insert(pairs.begin(), pairs.end());
+    }
+    return w;
+}
+
+} // namespace wmr

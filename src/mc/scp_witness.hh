@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Constructive SCP witness: build the sequentially consistent
+ * execution Eseq whose prefix is a weak execution's SCP.
+ *
+ * Definition 3.2 requires the SCP to be a prefix of SOME sequentially
+ * consistent execution of the program.  Our simulator's SCP ends at
+ * the first stale read; every instruction before that point behaved
+ * exactly as the issue-order SC interleaving prescribes.  Replaying
+ * that interleaving prefix under the SC memory model therefore
+ * reproduces the prefix instruction for instruction, and letting the
+ * run continue under SC completes it into a real SC execution Eseq.
+ *
+ * This turns Theorem 4.2 from a claim into something tests check
+ * constructively: races the detector labels "in the SCP" must show up
+ * (with the same static identity) among the races of Eseq.
+ */
+
+#ifndef WMR_MC_SCP_WITNESS_HH
+#define WMR_MC_SCP_WITNESS_HH
+
+#include "mc/static_race.hh"
+#include "prog/program.hh"
+#include "sim/executor.hh"
+
+namespace wmr {
+
+/** Result of constructing and analyzing the witness Eseq. */
+struct ScpWitness
+{
+    /** The SC execution extending the SCP. */
+    ExecutionResult eseq;
+
+    /**
+     * Whether the replayed prefix matched the weak execution's
+     * operations one for one (it must; a mismatch indicates a
+     * simulator bug and is surfaced to tests).
+     */
+    bool prefixMatched = false;
+
+    /** Number of operations of the weak execution's base SCP. */
+    OpId prefixOps = 0;
+
+    /** Static data races of Eseq. */
+    StaticRaceSet eseqRaces;
+};
+
+/**
+ * Build Eseq for @p weak (an execution of @p prog recorded with step
+ * order).  @p continuationSeed drives the post-prefix scheduling.
+ */
+ScpWitness buildScpWitness(const Program &prog,
+                           const ExecutionResult &weak,
+                           std::uint64_t continuationSeed = 7);
+
+} // namespace wmr
+
+#endif // WMR_MC_SCP_WITNESS_HH

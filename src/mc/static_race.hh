@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Static (source-level) identity of races, for cross-execution
+ * comparison.
+ *
+ * A dynamic race is a pair of dynamic events; different executions
+ * produce different dynamic races.  To ask "does this race also occur
+ * in some sequentially consistent execution?" (the SCP question) we
+ * compare races by their STATIC identity: the unordered pair of
+ * (processor, pc) sites of the conflicting operations.
+ */
+
+#ifndef WMR_MC_STATIC_RACE_HH
+#define WMR_MC_STATIC_RACE_HH
+
+#include <compare>
+#include <set>
+
+#include "common/types.hh"
+#include "detect/analysis.hh"
+
+namespace wmr {
+
+/** A static operation site. */
+struct StaticOpRef
+{
+    ProcId proc = 0;
+    std::uint32_t pc = 0;
+
+    auto operator<=>(const StaticOpRef &) const = default;
+};
+
+/** An unordered static race pair (x ≤ y canonically). */
+struct StaticRace
+{
+    StaticOpRef x;
+    StaticOpRef y;
+
+    auto operator<=>(const StaticRace &) const = default;
+
+    /** Canonicalize so the smaller site comes first. */
+    static StaticRace
+    make(StaticOpRef a, StaticOpRef b)
+    {
+        if (b < a)
+            return {b, a};
+        return {a, b};
+    }
+};
+
+/** Set of static races. */
+using StaticRaceSet = std::set<StaticRace>;
+
+/**
+ * @return the static pairs of conflicting lower-level operations
+ * represented by dynamic race @p r of @p result (requires member
+ * operations in the trace and the original @p ops stream).
+ */
+StaticRaceSet staticPairsOfRace(const DetectionResult &result, RaceId r,
+                                const std::vector<MemOp> &ops);
+
+/** @return union of staticPairsOfRace over @p raceIds. */
+StaticRaceSet staticPairsOfRaces(const DetectionResult &result,
+                                 const std::vector<RaceId> &raceIds,
+                                 const std::vector<MemOp> &ops);
+
+} // namespace wmr
+
+#endif // WMR_MC_STATIC_RACE_HH

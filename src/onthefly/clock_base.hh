@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared machinery of the clock-based on-the-fly detectors:
+ * per-processor clocks and the release-clock publication table that
+ * implements exact so1 pairing (with optional bounded history).
+ */
+
+#ifndef WMR_ONTHEFLY_CLOCK_BASE_HH
+#define WMR_ONTHEFLY_CLOCK_BASE_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "hb/vector_clock.hh"
+#include "onthefly/onthefly.hh"
+
+namespace wmr {
+
+/** Base for detectors that maintain hb1 with vector clocks. */
+class ClockedDetectorBase : public OnTheFlyDetector
+{
+  public:
+    /** @return the current clock of processor @p p. */
+    const VectorClock &
+    procClockOf(ProcId p) const
+    {
+        return procClock_.at(p);
+    }
+
+  protected:
+    ClockedDetectorBase(ProcId nprocs, std::size_t maxPublished)
+        : nprocs_(nprocs), maxPublished_(maxPublished)
+    {
+        procClock_.reserve(nprocs);
+        for (ProcId p = 0; p < nprocs; ++p) {
+            VectorClock c(nprocs);
+            c.tick(p);
+            procClock_.push_back(std::move(c));
+        }
+    }
+
+    /** Handle an acquire read: join the paired release's clock. */
+    void
+    handleAcquire(const MemOp &op, VectorClock &fallback)
+    {
+        if (!op.acquire || op.observedWrite == kNoOp)
+            return;
+        VectorClock &c = procClock_[op.proc];
+        const auto it = published_.find(op.observedWrite);
+        ++stats_.clockJoins;
+        if (it != published_.end()) {
+            c.join(it->second);
+        } else {
+            // Publication evicted (bounded history): join the
+            // conservative per-location clock.  Over-orders the
+            // execution — races can be missed.
+            c.join(fallback);
+        }
+    }
+
+    /** Handle a release write: publish the releasing clock. */
+    void
+    handleRelease(const MemOp &op, VectorClock &fallback)
+    {
+        if (!op.release)
+            return;
+        VectorClock &c = procClock_[op.proc];
+        published_.emplace(op.id, c);
+        publishOrder_.push_back(op.id);
+        ++stats_.clockAllocations;
+        stats_.metadataBytes += nprocs_ * 8ull;
+        fallback.join(c);
+        if (maxPublished_ != 0 &&
+            published_.size() > maxPublished_) {
+            published_.erase(publishOrder_.front());
+            publishOrder_.pop_front();
+        }
+    }
+
+    ProcId nprocs_;
+    std::size_t maxPublished_;
+    std::vector<VectorClock> procClock_;
+    std::unordered_map<OpId, VectorClock> published_;
+    std::deque<OpId> publishOrder_;
+};
+
+} // namespace wmr
+
+#endif // WMR_ONTHEFLY_CLOCK_BASE_HH

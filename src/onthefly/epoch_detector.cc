@@ -1,0 +1,122 @@
+#include "onthefly/epoch_detector.hh"
+
+namespace wmr {
+
+EpochDetector::EpochDetector(ProcId nprocs, Addr words,
+                             std::size_t maxPublishedClocks)
+    : ClockedDetectorBase(nprocs, maxPublishedClocks)
+{
+    locs_.resize(words);
+    stats_.metadataBytes =
+        static_cast<std::uint64_t>(words) * sizeof(LocState);
+}
+
+EpochDetector::LocState &
+EpochDetector::loc(Addr addr)
+{
+    if (addr >= locs_.size())
+        locs_.resize(addr + 1);
+    return locs_[addr];
+}
+
+void
+EpochDetector::onOp(const MemOp &op)
+{
+    ++stats_.opsProcessed;
+    if (op.sync) {
+        LocState &l = loc(op.addr);
+        if (op.kind == OpKind::Read)
+            handleAcquire(op, l.syncFallback);
+        else
+            handleRelease(op, l.syncFallback);
+    } else {
+        if (op.kind == OpKind::Read)
+            dataRead(op);
+        else
+            dataWrite(op);
+    }
+    procClock_[op.proc].tick(op.proc);
+}
+
+void
+EpochDetector::dataRead(const MemOp &op)
+{
+    LocState &l = loc(op.addr);
+    VectorClock &c = procClock_[op.proc];
+    const std::uint64_t now = c.get(op.proc);
+
+    // write-read check: O(1) epoch comparison.
+    ++stats_.epochChecks;
+    if (l.write.valid() && l.write.proc != op.proc &&
+        !c.epochLeq(l.write.proc, l.write.ts)) {
+        report({l.write.proc, l.write.pc, op.proc, op.pc, op.addr,
+                op.id, l.write.ts, now});
+    }
+
+    if (l.sharedReads) {
+        l.readVec[op.proc] = now;
+        l.readPcVec[op.proc] = op.pc;
+        return;
+    }
+    if (!l.read.valid() || l.read.proc == op.proc ||
+        c.epochLeq(l.read.proc, l.read.ts)) {
+        // Reads stay totally ordered: keep the cheap epoch.
+        ++stats_.epochChecks;
+        l.read = {op.proc, now, op.pc};
+        return;
+    }
+    // Concurrent reads: inflate to a read vector (the adaptive step).
+    l.sharedReads = true;
+    l.readVec.assign(nprocs_, 0);
+    l.readPcVec.assign(nprocs_, 0);
+    l.readVec[l.read.proc] = l.read.ts;
+    l.readPcVec[l.read.proc] = l.read.pc;
+    l.readVec[op.proc] = now;
+    l.readPcVec[op.proc] = op.pc;
+    ++stats_.clockAllocations;
+    stats_.metadataBytes += nprocs_ * 12ull;
+}
+
+void
+EpochDetector::dataWrite(const MemOp &op)
+{
+    LocState &l = loc(op.addr);
+    VectorClock &c = procClock_[op.proc];
+
+    // write-write: O(1).
+    ++stats_.epochChecks;
+    if (l.write.valid() && l.write.proc != op.proc &&
+        !c.epochLeq(l.write.proc, l.write.ts)) {
+        report({l.write.proc, l.write.pc, op.proc, op.pc, op.addr,
+                op.id, l.write.ts, c.get(op.proc)});
+    }
+
+    // read-write: O(1) in the unshared case, O(P) when inflated.
+    if (l.sharedReads) {
+        for (ProcId p = 0; p < nprocs_; ++p) {
+            if (p == op.proc || l.readVec[p] == 0)
+                continue;
+            ++stats_.epochChecks;
+            if (!c.epochLeq(p, l.readVec[p])) {
+                report({p, l.readPcVec[p], op.proc, op.pc, op.addr,
+                        op.id, l.readVec[p], c.get(op.proc)});
+            }
+        }
+        // FastTrack collapses the read vector after a write.
+        l.sharedReads = false;
+        l.readVec.clear();
+        l.readPcVec.clear();
+        l.read = {};
+    } else if (l.read.valid() && l.read.proc != op.proc) {
+        ++stats_.epochChecks;
+        if (!c.epochLeq(l.read.proc, l.read.ts)) {
+            report({l.read.proc, l.read.pc, op.proc, op.pc, op.addr,
+                    op.id, l.read.ts, c.get(op.proc)});
+        }
+        l.read = {};
+    }
+
+    l.write = {op.proc, c.get(op.proc), op.pc};
+}
+
+} // namespace wmr

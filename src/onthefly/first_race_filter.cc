@@ -1,0 +1,63 @@
+#include "onthefly/first_race_filter.hh"
+
+namespace wmr {
+
+FirstRaceFilter::FirstRaceFilter(ProcId nprocs, Addr words,
+                                 const VcDetectorOptions &opts)
+    : det_(nprocs, words, opts), procAffected_(nprocs, false)
+{
+}
+
+void
+FirstRaceFilter::onOp(const MemOp &op)
+{
+    // hb1 propagation of the affected flag BEFORE the op's own
+    // classification effects:
+    //  - so1: release publishes, paired acquire joins.
+    if (op.sync && op.kind == OpKind::Write && op.release)
+        publishedAffected_[op.id] = procAffected_[op.proc];
+    if (op.sync && op.kind == OpKind::Read && op.acquire &&
+        op.observedWrite != kNoOp) {
+        const auto it = publishedAffected_.find(op.observedWrite);
+        if (it != publishedAffected_.end() && it->second)
+            procAffected_[op.proc] = true;
+    }
+
+    det_.onOp(op);
+
+    // Classify any races the underlying detector just reported: a
+    // race is first iff neither endpoint's processor was already
+    // affected (po stickiness supplies Def. 3.3(2); the endpoints
+    // themselves supply Def. 3.3(1)).
+    const auto &races = det_.races();
+    for (; seenRaces_ < races.size(); ++seenRaces_) {
+        const OtfRace &r = races[seenRaces_];
+        const bool affected =
+            procAffected_[r.proc1] || procAffected_[r.proc2];
+        classified_.push_back({r, !affected});
+        procAffected_[r.proc1] = true;
+        procAffected_[r.proc2] = true;
+    }
+}
+
+std::set<OtfRace>
+FirstRaceFilter::firstRaces() const
+{
+    std::set<OtfRace> out;
+    for (auto cr : classified_) {
+        if (!cr.first)
+            continue;
+        cr.race.atOp = kNoOp;
+        cr.race.ts1 = cr.race.ts2 = 0;
+        if (cr.race.proc2 < cr.race.proc1 ||
+            (cr.race.proc2 == cr.race.proc1 &&
+             cr.race.pc2 < cr.race.pc1)) {
+            std::swap(cr.race.proc1, cr.race.proc2);
+            std::swap(cr.race.pc1, cr.race.pc2);
+        }
+        out.insert(cr.race);
+    }
+    return out;
+}
+
+} // namespace wmr

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * On-the-fly FIRST-race classification — the paper's stated future
+ * work ("Future work includes investigating how our method might be
+ * employed on-the-fly to locate the first data races", Section 5).
+ *
+ * The post-mortem method orders race partitions with the augmented
+ * graph G'; online we track the affects relation (Def. 3.3) forward:
+ *
+ *  - when a race is reported, both endpoint processors become
+ *    AFFECTED (their later operations are hb1-after an endpoint);
+ *  - the affected flag propagates exactly along hb1: po (the flag is
+ *    sticky per processor) and so1 (a release write publishes the
+ *    releasing processor's flag; the pairing acquire joins it);
+ *  - a race is classified FIRST iff neither endpoint's processor was
+ *    affected when it was reported.
+ *
+ * This matches Def. 3.3's hb1-based affects for races whose cause
+ * chain flows forward in the stream; it is conservative in one way —
+ * an endpoint processor marked affected stays affected even for
+ * operations that only conflict coincidentally — and the paper's
+ * mutual-affection cycles (one G' SCC) are split by report order:
+ * the earliest-reported race of a cycle is kept first and the rest
+ * demoted, whereas the post-mortem method reports the whole
+ * partition.  bench_ext_onthefly_first quantifies the agreement.
+ */
+
+#ifndef WMR_ONTHEFLY_FIRST_RACE_FILTER_HH
+#define WMR_ONTHEFLY_FIRST_RACE_FILTER_HH
+
+#include <unordered_map>
+
+#include "onthefly/vc_detector.hh"
+
+namespace wmr {
+
+/** A race classified online as first or affected. */
+struct ClassifiedRace
+{
+    OtfRace race;
+    bool first = true;
+};
+
+/**
+ * Wraps a VcDetector and classifies its reports online.
+ *
+ * Usage: attach as the executor's OpSink; afterwards firstRaces()
+ * holds the races no earlier race affects.
+ */
+class FirstRaceFilter : public OpSink
+{
+  public:
+    FirstRaceFilter(ProcId nprocs, Addr words,
+                    const VcDetectorOptions &opts = {});
+
+    void onOp(const MemOp &op) override;
+
+    /** @return all races with their online first/affected verdicts. */
+    const std::vector<ClassifiedRace> &classified() const
+    {
+        return classified_;
+    }
+
+    /** @return the races classified first (deduplicated statically). */
+    std::set<OtfRace> firstRaces() const;
+
+    /** @return the underlying detector (stats, full race list). */
+    const VcDetector &detector() const { return det_; }
+
+  private:
+    VcDetector det_;
+    std::vector<bool> procAffected_;
+
+    /** Affected flag carried by each release write's publication. */
+    std::unordered_map<OpId, bool> publishedAffected_;
+
+    std::vector<ClassifiedRace> classified_;
+    std::size_t seenRaces_ = 0;
+};
+
+} // namespace wmr
+
+#endif // WMR_ONTHEFLY_FIRST_RACE_FILTER_HH

@@ -1,0 +1,113 @@
+#include "onthefly/lockset_detector.hh"
+
+#include <algorithm>
+
+namespace wmr {
+
+LocksetDetector::LocksetDetector(ProcId nprocs, Addr words)
+    : held_(nprocs), words_(words), reportedWord_(words, false)
+{
+    stats_.metadataBytes =
+        static_cast<std::uint64_t>(words) * sizeof(WordInfo);
+}
+
+LocksetDetector::WordInfo &
+LocksetDetector::word(Addr addr)
+{
+    if (addr >= words_.size()) {
+        words_.resize(addr + 1);
+        reportedWord_.resize(addr + 1, false);
+    }
+    return words_[addr];
+}
+
+LocksetDetector::WordState
+LocksetDetector::state(Addr addr) const
+{
+    return addr < words_.size() ? words_[addr].state
+                                : WordState::Virgin;
+}
+
+const std::set<Addr> &
+LocksetDetector::candidates(Addr addr) const
+{
+    static const std::set<Addr> empty;
+    return addr < words_.size() ? words_[addr].candidates : empty;
+}
+
+void
+LocksetDetector::refine(WordInfo &w, const MemOp &op, bool check)
+{
+    ++stats_.epochChecks;
+    if (!w.candidatesInitialized) {
+        w.candidates = held_[op.proc];
+        w.candidatesInitialized = true;
+    } else {
+        std::set<Addr> inter;
+        std::set_intersection(
+            w.candidates.begin(), w.candidates.end(),
+            held_[op.proc].begin(), held_[op.proc].end(),
+            std::inserter(inter, inter.begin()));
+        w.candidates = std::move(inter);
+    }
+    if (check && w.candidates.empty() &&
+        !reportedWord_[op.addr]) {
+        reportedWord_[op.addr] = true;
+        report({w.lastProc, w.lastPc, op.proc, op.pc, op.addr,
+                op.id});
+    }
+}
+
+void
+LocksetDetector::onOp(const MemOp &op)
+{
+    ++stats_.opsProcessed;
+
+    if (op.sync) {
+        // Lock tracking: successful Test&Set acquires, Unset
+        // releases.  (Flag sync via SyncLoad/SyncStore is invisible
+        // to the lockset discipline — deliberately.)
+        if (op.acquire && op.kind == OpKind::Read && op.value == 0)
+            held_[op.proc].insert(op.addr);
+        if (op.release && op.kind == OpKind::Write)
+            held_[op.proc].erase(op.addr);
+        return;
+    }
+
+    WordInfo &w = word(op.addr);
+    switch (w.state) {
+      case WordState::Virgin:
+        w.state = WordState::Exclusive;
+        w.owner = op.proc;
+        refine(w, op, /*check=*/false); // initialize candidates
+        break;
+      case WordState::Exclusive:
+        if (op.proc == w.owner) {
+            refine(w, op, /*check=*/false);
+            break;
+        }
+        if (op.kind == OpKind::Read) {
+            w.state = WordState::Shared;
+            refine(w, op, /*check=*/false);
+        } else {
+            w.state = WordState::SharedModified;
+            refine(w, op, /*check=*/true);
+        }
+        break;
+      case WordState::Shared:
+        if (op.kind == OpKind::Write) {
+            w.state = WordState::SharedModified;
+            refine(w, op, /*check=*/true);
+        } else {
+            refine(w, op, /*check=*/false);
+        }
+        break;
+      case WordState::SharedModified:
+        refine(w, op, /*check=*/true);
+        break;
+    }
+    w.lastProc = op.proc;
+    w.lastPc = op.pc;
+}
+
+} // namespace wmr

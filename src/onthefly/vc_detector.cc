@@ -1,0 +1,121 @@
+#include "onthefly/vc_detector.hh"
+
+namespace wmr {
+
+VcDetector::VcDetector(ProcId nprocs, Addr words,
+                       const VcDetectorOptions &opts)
+    : ClockedDetectorBase(nprocs, opts.maxPublishedClocks), opts_(opts)
+{
+    locs_.resize(words);
+    stats_.metadataBytes =
+        static_cast<std::uint64_t>(words) * sizeof(LocState) +
+        static_cast<std::uint64_t>(nprocs) * nprocs * 8;
+}
+
+VcDetector::LocState &
+VcDetector::loc(Addr addr)
+{
+    if (addr >= locs_.size()) {
+        locs_.resize(addr + 1);
+        stats_.metadataBytes = static_cast<std::uint64_t>(
+                                   locs_.size()) *
+                               sizeof(LocState);
+    }
+    LocState &l = locs_[addr];
+    if (opts_.trackAllReaders && l.readTs.empty()) {
+        l.readTs.assign(nprocs_, 0);
+        l.readPc.assign(nprocs_, 0);
+    }
+    return l;
+}
+
+void
+VcDetector::onOp(const MemOp &op)
+{
+    ++stats_.opsProcessed;
+    if (op.sync) {
+        LocState &l = loc(op.addr);
+        if (op.kind == OpKind::Read)
+            handleAcquire(op, l.syncFallback);
+        else
+            handleRelease(op, l.syncFallback);
+    } else {
+        if (op.kind == OpKind::Read)
+            dataRead(op);
+        else
+            dataWrite(op);
+    }
+    procClock_[op.proc].tick(op.proc);
+}
+
+void
+VcDetector::dataRead(const MemOp &op)
+{
+    LocState &l = loc(op.addr);
+    VectorClock &c = procClock_[op.proc];
+
+    // Write-read race: the last writer must be ordered before us.
+    if (l.written && l.lastWriterProc != op.proc) {
+        ++stats_.clockJoins;
+        if (!l.lastWrite.lessOrEqual(c)) {
+            report({l.lastWriterProc, l.lastWriterPc, op.proc, op.pc,
+                    op.addr, op.id,
+                    l.lastWrite.get(l.lastWriterProc),
+                    c.get(op.proc)});
+        }
+    }
+
+    if (opts_.trackAllReaders) {
+        l.readTs[op.proc] = c.get(op.proc);
+        l.readPc[op.proc] = op.pc;
+    } else {
+        l.lastReaderProc = op.proc;
+        l.lastReaderTs = c.get(op.proc);
+        l.lastReaderPc = op.pc;
+    }
+}
+
+void
+VcDetector::dataWrite(const MemOp &op)
+{
+    LocState &l = loc(op.addr);
+    VectorClock &c = procClock_[op.proc];
+
+    if (l.written && l.lastWriterProc != op.proc) {
+        ++stats_.clockJoins;
+        if (!l.lastWrite.lessOrEqual(c)) {
+            report({l.lastWriterProc, l.lastWriterPc, op.proc, op.pc,
+                    op.addr, op.id,
+                    l.lastWrite.get(l.lastWriterProc),
+                    c.get(op.proc)});
+        }
+    }
+
+    if (opts_.trackAllReaders) {
+        for (ProcId p = 0; p < nprocs_; ++p) {
+            if (p == op.proc || l.readTs[p] == 0)
+                continue;
+            ++stats_.epochChecks;
+            if (!c.epochLeq(p, l.readTs[p])) {
+                report({p, l.readPc[p], op.proc, op.pc, op.addr,
+                        op.id, l.readTs[p], c.get(op.proc)});
+            }
+        }
+    } else if (l.lastReaderProc != kNoProc &&
+               l.lastReaderProc != op.proc) {
+        ++stats_.epochChecks;
+        if (!c.epochLeq(l.lastReaderProc, l.lastReaderTs)) {
+            report({l.lastReaderProc, l.lastReaderPc, op.proc, op.pc,
+                    op.addr, op.id, l.lastReaderTs,
+                    c.get(op.proc)});
+        }
+    }
+
+    l.written = true;
+    l.lastWrite = c;
+    l.lastWriterProc = op.proc;
+    l.lastWriterPc = op.pc;
+    ++stats_.clockAllocations;
+}
+
+} // namespace wmr

@@ -1,0 +1,359 @@
+#include "prog/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "prog/builder.hh"
+
+namespace wmr {
+
+namespace {
+
+/** Parsing context threaded through the helpers for diagnostics. */
+struct Ctx
+{
+    int line = 0;
+    std::map<std::string, Addr> *symbols = nullptr;
+
+    [[noreturn]] void
+    err(const std::string &msg) const
+    {
+        fatal("assembler: line %d: %s", line, msg.c_str());
+    }
+};
+
+bool
+parseInt(std::string_view text, Value &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const std::string buf(text);
+    const long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (end != buf.c_str() + buf.size())
+        return false;
+    out = static_cast<Value>(v);
+    return true;
+}
+
+RegId
+parseReg(const Ctx &ctx, std::string_view text)
+{
+    if (text.size() < 2 || (text[0] != 'r' && text[0] != 'R'))
+        ctx.err(strformat("expected register, got '%.*s'",
+                          static_cast<int>(text.size()), text.data()));
+    Value idx = 0;
+    if (!parseInt(text.substr(1), idx) || idx < 0 ||
+        idx >= static_cast<Value>(kNumRegs)) {
+        ctx.err(strformat("bad register '%.*s'",
+                          static_cast<int>(text.size()), text.data()));
+    }
+    return static_cast<RegId>(idx);
+}
+
+Value
+parseImm(const Ctx &ctx, std::string_view text)
+{
+    Value v = 0;
+    if (!parseInt(text, v))
+        ctx.err(strformat("expected immediate, got '%.*s'",
+                          static_cast<int>(text.size()), text.data()));
+    return v;
+}
+
+/** Parsed [base(+rI)] effective-address operand. */
+struct EaOperand
+{
+    Addr base = 0;
+    bool indexed = false;
+    RegId index = 0;
+};
+
+EaOperand
+parseEa(const Ctx &ctx, std::string_view text)
+{
+    if (text.size() < 3 || text.front() != '[' || text.back() != ']')
+        ctx.err(strformat("expected [addr] operand, got '%.*s'",
+                          static_cast<int>(text.size()), text.data()));
+    std::string_view inner = text.substr(1, text.size() - 2);
+    EaOperand ea;
+    std::string_view base = inner;
+    const std::size_t plus = inner.find('+');
+    if (plus != std::string_view::npos) {
+        base = trim(inner.substr(0, plus));
+        const std::string_view idx = trim(inner.substr(plus + 1));
+        ea.indexed = true;
+        ea.index = parseReg(ctx, idx);
+    }
+    base = trim(base);
+    Value num = 0;
+    if (parseInt(base, num)) {
+        if (num < 0)
+            ctx.err("negative base address");
+        ea.base = static_cast<Addr>(num);
+    } else {
+        const auto it = ctx.symbols->find(std::string(base));
+        if (it == ctx.symbols->end())
+            ctx.err(strformat("unknown variable '%.*s'",
+                              static_cast<int>(base.size()), base.data()));
+        ea.base = it->second;
+    }
+    return ea;
+}
+
+/** Split an operand list on commas, trimming each field. */
+std::vector<std::string>
+operands(std::string_view text)
+{
+    std::vector<std::string> out;
+    if (trim(text).empty())
+        return out;
+    for (auto &field : split(text, ','))
+        out.emplace_back(trim(field));
+    return out;
+}
+
+void
+expectArity(const Ctx &ctx, const std::vector<std::string> &ops,
+            std::size_t n, std::string_view mnemonic)
+{
+    if (ops.size() != n) {
+        ctx.err(strformat("%.*s expects %zu operands, got %zu",
+                          static_cast<int>(mnemonic.size()),
+                          mnemonic.data(), n, ops.size()));
+    }
+}
+
+} // namespace
+
+Program
+assemble(std::string_view source)
+{
+    ProgramBuilder pb;
+    std::map<std::string, Addr> symbols;
+    Ctx ctx;
+    ctx.symbols = &symbols;
+
+    // Each thread's lines are collected, then emitted through a
+    // ThreadBuilder so labels resolve forward and backward.
+    std::optional<ThreadBuilder> tb;
+
+    const auto flushThread = [&]() {
+        if (tb) {
+            pb.thread(*tb);
+            tb.reset();
+        }
+    };
+
+    std::istringstream in{std::string(source)};
+    std::string raw;
+    while (std::getline(in, raw)) {
+        ++ctx.line;
+        // Strip comments.
+        std::string_view line = raw;
+        const std::size_t hash = line.find_first_of("#;");
+        if (hash != std::string_view::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+
+        if (line[0] == '.') {
+            const auto fields = splitWhitespace(line);
+            if (fields[0] == ".var") {
+                if (fields.size() != 3 && fields.size() != 4)
+                    ctx.err(".var NAME ADDR [INITIAL]");
+                const Value addr = parseImm(ctx, fields[2]);
+                const Value initv =
+                    fields.size() == 4 ? parseImm(ctx, fields[3]) : 0;
+                symbols[fields[1]] = static_cast<Addr>(addr);
+                pb.var(fields[1], static_cast<Addr>(addr), initv);
+            } else if (fields[0] == ".init") {
+                if (fields.size() != 3)
+                    ctx.err(".init ADDR VALUE");
+                pb.init(static_cast<Addr>(parseImm(ctx, fields[1])),
+                        parseImm(ctx, fields[2]));
+            } else if (fields[0] == ".thread") {
+                flushThread();
+                tb.emplace();
+            } else {
+                ctx.err(strformat("unknown directive '%s'",
+                                  fields[0].c_str()));
+            }
+            continue;
+        }
+
+        if (!tb)
+            ctx.err("instruction before .thread");
+
+        // Optional "LABEL:" prefix.
+        std::string_view rest = line;
+        const std::size_t colon = rest.find(':');
+        if (colon != std::string_view::npos &&
+            rest.find('[') > colon) {
+            tb->label(std::string(trim(rest.substr(0, colon))));
+            rest = trim(rest.substr(colon + 1));
+            if (rest.empty())
+                continue;
+        }
+
+        // Mnemonic and operand list.
+        std::size_t sp = rest.find_first_of(" \t");
+        const std::string mnem(
+            rest.substr(0, sp == std::string_view::npos ? rest.size()
+                                                        : sp));
+        const auto ops = operands(
+            sp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(sp + 1));
+
+        if (mnem == "nop") {
+            expectArity(ctx, ops, 0, mnem);
+            tb->nop();
+        } else if (mnem == "movi") {
+            expectArity(ctx, ops, 2, mnem);
+            tb->movi(parseReg(ctx, ops[0]), parseImm(ctx, ops[1]));
+        } else if (mnem == "mov") {
+            expectArity(ctx, ops, 2, mnem);
+            tb->mov(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]));
+        } else if (mnem == "add") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->add(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                    parseReg(ctx, ops[2]));
+        } else if (mnem == "addi") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->addi(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                     parseImm(ctx, ops[2]));
+        } else if (mnem == "sub") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->sub(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                    parseReg(ctx, ops[2]));
+        } else if (mnem == "mul") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->mul(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                    parseReg(ctx, ops[2]));
+        } else if (mnem == "cmpeq") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->cmpeq(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                      parseReg(ctx, ops[2]));
+        } else if (mnem == "cmpne") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->cmpne(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                      parseReg(ctx, ops[2]));
+        } else if (mnem == "cmplt") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->cmplt(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                      parseReg(ctx, ops[2]));
+        } else if (mnem == "cmpeqi") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->cmpeqi(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                       parseImm(ctx, ops[2]));
+        } else if (mnem == "cmplti") {
+            expectArity(ctx, ops, 3, mnem);
+            tb->cmplti(parseReg(ctx, ops[0]), parseReg(ctx, ops[1]),
+                       parseImm(ctx, ops[2]));
+        } else if (mnem == "load") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[1]);
+            if (ea.indexed)
+                tb->loadIdx(parseReg(ctx, ops[0]), ea.base, ea.index);
+            else
+                tb->load(parseReg(ctx, ops[0]), ea.base);
+        } else if (mnem == "store") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[0]);
+            if (ea.indexed)
+                tb->storeIdx(ea.base, ea.index, parseReg(ctx, ops[1]));
+            else
+                tb->store(ea.base, parseReg(ctx, ops[1]));
+        } else if (mnem == "storei") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[0]);
+            if (ea.indexed)
+                tb->storeiIdx(ea.base, ea.index, parseImm(ctx, ops[1]));
+            else
+                tb->storei(ea.base, parseImm(ctx, ops[1]));
+        } else if (mnem == "tas") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[1]);
+            if (ea.indexed)
+                ctx.err("tas does not support indexed addressing");
+            tb->tas(parseReg(ctx, ops[0]), ea.base);
+        } else if (mnem == "unset") {
+            expectArity(ctx, ops, 1, mnem);
+            const auto ea = parseEa(ctx, ops[0]);
+            if (ea.indexed)
+                ctx.err("unset does not support indexed addressing");
+            tb->unset(ea.base);
+        } else if (mnem == "syncload") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[1]);
+            if (ea.indexed)
+                ctx.err("syncload does not support indexed addressing");
+            tb->syncload(parseReg(ctx, ops[0]), ea.base);
+        } else if (mnem == "syncstore") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[0]);
+            if (ea.indexed)
+                ctx.err("syncstore does not support indexed addressing");
+            tb->syncstore(ea.base, parseReg(ctx, ops[1]));
+        } else if (mnem == "syncstorei") {
+            expectArity(ctx, ops, 2, mnem);
+            const auto ea = parseEa(ctx, ops[0]);
+            if (ea.indexed)
+                ctx.err("syncstorei does not support indexed addressing");
+            tb->syncstorei(ea.base, parseImm(ctx, ops[1]));
+        } else if (mnem == "fence") {
+            expectArity(ctx, ops, 0, mnem);
+            tb->fence();
+        } else if (mnem == "bnz") {
+            expectArity(ctx, ops, 2, mnem);
+            Value pc = 0;
+            if (parseInt(ops[1], pc))
+                tb->bnzAt(parseReg(ctx, ops[0]),
+                          static_cast<std::uint32_t>(pc));
+            else
+                tb->bnz(parseReg(ctx, ops[0]), ops[1]);
+        } else if (mnem == "bz") {
+            expectArity(ctx, ops, 2, mnem);
+            Value pc = 0;
+            if (parseInt(ops[1], pc))
+                tb->bzAt(parseReg(ctx, ops[0]),
+                         static_cast<std::uint32_t>(pc));
+            else
+                tb->bz(parseReg(ctx, ops[0]), ops[1]);
+        } else if (mnem == "jmp") {
+            expectArity(ctx, ops, 1, mnem);
+            Value pc = 0;
+            if (parseInt(ops[0], pc))
+                tb->jmpAt(static_cast<std::uint32_t>(pc));
+            else
+                tb->jmp(ops[0]);
+        } else if (mnem == "halt") {
+            expectArity(ctx, ops, 0, mnem);
+            tb->halt();
+        } else {
+            ctx.err(strformat("unknown mnemonic '%s'", mnem.c_str()));
+        }
+    }
+    flushThread();
+    return pb.build();
+}
+
+Program
+assembleFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open program file '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return assemble(buf.str());
+}
+
+} // namespace wmr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text assembler for the wmrace IR.
+ *
+ * Grammar (line oriented; '#' and ';' begin comments):
+ *
+ *   .var NAME ADDR [INITIAL]    declare + initialize a named variable
+ *   .init ADDR VALUE            initialize an unnamed memory word
+ *   .thread                     start the next processor's code
+ *   [LABEL:] MNEMONIC OPERANDS  one instruction
+ *
+ * Operands: registers r0..r15; immediates as signed decimals;
+ * effective addresses as [NAME], [ADDR], [NAME+rI] or [ADDR+rI];
+ * branch targets as labels.
+ *
+ * Example (the paper's Figure 1(b), processor P1):
+ *
+ *   .var x 0
+ *   .var y 1
+ *   .var s 2
+ *   .thread
+ *       storei [x], 1
+ *       storei [y], 1
+ *       unset [s]
+ *       halt
+ */
+
+#ifndef WMR_PROG_ASSEMBLER_HH
+#define WMR_PROG_ASSEMBLER_HH
+
+#include <string>
+#include <string_view>
+
+#include "prog/program.hh"
+
+namespace wmr {
+
+/**
+ * Assemble @p source into a Program.
+ * Calls fatal() with file/line diagnostics on syntax errors.
+ */
+Program assemble(std::string_view source);
+
+/** Assemble the contents of the file at @p path. */
+Program assembleFile(const std::string &path);
+
+} // namespace wmr
+
+#endif // WMR_PROG_ASSEMBLER_HH

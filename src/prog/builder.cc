@@ -1,0 +1,316 @@
+#include "prog/builder.hh"
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+Instr &
+ThreadBuilder::emit(Instr instr)
+{
+    code_.push_back(std::move(instr));
+    return code_.back();
+}
+
+ThreadBuilder &
+ThreadBuilder::label(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("duplicate label '%s'", name.c_str());
+    labels_[name] = static_cast<std::uint32_t>(code_.size());
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::nop()
+{
+    emit({.op = Opcode::Nop});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::movi(RegId dst, Value imm)
+{
+    emit({.op = Opcode::MovI, .dst = dst, .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::mov(RegId dst, RegId src)
+{
+    emit({.op = Opcode::Mov, .dst = dst, .a = src});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::add(RegId dst, RegId a, RegId b)
+{
+    emit({.op = Opcode::Add, .dst = dst, .a = a, .b = b});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::addi(RegId dst, RegId a, Value imm)
+{
+    emit({.op = Opcode::AddI, .dst = dst, .a = a, .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::sub(RegId dst, RegId a, RegId b)
+{
+    emit({.op = Opcode::Sub, .dst = dst, .a = a, .b = b});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::mul(RegId dst, RegId a, RegId b)
+{
+    emit({.op = Opcode::Mul, .dst = dst, .a = a, .b = b});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::cmpeq(RegId dst, RegId a, RegId b)
+{
+    emit({.op = Opcode::CmpEq, .dst = dst, .a = a, .b = b});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::cmpne(RegId dst, RegId a, RegId b)
+{
+    emit({.op = Opcode::CmpNe, .dst = dst, .a = a, .b = b});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::cmplt(RegId dst, RegId a, RegId b)
+{
+    emit({.op = Opcode::CmpLt, .dst = dst, .a = a, .b = b});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::cmpeqi(RegId dst, RegId a, Value imm)
+{
+    emit({.op = Opcode::CmpEqI, .dst = dst, .a = a, .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::cmplti(RegId dst, RegId a, Value imm)
+{
+    emit({.op = Opcode::CmpLtI, .dst = dst, .a = a, .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::load(RegId dst, Addr addr)
+{
+    emit({.op = Opcode::Load, .dst = dst, .addr = addr});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::loadIdx(RegId dst, Addr base, RegId index)
+{
+    emit({.op = Opcode::Load, .dst = dst, .a = index, .indexed = true,
+          .addr = base});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::store(Addr addr, RegId src)
+{
+    emit({.op = Opcode::Store, .b = src, .addr = addr});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::storeIdx(Addr base, RegId index, RegId src)
+{
+    emit({.op = Opcode::Store, .a = index, .b = src, .indexed = true,
+          .addr = base});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::storei(Addr addr, Value imm)
+{
+    emit({.op = Opcode::StoreI, .addr = addr, .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::storeiIdx(Addr base, RegId index, Value imm)
+{
+    emit({.op = Opcode::StoreI, .a = index, .indexed = true, .addr = base,
+          .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::tas(RegId dst, Addr addr)
+{
+    emit({.op = Opcode::TestAndSet, .dst = dst, .addr = addr});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::unset(Addr addr)
+{
+    emit({.op = Opcode::Unset, .addr = addr});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::syncload(RegId dst, Addr addr)
+{
+    emit({.op = Opcode::SyncLoad, .dst = dst, .addr = addr});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::syncstore(Addr addr, RegId src)
+{
+    emit({.op = Opcode::SyncStore, .b = src, .addr = addr});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::syncstorei(Addr addr, Value imm)
+{
+    emit({.op = Opcode::SyncStoreI, .addr = addr, .imm = imm});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::fence()
+{
+    emit({.op = Opcode::Fence});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::bnz(RegId reg, const std::string &target)
+{
+    emit({.op = Opcode::Branch, .a = reg});
+    fixups_.push_back({code_.size() - 1, target});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::bz(RegId reg, const std::string &target)
+{
+    emit({.op = Opcode::BranchZ, .a = reg});
+    fixups_.push_back({code_.size() - 1, target});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::jmp(const std::string &target)
+{
+    emit({.op = Opcode::Jump});
+    fixups_.push_back({code_.size() - 1, target});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::bnzAt(RegId reg, std::uint32_t target)
+{
+    emit({.op = Opcode::Branch, .a = reg, .target = target});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::bzAt(RegId reg, std::uint32_t target)
+{
+    emit({.op = Opcode::BranchZ, .a = reg, .target = target});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::jmpAt(std::uint32_t target)
+{
+    emit({.op = Opcode::Jump, .target = target});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::halt()
+{
+    emit({.op = Opcode::Halt});
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::note(const std::string &text)
+{
+    wmr_assert(!code_.empty());
+    code_.back().note = text;
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::acquireLock(Addr lock, RegId scratch)
+{
+    // spin: tas scratch, lock; bnz scratch, spin
+    const std::string lbl =
+        "__acq" + std::to_string(code_.size());
+    label(lbl);
+    tas(scratch, lock);
+    bnz(scratch, lbl);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::releaseLock(Addr lock)
+{
+    return unset(lock);
+}
+
+Thread
+ThreadBuilder::build()
+{
+    for (const auto &fix : fixups_) {
+        const auto it = labels_.find(fix.label);
+        if (it == labels_.end())
+            fatal("unresolved label '%s'", fix.label.c_str());
+        code_[fix.pc].target = it->second;
+    }
+    fixups_.clear();
+    Thread t;
+    t.code = code_;
+    return t;
+}
+
+ProgramBuilder &
+ProgramBuilder::var(const std::string &name, Addr addr, Value initial)
+{
+    prog_.nameAddr(name, addr);
+    prog_.setInitial(addr, initial);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::init(Addr addr, Value value)
+{
+    prog_.setInitial(addr, value);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::thread(ThreadBuilder &tb)
+{
+    prog_.addThread(tb.build());
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    prog_.validate();
+    return prog_;
+}
+
+} // namespace wmr

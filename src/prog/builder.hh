@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fluent builders for constructing IR programs in C++.
+ *
+ * ThreadBuilder supports forward label references so spin loops and
+ * if/else shapes read naturally:
+ *
+ *   ThreadBuilder t;
+ *   t.label("spin")
+ *    .tas(0, lock)
+ *    .bnz(0, "spin")          // retry while the old value was 1
+ *    .load(1, shared)
+ *    .addi(1, 1, 1)
+ *    .store(shared, 1)
+ *    .unset(lock)
+ *    .halt();
+ */
+
+#ifndef WMR_PROG_BUILDER_HH
+#define WMR_PROG_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace wmr {
+
+/** Builds one thread's instruction stream with label resolution. */
+class ThreadBuilder
+{
+  public:
+    /** Bind @p name to the next emitted instruction's pc. */
+    ThreadBuilder &label(const std::string &name);
+
+    ThreadBuilder &nop();
+    ThreadBuilder &movi(RegId dst, Value imm);
+    ThreadBuilder &mov(RegId dst, RegId src);
+    ThreadBuilder &add(RegId dst, RegId a, RegId b);
+    ThreadBuilder &addi(RegId dst, RegId a, Value imm);
+    ThreadBuilder &sub(RegId dst, RegId a, RegId b);
+    ThreadBuilder &mul(RegId dst, RegId a, RegId b);
+    ThreadBuilder &cmpeq(RegId dst, RegId a, RegId b);
+    ThreadBuilder &cmpne(RegId dst, RegId a, RegId b);
+    ThreadBuilder &cmplt(RegId dst, RegId a, RegId b);
+    ThreadBuilder &cmpeqi(RegId dst, RegId a, Value imm);
+    ThreadBuilder &cmplti(RegId dst, RegId a, Value imm);
+
+    ThreadBuilder &load(RegId dst, Addr addr);
+    /** dst = mem[base + r[index]] */
+    ThreadBuilder &loadIdx(RegId dst, Addr base, RegId index);
+    ThreadBuilder &store(Addr addr, RegId src);
+    ThreadBuilder &storeIdx(Addr base, RegId index, RegId src);
+    ThreadBuilder &storei(Addr addr, Value imm);
+    ThreadBuilder &storeiIdx(Addr base, RegId index, Value imm);
+
+    ThreadBuilder &tas(RegId dst, Addr addr);
+    ThreadBuilder &unset(Addr addr);
+    ThreadBuilder &syncload(RegId dst, Addr addr);
+    ThreadBuilder &syncstore(Addr addr, RegId src);
+    ThreadBuilder &syncstorei(Addr addr, Value imm);
+    ThreadBuilder &fence();
+
+    ThreadBuilder &bnz(RegId reg, const std::string &target);
+    ThreadBuilder &bz(RegId reg, const std::string &target);
+    ThreadBuilder &jmp(const std::string &target);
+
+    /** Numeric-target variants (used by the assembler for absolute
+     *  pcs, e.g. when re-assembling disassembled code). */
+    ThreadBuilder &bnzAt(RegId reg, std::uint32_t target);
+    ThreadBuilder &bzAt(RegId reg, std::uint32_t target);
+    ThreadBuilder &jmpAt(std::uint32_t target);
+
+    ThreadBuilder &halt();
+
+    /** Attach a source-level note to the most recent instruction. */
+    ThreadBuilder &note(const std::string &text);
+
+    /**
+     * Emit "spin until Test&Set acquires @p lock" using @p scratch
+     * as the scratch register (a common idiom in the workloads).
+     */
+    ThreadBuilder &acquireLock(Addr lock, RegId scratch);
+
+    /** Emit an Unset releasing @p lock. */
+    ThreadBuilder &releaseLock(Addr lock);
+
+    /** Resolve labels and return the finished thread. */
+    Thread build();
+
+  private:
+    Instr &emit(Instr instr);
+
+    struct Fixup
+    {
+        std::size_t pc;
+        std::string label;
+    };
+
+    std::vector<Instr> code_;
+    std::map<std::string, std::uint32_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+/** Builds a whole program out of ThreadBuilders plus memory setup. */
+class ProgramBuilder
+{
+  public:
+    /** Declare a named shared variable at @p addr with initial value. */
+    ProgramBuilder &var(const std::string &name, Addr addr,
+                        Value initial = 0);
+
+    /** Set an (unnamed) initial memory word. */
+    ProgramBuilder &init(Addr addr, Value value);
+
+    /** Add a finished thread. */
+    ProgramBuilder &thread(ThreadBuilder &tb);
+
+    /** Validate and return the program. */
+    Program build();
+
+  private:
+    Program prog_;
+};
+
+} // namespace wmr
+
+#endif // WMR_PROG_BUILDER_HH

@@ -1,0 +1,145 @@
+#include "prog/instr.hh"
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace wmr {
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::MovI: return "movi";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::AddI: return "addi";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpEqI: return "cmpeqi";
+      case Opcode::CmpLtI: return "cmplti";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::StoreI: return "storei";
+      case Opcode::TestAndSet: return "tas";
+      case Opcode::Unset: return "unset";
+      case Opcode::SyncLoad: return "syncload";
+      case Opcode::SyncStore: return "syncstore";
+      case Opcode::SyncStoreI: return "syncstorei";
+      case Opcode::Fence: return "fence";
+      case Opcode::Branch: return "bnz";
+      case Opcode::BranchZ: return "bz";
+      case Opcode::Jump: return "jmp";
+      case Opcode::Halt: return "halt";
+    }
+    panic("opcodeName: bad opcode %d", static_cast<int>(op));
+}
+
+namespace {
+
+std::string
+eaText(const Instr &i)
+{
+    if (i.indexed)
+        return strformat("[%u+r%u]", i.addr, i.a);
+    return strformat("[%u]", i.addr);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instr &i)
+{
+    std::string text;
+    switch (i.op) {
+      case Opcode::Nop:
+        text = "nop";
+        break;
+      case Opcode::MovI:
+        text = strformat("movi r%u, %lld", i.dst,
+                         static_cast<long long>(i.imm));
+        break;
+      case Opcode::Mov:
+        text = strformat("mov r%u, r%u", i.dst, i.a);
+        break;
+      case Opcode::Add:
+        text = strformat("add r%u, r%u, r%u", i.dst, i.a, i.b);
+        break;
+      case Opcode::AddI:
+        text = strformat("addi r%u, r%u, %lld", i.dst, i.a,
+                         static_cast<long long>(i.imm));
+        break;
+      case Opcode::Sub:
+        text = strformat("sub r%u, r%u, r%u", i.dst, i.a, i.b);
+        break;
+      case Opcode::Mul:
+        text = strformat("mul r%u, r%u, r%u", i.dst, i.a, i.b);
+        break;
+      case Opcode::CmpEq:
+        text = strformat("cmpeq r%u, r%u, r%u", i.dst, i.a, i.b);
+        break;
+      case Opcode::CmpNe:
+        text = strformat("cmpne r%u, r%u, r%u", i.dst, i.a, i.b);
+        break;
+      case Opcode::CmpLt:
+        text = strformat("cmplt r%u, r%u, r%u", i.dst, i.a, i.b);
+        break;
+      case Opcode::CmpEqI:
+        text = strformat("cmpeqi r%u, r%u, %lld", i.dst, i.a,
+                         static_cast<long long>(i.imm));
+        break;
+      case Opcode::CmpLtI:
+        text = strformat("cmplti r%u, r%u, %lld", i.dst, i.a,
+                         static_cast<long long>(i.imm));
+        break;
+      case Opcode::Load:
+        text = strformat("load r%u, %s", i.dst, eaText(i).c_str());
+        break;
+      case Opcode::Store:
+        text = strformat("store %s, r%u", eaText(i).c_str(), i.b);
+        break;
+      case Opcode::StoreI:
+        text = strformat("storei %s, %lld", eaText(i).c_str(),
+                         static_cast<long long>(i.imm));
+        break;
+      case Opcode::TestAndSet:
+        text = strformat("tas r%u, %s", i.dst, eaText(i).c_str());
+        break;
+      case Opcode::Unset:
+        text = strformat("unset %s", eaText(i).c_str());
+        break;
+      case Opcode::SyncLoad:
+        text = strformat("syncload r%u, %s", i.dst, eaText(i).c_str());
+        break;
+      case Opcode::SyncStore:
+        text = strformat("syncstore %s, r%u", eaText(i).c_str(), i.b);
+        break;
+      case Opcode::SyncStoreI:
+        text = strformat("syncstorei %s, %lld", eaText(i).c_str(),
+                         static_cast<long long>(i.imm));
+        break;
+      case Opcode::Fence:
+        text = "fence";
+        break;
+      case Opcode::Branch:
+        text = strformat("bnz r%u, %u", i.a, i.target);
+        break;
+      case Opcode::BranchZ:
+        text = strformat("bz r%u, %u", i.a, i.target);
+        break;
+      case Opcode::Jump:
+        text = strformat("jmp %u", i.target);
+        break;
+      case Opcode::Halt:
+        text = "halt";
+        break;
+    }
+    if (!i.note.empty())
+        text += strformat("  ; %s", i.note.c_str());
+    return text;
+}
+
+} // namespace wmr

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A single IR instruction and its field conventions.
+ */
+
+#ifndef WMR_PROG_INSTR_HH
+#define WMR_PROG_INSTR_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "prog/opcode.hh"
+
+namespace wmr {
+
+/**
+ * One instruction of the register-machine IR.
+ *
+ * Field usage by opcode family:
+ *  - arithmetic: dst, a, b / imm as documented per opcode;
+ *  - memory ops: addr is the base word address; when indexed is true
+ *    the effective address is addr + r[a]; Store/SyncStore take the
+ *    stored value from r[b], StoreI/SyncStoreI from imm;
+ *  - branches: a is the tested register, target the destination pc.
+ *
+ * note is an optional source-level annotation used by reporters
+ * ("Enqueue(addr)", "QEmpty := False", ...).
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = 0;
+    RegId a = 0;
+    RegId b = 0;
+    bool indexed = false;
+    Addr addr = 0;
+    Value imm = 0;
+    std::uint32_t target = 0;
+    std::string note;
+};
+
+/** Render @p instr as assembly text (without the pc column). */
+std::string disassemble(const Instr &instr);
+
+} // namespace wmr
+
+#endif // WMR_PROG_INSTR_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Opcodes of the wmrace register-machine program IR.
+ *
+ * The IR is deliberately tiny but expressive enough for every program
+ * shape in the paper: plain data loads/stores (with register-indexed
+ * addressing, needed for Figure 2's "work on region addr..addr+100"),
+ * the Test&Set / Unset instructions the paper uses for critical
+ * sections, explicit acquire/release operations for RCsc-style
+ * programs, fences, and enough arithmetic and control flow to write
+ * spin loops and data-dependent address computation.
+ *
+ * The sync/data distinction follows Section 2.1: an operation is a
+ * synchronization operation iff the hardware recognizes it as such,
+ * i.e. iff it was issued by one of the sync opcodes below.
+ */
+
+#ifndef WMR_PROG_OPCODE_HH
+#define WMR_PROG_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace wmr {
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t {
+    Nop,
+
+    // Register arithmetic: dst = f(a, b) or f(a, imm).
+    MovI,       ///< dst = imm
+    Mov,        ///< dst = r[a]
+    Add,        ///< dst = r[a] + r[b]
+    AddI,       ///< dst = r[a] + imm
+    Sub,        ///< dst = r[a] - r[b]
+    Mul,        ///< dst = r[a] * r[b]
+    CmpEq,      ///< dst = (r[a] == r[b])
+    CmpNe,      ///< dst = (r[a] != r[b])
+    CmpLt,      ///< dst = (r[a] < r[b])
+    CmpEqI,     ///< dst = (r[a] == imm)
+    CmpLtI,     ///< dst = (r[a] < imm)
+
+    // Data memory operations (address = addr + r[a] when indexed).
+    Load,       ///< dst = mem[ea]          (data read)
+    Store,      ///< mem[ea] = r[b]         (data write)
+    StoreI,     ///< mem[ea] = imm          (data write)
+
+    // Synchronization memory operations.
+    TestAndSet, ///< dst = mem[ea]; mem[ea] = 1  (acquire read + sync
+                ///<                              write; write is NOT a
+                ///<                              release, per Sec. 2.1)
+    Unset,      ///< mem[ea] = 0            (release write)
+    SyncLoad,   ///< dst = mem[ea]          (acquire read)
+    SyncStore,  ///< mem[ea] = r[b]         (release write)
+    SyncStoreI, ///< mem[ea] = imm          (release write)
+
+    Fence,      ///< full fence: drain and stall
+
+    // Control flow.
+    Branch,     ///< if (r[a] != 0) goto target
+    BranchZ,    ///< if (r[a] == 0) goto target
+    Jump,       ///< goto target
+    Halt,       ///< stop this thread
+};
+
+/** @return the mnemonic for @p op. */
+std::string_view opcodeName(Opcode op);
+
+/** @return whether @p op reads or writes simulated shared memory. */
+constexpr bool
+opcodeAccessesMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::StoreI:
+      case Opcode::TestAndSet:
+      case Opcode::Unset:
+      case Opcode::SyncLoad:
+      case Opcode::SyncStore:
+      case Opcode::SyncStoreI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return whether @p op is hardware-recognized synchronization. */
+constexpr bool
+opcodeIsSync(Opcode op)
+{
+    switch (op) {
+      case Opcode::TestAndSet:
+      case Opcode::Unset:
+      case Opcode::SyncLoad:
+      case Opcode::SyncStore:
+      case Opcode::SyncStoreI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return whether @p op is a control transfer. */
+constexpr bool
+opcodeIsBranch(Opcode op)
+{
+    return op == Opcode::Branch || op == Opcode::BranchZ ||
+           op == Opcode::Jump;
+}
+
+} // namespace wmr
+
+#endif // WMR_PROG_OPCODE_HH

@@ -1,0 +1,99 @@
+#include "prog/program.hh"
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace wmr {
+
+ProcId
+Program::addThread(Thread thread)
+{
+    for (const auto &instr : thread.code) {
+        if (opcodeAccessesMemory(instr.op))
+            coverAddr(instr.addr);
+    }
+    threads_.push_back(std::move(thread));
+    return static_cast<ProcId>(threads_.size() - 1);
+}
+
+void
+Program::setInitial(Addr addr, Value value)
+{
+    coverAddr(addr);
+    init_[addr] = value;
+}
+
+Value
+Program::initial(Addr addr) const
+{
+    const auto it = init_.find(addr);
+    return it == init_.end() ? 0 : it->second;
+}
+
+void
+Program::coverAddr(Addr addr)
+{
+    if (addr + 1 > memWords_)
+        memWords_ = addr + 1;
+}
+
+void
+Program::nameAddr(const std::string &name, Addr addr)
+{
+    coverAddr(addr);
+    symbols_[name] = addr;
+    addrNames_[addr] = name;
+}
+
+std::string
+Program::addrName(Addr addr) const
+{
+    const auto it = addrNames_.find(addr);
+    if (it != addrNames_.end())
+        return it->second;
+    return strformat("[%u]", addr);
+}
+
+Addr
+Program::addrOf(const std::string &name) const
+{
+    const auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        fatal("unknown shared-variable name '%s'", name.c_str());
+    return it->second;
+}
+
+void
+Program::validate() const
+{
+    for (ProcId p = 0; p < numProcs(); ++p) {
+        const auto &code = threads_[p].code;
+        for (std::size_t pc = 0; pc < code.size(); ++pc) {
+            const Instr &i = code[pc];
+            if (opcodeIsBranch(i.op) && i.target > code.size()) {
+                fatal("P%u pc %zu: branch target %u out of range",
+                      p, pc, i.target);
+            }
+            if (i.dst >= kNumRegs || i.a >= kNumRegs || i.b >= kNumRegs) {
+                fatal("P%u pc %zu: register index out of range", p, pc);
+            }
+        }
+    }
+}
+
+std::string
+Program::disassembleAll() const
+{
+    std::string out;
+    for (ProcId p = 0; p < numProcs(); ++p) {
+        out += strformat("# processor P%u\n", p);
+        const auto &code = threads_[p].code;
+        for (std::size_t pc = 0; pc < code.size(); ++pc) {
+            out += strformat("%4zu: %s\n", pc,
+                             disassemble(code[pc]).c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace wmr

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A multithreaded IR program: per-processor instruction sequences,
+ * initial memory image, and symbolic names for shared variables.
+ */
+
+#ifndef WMR_PROG_PROGRAM_HH
+#define WMR_PROG_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "prog/instr.hh"
+
+namespace wmr {
+
+/** Number of general-purpose registers per simulated processor. */
+inline constexpr std::size_t kNumRegs = 16;
+
+/** One processor's static instruction stream. */
+struct Thread
+{
+    std::vector<Instr> code;
+};
+
+/**
+ * A complete program: the paper's "program text plus input data".
+ *
+ * The input data is the initial shared-memory image; everything else
+ * a thread computes is derived from it and from values read out of
+ * shared memory.
+ */
+class Program
+{
+  public:
+    /** Append a thread and return its processor id. */
+    ProcId addThread(Thread thread);
+
+    /** @return number of processors the program uses. */
+    ProcId numProcs() const
+    {
+        return static_cast<ProcId>(threads_.size());
+    }
+
+    /** @return thread for processor @p proc. */
+    const Thread &thread(ProcId proc) const { return threads_.at(proc); }
+
+    /** Set the initial value of shared word @p addr. */
+    void setInitial(Addr addr, Value value);
+
+    /** @return initial value of @p addr (0 when never set). */
+    Value initial(Addr addr) const;
+
+    /** @return sparse initial-memory image. */
+    const std::map<Addr, Value> &initialMemory() const { return init_; }
+
+    /**
+     * @return one past the highest address the program can name
+     * statically (the shared-variable universe size for bit-vectors).
+     * Indexed accesses extend this at simulation time.
+     */
+    Addr memWords() const { return memWords_; }
+
+    /** Ensure the address universe covers @p addr. */
+    void coverAddr(Addr addr);
+
+    /** Bind a symbolic name to an address (for reports/assembly). */
+    void nameAddr(const std::string &name, Addr addr);
+
+    /** @return symbolic name of @p addr, or "[addr]" when unnamed. */
+    std::string addrName(Addr addr) const;
+
+    /** @return address bound to @p name; fatal() when unknown. */
+    Addr addrOf(const std::string &name) const;
+
+    /** @return name→address bindings. */
+    const std::map<std::string, Addr> &symbols() const { return symbols_; }
+
+    /**
+     * Validate structural invariants (branch targets in range,
+     * register indices valid); fatal() with a diagnostic on failure.
+     */
+    void validate() const;
+
+    /** Render the whole program as assembly text. */
+    std::string disassembleAll() const;
+
+  private:
+    std::vector<Thread> threads_;
+    std::map<Addr, Value> init_;
+    std::map<std::string, Addr> symbols_;
+    std::map<Addr, std::string> addrNames_;
+    Addr memWords_ = 0;
+};
+
+} // namespace wmr
+
+#endif // WMR_PROG_PROGRAM_HH

@@ -1,0 +1,89 @@
+#include "sim/exec_stats.hh"
+
+#include "common/string_util.hh"
+
+namespace wmr {
+
+ExecStats
+summarizeExecution(const ExecutionResult &res)
+{
+    ExecStats s;
+    s.instructions = res.steps;
+    s.memOps = res.ops.size();
+    s.totalCycles = res.totalCycles;
+    s.opsPerProc.assign(res.procCycles.size(), 0);
+
+    for (const auto &op : res.ops) {
+        if (op.proc >= s.opsPerProc.size())
+            s.opsPerProc.resize(op.proc + 1, 0);
+        ++s.opsPerProc[op.proc];
+        if (op.sync) {
+            ++s.syncByAddr[op.addr];
+            if (op.kind == OpKind::Read) {
+                ++s.syncReads;
+                s.acquires += op.acquire;
+            } else {
+                ++s.syncWrites;
+                s.releases += op.release;
+            }
+        } else {
+            if (op.kind == OpKind::Read)
+                ++s.dataReads;
+            else
+                ++s.dataWrites;
+        }
+        if (op.kind == OpKind::Read && op.stale) {
+            ++s.staleReads;
+            ++s.staleByAddr[op.addr];
+        }
+        s.divergentOps += op.divergent;
+        s.taintedWrites +=
+            op.kind == OpKind::Write && op.taintedValue;
+    }
+    return s;
+}
+
+std::string
+formatStats(const ExecStats &s, const Program *prog)
+{
+    const auto addrName = [&](Addr a) {
+        return prog ? prog->addrName(a) : strformat("[%u]", a);
+    };
+
+    std::string out;
+    out += strformat(
+        "instructions %llu, memory ops %llu (%llu dr / %llu dw / "
+        "%llu sr / %llu sw), cycles %llu\n",
+        static_cast<unsigned long long>(s.instructions),
+        static_cast<unsigned long long>(s.memOps),
+        static_cast<unsigned long long>(s.dataReads),
+        static_cast<unsigned long long>(s.dataWrites),
+        static_cast<unsigned long long>(s.syncReads),
+        static_cast<unsigned long long>(s.syncWrites),
+        static_cast<unsigned long long>(s.totalCycles));
+    out += strformat(
+        "sync fraction %.1f%% (%llu acquires, %llu releases)\n",
+        100.0 * s.syncFraction(),
+        static_cast<unsigned long long>(s.acquires),
+        static_cast<unsigned long long>(s.releases));
+    if (s.staleReads) {
+        out += strformat(
+            "stale reads %llu, divergent ops %llu, tainted writes "
+            "%llu\n",
+            static_cast<unsigned long long>(s.staleReads),
+            static_cast<unsigned long long>(s.divergentOps),
+            static_cast<unsigned long long>(s.taintedWrites));
+        out += "stale reads by address:";
+        for (const auto &[addr, n] : s.staleByAddr) {
+            out += strformat(" %s:%llu", addrName(addr).c_str(),
+                             static_cast<unsigned long long>(n));
+        }
+        out += "\n";
+    } else {
+        out += "no stale reads: execution matches the issue-order SC "
+               "witness\n";
+    }
+    return out;
+}
+
+} // namespace wmr

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Post-hoc execution statistics: what an architect wants to know
+ * about one simulated run before reading the race report.
+ */
+
+#ifndef WMR_SIM_EXEC_STATS_HH
+#define WMR_SIM_EXEC_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/executor.hh"
+
+namespace wmr {
+
+/** Aggregated statistics of one execution. */
+struct ExecStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t dataReads = 0;
+    std::uint64_t dataWrites = 0;
+    std::uint64_t syncReads = 0;
+    std::uint64_t syncWrites = 0;
+    std::uint64_t acquires = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t staleReads = 0;
+    std::uint64_t divergentOps = 0;
+    std::uint64_t taintedWrites = 0;
+
+    /** Operations per processor. */
+    std::vector<std::uint64_t> opsPerProc;
+
+    /** Stale reads per address (only addresses with at least one). */
+    std::map<Addr, std::uint64_t> staleByAddr;
+
+    /** Sync operations per address ("lock contention" view). */
+    std::map<Addr, std::uint64_t> syncByAddr;
+
+    Tick totalCycles = 0;
+
+    /** @return fraction of memory operations that are sync. */
+    double
+    syncFraction() const
+    {
+        return memOps == 0 ? 0.0
+                           : static_cast<double>(syncReads +
+                                                 syncWrites) /
+                                 static_cast<double>(memOps);
+    }
+};
+
+/** Compute the statistics of @p res. */
+ExecStats summarizeExecution(const ExecutionResult &res);
+
+/** Render @p stats as a small human-readable block. */
+std::string formatStats(const ExecStats &stats,
+                        const Program *prog = nullptr);
+
+} // namespace wmr
+
+#endif // WMR_SIM_EXEC_STATS_HH

@@ -1,0 +1,385 @@
+#include "sim/executor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+namespace {
+
+/** Architectural state of one simulated processor. */
+struct ProcState
+{
+    std::uint32_t pc = 0;
+    std::array<Value, kNumRegs> regs{};
+    bool halted = false;
+    std::uint32_t memOps = 0;   ///< per-proc program-order counter
+    Tick cycles = 0;
+
+    /** Per-register taint: the value was influenced by stale data. */
+    std::uint32_t regTaint = 0;
+
+    /** Control flow diverged from the SC witness (branched on a
+     *  tainted value): every later op of this proc is divergent. */
+    bool tainted = false;
+
+    bool taintOf(RegId r) const { return (regTaint >> r) & 1u; }
+
+    void
+    setTaint(RegId r, bool t)
+    {
+        if (t)
+            regTaint |= 1u << r;
+        else
+            regTaint &= ~(1u << r);
+    }
+};
+
+} // namespace
+
+ExecutionResult
+Executor::run(const Program &prog, const ExecOptions &opts)
+{
+    prog.validate();
+    const ProcId nprocs = prog.numProcs();
+    wmr_assert(nprocs > 0);
+
+    Rng rng(opts.seed);
+    auto model = makeModelOf(opts.realization, opts.model, nprocs,
+                             prog.memWords(), opts.cost,
+                             opts.drainLaziness);
+
+    // Install the initial memory image before any processor runs.
+    // Using sync writes with the kNoOp id makes reads of the image
+    // report observedWrite == kNoOp ("initial value"), never stale.
+    for (const auto &[addr, value] : prog.initialMemory()) {
+        if (value != 0)
+            model->writeSync(0, addr, value, kNoOp, /*release=*/false);
+    }
+
+    RandomScheduler default_sched;
+    Scheduler *sched =
+        opts.scheduler ? opts.scheduler : &default_sched;
+
+    std::vector<ProcState> procs(nprocs);
+    ExecutionResult res;
+    res.model = opts.model;
+
+    const auto record = [&](MemOp op) {
+        op.id = static_cast<OpId>(res.ops.size());
+        op.step = res.stepOrder.size() - 1; // current pick index
+        if (op.kind == OpKind::Read && op.stale) {
+            ++res.staleReads;
+            if (res.firstStaleRead == kNoOp)
+                res.firstStaleRead = op.id;
+        }
+        res.ops.push_back(op);
+        if (opts.sink)
+            opts.sink->onOp(res.ops.back());
+        return res.ops.back().id;
+    };
+
+    std::vector<ProcId> runnable;
+    runnable.reserve(nprocs);
+    for (ProcId p = 0; p < nprocs; ++p)
+        runnable.push_back(p);
+
+    std::vector<DrainDirective> drains = opts.drainScript;
+    std::sort(drains.begin(), drains.end(),
+              [](const DrainDirective &a, const DrainDirective &b) {
+                  return a.afterPick < b.afterPick;
+              });
+    std::size_t nextDrain = 0;
+
+    while (!runnable.empty() && res.steps < opts.maxSteps) {
+        const ProcId pid = sched->pick(runnable, rng);
+        // Every pick is recorded (even one that merely retires a
+        // fallen-off-the-end thread) so a ScriptedScheduler replay of
+        // stepOrder reproduces the interleaving exactly.
+        res.stepOrder.push_back(pid);
+        ProcState &ps = procs[pid];
+        wmr_assert(!ps.halted);
+
+        const auto &code = prog.thread(pid).code;
+        if (ps.pc >= code.size()) {
+            ps.halted = true;
+        } else {
+            const Instr &i = code[ps.pc];
+            std::uint32_t next_pc = ps.pc + 1;
+            Tick cost = 1;
+
+            const auto ea = [&]() -> Addr {
+                Addr a = i.addr;
+                if (i.indexed) {
+                    a += static_cast<Addr>(
+                        static_cast<std::uint64_t>(ps.regs[i.a]));
+                }
+                return a;
+            };
+
+            // Does this memory operation still occur, with this
+            // address, in the SC witness Eseq?  Not if control flow
+            // already diverged or the address came through a tainted
+            // index register.
+            const bool divergent_op =
+                ps.tainted || (i.indexed && ps.taintOf(i.a));
+
+            const auto makeOp = [&](OpKind kind, bool sync, bool acq,
+                                    bool rel, Addr addr, Value value) {
+                MemOp op;
+                op.proc = pid;
+                op.poIndex = ps.memOps++;
+                op.pc = ps.pc;
+                op.kind = kind;
+                op.sync = sync;
+                op.acquire = acq;
+                op.release = rel;
+                op.addr = addr;
+                op.value = value;
+                op.divergent = divergent_op;
+                return op;
+            };
+
+            // Taint of the value a read returned: stale reads and
+            // reads of tainted/divergent writes yield values Eseq
+            // would not supply.
+            const auto readTaint = [&](const ReadResult &r) {
+                if (r.stale)
+                    return true;
+                if (r.observedWrite == kNoOp)
+                    return false;
+                const MemOp &w = res.ops[r.observedWrite];
+                return w.taintedValue || w.divergent;
+            };
+
+            switch (i.op) {
+              case Opcode::Nop:
+                break;
+              case Opcode::MovI:
+                ps.regs[i.dst] = i.imm;
+                ps.setTaint(i.dst, false);
+                break;
+              case Opcode::Mov:
+                ps.regs[i.dst] = ps.regs[i.a];
+                ps.setTaint(i.dst, ps.taintOf(i.a));
+                break;
+              case Opcode::Add:
+                ps.regs[i.dst] = ps.regs[i.a] + ps.regs[i.b];
+                ps.setTaint(i.dst, ps.taintOf(i.a) || ps.taintOf(i.b));
+                break;
+              case Opcode::AddI:
+                ps.regs[i.dst] = ps.regs[i.a] + i.imm;
+                ps.setTaint(i.dst, ps.taintOf(i.a));
+                break;
+              case Opcode::Sub:
+                ps.regs[i.dst] = ps.regs[i.a] - ps.regs[i.b];
+                ps.setTaint(i.dst, ps.taintOf(i.a) || ps.taintOf(i.b));
+                break;
+              case Opcode::Mul:
+                ps.regs[i.dst] = ps.regs[i.a] * ps.regs[i.b];
+                ps.setTaint(i.dst, ps.taintOf(i.a) || ps.taintOf(i.b));
+                break;
+              case Opcode::CmpEq:
+                ps.setTaint(i.dst, ps.taintOf(i.a) || ps.taintOf(i.b));
+                ps.regs[i.dst] = ps.regs[i.a] == ps.regs[i.b];
+                break;
+              case Opcode::CmpNe:
+                ps.regs[i.dst] = ps.regs[i.a] != ps.regs[i.b];
+                ps.setTaint(i.dst, ps.taintOf(i.a) || ps.taintOf(i.b));
+                break;
+              case Opcode::CmpLt:
+                ps.regs[i.dst] = ps.regs[i.a] < ps.regs[i.b];
+                ps.setTaint(i.dst, ps.taintOf(i.a) || ps.taintOf(i.b));
+                break;
+              case Opcode::CmpEqI:
+                ps.regs[i.dst] = ps.regs[i.a] == i.imm;
+                ps.setTaint(i.dst, ps.taintOf(i.a));
+                break;
+              case Opcode::CmpLtI:
+                ps.regs[i.dst] = ps.regs[i.a] < i.imm;
+                ps.setTaint(i.dst, ps.taintOf(i.a));
+                break;
+
+              case Opcode::Load: {
+                const Addr a = ea();
+                const ReadResult r = model->readData(pid, a);
+                ps.regs[i.dst] = r.value;
+                cost += r.cost;
+                MemOp op = makeOp(OpKind::Read, false, false, false, a,
+                                  r.value);
+                op.observedWrite = r.observedWrite;
+                op.stale = r.stale;
+                op.tick = ps.cycles + cost;
+                ps.setTaint(i.dst, readTaint(r));
+                record(op);
+                break;
+              }
+              case Opcode::Store:
+              case Opcode::StoreI: {
+                const Addr a = ea();
+                const Value v =
+                    i.op == Opcode::Store ? ps.regs[i.b] : i.imm;
+                MemOp op = makeOp(OpKind::Write, false, false, false, a,
+                                  v);
+                op.taintedValue =
+                    i.op == Opcode::Store && ps.taintOf(i.b);
+                op.id = static_cast<OpId>(res.ops.size());
+                const WriteResult w =
+                    model->writeData(pid, a, v, op.id);
+                cost += w.cost;
+                op.tick = ps.cycles + cost;
+                record(op);
+                break;
+              }
+
+              case Opcode::TestAndSet: {
+                // Atomic: acquire read of the old value, then a sync
+                // (non-release) write of 1.  Both access the global
+                // coherent memory.
+                const Addr a = ea();
+                const ReadResult r =
+                    model->readSync(pid, a, /*acquire=*/true);
+                ps.regs[i.dst] = r.value;
+                cost += r.cost;
+                MemOp rd = makeOp(OpKind::Read, true, true, false, a,
+                                  r.value);
+                rd.observedWrite = r.observedWrite;
+                rd.stale = r.stale;
+                rd.tick = ps.cycles + cost;
+                ps.setTaint(i.dst, readTaint(r));
+                record(rd);
+
+                MemOp wr = makeOp(OpKind::Write, true, false, false, a,
+                                  1);
+                wr.id = static_cast<OpId>(res.ops.size());
+                const WriteResult w = model->writeSync(
+                    pid, a, 1, wr.id, /*release=*/false);
+                cost += w.cost;
+                wr.tick = ps.cycles + cost;
+                record(wr);
+                break;
+              }
+              case Opcode::Unset: {
+                const Addr a = ea();
+                MemOp op = makeOp(OpKind::Write, true, false, true, a,
+                                  0);
+                op.id = static_cast<OpId>(res.ops.size());
+                const WriteResult w = model->writeSync(
+                    pid, a, 0, op.id, /*release=*/true);
+                cost += w.cost;
+                op.tick = ps.cycles + cost;
+                record(op);
+                break;
+              }
+              case Opcode::SyncLoad: {
+                const Addr a = ea();
+                const ReadResult r =
+                    model->readSync(pid, a, /*acquire=*/true);
+                ps.regs[i.dst] = r.value;
+                cost += r.cost;
+                MemOp op = makeOp(OpKind::Read, true, true, false, a,
+                                  r.value);
+                op.observedWrite = r.observedWrite;
+                op.stale = r.stale;
+                op.tick = ps.cycles + cost;
+                ps.setTaint(i.dst, readTaint(r));
+                record(op);
+                break;
+              }
+              case Opcode::SyncStore:
+              case Opcode::SyncStoreI: {
+                const Addr a = ea();
+                const Value v =
+                    i.op == Opcode::SyncStore ? ps.regs[i.b] : i.imm;
+                MemOp op = makeOp(OpKind::Write, true, false, true, a,
+                                  v);
+                op.taintedValue =
+                    i.op == Opcode::SyncStore && ps.taintOf(i.b);
+                op.id = static_cast<OpId>(res.ops.size());
+                const WriteResult w = model->writeSync(
+                    pid, a, v, op.id, /*release=*/true);
+                cost += w.cost;
+                op.tick = ps.cycles + cost;
+                record(op);
+                break;
+              }
+              case Opcode::Fence:
+                cost += model->fence(pid);
+                break;
+
+              case Opcode::Branch:
+                if (ps.taintOf(i.a))
+                    ps.tainted = true; // control divergence
+                if (ps.regs[i.a] != 0)
+                    next_pc = i.target;
+                break;
+              case Opcode::BranchZ:
+                if (ps.taintOf(i.a))
+                    ps.tainted = true;
+                if (ps.regs[i.a] == 0)
+                    next_pc = i.target;
+                break;
+              case Opcode::Jump:
+                next_pc = i.target;
+                break;
+              case Opcode::Halt:
+                ps.halted = true;
+                break;
+            }
+
+            ps.cycles += cost;
+            ps.pc = next_pc;
+            ++res.steps;
+        }
+
+        if (ps.halted) {
+            runnable.erase(std::find(runnable.begin(), runnable.end(),
+                                     pid));
+            if (opts.sink)
+                opts.sink->onHalt(pid);
+        }
+
+        while (nextDrain < drains.size() &&
+               drains[nextDrain].afterPick <= res.stepOrder.size()) {
+            model->drainAddr(drains[nextDrain].proc,
+                             drains[nextDrain].addr);
+            ++nextDrain;
+        }
+
+        model->tick(rng);
+    }
+
+    model->drainAll();
+    res.completed = runnable.empty();
+    if (!res.completed) {
+        warn("execution hit maxSteps=%llu before all threads halted",
+             static_cast<unsigned long long>(opts.maxSteps));
+    }
+
+    res.procCycles.resize(nprocs);
+    res.finalRegs.resize(nprocs);
+    for (ProcId p = 0; p < nprocs; ++p) {
+        res.procCycles[p] = procs[p].cycles;
+        res.totalCycles = std::max(res.totalCycles, procs[p].cycles);
+        res.finalRegs[p] = procs[p].regs;
+    }
+
+    Addr max_addr = prog.memWords();
+    for (const auto &op : res.ops)
+        max_addr = std::max(max_addr, op.addr + 1);
+    res.finalMemory.resize(max_addr, 0);
+    for (Addr a = 0; a < max_addr; ++a)
+        res.finalMemory[a] = model->globalValue(a);
+
+    return res;
+}
+
+ExecutionResult
+runProgram(const Program &prog, const ExecOptions &opts)
+{
+    Executor ex;
+    return ex.run(prog, opts);
+}
+
+} // namespace wmr

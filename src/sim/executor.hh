@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The multiprocessor executor: runs an IR program against a memory
+ * model under a scheduler and records every memory operation.
+ *
+ * Instructions issue one at a time (a legal SC interleaving), so all
+ * weak behavior comes from the memory model's store buffering, never
+ * from the executor itself.  The recorded MemOp stream, with observed
+ * read-from edges and stale-read annotations, is the raw material for
+ * the tracer (trace/), the detectors (detect/, onthefly/) and the SCP
+ * analysis.
+ */
+
+#ifndef WMR_SIM_EXECUTOR_HH
+#define WMR_SIM_EXECUTOR_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "prog/program.hh"
+#include "sim/model.hh"
+#include "sim/scheduler.hh"
+
+namespace wmr {
+
+/** Observer of the live operation stream (on-the-fly detectors). */
+class OpSink
+{
+  public:
+    virtual ~OpSink() = default;
+
+    /** Called for every memory operation, in issue order. */
+    virtual void onOp(const MemOp &op) = 0;
+
+    /** Called when processor @p proc halts. */
+    virtual void onHalt(ProcId proc) { (void)proc; }
+};
+
+/**
+ * A scripted buffer drain: after pick number @p afterPick (an index
+ * into the scheduling sequence), the oldest pending store of
+ * @p proc to @p addr becomes globally visible.  Together with a
+ * ScriptedScheduler this pins down one exact weak interleaving —
+ * how the figure reproductions stage the paper's executions.
+ */
+struct DrainDirective
+{
+    std::uint64_t afterPick = 0;
+    ProcId proc = 0;
+    Addr addr = 0;
+};
+
+/** Knobs of one simulated execution. */
+struct ExecOptions
+{
+    ModelKind model = ModelKind::WO;
+
+    /** Hardware realization of the model (see model.hh). */
+    Realization realization = Realization::StoreBuffer;
+
+    /** Seed for the scheduler and the drain policy. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Probability a drainable buffered store stays buffered each
+     * tick; 1.0 = drain only when a sync forces it (adversarial).
+     */
+    double drainLaziness = 0.5;
+
+    CostParams cost;
+
+    /** Abort threshold against livelocked spin loops. */
+    std::uint64_t maxSteps = 2'000'000;
+
+    /** Optional external scheduler; default is RandomScheduler. */
+    Scheduler *scheduler = nullptr;
+
+    /** Optional observer of the live operation stream. */
+    OpSink *sink = nullptr;
+
+    /** Scripted drains, sorted or not (executor sorts a copy). */
+    std::vector<DrainDirective> drainScript;
+};
+
+/** Everything one simulated execution produced. */
+struct ExecutionResult
+{
+    ModelKind model = ModelKind::WO;
+
+    /** All memory operations, in issue order (MemOp::id = index). */
+    std::vector<MemOp> ops;
+
+    /** Whether every thread reached Halt before maxSteps. */
+    bool completed = false;
+
+    /** Instructions executed. */
+    std::uint64_t steps = 0;
+
+    /** Per-processor cycle counts (the cost model's output). */
+    std::vector<Tick> procCycles;
+
+    /** Parallel completion time: max over procCycles. */
+    Tick totalCycles = 0;
+
+    /** Id of the first stale read, or kNoOp when the whole execution
+     *  is witnessed SC by the issue order. */
+    OpId firstStaleRead = kNoOp;
+
+    /** Total stale reads observed. */
+    std::uint64_t staleReads = 0;
+
+    /** Final shared-memory image (after draining all buffers). */
+    std::vector<Value> finalMemory;
+
+    /** Final architectural register state per processor. */
+    std::vector<std::array<Value, kNumRegs>> finalRegs;
+
+    /**
+     * Which processor executed each instruction step, in order.
+     * Feeding this to a ScriptedScheduler replays the interleaving;
+     * mc/scp_witness.hh uses the prefix up to the first stale read to
+     * construct the sequentially consistent execution Eseq whose
+     * prefix the SCP is.
+     */
+    std::vector<ProcId> stepOrder;
+
+    /** @return the final value of @p addr (0 if out of range). */
+    Value
+    memAt(Addr addr) const
+    {
+        return addr < finalMemory.size() ? finalMemory[addr] : 0;
+    }
+};
+
+/** Runs programs; stateless between run() calls. */
+class Executor
+{
+  public:
+    /** Execute @p prog with @p opts and return the full record. */
+    ExecutionResult run(const Program &prog, const ExecOptions &opts);
+};
+
+/** One-shot convenience wrapper around Executor::run. */
+ExecutionResult runProgram(const Program &prog,
+                           const ExecOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_SIM_EXECUTOR_HH

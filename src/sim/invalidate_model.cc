@@ -1,0 +1,238 @@
+#include "sim/invalidate_model.hh"
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+std::string_view
+realizationName(Realization realization)
+{
+    switch (realization) {
+      case Realization::StoreBuffer: return "store-buffer";
+      case Realization::Invalidate: return "invalidate";
+    }
+    panic("realizationName: bad value %d",
+          static_cast<int>(realization));
+}
+
+std::unique_ptr<MemoryModel>
+makeModelOf(Realization realization, ModelKind kind, ProcId procs,
+            Addr words, const CostParams &cost, double drainLaziness)
+{
+    if (realization == Realization::StoreBuffer)
+        return makeModel(kind, procs, words, cost, drainLaziness);
+    return std::make_unique<InvalidateModel>(policyFor(kind), procs,
+                                             words, cost,
+                                             drainLaziness);
+}
+
+InvalidateModel::InvalidateModel(ModelPolicy policy, ProcId procs,
+                                 Addr words, const CostParams &cost,
+                                 double drainLaziness)
+    : policy_(policy), cost_(cost), drainLaziness_(drainLaziness),
+      memory_(words, 0), lastWriter_(words, kNoOp),
+      shadowWriter_(words, kNoOp), caches_(procs), inbox_(procs)
+{
+}
+
+void
+InvalidateModel::ensureAddr(Addr addr)
+{
+    if (addr >= memory_.size()) {
+        memory_.resize(addr + 1, 0);
+        lastWriter_.resize(addr + 1, kNoOp);
+        shadowWriter_.resize(addr + 1, kNoOp);
+    }
+}
+
+void
+InvalidateModel::broadcastInval(ProcId from, Addr addr)
+{
+    if (policy_.noBuffer) {
+        // SC: invalidations apply instantly.
+        for (ProcId p = 0; p < caches_.size(); ++p) {
+            if (p != from)
+                caches_[p].erase(addr);
+        }
+        return;
+    }
+    for (ProcId p = 0; p < caches_.size(); ++p) {
+        if (p != from && caches_[p].count(addr))
+            inbox_[p].push_back(addr);
+    }
+}
+
+std::size_t
+InvalidateModel::flushInbox(ProcId proc)
+{
+    auto &box = inbox_[proc];
+    const std::size_t n = box.size();
+    for (const Addr a : box)
+        caches_[proc].erase(a);
+    box.clear();
+    return n;
+}
+
+Tick
+InvalidateModel::flushCost(std::size_t n) const
+{
+    if (n == 0)
+        return 0;
+    if (policy_.pipelinedDrain)
+        return cost_.writeLatency + (n - 1) * cost_.drainPipelined;
+    return n * cost_.writeLatency;
+}
+
+ReadResult
+InvalidateModel::readData(ProcId proc, Addr addr)
+{
+    ensureAddr(addr);
+    ReadResult r;
+    r.cost = cost_.readLatency;
+    const auto it = caches_[proc].find(addr);
+    if (it != caches_[proc].end()) {
+        // Cache hit — possibly a stale copy whose invalidation still
+        // sits in the inbox.
+        r.value = it->second.value;
+        r.observedWrite = it->second.writer;
+    } else {
+        r.value = memory_[addr];
+        r.observedWrite = lastWriter_[addr];
+        caches_[proc][addr] = {r.value, r.observedWrite};
+        r.cost += cost_.readLatency; // miss penalty
+    }
+    r.stale = (r.observedWrite != shadowWriter_[addr]);
+    return r;
+}
+
+WriteResult
+InvalidateModel::writeData(ProcId proc, Addr addr, Value value, OpId id)
+{
+    ensureAddr(addr);
+    shadowWriter_[addr] = id;
+    memory_[addr] = value;
+    lastWriter_[addr] = id;
+    caches_[proc][addr] = {value, id};
+    broadcastInval(proc, addr);
+    WriteResult w;
+    // Write-through: the writer retires as soon as the line is owned
+    // locally; SC instead stalls for global completion.
+    w.cost = policy_.noBuffer ? cost_.writeLatency
+                              : cost_.bufferInsert;
+    return w;
+}
+
+ReadResult
+InvalidateModel::readSync(ProcId proc, Addr addr, bool acquire)
+{
+    ensureAddr(addr);
+    Tick extra = 0;
+    if (!policy_.noBuffer &&
+        (acquire || policy_.drainOnAllSync)) {
+        // Acquires (and, on WO/DRF0, every sync op) apply all pending
+        // invalidations so subsequent reads are fresh.
+        extra = flushCost(flushInbox(proc));
+    }
+    ReadResult r;
+    r.value = memory_[addr];
+    r.observedWrite = lastWriter_[addr];
+    r.stale = (r.observedWrite != shadowWriter_[addr]);
+    r.cost = cost_.syncAccess + extra;
+    return r;
+}
+
+WriteResult
+InvalidateModel::writeSync(ProcId proc, Addr addr, Value value, OpId id,
+                           bool release)
+{
+    ensureAddr(addr);
+    Tick extra = 0;
+    if (!policy_.noBuffer && policy_.drainOnAllSync) {
+        extra = flushCost(flushInbox(proc));
+    }
+    // A release models waiting for the delivery acknowledgement of
+    // all previously issued invalidations; in this write-through
+    // design the queues already hold them, so only the cost remains.
+    if (!policy_.noBuffer && release && policy_.drainOnRelease)
+        extra += cost_.syncAccess;
+    shadowWriter_[addr] = id;
+    memory_[addr] = value;
+    lastWriter_[addr] = id;
+    caches_[proc][addr] = {value, id};
+    broadcastInval(proc, addr);
+    WriteResult w;
+    w.cost = (policy_.noBuffer ? cost_.writeLatency
+                               : cost_.syncAccess) +
+             extra;
+    return w;
+}
+
+Tick
+InvalidateModel::fence(ProcId proc)
+{
+    if (policy_.noBuffer)
+        return 1;
+    return flushCost(flushInbox(proc)) + 1;
+}
+
+void
+InvalidateModel::tick(Rng &rng)
+{
+    if (policy_.noBuffer)
+        return;
+    for (ProcId p = 0; p < inbox_.size(); ++p) {
+        auto &box = inbox_[p];
+        if (box.empty())
+            continue;
+        if (rng.chance(drainLaziness_))
+            continue;
+        const std::size_t idx = rng.below(box.size());
+        caches_[p].erase(box[idx]);
+        box.erase(box.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+}
+
+void
+InvalidateModel::drainAll()
+{
+    for (ProcId p = 0; p < inbox_.size(); ++p)
+        flushInbox(p);
+}
+
+void
+InvalidateModel::drainAddr(ProcId proc, Addr addr)
+{
+    // Directive semantics mirror the buffer model: make proc's write
+    // to addr globally "complete" — here, apply addr's invalidations
+    // at every OTHER processor ("proc" is the writer).
+    for (ProcId p = 0; p < inbox_.size(); ++p) {
+        if (p == proc)
+            continue;
+        auto &box = inbox_[p];
+        for (std::size_t i = 0; i < box.size();) {
+            if (box[i] == addr) {
+                caches_[p].erase(addr);
+                box.erase(box.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+}
+
+std::size_t
+InvalidateModel::pendingStores(ProcId proc) const
+{
+    // Interface reuse: "pending work" = undelivered invalidations in
+    // this processor's inbox.
+    return inbox_.at(proc).size();
+}
+
+Value
+InvalidateModel::globalValue(Addr addr) const
+{
+    return addr < memory_.size() ? memory_[addr] : 0;
+}
+
+} // namespace wmr

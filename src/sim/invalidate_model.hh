@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Invalidation-protocol realization of the SC and weak memory models.
+ *
+ * The store-buffer model (store_buffer_model.hh) delays the
+ * VISIBILITY of writes; this model delays the DEATH of stale copies —
+ * the other classic way 1991-era weak hardware reordered memory
+ * (Dubois/Scheurich/Briggs' "memory access buffering" is argued in
+ * terms of pending invalidations).  Having two structurally different
+ * realizations lets the test suite check that Condition 3.4 is a
+ * property of the CLASS of implementations (Theorem 3.5), not an
+ * artifact of one simulator design.
+ *
+ * Mechanics (write-through, invalidate-based):
+ *  - memory always holds the latest written value;
+ *  - a data write updates memory and QUEUES an invalidation into
+ *    every other processor's inbox; the writer caches the line;
+ *  - a data read hits the local cache if a copy exists — possibly a
+ *    STALE copy whose invalidation is still sitting in the inbox —
+ *    otherwise fetches from memory and caches the line;
+ *  - background ticks apply random inbox entries (drainLaziness
+ *    semantics match the store-buffer model);
+ *  - acquire operations flush the processor's whole inbox before
+ *    reading (WO/DRF0 flush on every sync operation), which is what
+ *    restores sequential consistency across paired synchronization;
+ *  - under SC invalidations apply instantly, so reads are always
+ *    fresh.
+ *
+ * A key observable difference from the store-buffer model: a
+ * processor can only read stale data it had CACHED before the
+ * conflicting write, so the Figure 1(a)/2(b) violations require a
+ * warm-up read — see stageInvalidateFigure1a in workload/scenarios.
+ */
+
+#ifndef WMR_SIM_INVALIDATE_MODEL_HH
+#define WMR_SIM_INVALIDATE_MODEL_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/store_buffer_model.hh"
+
+namespace wmr {
+
+/** Invalidation-queue based memory model (all five kinds). */
+class InvalidateModel : public MemoryModel
+{
+  public:
+    InvalidateModel(ModelPolicy policy, ProcId procs, Addr words,
+                    const CostParams &cost, double drainLaziness);
+
+    ModelKind kind() const override { return policy_.kind; }
+
+    ReadResult readData(ProcId proc, Addr addr) override;
+    WriteResult writeData(ProcId proc, Addr addr, Value value,
+                          OpId id) override;
+    ReadResult readSync(ProcId proc, Addr addr, bool acquire) override;
+    WriteResult writeSync(ProcId proc, Addr addr, Value value, OpId id,
+                          bool release) override;
+    Tick fence(ProcId proc) override;
+    void tick(Rng &rng) override;
+    void drainAll() override;
+    void drainAddr(ProcId proc, Addr addr) override;
+    std::size_t pendingStores(ProcId proc) const override;
+    Value globalValue(Addr addr) const override;
+
+  private:
+    /** One cached copy of a word. */
+    struct Line
+    {
+        Value value = 0;
+        OpId writer = kNoOp;
+    };
+
+    void ensureAddr(Addr addr);
+
+    /** Queue invalidations of @p addr to every processor but @p from. */
+    void broadcastInval(ProcId from, Addr addr);
+
+    /** Apply every pending invalidation of @p proc's inbox. */
+    std::size_t flushInbox(ProcId proc);
+
+    /** Cost of applying @p n invalidations at a sync point. */
+    Tick flushCost(std::size_t n) const;
+
+    ModelPolicy policy_;
+    CostParams cost_;
+    double drainLaziness_;
+
+    std::vector<Value> memory_;
+    std::vector<OpId> lastWriter_;
+
+    // Issue-order SC witness (same role as in the buffer model).
+    std::vector<OpId> shadowWriter_;
+
+    std::vector<std::unordered_map<Addr, Line>> caches_;
+    std::vector<std::vector<Addr>> inbox_;
+};
+
+} // namespace wmr
+
+#endif // WMR_SIM_INVALIDATE_MODEL_HH

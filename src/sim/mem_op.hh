@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The dynamic memory-operation record every other layer consumes.
+ *
+ * A MemOp is the paper's "memory operation": a dynamic read or write
+ * of one shared word, tagged with whether the hardware recognized it
+ * as synchronization and, for sync operations, whether it carries
+ * acquire/release semantics (Definition 2.1).  Reads additionally
+ * record which write's value they returned — that observation is what
+ * lets the tracer derive so1 pairing (Def. 2.2) and lets the SCP
+ * analysis pin where the execution stopped being explainable by the
+ * issue-order SC witness.
+ */
+
+#ifndef WMR_SIM_MEM_OP_HH
+#define WMR_SIM_MEM_OP_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wmr {
+
+/** Direction of a memory operation. */
+enum class OpKind : std::uint8_t { Read, Write };
+
+/** One dynamic memory operation. */
+struct MemOp
+{
+    /** Global issue-order index; doubles as the op's identity. */
+    OpId id = kNoOp;
+
+    /** Issuing processor. */
+    ProcId proc = kNoProc;
+
+    /** Per-processor program-order index among that proc's MemOps. */
+    std::uint32_t poIndex = 0;
+
+    /** Static instruction (pc) that issued the operation. */
+    std::uint32_t pc = 0;
+
+    OpKind kind = OpKind::Read;
+
+    /** Hardware-recognized synchronization operation? */
+    bool sync = false;
+
+    /** Sync read usable as an acquire (Def. 2.1(2)). */
+    bool acquire = false;
+
+    /** Sync write usable as a release (Def. 2.1(1)). */
+    bool release = false;
+
+    Addr addr = 0;
+
+    /** Value read or written. */
+    Value value = 0;
+
+    /**
+     * For reads: id of the write whose value was returned, or kNoOp
+     * when the initial memory image supplied the value.
+     */
+    OpId observedWrite = kNoOp;
+
+    /**
+     * For reads: true when the returned value's writer differs from
+     * the globally most recent (issue-order) writer of the address —
+     * i.e. the read is NOT explained by the issue-order SC witness.
+     * The first stale read marks the end of the guaranteed SCP.
+     */
+    bool stale = false;
+
+    /**
+     * The operation would NOT occur (with this identity) in the SC
+     * witness execution Eseq: its effective address came through a
+     * tainted index register, or its processor already branched on a
+     * tainted value (control divergence).  An operation's identity is
+     * its program point plus address — values don't count (Sec. 2.1)
+     * — so a stale read itself is NOT divergent; only operations
+     * whose address/existence depend on stale data are.  Non-
+     * divergent operations constitute the op-level SCP.
+     */
+    bool divergent = false;
+
+    /**
+     * For writes: the stored value was influenced by stale data, so
+     * although the operation itself occurs in Eseq, it writes a
+     * different value there — readers of this write become tainted.
+     */
+    bool taintedValue = false;
+
+    /** Simulated completion time. */
+    Tick tick = 0;
+
+    /** Executor step (instruction index in the global interleaving)
+     *  that issued this operation; used for SCP witness replay. */
+    std::uint64_t step = 0;
+};
+
+/** @return whether @p op is a data (non-sync) operation. */
+inline bool
+isDataOp(const MemOp &op)
+{
+    return !op.sync;
+}
+
+/** @return whether two operations conflict (Sec. 2.1). */
+inline bool
+conflict(const MemOp &x, const MemOp &y)
+{
+    return x.addr == y.addr &&
+           (x.kind == OpKind::Write || y.kind == OpKind::Write);
+}
+
+} // namespace wmr
+
+#endif // WMR_SIM_MEM_OP_HH

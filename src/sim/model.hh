@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Memory-model interface and the catalog of implemented models.
+ *
+ * The five models of the paper are realized as policies over a
+ * per-processor pending-store buffer (see store_buffer_model.hh):
+ *
+ *  - SC:   no buffering; every operation stalls to global completion.
+ *  - WO:   data stores buffer (unordered drain); EVERY sync operation
+ *          drains the issuing processor's buffer and stalls
+ *          serially (Dubois/Scheurich/Briggs conditions).
+ *  - RCsc: only RELEASE operations drain; acquires do not wait for
+ *          prior data stores (Gharachorloo et al. conditions).
+ *  - DRF0: same ordering rules as WO (DRF0 does not distinguish
+ *          acquire from release) but with a pipelined drain cost —
+ *          a more aggressive implementation of the same contract.
+ *  - DRF1: same ordering rules as RCsc with the pipelined drain cost.
+ *
+ * All four weak models violate SC only when a stale value becomes
+ * observable through a data race, which is exactly the mechanism
+ * behind Theorem 3.5; tests verify Condition 3.4 holds.
+ */
+
+#ifndef WMR_SIM_MODEL_HH
+#define WMR_SIM_MODEL_HH
+
+#include <memory>
+#include <string_view>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/mem_op.hh"
+
+namespace wmr {
+
+/** The memory models the simulator implements. */
+enum class ModelKind : std::uint8_t { SC, WO, RCsc, DRF0, DRF1 };
+
+/** @return human-readable model name. */
+std::string_view modelName(ModelKind kind);
+
+/** All models, in paper order, for parameterized tests/benches. */
+inline constexpr ModelKind kAllModels[] = {
+    ModelKind::SC, ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
+    ModelKind::DRF1,
+};
+
+/** Latency parameters of the simulated memory system (in cycles). */
+struct CostParams
+{
+    Tick readLatency = 4;       ///< read from the global memory
+    Tick writeLatency = 20;     ///< globally completing one write
+    Tick bufferInsert = 1;      ///< retiring a store into the buffer
+    Tick drainPipelined = 4;    ///< per-store drain cost when pipelined
+    Tick syncAccess = 8;        ///< atomic access for sync operations
+};
+
+/** Result of a read issued to a memory model. */
+struct ReadResult
+{
+    Value value = 0;
+    OpId observedWrite = kNoOp; ///< writer of the value (kNoOp=initial)
+    bool stale = false;         ///< diverges from issue-order witness
+    Tick cost = 0;              ///< cycles the issuing proc stalls
+};
+
+/** Result of a write issued to a memory model. */
+struct WriteResult
+{
+    Tick cost = 0;              ///< cycles the issuing proc stalls
+};
+
+/**
+ * A memory consistency model implementation.
+ *
+ * The executor issues operations one at a time (so the issue order is
+ * itself a legal SC interleaving); the model decides what value each
+ * read returns, when stores become globally visible, and how many
+ * cycles each operation stalls its processor.
+ */
+class MemoryModel
+{
+  public:
+    virtual ~MemoryModel() = default;
+
+    /** @return which model this is. */
+    virtual ModelKind kind() const = 0;
+
+    /** Issue a data read by @p proc. */
+    virtual ReadResult readData(ProcId proc, Addr addr) = 0;
+
+    /** Issue a data write by @p proc; @p id is the MemOp id. */
+    virtual WriteResult writeData(ProcId proc, Addr addr, Value value,
+                                  OpId id) = 0;
+
+    /**
+     * Issue a sync read (@p acquire per Def. 2.1(2)).  The model
+     * applies its drain rules before the access.
+     */
+    virtual ReadResult readSync(ProcId proc, Addr addr, bool acquire) = 0;
+
+    /**
+     * Issue a sync write (@p release per Def. 2.1(1)).  The model
+     * applies its drain rules before the access.
+     */
+    virtual WriteResult writeSync(ProcId proc, Addr addr, Value value,
+                                  OpId id, bool release) = 0;
+
+    /** Full fence: drain everything and stall. */
+    virtual Tick fence(ProcId proc) = 0;
+
+    /**
+     * Background activity between instructions: drain buffered
+     * stores per the drain-aggressiveness policy.
+     */
+    virtual void tick(Rng &rng) = 0;
+
+    /** Drain every processor's buffer (end of execution). */
+    virtual void drainAll() = 0;
+
+    /**
+     * Force the oldest pending store of @p proc to @p addr to become
+     * globally visible (no-op when none is buffered).  Drives
+     * scripted reproductions of specific weak interleavings, e.g.
+     * "QEmpty's write becomes visible before Q's" in Figure 2(b).
+     */
+    virtual void drainAddr(ProcId proc, Addr addr) = 0;
+
+    /** @return number of stores currently buffered by @p proc. */
+    virtual std::size_t pendingStores(ProcId proc) const = 0;
+
+    /** @return current globally visible value of @p addr. */
+    virtual Value globalValue(Addr addr) const = 0;
+};
+
+/**
+ * Create a memory model.
+ *
+ * @param kind which consistency model.
+ * @param procs number of processors.
+ * @param words shared-memory universe size.
+ * @param cost latency parameters.
+ * @param drainLaziness probability in [0,1] that a drainable store
+ *        stays buffered on a given tick; 1.0 keeps stores buffered
+ *        until a sync forces a drain (the adversarial setting used to
+ *        reproduce Figure 2b), 0.0 drains eagerly (SC-like behavior).
+ */
+std::unique_ptr<MemoryModel>
+makeModel(ModelKind kind, ProcId procs, Addr words,
+          const CostParams &cost = {}, double drainLaziness = 0.5);
+
+/**
+ * Which hardware realization backs a memory model: write buffering
+ * (delayed visibility) or an invalidation protocol (delayed death of
+ * stale copies).  Both realize all five ModelKinds; the tests verify
+ * Condition 3.4 on both (Theorem 3.5 is about the CLASS of weak
+ * implementations).
+ */
+enum class Realization : std::uint8_t { StoreBuffer, Invalidate };
+
+/** All realizations, for parameterized tests/benches. */
+inline constexpr Realization kAllRealizations[] = {
+    Realization::StoreBuffer, Realization::Invalidate,
+};
+
+/** @return human-readable realization name. */
+std::string_view realizationName(Realization realization);
+
+/** Create a model of @p kind over the chosen @p realization. */
+std::unique_ptr<MemoryModel>
+makeModelOf(Realization realization, ModelKind kind, ProcId procs,
+            Addr words, const CostParams &cost = {},
+            double drainLaziness = 0.5);
+
+} // namespace wmr
+
+#endif // WMR_SIM_MODEL_HH

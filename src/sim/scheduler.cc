@@ -1,0 +1,72 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+ProcId
+RandomScheduler::pick(const std::vector<ProcId> &runnable, Rng &rng)
+{
+    wmr_assert(!runnable.empty());
+    return runnable[rng.below(runnable.size())];
+}
+
+RoundRobinScheduler::RoundRobinScheduler(std::uint32_t quantum)
+    : quantum_(quantum == 0 ? 1 : quantum)
+{
+}
+
+ProcId
+RoundRobinScheduler::pick(const std::vector<ProcId> &runnable, Rng &rng)
+{
+    (void)rng;
+    wmr_assert(!runnable.empty());
+    const bool current_runnable =
+        active_ && std::find(runnable.begin(), runnable.end(),
+                             current_) != runnable.end();
+    if (current_runnable && used_ < quantum_) {
+        ++used_;
+        return current_;
+    }
+    // Advance to the next runnable processor after current_.
+    ProcId next = runnable.front();
+    if (active_) {
+        for (const ProcId p : runnable) {
+            if (p > current_) {
+                next = p;
+                break;
+            }
+        }
+    }
+    current_ = next;
+    active_ = true;
+    used_ = 1;
+    return current_;
+}
+
+ScriptedScheduler::ScriptedScheduler(std::vector<ProcId> script)
+    : script_(std::move(script))
+{
+}
+
+ProcId
+ScriptedScheduler::pick(const std::vector<ProcId> &runnable, Rng &rng)
+{
+    wmr_assert(!runnable.empty());
+    while (pos_ < script_.size()) {
+        const ProcId want = script_[pos_];
+        if (std::find(runnable.begin(), runnable.end(), want) !=
+            runnable.end()) {
+            ++pos_;
+            return want;
+        }
+        // The scripted processor already halted or is blocked; skip
+        // the entry rather than deadlocking the run.
+        ++pos_;
+    }
+    return fallback_.pick(runnable, rng);
+}
+
+} // namespace wmr

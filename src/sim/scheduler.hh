@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Schedulers deciding which processor steps next.
+ *
+ * Data-race outcomes depend on the interleaving, so the executor
+ * delegates the choice to a pluggable, seeded scheduler.  Three
+ * strategies cover the needs of tests and benches:
+ *
+ *  - Random:      uniformly random among runnable processors; fair in
+ *                 expectation, the default for property sweeps.
+ *  - RoundRobin:  fixed quantum per processor; deterministic baseline.
+ *  - Scripted:    replays an explicit processor sequence, falling back
+ *                 to round-robin when the script runs out — used to
+ *                 reproduce the exact interleavings of the paper's
+ *                 figures.
+ */
+
+#ifndef WMR_SIM_SCHEDULER_HH
+#define WMR_SIM_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace wmr {
+
+/** Picks the next processor to execute one instruction. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose one of @p runnable (non-empty, ascending proc ids).
+     * @param rng the executor's RNG, shared for reproducibility.
+     */
+    virtual ProcId pick(const std::vector<ProcId> &runnable,
+                        Rng &rng) = 0;
+};
+
+/** Uniformly random fair scheduler. */
+class RandomScheduler : public Scheduler
+{
+  public:
+    ProcId pick(const std::vector<ProcId> &runnable, Rng &rng) override;
+};
+
+/** Round-robin with a fixed instruction quantum. */
+class RoundRobinScheduler : public Scheduler
+{
+  public:
+    explicit RoundRobinScheduler(std::uint32_t quantum = 1);
+    ProcId pick(const std::vector<ProcId> &runnable, Rng &rng) override;
+
+  private:
+    std::uint32_t quantum_;
+    std::uint32_t used_ = 0;
+    ProcId current_ = 0;
+    bool active_ = false;
+};
+
+/** Replays an explicit processor id sequence. */
+class ScriptedScheduler : public Scheduler
+{
+  public:
+    explicit ScriptedScheduler(std::vector<ProcId> script);
+    ProcId pick(const std::vector<ProcId> &runnable, Rng &rng) override;
+
+    /** @return how many script entries have been consumed. */
+    std::size_t consumed() const { return pos_; }
+
+  private:
+    std::vector<ProcId> script_;
+    std::size_t pos_ = 0;
+    RoundRobinScheduler fallback_;
+};
+
+} // namespace wmr
+
+#endif // WMR_SIM_SCHEDULER_HH

@@ -1,0 +1,275 @@
+#include "sim/store_buffer_model.hh"
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+std::string_view
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::SC: return "SC";
+      case ModelKind::WO: return "WO";
+      case ModelKind::RCsc: return "RCsc";
+      case ModelKind::DRF0: return "DRF0";
+      case ModelKind::DRF1: return "DRF1";
+    }
+    panic("modelName: bad kind %d", static_cast<int>(kind));
+}
+
+ModelPolicy
+policyFor(ModelKind kind)
+{
+    ModelPolicy p;
+    p.kind = kind;
+    switch (kind) {
+      case ModelKind::SC:
+        p.noBuffer = true;
+        break;
+      case ModelKind::WO:
+        p.drainOnAllSync = true;
+        p.pipelinedDrain = false;
+        break;
+      case ModelKind::RCsc:
+        p.drainOnAllSync = false;
+        p.drainOnRelease = true;
+        p.pipelinedDrain = false;
+        break;
+      case ModelKind::DRF0:
+        p.drainOnAllSync = true;
+        p.pipelinedDrain = true;
+        break;
+      case ModelKind::DRF1:
+        p.drainOnAllSync = false;
+        p.drainOnRelease = true;
+        p.pipelinedDrain = true;
+        break;
+    }
+    return p;
+}
+
+std::unique_ptr<MemoryModel>
+makeModel(ModelKind kind, ProcId procs, Addr words, const CostParams &cost,
+          double drainLaziness)
+{
+    return std::make_unique<StoreBufferModel>(policyFor(kind), procs,
+                                              words, cost, drainLaziness);
+}
+
+StoreBufferModel::StoreBufferModel(ModelPolicy policy, ProcId procs,
+                                   Addr words, const CostParams &cost,
+                                   double drainLaziness)
+    : policy_(policy), cost_(cost), drainLaziness_(drainLaziness),
+      memory_(words, 0), lastWriter_(words, kNoOp),
+      shadowMemory_(words, 0), shadowWriter_(words, kNoOp),
+      buffers_(procs)
+{
+}
+
+void
+StoreBufferModel::ensureAddr(Addr addr)
+{
+    if (addr >= memory_.size()) {
+        memory_.resize(addr + 1, 0);
+        lastWriter_.resize(addr + 1, kNoOp);
+        shadowMemory_.resize(addr + 1, 0);
+        shadowWriter_.resize(addr + 1, kNoOp);
+    }
+}
+
+void
+StoreBufferModel::shadowWrite(Addr addr, OpId id, Value value)
+{
+    shadowMemory_[addr] = value;
+    shadowWriter_[addr] = id;
+}
+
+ReadResult
+StoreBufferModel::globalRead(ProcId proc, Addr addr, Tick cost)
+{
+    (void)proc;
+    ReadResult r;
+    r.value = memory_[addr];
+    r.observedWrite = lastWriter_[addr];
+    r.stale = (r.observedWrite != shadowWriter_[addr]);
+    r.cost = cost;
+    return r;
+}
+
+ReadResult
+StoreBufferModel::readData(ProcId proc, Addr addr)
+{
+    ensureAddr(addr);
+    if (!policy_.noBuffer) {
+        // Forward from the newest pending store to this address.
+        const auto &buf = buffers_[proc];
+        for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+            if (it->addr == addr) {
+                ReadResult r;
+                r.value = it->value;
+                r.observedWrite = it->id;
+                r.stale = (r.observedWrite != shadowWriter_[addr]);
+                r.cost = cost_.readLatency;
+                return r;
+            }
+        }
+    }
+    return globalRead(proc, addr, cost_.readLatency);
+}
+
+WriteResult
+StoreBufferModel::writeData(ProcId proc, Addr addr, Value value, OpId id)
+{
+    ensureAddr(addr);
+    shadowWrite(addr, id, value);
+    WriteResult w;
+    if (policy_.noBuffer) {
+        memory_[addr] = value;
+        lastWriter_[addr] = id;
+        w.cost = cost_.writeLatency;
+    } else {
+        buffers_[proc].push_back({addr, value, id});
+        w.cost = cost_.bufferInsert;
+    }
+    return w;
+}
+
+ReadResult
+StoreBufferModel::readSync(ProcId proc, Addr addr, bool acquire)
+{
+    ensureAddr(addr);
+    Tick extra = 0;
+    if (!policy_.noBuffer && policy_.drainOnAllSync) {
+        // WO/DRF0: every sync operation waits for all previous
+        // operations of its processor to complete.
+        extra = drainCost(drainProc(proc));
+    }
+    (void)acquire; // acquire semantics affect pairing, not draining
+    return globalRead(proc, addr, cost_.syncAccess + extra);
+}
+
+WriteResult
+StoreBufferModel::writeSync(ProcId proc, Addr addr, Value value, OpId id,
+                            bool release)
+{
+    ensureAddr(addr);
+    Tick extra = 0;
+    if (!policy_.noBuffer &&
+        (policy_.drainOnAllSync || (policy_.drainOnRelease && release))) {
+        extra = drainCost(drainProc(proc));
+    }
+    shadowWrite(addr, id, value);
+    // Sync writes access the coherent memory directly; they are never
+    // buffered (they are the mechanism other processors synchronize
+    // through, so delaying them would only delay the pairing).
+    memory_[addr] = value;
+    lastWriter_[addr] = id;
+    WriteResult w;
+    w.cost = (policy_.noBuffer ? cost_.writeLatency : cost_.syncAccess) +
+             extra;
+    return w;
+}
+
+Tick
+StoreBufferModel::fence(ProcId proc)
+{
+    if (policy_.noBuffer)
+        return 1;
+    return drainCost(drainProc(proc)) + 1;
+}
+
+void
+StoreBufferModel::tick(Rng &rng)
+{
+    if (policy_.noBuffer)
+        return;
+    for (ProcId p = 0; p < buffers_.size(); ++p) {
+        auto &buf = buffers_[p];
+        if (buf.empty())
+            continue;
+        if (rng.chance(drainLaziness_))
+            continue;
+        // Pick a random drainable entry: the OLDEST pending store to
+        // its address (per-location coherence), any address.
+        const std::size_t pick = rng.below(buf.size());
+        std::size_t idx = pick;
+        for (std::size_t i = 0; i < pick; ++i) {
+            if (buf[i].addr == buf[pick].addr) {
+                idx = i;
+                break;
+            }
+        }
+        drainEntry(p, idx);
+    }
+}
+
+void
+StoreBufferModel::drainEntry(ProcId proc, std::size_t idx)
+{
+    auto &buf = buffers_[proc];
+    wmr_assert(idx < buf.size());
+    const PendingStore st = buf[idx];
+    memory_[st.addr] = st.value;
+    lastWriter_[st.addr] = st.id;
+    buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+std::size_t
+StoreBufferModel::drainProc(ProcId proc)
+{
+    auto &buf = buffers_[proc];
+    const std::size_t n = buf.size();
+    // Draining everything makes relative order among the drained
+    // stores unobservable; apply them in buffer (program) order.
+    for (const auto &st : buf) {
+        memory_[st.addr] = st.value;
+        lastWriter_[st.addr] = st.id;
+    }
+    buf.clear();
+    return n;
+}
+
+Tick
+StoreBufferModel::drainCost(std::size_t n) const
+{
+    if (n == 0)
+        return 0;
+    if (policy_.pipelinedDrain) {
+        return cost_.writeLatency +
+               (n - 1) * cost_.drainPipelined;
+    }
+    return n * cost_.writeLatency;
+}
+
+void
+StoreBufferModel::drainAddr(ProcId proc, Addr addr)
+{
+    auto &buf = buffers_.at(proc);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+        if (buf[i].addr == addr) {
+            drainEntry(proc, i); // oldest entry first: coherence
+            return;
+        }
+    }
+}
+
+void
+StoreBufferModel::drainAll()
+{
+    for (ProcId p = 0; p < buffers_.size(); ++p)
+        drainProc(p);
+}
+
+std::size_t
+StoreBufferModel::pendingStores(ProcId proc) const
+{
+    return buffers_.at(proc).size();
+}
+
+Value
+StoreBufferModel::globalValue(Addr addr) const
+{
+    return addr < memory_.size() ? memory_[addr] : 0;
+}
+
+} // namespace wmr

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Store-buffer realization of the SC and weak memory models.
+ *
+ * Global state is a flat word array plus, per word, the id of the
+ * last write made globally visible ("the coherence point").  Each
+ * processor owns an *unordered* buffer of pending stores: a store
+ * retires into the buffer immediately and becomes globally visible
+ * when drained.  Drain order is random except that two pending stores
+ * to the SAME word by the same processor drain in program order
+ * (per-location coherence).  Unordered drain is what lets another
+ * processor observe "write(y) before write(x)" — the Figure 1a / 2b
+ * violation shape.
+ *
+ * A processor's own reads forward from its newest pending store to
+ * the address; remote reads see only the global array.  Sync
+ * operations always access the global array atomically, after the
+ * drains the model's policy mandates.
+ *
+ * Staleness (end of the guaranteed SCP): alongside the real state we
+ * keep a *shadow* memory updated at ISSUE time by every write.  The
+ * issue order is a legal SC interleaving of the program, so as long
+ * as every read returns the shadow writer's value, the execution IS
+ * sequentially consistent (witnessed by issue order).  A read whose
+ * observed writer differs from the shadow writer is flagged stale;
+ * such a read can only happen when an unsynchronized conflicting
+ * access is in flight — a data race — which is how Condition 3.4
+ * emerges from the implementation rather than being bolted on.
+ */
+
+#ifndef WMR_SIM_STORE_BUFFER_MODEL_HH
+#define WMR_SIM_STORE_BUFFER_MODEL_HH
+
+#include <vector>
+
+#include "sim/model.hh"
+
+namespace wmr {
+
+/** Policy knobs distinguishing the five models. */
+struct ModelPolicy
+{
+    ModelKind kind = ModelKind::WO;
+
+    /** No buffering at all: SC. */
+    bool noBuffer = false;
+
+    /** Drain before EVERY sync operation (WO, DRF0). */
+    bool drainOnAllSync = true;
+
+    /** Drain before release writes (all weak models). */
+    bool drainOnRelease = true;
+
+    /** Pipelined drain cost accounting (DRF0, DRF1). */
+    bool pipelinedDrain = false;
+};
+
+/** @return the policy implementing @p kind. */
+ModelPolicy policyFor(ModelKind kind);
+
+/** Store-buffer based memory model (all five kinds). */
+class StoreBufferModel : public MemoryModel
+{
+  public:
+    StoreBufferModel(ModelPolicy policy, ProcId procs, Addr words,
+                     const CostParams &cost, double drainLaziness);
+
+    ModelKind kind() const override { return policy_.kind; }
+
+    ReadResult readData(ProcId proc, Addr addr) override;
+    WriteResult writeData(ProcId proc, Addr addr, Value value,
+                          OpId id) override;
+    ReadResult readSync(ProcId proc, Addr addr, bool acquire) override;
+    WriteResult writeSync(ProcId proc, Addr addr, Value value, OpId id,
+                          bool release) override;
+    Tick fence(ProcId proc) override;
+    void tick(Rng &rng) override;
+    void drainAll() override;
+    void drainAddr(ProcId proc, Addr addr) override;
+    std::size_t pendingStores(ProcId proc) const override;
+    Value globalValue(Addr addr) const override;
+
+  private:
+    /** One store waiting in a processor's buffer. */
+    struct PendingStore
+    {
+        Addr addr;
+        Value value;
+        OpId id;
+    };
+
+    void ensureAddr(Addr addr);
+
+    /** Make buffer entry @p idx of @p proc globally visible. */
+    void drainEntry(ProcId proc, std::size_t idx);
+
+    /** Drain everything @p proc has buffered; @return entries drained. */
+    std::size_t drainProc(ProcId proc);
+
+    /** @return stall cycles for draining @p n entries. */
+    Tick drainCost(std::size_t n) const;
+
+    /** Record a write in the issue-order shadow memory. */
+    void shadowWrite(Addr addr, OpId id, Value value);
+
+    /** Build a ReadResult for @p proc reading @p addr globally. */
+    ReadResult globalRead(ProcId proc, Addr addr, Tick cost);
+
+    ModelPolicy policy_;
+    CostParams cost_;
+    double drainLaziness_;
+
+    std::vector<Value> memory_;
+    std::vector<OpId> lastWriter_;
+
+    // Issue-order SC witness (what a sequentially consistent memory
+    // would currently hold).
+    std::vector<Value> shadowMemory_;
+    std::vector<OpId> shadowWriter_;
+
+    std::vector<std::vector<PendingStore>> buffers_;
+};
+
+} // namespace wmr
+
+#endif // WMR_SIM_STORE_BUFFER_MODEL_HH

@@ -1,0 +1,59 @@
+#include "staticdet/cfg.hh"
+
+#include <queue>
+
+namespace wmr {
+
+Cfg::Cfg(const Thread &thread)
+{
+    const auto n = static_cast<std::uint32_t>(thread.code.size());
+    succ_.assign(n, {});
+    pred_.assign(n, {});
+    reachable_.assign(n, false);
+
+    const auto addEdge = [&](std::uint32_t from, std::uint32_t to) {
+        if (to >= n)
+            return; // running off the end == halt
+        succ_[from].push_back(to);
+        pred_[to].push_back(from);
+    };
+
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+        const Instr &i = thread.code[pc];
+        switch (i.op) {
+          case Opcode::Halt:
+            break;
+          case Opcode::Jump:
+            addEdge(pc, i.target);
+            break;
+          case Opcode::Branch:
+          case Opcode::BranchZ:
+            addEdge(pc, i.target);
+            if (i.target != pc + 1)
+                addEdge(pc, pc + 1);
+            break;
+          default:
+            addEdge(pc, pc + 1);
+            break;
+        }
+    }
+
+    // Reachability from the entry.
+    if (n == 0)
+        return;
+    std::queue<std::uint32_t> work;
+    work.push(0);
+    reachable_[0] = true;
+    while (!work.empty()) {
+        const std::uint32_t pc = work.front();
+        work.pop();
+        for (const auto s : succ_[pc]) {
+            if (!reachable_[s]) {
+                reachable_[s] = true;
+                work.push(s);
+            }
+        }
+    }
+}
+
+} // namespace wmr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-thread control-flow graphs over the IR.
+ *
+ * Section 1 of the paper: "Static techniques perform a compile-time
+ * analysis of the program text to detect a superset of all possible
+ * data races ... static analysis must be conservative".  The static
+ * analyzer (static_analyzer.hh) needs a CFG per thread to run its
+ * lockset dataflow; this module builds it.
+ *
+ * Nodes are instructions (one per pc); edges follow fall-through,
+ * branch targets and jumps.  Halt (and running off the end) has no
+ * successors.
+ */
+
+#ifndef WMR_STATICDET_CFG_HH
+#define WMR_STATICDET_CFG_HH
+
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace wmr {
+
+/** Control-flow graph of one thread. */
+class Cfg
+{
+  public:
+    /** Build the CFG of @p thread. */
+    explicit Cfg(const Thread &thread);
+
+    /** @return number of nodes (== instructions). */
+    std::size_t size() const { return succ_.size(); }
+
+    /** @return successor pcs of instruction @p pc. */
+    const std::vector<std::uint32_t> &
+    successors(std::uint32_t pc) const
+    {
+        return succ_.at(pc);
+    }
+
+    /** @return predecessor pcs of instruction @p pc. */
+    const std::vector<std::uint32_t> &
+    predecessors(std::uint32_t pc) const
+    {
+        return pred_.at(pc);
+    }
+
+    /** @return pcs reachable from the entry (pc 0). */
+    const std::vector<bool> &reachable() const { return reachable_; }
+
+  private:
+    std::vector<std::vector<std::uint32_t>> succ_;
+    std::vector<std::vector<std::uint32_t>> pred_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace wmr
+
+#endif // WMR_STATICDET_CFG_HH

@@ -1,0 +1,69 @@
+#include "staticdet/lockset_dataflow.hh"
+
+#include <algorithm>
+
+namespace wmr {
+
+namespace {
+
+/** Set intersection. */
+LockSet
+intersect(const LockSet &a, const LockSet &b)
+{
+    LockSet out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::inserter(out, out.begin()));
+    return out;
+}
+
+/** Apply the transfer function of @p i to @p in. */
+LockSet
+transfer(const Instr &i, LockSet in)
+{
+    if (i.op == Opcode::TestAndSet)
+        in.insert(i.addr);
+    else if (i.op == Opcode::Unset)
+        in.erase(i.addr);
+    return in;
+}
+
+} // namespace
+
+LocksetResult
+computeLocksets(const Thread &thread, const Cfg &cfg)
+{
+    const std::size_t n = thread.code.size();
+    LocksetResult res;
+    res.before.assign(n, {});
+    res.after.assign(n, {});
+
+    // Unvisited nodes act as TOP: the first incoming value is taken
+    // as-is, later ones are intersected (must-analysis).
+    std::vector<bool> visited(n, false);
+    if (n == 0)
+        return res;
+
+    // Worklist iteration to a fixpoint.
+    std::vector<std::uint32_t> work{0};
+    res.before[0] = {};
+    visited[0] = true;
+    while (!work.empty()) {
+        const std::uint32_t pc = work.back();
+        work.pop_back();
+        const LockSet out = transfer(thread.code[pc],
+                                     res.before[pc]);
+        res.after[pc] = out;
+        for (const auto s : cfg.successors(pc)) {
+            LockSet next =
+                visited[s] ? intersect(res.before[s], out) : out;
+            if (!visited[s] || next != res.before[s]) {
+                res.before[s] = std::move(next);
+                visited[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace wmr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Must-hold lockset dataflow over a thread CFG.
+ *
+ * Forward dataflow computing, for every program point, the set of
+ * lock words the thread MUST hold there:
+ *
+ *   transfer:  TestAndSet [L]  adds L  (after the instruction)
+ *              Unset [L]       removes L
+ *   meet:      set intersection over predecessors (must-analysis)
+ *   entry:     empty set
+ *
+ * The usual spin idiom `spin: tas r,[L]; bnz r, spin` converges
+ * correctly: the fall-through edge of the bnz carries {L}, the back
+ * edge re-enters the tas, and intersection at the tas keeps the
+ * entry value.  The analysis is conservative in the right direction
+ * for race detection — when it cannot prove a common lock is held,
+ * the pair is reported.
+ */
+
+#ifndef WMR_STATICDET_LOCKSET_DATAFLOW_HH
+#define WMR_STATICDET_LOCKSET_DATAFLOW_HH
+
+#include <set>
+#include <vector>
+
+#include "staticdet/cfg.hh"
+
+namespace wmr {
+
+/** A set of lock addresses. */
+using LockSet = std::set<Addr>;
+
+/** Result of the dataflow: locksets before and after each pc. */
+struct LocksetResult
+{
+    /** Must-held locks immediately BEFORE each instruction. */
+    std::vector<LockSet> before;
+
+    /** Must-held locks immediately AFTER each instruction. */
+    std::vector<LockSet> after;
+};
+
+/** Run the must-hold lockset dataflow on @p thread. */
+LocksetResult computeLocksets(const Thread &thread, const Cfg &cfg);
+
+} // namespace wmr
+
+#endif // WMR_STATICDET_LOCKSET_DATAFLOW_HH

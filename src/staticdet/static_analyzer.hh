@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Static (compile-time) data-race analysis — the complementary half
+ * of the paper's tooling story.
+ *
+ * Section 1: "Static techniques perform a compile-time analysis of
+ * the program text to detect a superset of all possible data races
+ * that could potentially occur in all possible sequentially
+ * consistent executions ... static analysis must be conservative and
+ * slow ... the general consensus ... is that tools should support
+ * both static and dynamic techniques in a complementary fashion
+ * [EmP88].  Static techniques can be applied to programs for weak
+ * systems unchanged, because they do not rely on executing the
+ * program."
+ *
+ * This analyzer implements the classic lockset discipline statically:
+ * two static accesses from different threads POTENTIALLY race when
+ * they may touch a common data word, at least one writes, and the
+ * must-hold locksets at the two program points share no lock.  It is
+ * deliberately conservative:
+ *
+ *  - indexed addressing is treated as "may touch any data word";
+ *  - release/acquire FLAG synchronization (SyncStore/SyncLoad
+ *    ordering) is not modeled, so flag-synchronized programs are
+ *    over-reported — exactly the imprecision that motivates pairing
+ *    static analysis with the dynamic detector.
+ *
+ * Soundness direction (checked by property tests): every dynamic
+ * data race's static pair appears in the static report.
+ */
+
+#ifndef WMR_STATICDET_STATIC_ANALYZER_HH
+#define WMR_STATICDET_STATIC_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "staticdet/lockset_dataflow.hh"
+
+namespace wmr {
+
+/** One static shared-memory access site. */
+struct StaticAccess
+{
+    ProcId proc = 0;
+    std::uint32_t pc = 0;
+    bool isWrite = false;
+    bool isSync = false;
+
+    /** Statically known address (valid when !anyAddr). */
+    Addr addr = 0;
+
+    /** Indexed access: may touch any data word. */
+    bool anyAddr = false;
+
+    /** Must-held locks at this point. */
+    LockSet held;
+};
+
+/** A potential race between two static access sites. */
+struct PotentialRace
+{
+    StaticAccess a;
+    StaticAccess b;
+
+    /** Both addresses statically known and equal (high confidence)
+     *  vs. overlap only via an indexed access (low confidence). */
+    bool exactAddress = false;
+};
+
+/** Result of the static analysis. */
+struct StaticAnalysis
+{
+    /** All shared data access sites, per thread. */
+    std::vector<StaticAccess> accesses;
+
+    /** Potential data races (pairs of sites). */
+    std::vector<PotentialRace> races;
+
+    /** @return whether any potential race was found. */
+    bool clean() const { return races.empty(); }
+};
+
+/** Options of the static analysis. */
+struct StaticOptions
+{
+    /**
+     * Addresses below this bound are considered synchronization
+     * infrastructure and excluded from "may touch any data word"
+     * aliasing of indexed accesses (0 = no exclusion).  Typically
+     * the lock words occupy the low addresses.
+     */
+    Addr firstDataAddr = 0;
+};
+
+/** Analyze @p prog statically. */
+StaticAnalysis analyzeStatically(const Program &prog,
+                                 const StaticOptions &opts = {});
+
+/** Render the analysis as a human-readable report. */
+std::string formatStaticReport(const StaticAnalysis &analysis,
+                               const Program *prog = nullptr);
+
+} // namespace wmr
+
+#endif // WMR_STATICDET_STATIC_ANALYZER_HH

@@ -1,0 +1,63 @@
+#include "trace/event.hh"
+
+namespace wmr {
+
+bool
+eventsConflict(const Event &a, const Event &b)
+{
+    if (a.kind == EventKind::Sync && b.kind == EventKind::Sync) {
+        return conflict(a.syncOp, b.syncOp);
+    }
+    if (a.kind == EventKind::Sync)
+        return eventsConflict(b, a);
+
+    // a is a computation event.
+    if (b.kind == EventKind::Sync) {
+        const Addr addr = b.syncOp.addr;
+        if (b.syncOp.kind == OpKind::Write)
+            return a.readSet.test(addr) || a.writeSet.test(addr);
+        return a.writeSet.test(addr);
+    }
+
+    // Both computation: W-W, W-R or R-W overlap.
+    return a.writeSet.intersects(b.writeSet) ||
+           a.writeSet.intersects(b.readSet) ||
+           a.readSet.intersects(b.writeSet);
+}
+
+std::vector<Addr>
+conflictAddrs(const Event &a, const Event &b)
+{
+    std::vector<Addr> out;
+    if (a.kind == EventKind::Sync && b.kind == EventKind::Sync) {
+        if (conflict(a.syncOp, b.syncOp))
+            out.push_back(a.syncOp.addr);
+        return out;
+    }
+    if (a.kind == EventKind::Sync)
+        return conflictAddrs(b, a);
+
+    if (b.kind == EventKind::Sync) {
+        const Addr addr = b.syncOp.addr;
+        if (b.syncOp.kind == OpKind::Write
+                ? (a.readSet.test(addr) || a.writeSet.test(addr))
+                : a.writeSet.test(addr)) {
+            out.push_back(addr);
+        }
+        return out;
+    }
+
+    DenseBitset ww = a.writeSet;
+    ww &= b.writeSet;
+    DenseBitset wr = a.writeSet;
+    wr &= b.readSet;
+    DenseBitset rw = a.readSet;
+    rw &= b.writeSet;
+    ww |= wr;
+    ww |= rw;
+    for (const auto addr : ww.toVector())
+        out.push_back(addr);
+    return out;
+}
+
+} // namespace wmr

@@ -1,0 +1,139 @@
+#include "trace/timeline.hh"
+
+#include <algorithm>
+
+#include "common/string_util.hh"
+
+namespace wmr {
+
+namespace {
+
+std::string
+addrText(Addr a, const Program *prog)
+{
+    return prog ? prog->addrName(a) : strformat("[%u]", a);
+}
+
+/** One rendered line belonging to one processor column. */
+struct Row
+{
+    OpId order;     ///< global position (op id)
+    ProcId proc;
+    std::string text;
+};
+
+std::string
+opText(const MemOp &op, const Program *prog)
+{
+    const std::string loc = addrText(op.addr, prog);
+    if (op.sync) {
+        if (op.kind == OpKind::Read) {
+            return strformat("%s(%s,%lld)",
+                             op.acquire ? "Acq" : "SyncR",
+                             loc.c_str(),
+                             static_cast<long long>(op.value));
+        }
+        return strformat("%s(%s,%lld)",
+                         op.release ? "Rel" : "SyncW", loc.c_str(),
+                         static_cast<long long>(op.value));
+    }
+    return strformat("%s(%s,%lld)%s",
+                     op.kind == OpKind::Read ? "read" : "write",
+                     loc.c_str(), static_cast<long long>(op.value),
+                     op.stale ? "*" : "");
+}
+
+} // namespace
+
+std::string
+renderTimeline(const ExecutionTrace &trace, const Program *prog,
+               const ExecutionResult *res,
+               const TimelineOptions &opts)
+{
+    const ProcId procs = trace.numProcs();
+    std::vector<Row> rows;
+
+    if (res != nullptr) {
+        // Operation-level rendering with values, capped per event.
+        for (const auto &ev : trace.events()) {
+            std::size_t shown = 0;
+            if (ev.kind == EventKind::Sync) {
+                rows.push_back({ev.syncOp.id, ev.proc,
+                                opText(res->ops[ev.syncOp.id],
+                                       prog)});
+                continue;
+            }
+            for (const OpId o : ev.memberOps) {
+                if (opts.opsPerEvent && shown >= opts.opsPerEvent) {
+                    rows.push_back(
+                        {o, ev.proc,
+                         strformat("... %u more ops",
+                                   ev.opCount -
+                                       static_cast<std::uint32_t>(
+                                           shown))});
+                    break;
+                }
+                rows.push_back({o, ev.proc,
+                                opText(res->ops[o], prog)});
+                ++shown;
+            }
+        }
+    } else {
+        for (const auto &ev : trace.events()) {
+            std::string text;
+            if (ev.kind == EventKind::Sync) {
+                text = opText(ev.syncOp, prog);
+            } else {
+                text = strformat("comp(%u ops)", ev.opCount);
+            }
+            rows.push_back({ev.firstOp, ev.proc, std::move(text)});
+        }
+    }
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.order < b.order;
+              });
+
+    const std::size_t w = opts.columnWidth;
+    std::string out;
+    // Header.
+    for (ProcId p = 0; p < procs; ++p) {
+        const std::string head = strformat("P%u", p + 1);
+        out += head;
+        out += std::string(w - std::min(w - 1, head.size()), ' ');
+    }
+    out += "\n";
+    for (ProcId p = 0; p < procs; ++p)
+        out += std::string(w - 1, '-') + " ";
+
+    out += "\n";
+
+    const OpId scpEnd = trace.firstStaleRead();
+    bool boundaryDrawn = false;
+    for (const auto &row : rows) {
+        if (opts.markScpBoundary && !boundaryDrawn &&
+            scpEnd != kNoOp && row.order >= scpEnd) {
+            const std::string mark = " end of value-exact prefix ";
+            std::string line(w * procs, '=');
+            line.replace(2, mark.size(), mark);
+            out += line + "\n";
+            boundaryDrawn = true;
+        }
+        for (ProcId p = 0; p < procs; ++p) {
+            if (p == row.proc) {
+                std::string cell = row.text;
+                if (cell.size() > w - 1)
+                    cell.resize(w - 1);
+                out += cell;
+                out += std::string(w - cell.size(), ' ');
+            } else {
+                out += std::string(w, ' ');
+            }
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace wmr

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII timeline rendering of an execution — the per-processor
+ * column layout the paper's figures use (operations flowing down,
+ * one column per processor, so1 pairings annotated).
+ */
+
+#ifndef WMR_TRACE_TIMELINE_HH
+#define WMR_TRACE_TIMELINE_HH
+
+#include <string>
+
+#include "prog/program.hh"
+#include "trace/execution_trace.hh"
+
+namespace wmr {
+
+/** Rendering options. */
+struct TimelineOptions
+{
+    /** Column width per processor. */
+    std::size_t columnWidth = 24;
+
+    /** Render individual operations of computation events (up to
+     *  this many per event; 0 = one summary line per event). */
+    std::size_t opsPerEvent = 3;
+
+    /** Mark the end of the base SC prefix. */
+    bool markScpBoundary = true;
+};
+
+/**
+ * Render @p trace as per-processor columns in event (issue) order.
+ * When @p res is supplied, individual operations with values are
+ * shown (Figure 2(b)'s "op(x,a)" notation); otherwise event
+ * summaries.
+ */
+std::string renderTimeline(const ExecutionTrace &trace,
+                           const Program *prog = nullptr,
+                           const ExecutionResult *res = nullptr,
+                           const TimelineOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_TRACE_TIMELINE_HH

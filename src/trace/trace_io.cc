@@ -1,0 +1,339 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace wmr {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'M', 'R', 'T', 'R', 'C', '0', '1'};
+
+/** Growable varint encoder. */
+class Encoder
+{
+  public:
+    void
+    u64(std::uint64_t v)
+    {
+        while (v >= 0x80) {
+            bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+            v >>= 7;
+        }
+        bytes_.push_back(static_cast<std::uint8_t>(v));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        // zigzag
+        u64((static_cast<std::uint64_t>(v) << 1) ^
+            static_cast<std::uint64_t>(v >> 63));
+    }
+
+    void
+    raw(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        bytes_.insert(bytes_.end(), p, p + n);
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked varint decoder. */
+class Decoder
+{
+  public:
+    explicit Decoder(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        int shift = 0;
+        while (true) {
+            if (pos_ >= bytes_.size())
+                fatal("trace file truncated at byte %zu", pos_);
+            const std::uint8_t b = bytes_[pos_++];
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+            if (shift > 63)
+                fatal("trace file: varint overflow at byte %zu", pos_);
+        }
+    }
+
+    std::int64_t
+    i64()
+    {
+        const std::uint64_t z = u64();
+        return static_cast<std::int64_t>(z >> 1) ^
+               -static_cast<std::int64_t>(z & 1);
+    }
+
+    void
+    raw(void *out, std::size_t n)
+    {
+        if (pos_ + n > bytes_.size())
+            fatal("trace file truncated at byte %zu", pos_);
+        std::memcpy(out, bytes_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    bool done() const { return pos_ == bytes_.size(); }
+
+    /** Bytes left — used to sanity-check element counts. */
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
+    /** fatal() unless @p count elements can possibly fit. */
+    void
+    checkCount(std::uint64_t count, const char *what) const
+    {
+        if (count > remaining())
+            fatal("trace file: %s count %llu exceeds remaining %zu "
+                  "bytes",
+                  what, static_cast<unsigned long long>(count),
+                  remaining());
+    }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+void
+encodeBitset(Encoder &enc, const DenseBitset &bs)
+{
+    // Two encodings: SPARSE (delta-coded set-bit indices; the common
+    // case — computation events touch a handful of the shared words)
+    // and DENSE (raw words) for heavily populated sets.
+    const std::size_t count = bs.count();
+    const bool sparse = count * 2 < bs.words().size() * 8;
+    enc.u64(bs.size());
+    enc.u64(sparse ? 1 : 0);
+    if (sparse) {
+        enc.u64(count);
+        std::uint64_t prev = 0;
+        bs.forEach([&](std::size_t i) {
+            enc.u64(i - prev);
+            prev = i;
+        });
+    } else {
+        enc.u64(bs.words().size());
+        for (const auto w : bs.words())
+            enc.u64(w);
+    }
+}
+
+DenseBitset
+decodeBitset(Decoder &dec)
+{
+    constexpr std::uint64_t kMaxBits = 1ull << 28; // 32 MiB of bits
+    const std::uint64_t nbits = dec.u64();
+    if (nbits > kMaxBits)
+        fatal("trace file: bitset universe %llu too large",
+              static_cast<unsigned long long>(nbits));
+    const bool sparse = dec.u64() != 0;
+    if (sparse) {
+        DenseBitset bs(nbits);
+        const std::uint64_t count = dec.u64();
+        dec.checkCount(count, "sparse bitset");
+        std::uint64_t idx = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            idx += dec.u64();
+            if (idx >= nbits)
+                fatal("trace file: bitset index %llu out of range",
+                      static_cast<unsigned long long>(idx));
+            bs.set(idx);
+        }
+        return bs;
+    }
+    const std::uint64_t nwords = dec.u64();
+    dec.checkCount(nwords, "bitset words");
+    if (nwords * 64 < nbits)
+        fatal("trace file: bitset words underflow universe");
+    std::vector<std::uint64_t> words(nwords);
+    for (auto &w : words)
+        w = dec.u64();
+    return DenseBitset::fromWords(std::move(words), nbits);
+}
+
+void
+encodeMemOp(Encoder &enc, const MemOp &op)
+{
+    enc.u64(op.id);
+    enc.u64(op.proc);
+    enc.u64(op.poIndex);
+    enc.u64(op.pc);
+    enc.u64(op.kind == OpKind::Write ? 1 : 0);
+    enc.u64((op.sync ? 1u : 0u) | (op.acquire ? 2u : 0u) |
+            (op.release ? 4u : 0u) | (op.stale ? 8u : 0u) |
+            (op.divergent ? 16u : 0u) | (op.taintedValue ? 32u : 0u));
+    enc.u64(op.addr);
+    enc.i64(op.value);
+    enc.u64(op.observedWrite);
+    enc.u64(op.tick);
+}
+
+MemOp
+decodeMemOp(Decoder &dec)
+{
+    MemOp op;
+    op.id = dec.u64();
+    op.proc = static_cast<ProcId>(dec.u64());
+    op.poIndex = static_cast<std::uint32_t>(dec.u64());
+    op.pc = static_cast<std::uint32_t>(dec.u64());
+    op.kind = dec.u64() ? OpKind::Write : OpKind::Read;
+    const std::uint64_t flags = dec.u64();
+    op.sync = flags & 1;
+    op.acquire = flags & 2;
+    op.release = flags & 4;
+    op.stale = flags & 8;
+    op.divergent = flags & 16;
+    op.taintedValue = flags & 32;
+    op.addr = static_cast<Addr>(dec.u64());
+    op.value = dec.i64();
+    op.observedWrite = dec.u64();
+    op.tick = dec.u64();
+    return op;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeTrace(const ExecutionTrace &trace)
+{
+    Encoder enc;
+    enc.raw(kMagic, sizeof(kMagic));
+    enc.u64(trace.numProcs());
+    enc.u64(trace.memWords());
+    enc.u64(trace.firstStaleRead());
+    enc.u64(trace.totalOps());
+    enc.u64(trace.events().size());
+    for (const auto &ev : trace.events()) {
+        enc.u64(ev.kind == EventKind::Sync ? 1 : 0);
+        enc.u64(ev.proc);
+        enc.u64(ev.firstOp);
+        enc.u64(ev.lastOp);
+        enc.u64(ev.opCount);
+        if (ev.kind == EventKind::Sync) {
+            encodeMemOp(enc, ev.syncOp);
+            enc.u64(ev.pairedRelease);
+        } else {
+            encodeBitset(enc, ev.readSet);
+            encodeBitset(enc, ev.writeSet);
+            enc.u64(ev.memberOps.size());
+            for (const auto oid : ev.memberOps)
+                enc.u64(oid);
+        }
+    }
+    return enc.take();
+}
+
+ExecutionTrace
+deserializeTrace(const std::vector<std::uint8_t> &bytes)
+{
+    Decoder dec(bytes);
+    char magic[sizeof(kMagic)];
+    dec.raw(magic, sizeof(magic));
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("not a wmrace trace file (bad magic)");
+
+    ExecutionTrace trace;
+    const auto procs = static_cast<ProcId>(dec.u64());
+    const auto words = static_cast<Addr>(dec.u64());
+    trace.setShape(procs, words);
+    trace.setFirstStaleRead(dec.u64());
+    trace.setTotalOps(dec.u64());
+
+    const std::uint64_t nevents = dec.u64();
+    dec.checkCount(nevents, "event");
+    // Events were serialized in id order and pairing references are
+    // ids, so a single pass with post-hoc pairing patch suffices.
+    std::vector<EventId> pairing(nevents, kNoEvent);
+    for (std::uint64_t i = 0; i < nevents; ++i) {
+        Event ev;
+        ev.kind = dec.u64() ? EventKind::Sync : EventKind::Computation;
+        const std::uint64_t proc = dec.u64();
+        if (proc >= procs)
+            fatal("trace file: event processor %llu out of range",
+                  static_cast<unsigned long long>(proc));
+        ev.proc = static_cast<ProcId>(proc);
+        ev.firstOp = dec.u64();
+        ev.lastOp = dec.u64();
+        ev.opCount = static_cast<std::uint32_t>(dec.u64());
+        if (ev.kind == EventKind::Sync) {
+            ev.syncOp = decodeMemOp(dec);
+            pairing[i] = static_cast<EventId>(dec.u64());
+        } else {
+            ev.readSet = decodeBitset(dec);
+            ev.writeSet = decodeBitset(dec);
+            const std::uint64_t nmembers = dec.u64();
+            dec.checkCount(nmembers, "member op");
+            ev.memberOps.reserve(nmembers);
+            for (std::uint64_t m = 0; m < nmembers; ++m)
+                ev.memberOps.push_back(dec.u64());
+        }
+        const EventId id = trace.addEvent(std::move(ev));
+        if (id != static_cast<EventId>(i))
+            fatal("trace file: events out of id order");
+    }
+    for (std::uint64_t i = 0; i < nevents; ++i) {
+        if (pairing[i] != kNoEvent) {
+            trace.mutableEvent(static_cast<EventId>(i)).pairedRelease =
+                pairing[i];
+        }
+    }
+    if (!dec.done())
+        fatal("trace file: trailing bytes");
+    return trace;
+}
+
+std::size_t
+writeTraceFile(const ExecutionTrace &trace, const std::string &path)
+{
+    const auto bytes = serializeTrace(trace);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        fatal("short write to trace file '%s'", path.c_str());
+    return bytes.size();
+}
+
+ExecutionTrace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return deserializeTrace(bytes);
+}
+
+std::vector<std::uint8_t>
+serializeFullOps(const std::vector<MemOp> &ops)
+{
+    Encoder enc;
+    enc.raw(kMagic, sizeof(kMagic));
+    enc.u64(ops.size());
+    for (const auto &op : ops)
+        encodeMemOp(enc, op);
+    return enc.take();
+}
+
+} // namespace wmr

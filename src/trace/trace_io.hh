@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Binary trace-file serialization for the post-mortem workflow.
+ *
+ * The paper's method is post-mortem: the instrumented execution
+ * writes trace files, a later analysis phase reads them back and
+ * runs the detector.  Two formats are provided:
+ *
+ *  - the EVENT format (what Section 4.1 proposes): per-processor
+ *    event streams with bit-vector READ/WRITE sets and sync pairing;
+ *  - the FULL-OP format (the strawman Section 4.1 rejects): one
+ *    record per memory operation, used by bench_sec5_overhead to
+ *    measure how much the event abstraction saves.
+ *
+ * Encoding: little-endian, varint-compressed unsigned integers, with
+ * an 8-byte magic + version header.
+ */
+
+#ifndef WMR_TRACE_TRACE_IO_HH
+#define WMR_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/execution_trace.hh"
+
+namespace wmr {
+
+/** Serialize @p trace into a byte buffer (event format). */
+std::vector<std::uint8_t> serializeTrace(const ExecutionTrace &trace);
+
+/** Parse an event-format buffer; fatal() on malformed input. */
+ExecutionTrace deserializeTrace(const std::vector<std::uint8_t> &bytes);
+
+/** Write @p trace to @p path (event format). @return bytes written. */
+std::size_t writeTraceFile(const ExecutionTrace &trace,
+                           const std::string &path);
+
+/** Read an event-format trace file; fatal() on I/O or parse error. */
+ExecutionTrace readTraceFile(const std::string &path);
+
+/**
+ * Serialize every memory operation of @p ops (full-op format).
+ * @return the encoded bytes; used for overhead comparison only.
+ */
+std::vector<std::uint8_t>
+serializeFullOps(const std::vector<MemOp> &ops);
+
+} // namespace wmr
+
+#endif // WMR_TRACE_TRACE_IO_HH

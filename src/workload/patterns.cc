@@ -1,0 +1,457 @@
+#include "workload/patterns.hh"
+
+#include "prog/builder.hh"
+
+namespace wmr {
+
+Program
+figure1a()
+{
+    ProgramBuilder pb;
+    pb.var("x", 0).var("y", 1);
+
+    ThreadBuilder p1;
+    p1.storei(0, 1).note("Write(x)")
+      .storei(1, 1).note("Write(y)")
+      .halt();
+
+    ThreadBuilder p2;
+    p2.load(0, 1).note("Read(y)")
+      .load(1, 0).note("Read(x)")
+      .halt();
+
+    pb.thread(p1).thread(p2);
+    return pb.build();
+}
+
+Program
+figure1b()
+{
+    ProgramBuilder pb;
+    pb.var("x", 0).var("y", 1).var("s", 2, /*initial=*/1);
+
+    ThreadBuilder p1;
+    p1.storei(0, 1).note("Write(x)")
+      .storei(1, 1).note("Write(y)")
+      .unset(2).note("Unset(s)")
+      .halt();
+
+    ThreadBuilder p2;
+    p2.acquireLock(2, 0)            // while (Test&Set(s)) ;
+      .load(1, 1).note("Read(y)")
+      .load(2, 0).note("Read(x)")
+      .halt();
+
+    pb.thread(p1).thread(p2);
+    return pb.build();
+}
+
+Program
+figure2Queue(const QueueParams &params)
+{
+    const Addr q = 0, qempty = 1, lock = 2, region = 3;
+    const auto n = static_cast<Value>(params.regionSize);
+
+    ProgramBuilder pb;
+    pb.var("Q", q, static_cast<Value>(params.staleOffset))
+      .var("QEmpty", qempty, 1)
+      .var("S", lock, 0);
+    // Name a few region words for readable reports.
+    pb.var("region0", region, 0);
+
+    // P1: compute addr of region on which P2 should work, enqueue it,
+    // clear QEmpty, release S.
+    ThreadBuilder p1;
+    p1.movi(1, n).note("compute addr of region");
+    if (params.withTestAndSet)
+        p1.acquireLock(lock, 0);
+    p1.store(q, 1).note("Enqueue(addr)")
+      .storei(qempty, 0).note("QEmpty := False")
+      .unset(lock).note("Unset(S)")
+      .halt();
+
+    // P2: poll QEmpty; when work is available dequeue an address and
+    // work on region [addr, addr+n).
+    ThreadBuilder p2;
+    if (params.withTestAndSet)
+        p2.acquireLock(lock, 0);
+    p2.load(1, qempty).note("if (QEmpty=False) then");
+    p2.bnz(1, "no_work");
+    p2.load(2, q).note("addr := Dequeue()");
+    p2.unset(lock).note("Unset(S)");
+    // for (i = addr; i < addr + n; ++i) region[i] += 1
+    p2.mov(3, 2)
+      .addi(4, 2, n)           // r4 = addr + n (loop bound)
+      .label("work2")
+      .loadIdx(5, region, 3)
+      .addi(5, 5, 1)
+      .storeIdx(region, 3, 5).note("work on region addr..addr+n")
+      .addi(3, 3, 1)
+      .cmplt(6, 3, 4)
+      .bnz(6, "work2")
+      .jmp("done2");
+    p2.label("no_work").nop().note("else ...");
+    if (params.withTestAndSet) {
+        // The corrected program still releases the lock on this path.
+        p2.unset(lock);
+    }
+    p2.label("done2").halt();
+
+    // P3: independently works region [0, n).
+    ThreadBuilder p3;
+    p3.movi(3, 0)
+      .movi(4, n)
+      .label("work3")
+      .storeIdx(region, 3, 3).note("work on region 0..n")
+      .addi(3, 3, 1)
+      .cmplt(6, 3, 4)
+      .bnz(6, "work3");
+    if (!params.withTestAndSet) {
+        // Part of the buggy fragment as depicted in Figure 2(b); the
+        // corrected program must not release a lock P3 never held.
+        p3.unset(lock).note("Unset(s)");
+    }
+    p3.halt();
+
+    pb.thread(p1).thread(p2).thread(p3);
+    return pb.build();
+}
+
+Program
+messagePassing(std::uint32_t slots, bool racy)
+{
+    const Addr flag = 0, data = 1;
+    ProgramBuilder pb;
+    pb.var("flag", flag, 0);
+    pb.var("data0", data, 0);
+
+    ThreadBuilder p0;
+    for (std::uint32_t i = 0; i < slots; ++i)
+        p0.storei(data + i, static_cast<Value>(100 + i));
+    if (racy)
+        p0.storei(flag, 1).note("racy flag set (data write)");
+    else
+        p0.syncstorei(flag, 1).note("release flag");
+    p0.halt();
+
+    ThreadBuilder p1;
+    p1.label("wait");
+    if (racy)
+        p1.load(0, flag).note("racy flag poll (data read)");
+    else
+        p1.syncload(0, flag).note("acquire flag");
+    p1.bz(0, "wait");
+    for (std::uint32_t i = 0; i < slots; ++i)
+        p1.load(static_cast<RegId>(1 + (i % 8)), data + i);
+    p1.halt();
+
+    pb.thread(p0).thread(p1);
+    return pb.build();
+}
+
+Program
+lockedCounter(ProcId procs, std::uint32_t increments, bool racy)
+{
+    const Addr lock = 0, counter = 1;
+    ProgramBuilder pb;
+    pb.var("lock", lock, 0).var("counter", counter, 0);
+
+    for (ProcId p = 0; p < procs; ++p) {
+        ThreadBuilder t;
+        t.movi(1, 0)
+         .movi(2, static_cast<Value>(increments))
+         .label("loop");
+        if (!racy)
+            t.acquireLock(lock, 0);
+        t.load(3, counter)
+         .addi(3, 3, 1)
+         .store(counter, 3);
+        if (!racy)
+            t.releaseLock(lock);
+        t.addi(1, 1, 1)
+         .cmplt(4, 1, 2)
+         .bnz(4, "loop")
+         .halt();
+        pb.thread(t);
+    }
+    return pb.build();
+}
+
+Program
+producerConsumer(std::uint32_t items, std::uint32_t slots, bool racy)
+{
+    // head = items produced so far, tail = items consumed so far
+    // (both monotone).  The consumer spins until head > consumed;
+    // the producer applies BACK-PRESSURE, waiting until
+    // produced - tail < slots before reusing a ring slot — without
+    // it the producer's slot reuse races with the consumer's reads.
+    const Addr head = 0, tail = 1, ring = 2;
+    ProgramBuilder pb;
+    pb.var("head", head, 0);
+    pb.var("tail", tail, 0);
+    pb.var("ring0", ring, 0);
+
+    ThreadBuilder prod;
+    prod.movi(1, 0)                         // produced count
+        .movi(2, static_cast<Value>(items))
+        .label("produce");
+    // Back-pressure: wait while produced - tail >= slots.
+    prod.label("backpressure");
+    if (racy)
+        prod.load(6, tail).note("racy tail poll");
+    else
+        prod.syncload(6, tail).note("acquire tail");
+    prod.sub(7, 1, 6)
+        .cmplti(4, 7, static_cast<Value>(slots))
+        .bz(4, "backpressure");
+    // slot = produced % slots, via repeated subtract (no mod op):
+    prod.mov(3, 1)
+        .label("mod_p")
+        .cmplti(4, 3, static_cast<Value>(slots))
+        .bnz(4, "slot_ready")
+        .addi(3, 3, -static_cast<Value>(slots))
+        .jmp("mod_p")
+        .label("slot_ready")
+        .addi(5, 1, 1000)                   // payload = 1000 + i
+        .storeIdx(ring, 3, 5)
+        .addi(1, 1, 1);
+    if (racy)
+        prod.store(head, 1).note("racy head publish");
+    else
+        prod.syncstore(head, 1).note("release head publish");
+    prod.cmplt(4, 1, 2)
+        .bnz(4, "produce")
+        .halt();
+
+    ThreadBuilder cons;
+    cons.movi(1, 0)                         // consumed count
+        .movi(2, static_cast<Value>(items))
+        .label("consume");
+    cons.label("wait");
+    if (racy)
+        cons.load(3, head).note("racy head poll");
+    else
+        cons.syncload(3, head).note("acquire head");
+    cons.cmplt(4, 1, 3)                     // consumed < head ?
+        .bz(4, "wait");
+    cons.mov(3, 1)
+        .label("mod_c")
+        .cmplti(4, 3, static_cast<Value>(slots))
+        .bnz(4, "read_ready")
+        .addi(3, 3, -static_cast<Value>(slots))
+        .jmp("mod_c")
+        .label("read_ready")
+        .loadIdx(5, ring, 3)
+        .addi(1, 1, 1);
+    if (racy)
+        cons.store(tail, 1).note("racy tail publish");
+    else
+        cons.syncstore(tail, 1).note("release tail publish");
+    cons.cmplt(4, 1, 2)
+        .bnz(4, "consume")
+        .halt();
+
+    pb.thread(prod).thread(cons);
+    return pb.build();
+}
+
+Program
+barrierStripes(ProcId procs, std::uint32_t stripe)
+{
+    // Layout: arrive flags [0, procs), go flag at procs, array after.
+    const Addr arrive = 0;
+    const Addr go = procs;
+    const Addr array = procs + 1;
+
+    ProgramBuilder pb;
+    pb.var("go", go, 0);
+    pb.var("array0", array, 0);
+
+    for (ProcId p = 0; p < procs; ++p) {
+        ThreadBuilder t;
+        // Phase 1: write own stripe.
+        for (std::uint32_t i = 0; i < stripe; ++i) {
+            t.storei(array + p * stripe + i,
+                     static_cast<Value>(p * 100 + i));
+        }
+        if (p == 0) {
+            // P0 is the barrier master: wait for everyone, then go.
+            for (ProcId q = 1; q < procs; ++q) {
+                const std::string lbl = "wait" + std::to_string(q);
+                t.label(lbl)
+                 .syncload(1, arrive + q)
+                 .bz(1, lbl);
+            }
+            t.syncstorei(go, 1).note("barrier release");
+        } else {
+            t.syncstorei(arrive + p, 1).note("barrier arrive");
+            t.label("waitgo")
+             .syncload(1, go)
+             .bz(1, "waitgo");
+        }
+        // Phase 2: read the whole array.
+        for (ProcId q = 0; q < procs; ++q) {
+            for (std::uint32_t i = 0; i < stripe; ++i)
+                t.load(2, array + q * stripe + i);
+        }
+        t.halt();
+        pb.thread(t);
+    }
+    return pb.build();
+}
+
+Program
+ticketLock(ProcId procs, std::uint32_t rounds)
+{
+    const Addr disp = 0, nextTicket = 1, nowServing = 2, counter = 3;
+    ProgramBuilder pb;
+    pb.var("dispenser", disp, 0)
+      .var("nextTicket", nextTicket, 0)
+      .var("nowServing", nowServing, 0)
+      .var("counter", counter, 0);
+
+    for (ProcId p = 0; p < procs; ++p) {
+        ThreadBuilder t;
+        t.movi(6, 0)
+         .movi(7, static_cast<Value>(rounds))
+         .label("round");
+        // Draw a ticket under the dispenser lock.
+        t.acquireLock(disp, 0)
+         .load(1, nextTicket).note("my ticket")
+         .addi(2, 1, 1)
+         .store(nextTicket, 2)
+         .releaseLock(disp);
+        // Wait to be served (release/acquire on nowServing).
+        t.label("wait")
+         .syncload(3, nowServing)
+         .cmpeq(4, 3, 1)
+         .bz(4, "wait");
+        // Critical section.
+        t.load(5, counter)
+         .addi(5, 5, 1)
+         .store(counter, 5);
+        // Pass the baton.
+        t.addi(5, 1, 1)
+         .syncstore(nowServing, 5).note("serve next ticket");
+        t.addi(6, 6, 1)
+         .cmplt(4, 6, 7)
+         .bnz(4, "round")
+         .halt();
+        pb.thread(t);
+    }
+    return pb.build();
+}
+
+Program
+doubleCheckedInit(ProcId readers, bool fixed)
+{
+    const Addr lock = 0, flag = 1, payload = 2, out = 3;
+    ProgramBuilder pb;
+    pb.var("lock", lock, 0).var("flag", flag, 0)
+      .var("payload", payload, 0);
+
+    // Proc 0: the initializer (lock-protected, like a slow-path
+    // reader that always initializes).
+    ThreadBuilder init;
+    init.acquireLock(lock, 0);
+    init.load(1, flag).note("check under lock");
+    init.bnz(1, "done");
+    init.storei(payload, 42).note("initialize payload");
+    if (fixed)
+        init.syncstorei(flag, 1).note("publish flag (release)");
+    else
+        init.storei(flag, 1).note("publish flag (DATA write: bug)");
+    init.label("done").releaseLock(lock).halt();
+    pb.thread(init);
+
+    for (ProcId r = 0; r < readers; ++r) {
+        ThreadBuilder t;
+        // Fast path: check the flag without the lock.
+        if (fixed)
+            t.syncload(1, flag).note("fast check (acquire)");
+        else
+            t.load(1, flag).note("fast check (DATA read: bug)");
+        t.bnz(1, "fast");
+        // Slow path: take the lock, re-check, initialize if needed.
+        t.acquireLock(lock, 0)
+         .load(2, flag)
+         .bnz(2, "locked_read")
+         .storei(payload, 42);
+        if (fixed)
+            t.syncstorei(flag, 1);
+        else
+            t.storei(flag, 1);
+        t.label("locked_read")
+         .load(3, payload)
+         .releaseLock(lock)
+         .jmp("record");
+        t.label("fast").load(3, payload).note("fast-path read");
+        t.label("record").store(out + r, 3).halt();
+        pb.var("out" + std::to_string(r), out + r, 0);
+        pb.thread(t);
+    }
+    return pb.build();
+}
+
+Program
+invariantPair(ProcId readers, std::uint32_t updates, bool racy)
+{
+    const Addr lock = 0, a = 1, b = 2, out = 3;
+    ProgramBuilder pb;
+    pb.var("lock", lock, 0).var("a", a, 0).var("b", b, 0);
+
+    ThreadBuilder w;
+    w.movi(6, 0).movi(7, static_cast<Value>(updates)).label("upd");
+    w.acquireLock(lock, 0)
+     .load(1, a).addi(1, 1, 1).store(a, 1)
+     .load(2, b).addi(2, 2, 1).store(b, 2)
+     .releaseLock(lock);
+    w.addi(6, 6, 1).cmplt(4, 6, 7).bnz(4, "upd").halt();
+    pb.thread(w);
+
+    for (ProcId r = 0; r < readers; ++r) {
+        ThreadBuilder t;
+        t.movi(6, 0).movi(7, static_cast<Value>(updates))
+         .label("rd");
+        if (!racy)
+            t.acquireLock(lock, 0);
+        t.load(1, a).load(2, b);
+        if (!racy)
+            t.releaseLock(lock);
+        t.sub(3, 1, 2).note("invariant: a - b == 0")
+         .store(out + r, 3)
+         .addi(6, 6, 1).cmplt(4, 6, 7).bnz(4, "rd").halt();
+        pb.var("diff" + std::to_string(r), out + r, 0);
+        pb.thread(t);
+    }
+    return pb.build();
+}
+
+Program
+dekkerDataFlags()
+{
+    const Addr flag0 = 0, flag1 = 1, count = 2;
+    ProgramBuilder pb;
+    pb.var("flag0", flag0, 0).var("flag1", flag1, 0)
+      .var("count", count, 0);
+
+    const auto enter = [&](ThreadBuilder &t, Addr mine, Addr other) {
+        t.storei(mine, 1).note("flag[me] = 1 (data write!)")
+         .load(1, other).note("read flag[other] (data read!)")
+         .bnz(1, "giveup")
+         .load(2, count)
+         .addi(2, 2, 1)
+         .store(count, 2).note("critical section")
+         .label("giveup")
+         .storei(mine, 0)
+         .halt();
+    };
+
+    ThreadBuilder t0, t1;
+    enter(t0, flag0, flag1);
+    enter(t1, flag1, flag0);
+    pb.thread(t0).thread(t1);
+    return pb.build();
+}
+
+} // namespace wmr

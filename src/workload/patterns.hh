@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The program pattern library: the paper's figures as executable
+ * programs, plus the classic sharing patterns the evaluation sweeps
+ * over.
+ *
+ * Address-layout conventions of each pattern are documented on the
+ * factory; every pattern names its shared variables so reports read
+ * like the paper's figures.
+ */
+
+#ifndef WMR_WORKLOAD_PATTERNS_HH
+#define WMR_WORKLOAD_PATTERNS_HH
+
+#include "prog/program.hh"
+
+namespace wmr {
+
+/**
+ * Figure 1(a): two processors, conflicting data accesses, NO
+ * synchronization — the canonical racy execution.
+ *
+ *   P1: Write(x); Write(y)        P2: Read(y); Read(x)
+ */
+Program figure1a();
+
+/**
+ * Figure 1(b): same data accesses ordered by an Unset/Test&Set pair —
+ * data-race-free.
+ *
+ *   P1: Write(x); Write(y); Unset(s)
+ *   P2: while (Test&Set(s)) ; Read(y); Read(x)
+ *
+ * s starts locked (1) so P2's acquire always pairs with P1's Unset.
+ */
+Program figure1b();
+
+/** Parameters of the Figure 2 work-queue fragment. */
+struct QueueParams
+{
+    /** Region length ("0..100" in the paper). */
+    std::uint32_t regionSize = 100;
+
+    /** Initial (stale) queue content — the paper's 37. */
+    std::uint32_t staleOffset = 37;
+
+    /**
+     * Include the Test&Set critical sections the programmer forgot.
+     * false reproduces the buggy fragment of Figure 2(a); true gives
+     * the corrected, data-race-free program.
+     */
+    bool withTestAndSet = false;
+};
+
+/**
+ * Figure 2(a): the work-queue fragment with the missing Test&Set.
+ *
+ *   P1 enqueues region offset `regionSize` and clears QEmpty;
+ *   P2 polls QEmpty, dequeues, and works region [addr, addr+size);
+ *   P3 independently works region [0, size).
+ *
+ * On a weak system, P1's write of QEmpty can become visible before
+ * its write of Q; P2 then dequeues the stale offset (37) and its
+ * region overlaps P3's — the non-sequentially-consistent data races
+ * of Figure 2(b).
+ *
+ * Layout: Q=0, QEmpty=1, S=2, region words start at 3.
+ */
+Program figure2Queue(const QueueParams &params = {});
+
+/**
+ * Message passing: P0 writes `slots` data words then signals; P1
+ * waits for the signal and reads them.  @p racy replaces the
+ * release/acquire flag protocol with plain data accesses.
+ */
+Program messagePassing(std::uint32_t slots = 4, bool racy = false);
+
+/**
+ * @p procs processors each add @p increments to a shared counter
+ * under a Test&Set lock.  @p racy skips the lock entirely.
+ */
+Program lockedCounter(ProcId procs = 4, std::uint32_t increments = 8,
+                      bool racy = false);
+
+/**
+ * Producer/consumer over a @p slots-deep single-producer queue with
+ * a release/acquire head index.  @p racy demotes the head index
+ * updates to data operations.
+ */
+Program producerConsumer(std::uint32_t items = 8,
+                         std::uint32_t slots = 4, bool racy = false);
+
+/**
+ * Two-phase computation: every processor writes its own stripe of an
+ * array, all meet at a flag barrier, then every processor reads the
+ * whole array.  Race-free; exercises many-proc sync chains.
+ */
+Program barrierStripes(ProcId procs = 4, std::uint32_t stripe = 4);
+
+/**
+ * Dekker-style mutual exclusion implemented with DATA flag accesses
+ * only (no hardware-recognized sync): intentionally full of data
+ * races, and on weak systems the mutual exclusion actually breaks.
+ * Both processors enter, bump a shared counter, and leave.
+ */
+Program dekkerDataFlags();
+
+/**
+ * Ticket lock built from one Test&Set-protected dispenser plus a
+ * release/acquire now-serving counter; @p procs processors each
+ * increment a shared counter @p rounds times under it.  Race-free;
+ * exercises mixed Test&Set + flag synchronization.
+ */
+Program ticketLock(ProcId procs = 3, std::uint32_t rounds = 2);
+
+/**
+ * Double-checked initialization: readers test an init flag with a
+ * DATA read before taking the lock.  The classic broken idiom:
+ * @p fixed=false uses a plain data flag (racy — readers can observe
+ * the flag before the payload); @p fixed=true publishes the flag
+ * with a release and re-reads it with an acquire (race-free).
+ * Layout: lock=0, flag=1, payload=2; each reader stores the payload
+ * it observed at address 3+reader.
+ */
+Program doubleCheckedInit(ProcId readers = 2, bool fixed = false);
+
+/**
+ * One writer updates two words under a lock; @p readers readers read
+ * both under the same lock (race-free) or, with @p racy, without it
+ * (torn reads possible).  The "invariant pair" pattern.
+ */
+Program invariantPair(ProcId readers = 2, std::uint32_t updates = 4,
+                      bool racy = false);
+
+} // namespace wmr
+
+#endif // WMR_WORKLOAD_PATTERNS_HH

@@ -1,0 +1,78 @@
+#include "workload/random_gen.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "prog/builder.hh"
+
+namespace wmr {
+
+Program
+randomProgram(const RandomProgConfig &cfg)
+{
+    wmr_assert(cfg.numLocks > 0);
+    wmr_assert(cfg.dataWords >= cfg.numLocks); // lock-ownership map
+    wmr_assert(cfg.procs > 0);
+
+    Rng rng(cfg.seed);
+    const Addr dataBase = cfg.numLocks;
+
+    ProgramBuilder pb;
+    for (std::uint32_t l = 0; l < cfg.numLocks; ++l)
+        pb.var("lock" + std::to_string(l), l, 0);
+    for (Addr d = 0; d < cfg.dataWords; ++d)
+        pb.var("d" + std::to_string(d), dataBase + d, 0);
+
+    for (ProcId p = 0; p < cfg.procs; ++p) {
+        ThreadBuilder t;
+        for (std::uint32_t b = 0; b < cfg.blocksPerProc; ++b) {
+            const std::uint32_t lock =
+                static_cast<std::uint32_t>(rng.below(cfg.numLocks));
+            const bool locked = !rng.chance(cfg.unlockedProb);
+            if (locked)
+                t.acquireLock(lock, 0);
+            for (std::uint32_t o = 0; o < cfg.opsPerBlock; ++o) {
+                // Pick a data word owned by this block's lock.
+                Addr w = static_cast<Addr>(rng.below(cfg.dataWords));
+                if (cfg.dataWords >= cfg.numLocks)
+                    w = w - (w % cfg.numLocks) + lock;
+                if (w >= cfg.dataWords)
+                    w -= cfg.numLocks;
+                const Addr addr = dataBase + w;
+                if (rng.chance(cfg.writeProb)) {
+                    t.storei(addr,
+                             static_cast<Value>(rng.below(1000)));
+                } else {
+                    t.load(static_cast<RegId>(1 + rng.below(6)),
+                           addr);
+                }
+            }
+            if (locked)
+                t.releaseLock(lock);
+        }
+        t.halt();
+        pb.thread(t);
+    }
+    return pb.build();
+}
+
+Program
+randomRaceFreeProgram(std::uint64_t seed, ProcId procs)
+{
+    RandomProgConfig cfg;
+    cfg.seed = seed;
+    cfg.procs = procs;
+    cfg.unlockedProb = 0.0;
+    return randomProgram(cfg);
+}
+
+Program
+randomRacyProgram(std::uint64_t seed, ProcId procs)
+{
+    RandomProgConfig cfg;
+    cfg.seed = seed;
+    cfg.procs = procs;
+    cfg.unlockedProb = 0.35;
+    return randomProgram(cfg);
+}
+
+} // namespace wmr

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seeded random program generator for property tests and sweeps.
+ *
+ * Programs are generated as sequences of BLOCKS per processor.  Every
+ * shared data word is statically owned by one lock (addr mod
+ * numLocks); a block picks a lock, acquires it, performs data
+ * accesses only to words that lock owns, and releases.  With
+ * unlockedProb == 0 every pair of conflicting data accesses is
+ * therefore ordered through that lock's Unset/Test&Set pairing — the
+ * program is data-race-free BY CONSTRUCTION.  unlockedProb > 0 makes
+ * a block skip the lock, injecting data races.
+ */
+
+#ifndef WMR_WORKLOAD_RANDOM_GEN_HH
+#define WMR_WORKLOAD_RANDOM_GEN_HH
+
+#include "prog/program.hh"
+
+namespace wmr {
+
+/** Shape of a generated program. */
+struct RandomProgConfig
+{
+    std::uint64_t seed = 1;
+    ProcId procs = 3;
+    std::uint32_t blocksPerProc = 5;
+    std::uint32_t opsPerBlock = 4;
+    Addr dataWords = 8;
+    std::uint32_t numLocks = 2;
+
+    /** Probability a block runs without its lock (race injection). */
+    double unlockedProb = 0.0;
+
+    /** Probability a data op is a write (vs a read). */
+    double writeProb = 0.5;
+};
+
+/**
+ * Generate a program per @p cfg.  Lock words occupy addresses
+ * [0, numLocks); data words occupy [numLocks, numLocks + dataWords).
+ */
+Program randomProgram(const RandomProgConfig &cfg);
+
+/** Convenience: a data-race-free random program. */
+Program randomRaceFreeProgram(std::uint64_t seed, ProcId procs = 3);
+
+/** Convenience: a racy random program (unlockedProb = 0.35). */
+Program randomRacyProgram(std::uint64_t seed, ProcId procs = 3);
+
+} // namespace wmr
+
+#endif // WMR_WORKLOAD_RANDOM_GEN_HH

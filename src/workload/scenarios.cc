@@ -1,0 +1,85 @@
+#include "workload/scenarios.hh"
+
+#include "common/logging.hh"
+#include "prog/builder.hh"
+#include "sim/scheduler.hh"
+
+namespace wmr {
+
+Scenario
+stageFigure1aViolation(ModelKind model)
+{
+    wmr_assert(model != ModelKind::SC);
+    Scenario s{figure1a(), {}};
+
+    // P1 (proc 0): storei x; storei y; halt.
+    // P2 (proc 1): load y;  load x;  halt.
+    // Stage: both stores buffered, drain y only, then P2 reads.
+    ScriptedScheduler sched({0, 0, 1, 1});
+    ExecOptions opts;
+    opts.model = model;
+    opts.drainLaziness = 1.0; // no spontaneous drains
+    opts.scheduler = &sched;
+    opts.drainScript = {{.afterPick = 2, .proc = 0, .addr = 1}}; // y
+    s.result = runProgram(s.program, opts);
+    return s;
+}
+
+Scenario
+stageInvalidateFigure1a(ModelKind model)
+{
+    wmr_assert(model != ModelKind::SC);
+
+    // Figure 1(a) with a warm-up read: P2 caches x before P1 writes.
+    ProgramBuilder pb;
+    pb.var("x", 0).var("y", 1);
+    ThreadBuilder p1, p2;
+    p1.storei(0, 1).note("Write(x)")
+      .storei(1, 1).note("Write(y)")
+      .halt();
+    p2.load(2, 0).note("warm-up Read(x): caches the old copy")
+      .load(0, 1).note("Read(y)")
+      .load(1, 0).note("Read(x)")
+      .halt();
+    pb.thread(p1).thread(p2);
+
+    Scenario s{pb.build(), {}};
+    // Picks: P2 warms x; P1 writes x and y (x's invalidation sits in
+    // P2's inbox); P2 reads y (miss -> fresh) then x (hit -> stale).
+    ScriptedScheduler sched({1, 0, 0, 1, 1});
+    ExecOptions opts;
+    opts.model = model;
+    opts.realization = Realization::Invalidate;
+    opts.drainLaziness = 1.0;
+    opts.scheduler = &sched;
+    s.result = runProgram(s.program, opts);
+    return s;
+}
+
+Scenario
+stageFigure2bExecution(QueueParams params, ModelKind model)
+{
+    wmr_assert(model != ModelKind::SC);
+    wmr_assert(params.staleOffset < params.regionSize);
+    wmr_assert(!params.withTestAndSet);
+    Scenario s{figure2Queue(params), {}};
+
+    // Thread layout: P1=proc 0, P2=proc 1, P3=proc 2.
+    // Picks: P1 runs movi, store Q, storei QEmpty (both stores
+    // buffered); QEmpty's store drains FIRST (the reordering);
+    // P2 then reads QEmpty==0, branches, reads the stale Q, and
+    // releases S; P1 releases S (draining Q's store — too late).
+    // The fallback round-robin completes the region loops of P2/P3.
+    ScriptedScheduler sched({0, 0, 0, 1, 1, 1, 1, 0});
+    ExecOptions opts;
+    opts.model = model;
+    opts.drainLaziness = 1.0;
+    opts.scheduler = &sched;
+    opts.drainScript = {
+        {.afterPick = 3, .proc = 0, .addr = 1}, // QEmpty
+    };
+    s.result = runProgram(s.program, opts);
+    return s;
+}
+
+} // namespace wmr

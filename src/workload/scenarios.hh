@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Canonical staged executions of the paper's figures.
+ *
+ * The figures depict SPECIFIC weak interleavings; random exploration
+ * finds them only occasionally, so these helpers pin them down with a
+ * ScriptedScheduler plus scripted buffer drains.  Tests, examples and
+ * the figure benches all share these staging functions.
+ */
+
+#ifndef WMR_WORKLOAD_SCENARIOS_HH
+#define WMR_WORKLOAD_SCENARIOS_HH
+
+#include "sim/executor.hh"
+#include "workload/patterns.hh"
+
+namespace wmr {
+
+/** A staged execution together with the program that produced it. */
+struct Scenario
+{
+    Program program;
+    ExecutionResult result;
+};
+
+/**
+ * Figure 1(a)'s sequential-consistency violation: P1's write of y
+ * becomes visible before its write of x, and P2 reads y==new,
+ * x==old.  @p model must be a weak model (not SC).
+ */
+Scenario stageFigure1aViolation(ModelKind model = ModelKind::WO);
+
+/**
+ * Figure 1(a)'s violation on the INVALIDATE realization: delayed
+ * invalidations instead of buffered stores.  Needs a warm-up read so
+ * P2 holds a (soon stale) cached copy of x; P2 then reads the fresh
+ * y from memory but the stale x from its cache.  Demonstrates that
+ * Condition 3.4 concerns the implementation CLASS, not one design.
+ */
+Scenario stageInvalidateFigure1a(ModelKind model = ModelKind::WO);
+
+/**
+ * Figure 2(b)'s weak execution: P1's write of QEmpty becomes visible
+ * before its write of Q; P2 dequeues the stale offset and its region
+ * work collides with P3's.  The returned execution contains the
+ * paper's sequentially consistent prefix boundary (P2's reads are IN
+ * the SCP; its region work is divergent) and the non-SC data races
+ * between P2 and P3.
+ *
+ * @p params must have staleOffset < regionSize so the regions
+ * overlap (the defaults do).
+ */
+Scenario stageFigure2bExecution(QueueParams params = {},
+                                ModelKind model = ModelKind::WO);
+
+} // namespace wmr
+
+#endif // WMR_WORKLOAD_SCENARIOS_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests of the common substrate: bitsets, RNG, strings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/dense_bitset.hh"
+#include "common/rng.hh"
+#include "common/string_util.hh"
+
+namespace wmr {
+namespace {
+
+TEST(DenseBitset, StartsEmpty)
+{
+    DenseBitset bs(128);
+    EXPECT_EQ(bs.size(), 128u);
+    EXPECT_TRUE(bs.empty());
+    EXPECT_EQ(bs.count(), 0u);
+    for (std::size_t i = 0; i < 128; ++i)
+        EXPECT_FALSE(bs.test(i));
+}
+
+TEST(DenseBitset, SetTestReset)
+{
+    DenseBitset bs(100);
+    bs.set(0);
+    bs.set(63);
+    bs.set(64);
+    bs.set(99);
+    EXPECT_TRUE(bs.test(0));
+    EXPECT_TRUE(bs.test(63));
+    EXPECT_TRUE(bs.test(64));
+    EXPECT_TRUE(bs.test(99));
+    EXPECT_FALSE(bs.test(1));
+    EXPECT_EQ(bs.count(), 4u);
+    bs.reset(63);
+    EXPECT_FALSE(bs.test(63));
+    EXPECT_EQ(bs.count(), 3u);
+}
+
+TEST(DenseBitset, SetGrowsUniverse)
+{
+    DenseBitset bs(4);
+    bs.set(200);
+    EXPECT_GE(bs.size(), 201u);
+    EXPECT_TRUE(bs.test(200));
+}
+
+TEST(DenseBitset, OutOfRangeQueriesAreFalse)
+{
+    DenseBitset bs(10);
+    EXPECT_FALSE(bs.test(1000));
+    bs.reset(1000); // no-op, no crash
+    EXPECT_EQ(bs.size(), 10u);
+}
+
+TEST(DenseBitset, UnionIntersect)
+{
+    DenseBitset a(70), b(70);
+    a.set(1);
+    a.set(65);
+    b.set(2);
+    b.set(65);
+    EXPECT_TRUE(a.intersects(b));
+    DenseBitset c = a;
+    c |= b;
+    EXPECT_EQ(c.count(), 3u);
+    c &= b;
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_TRUE(c.test(2));
+    EXPECT_TRUE(c.test(65));
+}
+
+TEST(DenseBitset, DisjointDoNotIntersect)
+{
+    DenseBitset a(130), b(130);
+    a.set(5);
+    a.set(129);
+    b.set(6);
+    b.set(128);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DenseBitset, IntersectsDifferentSizes)
+{
+    DenseBitset a(10), b(500);
+    a.set(3);
+    b.set(3);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a));
+    b.reset(3);
+    b.set(400);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DenseBitset, ForEachVisitsAscending)
+{
+    DenseBitset bs(300);
+    const std::vector<std::uint32_t> want{0, 63, 64, 127, 255, 299};
+    for (const auto i : want)
+        bs.set(i);
+    EXPECT_EQ(bs.toVector(), want);
+}
+
+TEST(DenseBitset, EqualityIgnoresUniverseSize)
+{
+    DenseBitset a(64), b(256);
+    a.set(7);
+    b.set(7);
+    EXPECT_TRUE(a == b);
+    b.set(200);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(DenseBitset, RoundTripWords)
+{
+    DenseBitset a(130);
+    a.set(0);
+    a.set(129);
+    const DenseBitset b = DenseBitset::fromWords(a.words(), 130);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_GT(hits, 2500);
+    EXPECT_LT(hits, 3500);
+}
+
+TEST(StringUtil, Split)
+{
+    const auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(StringUtil, SplitWhitespace)
+{
+    const auto v = splitWhitespace("  foo\t bar\nbaz  ");
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "foo");
+    EXPECT_EQ(v[1], "bar");
+    EXPECT_EQ(v[2], "baz");
+}
+
+TEST(StringUtil, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("ab"), "ab");
+}
+
+TEST(StringUtil, StartsWith)
+{
+    EXPECT_TRUE(startsWith("foobar", "foo"));
+    EXPECT_FALSE(startsWith("fo", "foo"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(StringUtil, Strformat)
+{
+    EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StringUtil, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567), "1,234,567");
+}
+
+} // namespace
+} // namespace wmr

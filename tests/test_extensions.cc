@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests of the extension modules: DOT export and the on-the-fly
+ * first-race filter (the paper's Section 5/6 future work).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "detect/analysis.hh"
+#include "detect/dot_export.hh"
+#include "onthefly/first_race_filter.hh"
+#include "prog/builder.hh"
+#include "sim/scheduler.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+TEST(DotExport, ContainsNodesAndEdges)
+{
+    const auto s = stageFigure2bExecution({.regionSize = 6,
+                                           .staleOffset = 2});
+    const auto det = analyzeExecution(s.result);
+    const auto dot = toDot(det, &s.program);
+    EXPECT_NE(dot.find("digraph hb1"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_p0"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"po\""), std::string::npos);
+    EXPECT_NE(dot.find("dir=both"), std::string::npos);
+    EXPECT_NE(dot.find("(FIRST)"), std::string::npos);
+    EXPECT_NE(dot.find("Q"), std::string::npos);
+
+    // so1 edges appear when a pairing exists (figure 1b).
+    const auto paired = analyzeExecution(
+        runProgram(figure1b(), {.model = ModelKind::WO}));
+    const auto dot2 = toDot(paired, nullptr);
+    EXPECT_NE(dot2.find("label=\"so1\""), std::string::npos);
+}
+
+TEST(DotExport, ScpShadingPresent)
+{
+    const auto s = stageFigure2bExecution({.regionSize = 6,
+                                           .staleOffset = 2});
+    const auto det = analyzeExecution(s.result);
+    const auto dot = toDot(det, &s.program);
+    EXPECT_NE(dot.find("#d4edd4"), std::string::npos); // in SCP
+    EXPECT_NE(dot.find("#f4d3d3"), std::string::npos); // diverged
+}
+
+TEST(DotExport, OptionsDisableFeatures)
+{
+    const auto s = stageFigure2bExecution({.regionSize = 6,
+                                           .staleOffset = 2});
+    const auto det = analyzeExecution(s.result);
+    DotOptions opts;
+    opts.showRaceEdges = false;
+    opts.processorColumns = false;
+    opts.shadeScp = false;
+    const auto dot = toDot(det, &s.program, opts);
+    EXPECT_EQ(dot.find("dir=both"), std::string::npos);
+    EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+    EXPECT_EQ(dot.find("#d4edd4"), std::string::npos);
+}
+
+TEST(DotExport, WritesFile)
+{
+    const auto s = stageFigure1aViolation();
+    const auto det = analyzeExecution(s.result);
+    const std::string path = "/tmp/wmr_test_graph.dot";
+    writeDotFile(det, path, &s.program);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line, "digraph hb1 {");
+    in.close();
+    std::remove(path.c_str());
+}
+
+TEST(FirstRaceFilter, SilentOnRaceFreePrograms)
+{
+    const Program p = randomRaceFreeProgram(4);
+    FirstRaceFilter filter(p.numProcs(), p.memWords());
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 4;
+    opts.sink = &filter;
+    runProgram(p, opts);
+    EXPECT_TRUE(filter.classified().empty());
+    EXPECT_TRUE(filter.firstRaces().empty());
+}
+
+TEST(FirstRaceFilter, EarliestRaceIsFirst)
+{
+    // Figure 1a races on both x and y between the same processors;
+    // post-mortem they form ONE mutually-affecting partition.  The
+    // online approximation keeps the earliest-reported race first
+    // and demotes the rest of the cycle (documented behavior).
+    const Program p = figure1a();
+    FirstRaceFilter filter(p.numProcs(), p.memWords());
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.seed = 2;
+    opts.sink = &filter;
+    runProgram(p, opts);
+    ASSERT_FALSE(filter.classified().empty());
+    EXPECT_TRUE(filter.classified()[0].first);
+    EXPECT_EQ(filter.firstRaces().size(), 1u);
+}
+
+TEST(FirstRaceFilter, ChainedRaceIsDemoted)
+{
+    // P0 writes a; P1 reads a (race 1), then syncs with P2 through a
+    // release/acquire pair, and P2 writes c while P0 reads c... keep
+    // the paper shape: race 2's endpoint is hb1-after race 1's.
+    ProgramBuilder pb;
+    pb.var("a", 0).var("c", 1).var("d", 2, 1);
+    ThreadBuilder p0, p1, p2;
+    p0.storei(0, 1).halt();               // write a
+    p1.load(1, 0)                          // read a (race 1)
+      .unset(2)                            // split + publish clock
+      .storei(1, 1)                        // write c (race 2 endpoint)
+      .halt();
+    p2.load(1, 1).halt();                  // read c (race 2)
+    pb.thread(p0).thread(p1).thread(p2);
+    const Program p = pb.build();
+
+    // Deterministic order: P0's write, P1 fully, then P2's read.
+    ScriptedScheduler sched({0, 1, 1, 1, 2});
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.scheduler = &sched;
+    FirstRaceFilter filter(p.numProcs(), p.memWords());
+    opts.sink = &filter;
+    runProgram(p, opts);
+
+    ASSERT_EQ(filter.classified().size(), 2u);
+    // Race on a first, race on c affected.
+    EXPECT_TRUE(filter.classified()[0].first);
+    EXPECT_EQ(filter.classified()[0].race.addr, 0u);
+    EXPECT_FALSE(filter.classified()[1].first);
+    EXPECT_EQ(filter.classified()[1].race.addr, 1u);
+    EXPECT_EQ(filter.firstRaces().size(), 1u);
+}
+
+TEST(FirstRaceFilter, IndependentRacesBothFirst)
+{
+    // Two completely unrelated races on different processors pairs.
+    ProgramBuilder pb;
+    pb.var("a", 0).var("b", 1);
+    ThreadBuilder p0, p1, p2, p3;
+    p0.storei(0, 1).halt();
+    p1.load(1, 0).halt();
+    p2.storei(1, 1).halt();
+    p3.load(1, 1).halt();
+    pb.thread(p0).thread(p1).thread(p2).thread(p3);
+    const Program p = pb.build();
+
+    ScriptedScheduler sched({0, 1, 2, 3});
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.scheduler = &sched;
+    FirstRaceFilter filter(p.numProcs(), p.memWords());
+    opts.sink = &filter;
+    runProgram(p, opts);
+
+    ASSERT_EQ(filter.classified().size(), 2u);
+    EXPECT_TRUE(filter.classified()[0].first);
+    EXPECT_TRUE(filter.classified()[1].first);
+}
+
+TEST(FirstRaceFilter, AgreesWithPostMortemOnFirstExistence)
+{
+    // Whenever the post-mortem method reports first partitions, the
+    // online filter keeps at least one race classified first (the
+    // filter is an approximation, but never demotes ALL races: the
+    // very first reported race has no earlier marks).
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        FirstRaceFilter filter(p.numProcs(), p.memWords());
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.sink = &filter;
+        const auto res = runProgram(p, opts);
+        const auto det = analyzeExecution(res);
+        if (det.partitions().firstPartitions.empty())
+            continue;
+        EXPECT_FALSE(filter.firstRaces().empty()) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Figure-by-figure reproduction tests: every figure of the paper is
+ * re-created and its depicted properties are machine-checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "detect/report.hh"
+#include "mc/scp_witness.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+// ------------------------------------------------------------------
+// Figure 1(a): execution WITH data races.
+// ------------------------------------------------------------------
+
+TEST(Figure1a, ScExecutionExhibitsTheDataRace)
+{
+    const auto det = analyzeExecution(
+        runProgram(figure1a(), {.model = ModelKind::SC}));
+    EXPECT_EQ(det.races().size(), 1u);
+    EXPECT_TRUE(det.races()[0].isDataRace);
+    EXPECT_EQ(det.partitions().firstPartitions.size(), 1u);
+}
+
+TEST(Figure1a, WeakExecutionViolatesScExactlyAsDepicted)
+{
+    // "it is possible for P2 to read the new value for y but the old
+    //  value for x, thereby violating sequential consistency"
+    const auto s = stageFigure1aViolation();
+    EXPECT_EQ(s.result.finalRegs[1][0], 1); // Read(y) -> new value
+    EXPECT_EQ(s.result.finalRegs[1][1], 0); // Read(x) -> old value
+    EXPECT_GT(s.result.staleReads, 0u);
+
+    // The detector still reports the race, and it is an SCP race: the
+    // same operations race in a sequentially consistent execution.
+    const auto det = analyzeExecution(s.result);
+    ASSERT_EQ(det.races().size(), 1u);
+    EXPECT_TRUE(det.scp().raceInScp[0]);
+}
+
+// ------------------------------------------------------------------
+// Figure 1(b): execution WITHOUT data races.
+// ------------------------------------------------------------------
+
+TEST(Figure1b, RaceFreeUnderEveryModelAndScEquivalent)
+{
+    for (const auto kind : kAllModels) {
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            ExecOptions opts;
+            opts.model = kind;
+            opts.seed = seed;
+            opts.drainLaziness = 0.9;
+            const auto res = runProgram(figure1b(), opts);
+            const auto det = analyzeExecution(res);
+            EXPECT_FALSE(det.anyDataRace());
+            // Condition 3.4(1): the execution is SC.
+            EXPECT_EQ(res.staleReads, 0u);
+            EXPECT_TRUE(det.scp().wholeExecutionSc);
+        }
+    }
+}
+
+TEST(Figure1b, So1EdgeOrdersTheConflictingAccesses)
+{
+    const auto res = runProgram(figure1b(), {.model = ModelKind::WO});
+    const auto det = analyzeExecution(res);
+    // Writes of P1 happen-before reads of P2 via Unset -> Test&Set.
+    const auto &trace = det.trace();
+    const EventId w = trace.procEvents(0)[0];
+    const EventId r = trace.procEvents(1).back();
+    EXPECT_TRUE(det.hbReach().reaches(w, r));
+}
+
+// ------------------------------------------------------------------
+// Figure 2: the queue fragment and its weak execution.
+// ------------------------------------------------------------------
+
+class Figure2 : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        scenario_ = stageFigure2bExecution();
+        det_ = std::make_unique<DetectionResult>(
+            analyzeExecution(scenario_.result));
+    }
+
+    Scenario scenario_;
+    std::unique_ptr<DetectionResult> det_;
+};
+
+TEST_F(Figure2, P2DequeuesTheStaleOffset37)
+{
+    // "Instead it reads an old value, in this case 37."
+    EXPECT_EQ(scenario_.result.finalRegs[1][2], 37);
+    // And that read is the first stale read of the execution.
+    const MemOp &op =
+        scenario_.result.ops[scenario_.result.firstStaleRead];
+    EXPECT_EQ(op.addr, scenario_.program.addrOf("Q"));
+    EXPECT_EQ(op.value, 37);
+}
+
+TEST_F(Figure2, SequentiallyConsistentAndNonScRacesCoexist)
+{
+    // The depicted execution has (1) the SC data races on Q/QEmpty
+    // between P1 and P2 and (2) the non-SC data races on the region
+    // between P2 and P3.
+    ASSERT_EQ(det_->races().size(), 2u);
+    int scRaces = 0, nonScRaces = 0;
+    for (RaceId r = 0; r < det_->races().size(); ++r) {
+        if (det_->scp().raceInScp[r])
+            ++scRaces;
+        else
+            ++nonScRaces;
+    }
+    EXPECT_EQ(scRaces, 1);
+    EXPECT_EQ(nonScRaces, 1);
+}
+
+TEST_F(Figure2, FirstPartitionIsTheQueueRace)
+{
+    ASSERT_EQ(det_->partitions().firstPartitions.size(), 1u);
+    const auto &first =
+        det_->partitions()
+            .partitions[det_->partitions().firstPartitions[0]];
+    ASSERT_EQ(first.races.size(), 1u);
+    const auto &race = det_->races()[first.races[0]];
+    const Addr q = scenario_.program.addrOf("Q");
+    const Addr qe = scenario_.program.addrOf("QEmpty");
+    EXPECT_EQ(race.addrs, (std::vector<Addr>{q, qe}));
+    EXPECT_TRUE(det_->scp().raceInScp[first.races[0]]);
+}
+
+TEST_F(Figure2, RegionRacesAreNonFirstAndNonSc)
+{
+    // "On a sequentially consistent system, P2 could never have
+    //  returned the value 37, and hence these races would never have
+    //  occurred."
+    for (std::size_t i = 0; i < det_->partitions().partitions.size();
+         ++i) {
+        const auto &part = det_->partitions().partitions[i];
+        if (part.first)
+            continue;
+        for (const auto r : part.races) {
+            EXPECT_FALSE(det_->scp().raceInScp[r]);
+            // Region addresses, not the queue variables.
+            for (const auto addr : det_->races()[r].addrs)
+                EXPECT_GE(addr, 3u);
+        }
+    }
+}
+
+TEST_F(Figure2, ScpBoundaryMatchesTheDepiction)
+{
+    // Figure 2(b) draws "End of SCP" after P2's Unset(s): P2's reads
+    // of QEmpty and Q and its Unset are IN the SCP; its region work
+    // is outside.
+    const auto &trace = det_->trace();
+    const auto &scp = det_->scp();
+    const auto &p2 = trace.procEvents(1);
+    // First events of P2: computation {read QEmpty, read Q}, sync
+    // Unset.  Both fully in SCP.
+    EXPECT_EQ(scp.membership(p2[0]), ScpMembership::Full);
+    EXPECT_EQ(scp.membership(p2[1]), ScpMembership::Full);
+    // The region-work computation event is entirely outside.
+    EXPECT_EQ(scp.membership(p2[2]), ScpMembership::Outside);
+    // P1 and P3 never diverge.
+    for (const auto e : trace.procEvents(0))
+        EXPECT_EQ(scp.membership(e), ScpMembership::Full);
+    for (const auto e : trace.procEvents(2))
+        EXPECT_EQ(scp.membership(e), ScpMembership::Full);
+}
+
+TEST_F(Figure2, Condition34Holds)
+{
+    const auto bad = checkCondition34(det_->races(), det_->scp(),
+                                      det_->augmented());
+    EXPECT_TRUE(bad.empty());
+}
+
+TEST_F(Figure2, WitnessEseqContainsTheQueueRace)
+{
+    // Theorem 4.2 constructively: replaying the SCP prefix under SC
+    // yields an execution Eseq whose races include a Q/QEmpty race.
+    const auto w = buildScpWitness(scenario_.program, scenario_.result);
+    ASSERT_TRUE(w.prefixMatched);
+    EXPECT_FALSE(w.eseqRaces.empty());
+}
+
+// ------------------------------------------------------------------
+// Figure 3: the augmented graph with first / non-first partitions.
+// ------------------------------------------------------------------
+
+TEST_F(Figure2, Figure3PartitionOrdering)
+{
+    // The non-first partition must be ordered after the first one by
+    // the partial order P (Def. 4.1) realized as G' reachability.
+    const auto &parts = det_->partitions();
+    ASSERT_EQ(parts.partitions.size(), 2u);
+    const auto &first = parts.partitions[parts.firstPartitions[0]];
+    for (const auto &part : parts.partitions) {
+        if (part.first)
+            continue;
+        EXPECT_TRUE(det_->augmented().reach().componentReaches(
+            first.component, part.component));
+        EXPECT_FALSE(det_->augmented().reach().componentReaches(
+            part.component, first.component));
+    }
+}
+
+TEST_F(Figure2, Figure3ReportShowsBothPartitions)
+{
+    const auto text = formatReport(*det_, &scenario_.program);
+    EXPECT_NE(text.find("first partition"), std::string::npos);
+    EXPECT_NE(text.find("non-first partition"), std::string::npos);
+    EXPECT_NE(text.find("Q"), std::string::npos);
+    EXPECT_NE(text.find("QEmpty"), std::string::npos);
+}
+
+} // namespace
+} // namespace wmr

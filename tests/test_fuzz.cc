@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Robustness fuzzing: corrupted trace files must be rejected with a
+ * clean fatal() diagnostic (exit 1) or decode to a valid trace —
+ * never crash, hang, or allocate unboundedly.  Runs each mutated
+ * buffer in a gtest death-test subprocess.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include "common/rng.hh"
+#include "trace/trace_io.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+std::vector<std::uint8_t>
+baseline()
+{
+    const auto s = stageFigure2bExecution({.regionSize = 6,
+                                           .staleOffset = 2});
+    return serializeTrace(buildTrace(s.result,
+                                     {.keepMemberOps = true}));
+}
+
+/** Exit status predicate: clean exit 0 (valid) or fatal exit 1. */
+bool
+cleanOrFatal(int status)
+{
+    return WIFEXITED(status) && (WEXITSTATUS(status) == 0 ||
+                                 WEXITSTATUS(status) == 1);
+}
+
+TEST(TraceFuzz, SingleByteMutationsNeverCrash)
+{
+    const auto bytes = baseline();
+    Rng rng(99);
+    for (int trial = 0; trial < 25; ++trial) {
+        auto mutated = bytes;
+        const std::size_t pos =
+            8 + rng.below(mutated.size() - 8); // keep the magic
+        mutated[pos] ^= static_cast<std::uint8_t>(
+            1u << rng.below(8));
+        EXPECT_EXIT(
+            {
+                const auto trace = deserializeTrace(mutated);
+                // If it decoded, it must be self-consistent enough
+                // to answer basic queries.
+                (void)trace.events().size();
+                std::exit(0);
+            },
+            cleanOrFatal, "")
+            << "trial " << trial << " pos " << pos;
+    }
+}
+
+TEST(TraceFuzz, TruncationsNeverCrash)
+{
+    const auto bytes = baseline();
+    Rng rng(7);
+    for (int trial = 0; trial < 15; ++trial) {
+        auto mutated = bytes;
+        mutated.resize(8 + rng.below(mutated.size() - 8));
+        EXPECT_EXIT(
+            {
+                (void)deserializeTrace(mutated);
+                std::exit(0);
+            },
+            cleanOrFatal, "")
+            << "trial " << trial;
+    }
+}
+
+TEST(TraceFuzz, RandomGarbageNeverCrashes)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 15; ++trial) {
+        std::vector<std::uint8_t> junk(
+            8 + rng.below(256));
+        // Valid magic so we exercise the body parser, then noise.
+        const char magic[8] = {'W', 'M', 'R', 'T', 'R', 'C', '0',
+                               '1'};
+        std::copy(std::begin(magic), std::end(magic), junk.begin());
+        for (std::size_t i = 8; i < junk.size(); ++i)
+            junk[i] = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EXIT(
+            {
+                (void)deserializeTrace(junk);
+                std::exit(0);
+            },
+            cleanOrFatal, "")
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace wmr

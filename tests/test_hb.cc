@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests of the hb layer: SCC decomposition, the hb1 graph, the
+ * reachability index (including cyclic graphs), and vector clocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hb/hb_graph.hh"
+#include "hb/reachability.hh"
+#include "hb/scc.hh"
+#include "hb/vector_clock.hh"
+#include "sim/executor.hh"
+#include "trace/execution_trace.hh"
+#include "workload/patterns.hh"
+
+namespace wmr {
+namespace {
+
+TEST(Scc, SingletonsOnDag)
+{
+    // 0 -> 1 -> 2
+    AdjList g{{1}, {2}, {}};
+    const auto scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.numComponents, 3u);
+    // Tarjan reverse-topological property: edges go to smaller ids.
+    EXPECT_GT(scc.componentOf[0], scc.componentOf[1]);
+    EXPECT_GT(scc.componentOf[1], scc.componentOf[2]);
+}
+
+TEST(Scc, DetectsCycle)
+{
+    // 0 -> 1 -> 2 -> 0, 2 -> 3
+    AdjList g{{1}, {2}, {0, 3}, {}};
+    const auto scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.numComponents, 2u);
+    EXPECT_EQ(scc.componentOf[0], scc.componentOf[1]);
+    EXPECT_EQ(scc.componentOf[1], scc.componentOf[2]);
+    EXPECT_NE(scc.componentOf[0], scc.componentOf[3]);
+    // Condensation has exactly one edge cycle-comp -> {3}.
+    const auto cyc = scc.componentOf[0];
+    ASSERT_EQ(scc.condensation[cyc].size(), 1u);
+    EXPECT_EQ(scc.condensation[cyc][0], scc.componentOf[3]);
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent)
+{
+    AdjList g{{0}, {}};
+    const auto scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.numComponents, 2u);
+    EXPECT_EQ(scc.members[scc.componentOf[0]].size(), 1u);
+}
+
+TEST(Scc, TwoInterleavedCycles)
+{
+    // 0<->1, 2<->3, 1->2
+    AdjList g{{1}, {0, 2}, {3}, {2}};
+    const auto scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.numComponents, 2u);
+    EXPECT_EQ(scc.componentOf[0], scc.componentOf[1]);
+    EXPECT_EQ(scc.componentOf[2], scc.componentOf[3]);
+    EXPECT_NE(scc.componentOf[0], scc.componentOf[2]);
+}
+
+TEST(Scc, EmptyGraph)
+{
+    const auto scc = stronglyConnectedComponents({});
+    EXPECT_EQ(scc.numComponents, 0u);
+}
+
+TEST(Scc, DeepChainDoesNotOverflowStack)
+{
+    // 100k-node chain: the iterative Tarjan must handle it.
+    const std::uint32_t n = 100'000;
+    AdjList g(n);
+    for (std::uint32_t i = 0; i + 1 < n; ++i)
+        g[i].push_back(i + 1);
+    const auto scc = stronglyConnectedComponents(g);
+    EXPECT_EQ(scc.numComponents, n);
+}
+
+// Helper: reachability over an explicit 2-proc graph.  Nodes
+// alternate procs: node i belongs to proc i%2 with index i/2, and po
+// chains 0->2->4..., 1->3->5... are added automatically.
+ReachabilityIndex
+makeIndex(std::uint32_t n, AdjList extra)
+{
+    AdjList g(n);
+    std::vector<ProcId> proc(n);
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        proc[i] = i % 2;
+        idx[i] = i / 2;
+        if (i + 2 < n)
+            g[i].push_back(i + 2);
+    }
+    for (std::uint32_t i = 0; i < n; ++i)
+        for (const auto j : extra[i])
+            g[i].push_back(j);
+    return ReachabilityIndex(g, proc, idx, 2);
+}
+
+TEST(Reachability, PoChainsReach)
+{
+    auto r = makeIndex(6, AdjList(6));
+    EXPECT_TRUE(r.reaches(0, 2));
+    EXPECT_TRUE(r.reaches(0, 4));
+    EXPECT_TRUE(r.reaches(1, 5));
+    EXPECT_FALSE(r.reaches(4, 0));
+    EXPECT_FALSE(r.reaches(0, 1)); // different procs, no cross edge
+    EXPECT_FALSE(r.ordered(0, 1));
+    EXPECT_TRUE(r.ordered(0, 4));
+}
+
+TEST(Reachability, CrossEdgeOrders)
+{
+    // so1-like edge 0 -> 3: then 0 reaches 3 and 5, but not 1.
+    AdjList extra(6);
+    extra[0].push_back(3);
+    auto r = makeIndex(6, std::move(extra));
+    EXPECT_TRUE(r.reaches(0, 3));
+    EXPECT_TRUE(r.reaches(0, 5));
+    EXPECT_FALSE(r.reaches(0, 1));
+    EXPECT_TRUE(r.ordered(0, 5));
+    EXPECT_FALSE(r.ordered(2, 1));
+}
+
+TEST(Reachability, TransitiveThroughBothProcs)
+{
+    // 0 -> 1's chain -> back to 0's chain: 0 ->(e) 3 ->(po) 5 ->(e) 4.
+    AdjList extra(6);
+    extra[0].push_back(3);
+    extra[5].push_back(4);
+    auto r = makeIndex(6, std::move(extra));
+    EXPECT_TRUE(r.reaches(0, 4));
+    EXPECT_FALSE(r.reaches(0, 1));
+}
+
+TEST(Reachability, CycleMeansMutuallyOrdered)
+{
+    // 0 -> 3 and 3 -> 0 create a cycle {0,3} (with nothing between).
+    AdjList extra(6);
+    extra[0].push_back(3);
+    extra[3].push_back(0);
+    auto r = makeIndex(6, std::move(extra));
+    EXPECT_TRUE(r.reaches(0, 3));
+    EXPECT_TRUE(r.reaches(3, 0));
+    EXPECT_TRUE(r.ordered(0, 3));
+    // Everything po-after either cycle member is reachable from both.
+    EXPECT_TRUE(r.reaches(3, 2));
+    EXPECT_TRUE(r.reaches(0, 5));
+}
+
+TEST(Reachability, ReflexiveReaches)
+{
+    auto r = makeIndex(4, AdjList(4));
+    EXPECT_TRUE(r.reaches(2, 2));
+}
+
+TEST(HbGraph, Figure1bOrdersAcrossProcs)
+{
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 3;
+    const auto res = runProgram(figure1b(), opts);
+    const auto trace = buildTrace(res);
+    HbGraph hb(trace);
+    EXPECT_GT(hb.numSyncEdges(), 0u);
+    ReachabilityIndex reach(hb, trace);
+
+    // P1's computation event (writes) must happen-before P2's final
+    // computation event (reads) through the Unset/Test&Set pairing.
+    const EventId writer = trace.procEvents(0)[0];
+    const EventId reader = trace.procEvents(1).back();
+    EXPECT_TRUE(reach.reaches(writer, reader));
+    EXPECT_FALSE(reach.reaches(reader, writer));
+}
+
+TEST(HbGraph, Figure1aLeavesDataUnordered)
+{
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.seed = 3;
+    const auto res = runProgram(figure1a(), opts);
+    const auto trace = buildTrace(res);
+    HbGraph hb(trace);
+    EXPECT_EQ(hb.numSyncEdges(), 0u);
+    ReachabilityIndex reach(hb, trace);
+    const EventId e0 = trace.procEvents(0)[0];
+    const EventId e1 = trace.procEvents(1)[0];
+    EXPECT_FALSE(reach.ordered(e0, e1));
+}
+
+TEST(HbGraph, EdgesAreLabelled)
+{
+    ExecOptions opts;
+    opts.seed = 3;
+    const auto res = runProgram(figure1b(), opts);
+    const auto trace = buildTrace(res);
+    HbGraph hb(trace);
+    bool saw_po = false, saw_so = false;
+    for (const auto &e : hb.edges()) {
+        saw_po |= e.kind == HbEdgeKind::ProgramOrder;
+        saw_so |= e.kind == HbEdgeKind::SyncOrder;
+    }
+    EXPECT_TRUE(saw_po);
+    EXPECT_TRUE(saw_so);
+}
+
+TEST(VectorClock, TickAndGet)
+{
+    VectorClock c(3);
+    EXPECT_EQ(c.get(1), 0u);
+    c.tick(1);
+    c.tick(1);
+    EXPECT_EQ(c.get(1), 2u);
+    EXPECT_EQ(c.get(0), 0u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax)
+{
+    VectorClock a(3), b(3);
+    a.set(0, 5);
+    a.set(1, 1);
+    b.set(1, 4);
+    b.set(2, 2);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 5u);
+    EXPECT_EQ(a.get(1), 4u);
+    EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, LessOrEqual)
+{
+    VectorClock a(2), b(2);
+    a.set(0, 1);
+    b.set(0, 2);
+    b.set(1, 1);
+    EXPECT_TRUE(a.lessOrEqual(b));
+    EXPECT_FALSE(b.lessOrEqual(a));
+    EXPECT_TRUE(a.lessOrEqual(a));
+}
+
+TEST(VectorClock, EpochLeq)
+{
+    VectorClock c(2);
+    c.set(1, 3);
+    EXPECT_TRUE(c.epochLeq(1, 3));
+    EXPECT_TRUE(c.epochLeq(1, 2));
+    EXPECT_FALSE(c.epochLeq(1, 4));
+    EXPECT_FALSE(c.epochLeq(0, 1));
+}
+
+TEST(VectorClock, EqualityAcrossSizes)
+{
+    VectorClock a(2), b(4);
+    a.set(1, 7);
+    b.set(1, 7);
+    EXPECT_TRUE(a == b);
+    b.set(3, 1);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(VectorClock, Str)
+{
+    VectorClock c(3);
+    c.set(0, 3);
+    c.set(2, 7);
+    EXPECT_EQ(c.str(), "<3,0,7>");
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit + property tests of the invalidation-protocol realization —
+ * the second, structurally different implementation of the weak
+ * models — and cross-realization checks of Condition 3.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "prog/builder.hh"
+#include "sim/invalidate_model.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+TEST(InvalidateModel, FreshMissReadsMemory)
+{
+    auto m = makeModelOf(Realization::Invalidate, ModelKind::WO, 2, 4,
+                         {}, 1.0);
+    m->writeData(0, 1, 42, 0);
+    // P1 never cached addr 1: the miss fetches the fresh value.
+    const auto r = m->readData(1, 1);
+    EXPECT_EQ(r.value, 42);
+    EXPECT_FALSE(r.stale);
+}
+
+TEST(InvalidateModel, CachedCopyGoesStale)
+{
+    auto m = makeModelOf(Realization::Invalidate, ModelKind::WO, 2, 4,
+                         {}, 1.0);
+    // P1 caches addr 1 (value 0, initial), then P0 writes it.
+    EXPECT_EQ(m->readData(1, 1).value, 0);
+    m->writeData(0, 1, 42, 7);
+    const auto r = m->readData(1, 1);
+    EXPECT_EQ(r.value, 0);  // stale cached copy
+    EXPECT_TRUE(r.stale);
+    EXPECT_EQ(m->pendingStores(1), 1u); // one pending invalidation
+}
+
+TEST(InvalidateModel, AcquireFlushesInbox)
+{
+    auto m = makeModelOf(Realization::Invalidate, ModelKind::RCsc, 2,
+                         4, {}, 1.0);
+    m->readData(1, 1);
+    m->writeData(0, 1, 42, 7);
+    EXPECT_EQ(m->pendingStores(1), 1u);
+    m->readSync(1, 2, /*acquire=*/true);
+    EXPECT_EQ(m->pendingStores(1), 0u);
+    EXPECT_EQ(m->readData(1, 1).value, 42);
+}
+
+TEST(InvalidateModel, TickEventuallyDelivers)
+{
+    auto m = makeModelOf(Realization::Invalidate, ModelKind::WO, 2, 4,
+                         {}, 0.0);
+    Rng rng(3);
+    m->readData(1, 1);
+    m->writeData(0, 1, 42, 7);
+    for (int i = 0; i < 10; ++i)
+        m->tick(rng);
+    EXPECT_EQ(m->readData(1, 1).value, 42);
+}
+
+TEST(InvalidateModel, ScAppliesInstantly)
+{
+    auto m = makeModelOf(Realization::Invalidate, ModelKind::SC, 2, 4);
+    m->readData(1, 1);
+    m->writeData(0, 1, 42, 7);
+    const auto r = m->readData(1, 1);
+    EXPECT_EQ(r.value, 42);
+    EXPECT_FALSE(r.stale);
+}
+
+TEST(InvalidateModel, DrainAddrDeliversSelectively)
+{
+    auto m = makeModelOf(Realization::Invalidate, ModelKind::WO, 2, 4,
+                         {}, 1.0);
+    m->readData(1, 1);
+    m->readData(1, 2);
+    m->writeData(0, 1, 10, 5);
+    m->writeData(0, 2, 20, 6);
+    EXPECT_EQ(m->pendingStores(1), 2u);
+    m->drainAddr(0, 2);
+    EXPECT_EQ(m->pendingStores(1), 1u);
+    EXPECT_EQ(m->readData(1, 2).value, 20);
+    EXPECT_EQ(m->readData(1, 1).value, 0); // still stale
+}
+
+TEST(InvalidateScenario, Figure1aViolationReproduces)
+{
+    const auto s = stageInvalidateFigure1a();
+    EXPECT_EQ(s.result.finalRegs[1][0], 1); // y: new
+    EXPECT_EQ(s.result.finalRegs[1][1], 0); // x: old (stale cache)
+    EXPECT_GT(s.result.staleReads, 0u);
+
+    const auto det = analyzeExecution(s.result);
+    EXPECT_TRUE(det.anyDataRace());
+    const auto bad = checkCondition34(det.races(), det.scp(),
+                                      det.augmented());
+    EXPECT_TRUE(bad.empty());
+}
+
+TEST(InvalidateScenario, ViolationOnAllWeakModels)
+{
+    for (const auto kind : {ModelKind::WO, ModelKind::RCsc,
+                            ModelKind::DRF0, ModelKind::DRF1}) {
+        const auto s = stageInvalidateFigure1a(kind);
+        EXPECT_EQ(s.result.finalRegs[1][0], 1) << modelName(kind);
+        EXPECT_EQ(s.result.finalRegs[1][1], 0) << modelName(kind);
+    }
+}
+
+class RealizationSweep
+    : public ::testing::TestWithParam<Realization>
+{
+};
+
+TEST_P(RealizationSweep, RaceFreeProgramsStaySc)
+{
+    // Condition 3.4(1) on both realizations.
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+        const Program p = randomRaceFreeProgram(seed);
+        for (const auto kind :
+             {ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
+              ModelKind::DRF1}) {
+            ExecOptions opts;
+            opts.model = kind;
+            opts.realization = GetParam();
+            opts.seed = seed;
+            opts.drainLaziness = 0.9;
+            const auto res = runProgram(p, opts);
+            ASSERT_TRUE(res.completed);
+            EXPECT_EQ(res.staleReads, 0u)
+                << modelName(kind) << " seed " << seed;
+            EXPECT_FALSE(analyzeExecution(res).anyDataRace());
+        }
+    }
+}
+
+TEST_P(RealizationSweep, Condition34HoldsOnRacyPrograms)
+{
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.realization = GetParam();
+        opts.seed = seed + 3;
+        opts.drainLaziness = 0.95;
+        const auto det = analyzeExecution(runProgram(p, opts));
+        const auto bad = checkCondition34(det.races(), det.scp(),
+                                          det.augmented());
+        EXPECT_TRUE(bad.empty()) << "seed " << seed;
+    }
+}
+
+TEST_P(RealizationSweep, LockedCounterCorrect)
+{
+    const Program p = lockedCounter(3, 4);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::DRF1;
+        opts.realization = GetParam();
+        opts.seed = seed;
+        opts.drainLaziness = 0.8;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_EQ(res.memAt(1), 12);
+        EXPECT_EQ(res.staleReads, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothRealizations, RealizationSweep,
+    ::testing::ValuesIn(kAllRealizations),
+    [](const auto &info) {
+        return std::string(realizationName(info.param)) ==
+                       "store-buffer"
+                   ? "StoreBuffer"
+                   : "Invalidate";
+    });
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests of the SC model checker (ground-truth explorer) and the
+ * constructive SCP witness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mc/explorer.hh"
+#include "mc/scp_witness.hh"
+#include "prog/builder.hh"
+#include "workload/patterns.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+TEST(Explorer, SingleThreadHasOneExecution)
+{
+    ThreadBuilder t;
+    t.storei(0, 1).load(1, 0).halt();
+    ProgramBuilder pb;
+    pb.thread(t);
+    const auto truth = exploreScExecutions(pb.build());
+    EXPECT_TRUE(truth.exhaustive);
+    EXPECT_EQ(truth.executions, 1u);
+    EXPECT_FALSE(truth.anyDataRace);
+}
+
+TEST(Explorer, CountsInterleavingsOfIndependentOps)
+{
+    // Two procs, one memory op each, different addresses: exactly 2
+    // interleavings, no races.
+    ProgramBuilder pb;
+    ThreadBuilder a, b;
+    a.storei(0, 1).halt();
+    b.storei(1, 1).halt();
+    pb.thread(a).thread(b);
+    const auto truth = exploreScExecutions(pb.build());
+    EXPECT_TRUE(truth.exhaustive);
+    EXPECT_EQ(truth.executions, 2u);
+    EXPECT_FALSE(truth.anyDataRace);
+}
+
+TEST(Explorer, Figure1aAlwaysRaces)
+{
+    const auto truth = exploreScExecutions(figure1a());
+    EXPECT_TRUE(truth.exhaustive);
+    // 2 ops vs 2 ops: C(4,2) = 6 interleavings.
+    EXPECT_EQ(truth.executions, 6u);
+    EXPECT_TRUE(truth.anyDataRace);
+    // The race set includes (P0 pc0, P1 pc1) = write x / read x and
+    // (P0 pc1, P1 pc0) = write y / read y.
+    EXPECT_TRUE(truth.races.count(
+        StaticRace::make({0, 0}, {1, 1})));
+    EXPECT_TRUE(truth.races.count(
+        StaticRace::make({0, 1}, {1, 0})));
+}
+
+TEST(Explorer, Figure1bIsDataRaceFreeProgram)
+{
+    const auto truth = exploreScExecutions(figure1b());
+    EXPECT_TRUE(truth.exhaustive);
+    EXPECT_GE(truth.executions, 2u);
+    EXPECT_TRUE(truth.dataRaceFree());
+}
+
+TEST(Explorer, LockedCounterIsDataRaceFreeProgram)
+{
+    const auto truth = exploreScExecutions(
+        lockedCounter(2, 1), {.maxExecutions = 200'000});
+    EXPECT_TRUE(truth.exhaustive);
+    EXPECT_TRUE(truth.dataRaceFree());
+}
+
+TEST(Explorer, RacyCounterHasRacesInSomeExecution)
+{
+    const auto truth =
+        exploreScExecutions(lockedCounter(2, 1, /*racy=*/true));
+    EXPECT_TRUE(truth.exhaustive);
+    EXPECT_TRUE(truth.anyDataRace);
+}
+
+TEST(Explorer, ExecutionLimitRespected)
+{
+    const auto truth = exploreScExecutions(
+        lockedCounter(3, 2), {.maxExecutions = 50});
+    EXPECT_FALSE(truth.exhaustive);
+    EXPECT_LE(truth.executions, 50u);
+}
+
+TEST(Explorer, CallbackCanStopEarly)
+{
+    std::uint64_t seen = 0;
+    exploreScExecutions(figure1a(), {},
+                        [&](const ExecutionResult &) {
+                            ++seen;
+                            return seen < 3;
+                        });
+    EXPECT_EQ(seen, 3u);
+}
+
+TEST(Explorer, CallbackReceivesCompleteScExecutions)
+{
+    exploreScExecutions(figure1b(), {},
+                        [](const ExecutionResult &res) {
+                            EXPECT_TRUE(res.completed);
+                            EXPECT_EQ(res.model, ModelKind::SC);
+                            EXPECT_EQ(res.firstStaleRead, kNoOp);
+                            // P2 always reads x==1, y==1 (race-free).
+                            EXPECT_EQ(res.finalRegs[1][1], 1);
+                            EXPECT_EQ(res.finalRegs[1][2], 1);
+                            return true;
+                        });
+}
+
+TEST(Explorer, RaceFeasibility)
+{
+    // Fig 1a: write-x/read-x race is feasible on SC.
+    EXPECT_TRUE(raceFeasibleOnSc(figure1a(),
+                                 StaticRace::make({0, 0}, {1, 1})));
+    // A made-up pair that never races: read y vs read x sites.
+    EXPECT_FALSE(raceFeasibleOnSc(figure1a(),
+                                  StaticRace::make({1, 0}, {1, 1})));
+}
+
+TEST(Explorer, DekkerRacesOnSc)
+{
+    const auto truth = exploreScExecutions(dekkerDataFlags());
+    EXPECT_TRUE(truth.exhaustive);
+    EXPECT_TRUE(truth.anyDataRace);
+}
+
+TEST(Witness, CleanExecutionReplaysWholly)
+{
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 5;
+    const Program prog = figure1b();
+    const auto weak = runProgram(prog, opts);
+    ASSERT_EQ(weak.firstStaleRead, kNoOp);
+    const auto w = buildScpWitness(prog, weak);
+    EXPECT_TRUE(w.prefixMatched);
+    EXPECT_EQ(w.prefixOps, weak.ops.size());
+    EXPECT_TRUE(w.eseqRaces.empty());
+}
+
+TEST(Witness, StaleExecutionPrefixReplays)
+{
+    const auto sc = stageFigure2bExecution({.regionSize = 6,
+                                            .staleOffset = 3});
+    ASSERT_NE(sc.result.firstStaleRead, kNoOp);
+    const auto w = buildScpWitness(sc.program, sc.result);
+    EXPECT_TRUE(w.prefixMatched);
+    EXPECT_EQ(w.prefixOps, sc.result.firstStaleRead);
+    EXPECT_TRUE(w.eseq.completed);
+    EXPECT_EQ(w.eseq.firstStaleRead, kNoOp); // it IS an SC execution
+}
+
+TEST(Witness, EseqExhibitsTheFirstPartitionRace)
+{
+    // Theorem 4.2, constructively: the Q/QEmpty race of the staged
+    // figure-2b execution occurs in Eseq too.
+    const auto sc = stageFigure2bExecution({.regionSize = 6,
+                                            .staleOffset = 3});
+    const auto w = buildScpWitness(sc.program, sc.result);
+    ASSERT_TRUE(w.prefixMatched);
+    // P1 pc1 = store Q; P2 pc2 = load Q.  (pc0 is P1's movi; P2's
+    // pc0/pc1 are the QEmpty load and branch.)
+    bool found = false;
+    for (const auto &r : w.eseqRaces) {
+        found |= (r.x.proc == 0 && r.y.proc == 1) ||
+                 (r.x.proc == 1 && r.y.proc == 0);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Witness, Figure1aViolationWitness)
+{
+    const auto sc = stageFigure1aViolation();
+    ASSERT_NE(sc.result.firstStaleRead, kNoOp);
+    const auto w = buildScpWitness(sc.program, sc.result);
+    EXPECT_TRUE(w.prefixMatched);
+    EXPECT_TRUE(w.eseq.completed);
+    // Eseq of figure 1a still exhibits its data races.
+    EXPECT_FALSE(w.eseqRaces.empty());
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests of the on-the-fly detectors: precision of the unbounded
+ * variants, agreement with the post-mortem method, and the accuracy
+ * loss of bounded-history modes (Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "prog/builder.hh"
+#include "onthefly/epoch_detector.hh"
+#include "onthefly/vc_detector.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+
+namespace wmr {
+namespace {
+
+/** Run @p prog with detector @p det attached. */
+template <typename Detector>
+ExecutionResult
+runWith(const Program &prog, Detector &det,
+        ModelKind model = ModelKind::SC, std::uint64_t seed = 3)
+{
+    ExecOptions opts;
+    opts.model = model;
+    opts.seed = seed;
+    opts.sink = &det;
+    return runProgram(prog, opts);
+}
+
+TEST(VcDetector, CatchesFigure1a)
+{
+    const Program p = figure1a();
+    VcDetector det(p.numProcs(), p.memWords());
+    runWith(p, det);
+    EXPECT_FALSE(det.races().empty());
+    EXPECT_GT(det.stats().opsProcessed, 0u);
+}
+
+TEST(VcDetector, SilentOnFigure1b)
+{
+    const Program p = figure1b();
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        VcDetector det(p.numProcs(), p.memWords());
+        runWith(p, det, ModelKind::WO, seed);
+        EXPECT_TRUE(det.races().empty()) << "seed " << seed;
+    }
+}
+
+TEST(VcDetector, SilentOnLockedCounter)
+{
+    const Program p = lockedCounter(3, 4);
+    VcDetector det(p.numProcs(), p.memWords());
+    runWith(p, det, ModelKind::WO, 9);
+    EXPECT_TRUE(det.races().empty());
+}
+
+TEST(VcDetector, CatchesRacyCounter)
+{
+    const Program p = lockedCounter(2, 4, /*racy=*/true);
+    VcDetector det(p.numProcs(), p.memWords());
+    runWith(p, det);
+    EXPECT_FALSE(det.races().empty());
+}
+
+TEST(VcDetector, ReadWriteRaceAgainstEarlierReader)
+{
+    // P0 reads x; P1 writes x later with no sync: r-w race.
+    ProgramBuilder pb;
+    pb.var("x", 0, 1);
+    ThreadBuilder a, b;
+    a.load(1, 0).halt();
+    b.storei(0, 2).halt();
+    pb.thread(a).thread(b);
+    const Program p = pb.build();
+    VcDetector det(p.numProcs(), p.memWords());
+    runWith(p, det);
+    ASSERT_FALSE(det.races().empty());
+}
+
+TEST(VcDetector, AgreesWithPostMortemOnRaceExistence)
+{
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const Program p = (seed % 2) ? randomRacyProgram(seed)
+                                     : randomRaceFreeProgram(seed);
+        VcDetector det(p.numProcs(), p.memWords());
+        const auto res = runWith(p, det, ModelKind::SC, seed);
+        const auto post = analyzeExecution(res);
+        EXPECT_EQ(!det.races().empty(), post.anyDataRace())
+            << "seed " << seed;
+    }
+}
+
+TEST(EpochDetector, AgreesWithVcDetectorOnRaceExistence)
+{
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const Program p = (seed % 2) ? randomRacyProgram(seed)
+                                     : randomRaceFreeProgram(seed);
+        VcDetector vc(p.numProcs(), p.memWords());
+        EpochDetector ep(p.numProcs(), p.memWords());
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+        opts.sink = &vc;
+        const auto res = runProgram(p, opts);
+        for (const auto &op : res.ops)
+            ep.onOp(op);
+        EXPECT_EQ(vc.races().empty(), ep.races().empty())
+            << "seed " << seed;
+    }
+}
+
+TEST(EpochDetector, FewerVectorJoinsThanVcDetector)
+{
+    // FastTrack's point: data accesses do O(1) epoch comparisons
+    // instead of full vector comparisons, so the epoch detector's
+    // vector-join count (sync only) is strictly below the VC
+    // detector's (sync + every data check) on data-heavy code.
+    RandomProgConfig cfg;
+    cfg.seed = 4;
+    cfg.procs = 3;
+    cfg.blocksPerProc = 8;
+    cfg.opsPerBlock = 10;
+    cfg.dataWords = 8;
+    cfg.numLocks = 2;
+    cfg.unlockedProb = 0.3;
+    const Program p = randomProgram(cfg);
+
+    VcDetector vc(p.numProcs(), p.memWords());
+    const auto res = runWith(p, vc, ModelKind::WO, 4);
+    EpochDetector ep(p.numProcs(), p.memWords());
+    for (const auto &op : res.ops)
+        ep.onOp(op);
+
+    EXPECT_LT(ep.stats().clockJoins, vc.stats().clockJoins);
+    EXPECT_GT(ep.stats().epochChecks, 0u);
+}
+
+TEST(EpochDetector, InflatesOnConcurrentReads)
+{
+    // Two unsynchronized readers then a writer: the read metadata
+    // must inflate to a vector and the write must catch both races.
+    ProgramBuilder pb;
+    pb.var("x", 0, 1);
+    ThreadBuilder r1, r2, w;
+    r1.load(1, 0).halt();
+    r2.load(1, 0).halt();
+    w.storei(0, 9).halt();
+    pb.thread(r1).thread(r2).thread(w);
+    const Program p = pb.build();
+
+    // Scripted order: both reads, then the write.
+    ScriptedScheduler sched({0, 1, 2});
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.scheduler = &sched;
+    EpochDetector det(p.numProcs(), p.memWords());
+    opts.sink = &det;
+    runProgram(p, opts);
+    EXPECT_EQ(det.distinctRaces().size(), 2u);
+}
+
+TEST(BoundedHistory, LastReaderOnlyMissesRaces)
+{
+    // Reader A reads x, reader B reads x, writer W writes x.
+    // Precise mode: 2 read-write races.  last-reader-only: 1.
+    ProgramBuilder pb;
+    pb.var("x", 0, 1);
+    ThreadBuilder r1, r2, w;
+    r1.load(1, 0).halt();
+    r2.load(1, 0).halt();
+    w.storei(0, 9).halt();
+    pb.thread(r1).thread(r2).thread(w);
+    const Program p = pb.build();
+
+    ScriptedScheduler s1({0, 1, 2});
+    ExecOptions o1;
+    o1.scheduler = &s1;
+    o1.model = ModelKind::SC;
+    VcDetector precise(p.numProcs(), p.memWords(),
+                       {.trackAllReaders = true});
+    o1.sink = &precise;
+    runProgram(p, o1);
+
+    ScriptedScheduler s2({0, 1, 2});
+    ExecOptions o2;
+    o2.scheduler = &s2;
+    o2.model = ModelKind::SC;
+    VcDetector bounded(p.numProcs(), p.memWords(),
+                       {.trackAllReaders = false});
+    o2.sink = &bounded;
+    runProgram(p, o2);
+
+    EXPECT_EQ(precise.distinctRaces().size(), 2u);
+    EXPECT_EQ(bounded.distinctRaces().size(), 1u);
+}
+
+TEST(BoundedHistory, EvictedReleaseClocksOverOrder)
+{
+    // With a 1-entry publication table, old release clocks are
+    // evicted; acquires then join the conservative per-location
+    // clock, which can only ADD order -> never MORE races.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+
+        VcDetector precise(p.numProcs(), p.memWords());
+        opts.sink = &precise;
+        const auto res = runProgram(p, opts);
+
+        VcDetector bounded(p.numProcs(), p.memWords(),
+                           {.maxPublishedClocks = 1});
+        for (const auto &op : res.ops)
+            bounded.onOp(op);
+
+        EXPECT_LE(bounded.distinctRaces().size(),
+                  precise.distinctRaces().size())
+            << "seed " << seed;
+    }
+}
+
+TEST(Stats, CountersPopulated)
+{
+    const Program p = lockedCounter(2, 5);
+    VcDetector det(p.numProcs(), p.memWords());
+    runWith(p, det, ModelKind::WO, 2);
+    const auto &st = det.stats();
+    EXPECT_GT(st.opsProcessed, 0u);
+    EXPECT_GT(st.clockJoins, 0u);
+    EXPECT_GT(st.metadataBytes, 0u);
+    EXPECT_EQ(st.racesReported, det.races().size());
+}
+
+TEST(Stats, DistinctRacesCanonicalizes)
+{
+    OtfRace a{0, 1, 1, 2, 5, 10};
+    OtfRace b{1, 2, 0, 1, 5, 99}; // same pair, swapped + later op
+    class Probe : public OnTheFlyDetector
+    {
+      public:
+        void onOp(const MemOp &) override {}
+        void
+        add(const OtfRace &r)
+        {
+            report(r);
+        }
+    } probe;
+    probe.add(a);
+    probe.add(b);
+    EXPECT_EQ(probe.races().size(), 2u);
+    EXPECT_EQ(probe.distinctRaces().size(), 1u);
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the second batch of workload patterns: ticket lock,
+ * double-checked initialization, invariant pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "sim/scheduler.hh"
+#include "workload/patterns.hh"
+
+namespace wmr {
+namespace {
+
+TEST(TicketLock, CorrectAndRaceFreeOnAllModels)
+{
+    const Program p = ticketLock(3, 2);
+    for (const auto kind : kAllModels) {
+        for (std::uint64_t seed = 0; seed < 8; ++seed) {
+            ExecOptions opts;
+            opts.model = kind;
+            opts.seed = seed;
+            opts.drainLaziness = 0.9;
+            const auto res = runProgram(p, opts);
+            ASSERT_TRUE(res.completed)
+                << modelName(kind) << " seed " << seed;
+            EXPECT_EQ(res.memAt(3), 6); // 3 procs x 2 rounds
+            EXPECT_EQ(res.staleReads, 0u);
+            EXPECT_FALSE(analyzeExecution(res).anyDataRace());
+        }
+    }
+}
+
+TEST(TicketLock, TicketsAreUnique)
+{
+    const auto res = runProgram(ticketLock(4, 1),
+                                {.model = ModelKind::WO, .seed = 3});
+    ASSERT_TRUE(res.completed);
+    // nextTicket dispensed 4 tickets; nowServing ends at 4.
+    EXPECT_EQ(res.memAt(1), 4);
+    EXPECT_EQ(res.memAt(2), 4);
+}
+
+TEST(DoubleCheckedInit, FixedVariantIsRaceFree)
+{
+    const Program p = doubleCheckedInit(2, /*fixed=*/true);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_FALSE(analyzeExecution(res).anyDataRace())
+            << "seed " << seed;
+        EXPECT_EQ(res.staleReads, 0u);
+        // Every reader observed the initialized payload.
+        EXPECT_EQ(res.memAt(3), 42);
+        EXPECT_EQ(res.memAt(4), 42);
+    }
+}
+
+TEST(DoubleCheckedInit, BrokenVariantRaces)
+{
+    const Program p = doubleCheckedInit(2, /*fixed=*/false);
+    bool raced = false;
+    for (std::uint64_t seed = 0; seed < 20 && !raced; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+        raced = analyzeExecution(runProgram(p, opts)).anyDataRace();
+    }
+    EXPECT_TRUE(raced);
+}
+
+TEST(DoubleCheckedInit, BrokenVariantCanTearOnWeak)
+{
+    // The classic DCL failure, staged: the flag's store drains before
+    // the payload's; reader P1 fast-paths on flag==1 and reads the
+    // uninitialized payload.
+    const Program p = doubleCheckedInit(2, /*fixed=*/false);
+    // P0 (initializer): tas, bnz, load flag, bnz, store payload,
+    // store flag  (6 picks); then the flag store drains; then P1:
+    // load flag, bnz, load payload (fast), store out.
+    ScriptedScheduler sched({0, 0, 0, 0, 0, 0, 1, 1, 1, 1});
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.drainLaziness = 1.0;
+    opts.scheduler = &sched;
+    opts.drainScript = {{.afterPick = 6, .proc = 0, .addr = 1}};
+    const auto res = runProgram(p, opts);
+    ASSERT_TRUE(res.completed);
+    EXPECT_EQ(res.memAt(3), 0); // reader 0 (proc 1) saw payload==0
+    EXPECT_GT(res.staleReads, 0u);
+    // And the detector flags the broken publication as racing.
+    EXPECT_TRUE(analyzeExecution(res).anyDataRace());
+}
+
+TEST(InvariantPair, LockedReadersSeeConsistentPairs)
+{
+    const Program p = invariantPair(2, 3);
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::DRF1;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_EQ(res.memAt(3), 0) << "seed " << seed; // a-b == 0
+        EXPECT_EQ(res.memAt(4), 0) << "seed " << seed;
+        EXPECT_FALSE(analyzeExecution(res).anyDataRace());
+    }
+}
+
+TEST(InvariantPair, RacyReadersCanSeeTornPair)
+{
+    const Program p = invariantPair(2, 4, /*racy=*/true);
+    bool torn = false, raced = false;
+    for (std::uint64_t seed = 0; seed < 200 && !(torn && raced);
+         ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.7;
+        const auto res = runProgram(p, opts);
+        if (!res.completed)
+            continue;
+        torn |= res.memAt(3) != 0 || res.memAt(4) != 0;
+        raced |= analyzeExecution(res).anyDataRace();
+    }
+    EXPECT_TRUE(raced);
+    EXPECT_TRUE(torn);
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Property tests: the paper's conditions and theorems checked
+ * empirically over seeded program families.
+ *
+ *  - Condition 3.4(1): executions of data-race-free programs on every
+ *    weak model are sequentially consistent.
+ *  - Theorem 4.1: first partitions with data races exist iff data
+ *    races occurred.
+ *  - Theorem 4.2: every first partition contains a race that also
+ *    occurs in a sequentially consistent execution — checked two
+ *    ways: against the constructive SCP witness Eseq, and against
+ *    exhaustive SC enumeration (for lock-free programs).
+ *  - Reporting only first partitions never reports MORE than the
+ *    naive method (and the naive set contains the reported set).
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "mc/explorer.hh"
+#include "mc/scp_witness.hh"
+#include "workload/random_gen.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+/** Small lock-free racy programs: exhaustively enumerable. */
+Program
+tinyRacyProgram(std::uint64_t seed)
+{
+    RandomProgConfig cfg;
+    cfg.seed = seed;
+    cfg.procs = 2;
+    cfg.blocksPerProc = 1;
+    cfg.opsPerBlock = 3;
+    cfg.dataWords = 3;
+    cfg.numLocks = 1;
+    cfg.unlockedProb = 1.0; // never lock: no spins, pure data ops
+    return randomProgram(cfg);
+}
+
+/** Small lockful race-free programs. */
+Program
+tinyRaceFreeProgram(std::uint64_t seed)
+{
+    RandomProgConfig cfg;
+    cfg.seed = seed;
+    cfg.procs = 2;
+    cfg.blocksPerProc = 1;
+    cfg.opsPerBlock = 2;
+    cfg.dataWords = 2;
+    cfg.numLocks = 1;
+    cfg.unlockedProb = 0.0;
+    return randomProgram(cfg);
+}
+
+TEST(Condition341, RaceFreeProgramsStayScOnWeakModels)
+{
+    // Ground truth by construction AND verified by the explorer; then
+    // every weak execution must be SC and report nothing.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const Program p = tinyRaceFreeProgram(seed);
+        const auto truth =
+            exploreScExecutions(p, {.maxExecutions = 5'000});
+        EXPECT_FALSE(truth.anyDataRace) << "seed " << seed;
+
+        for (const auto kind :
+             {ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
+              ModelKind::DRF1}) {
+            for (std::uint64_t es = 0; es < 10; ++es) {
+                ExecOptions opts;
+                opts.model = kind;
+                opts.seed = es;
+                opts.drainLaziness = 0.9;
+                const auto res = runProgram(p, opts);
+                ASSERT_TRUE(res.completed);
+                EXPECT_EQ(res.staleReads, 0u)
+                    << modelName(kind) << " prog " << seed << " seed "
+                    << es;
+                const auto det = analyzeExecution(res);
+                EXPECT_FALSE(det.anyDataRace());
+                EXPECT_TRUE(det.scp().wholeExecutionSc);
+            }
+        }
+    }
+}
+
+TEST(Theorem41, FirstPartitionsIffDataRaces)
+{
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const Program p = (seed % 3 == 0)
+                              ? randomRaceFreeProgram(seed)
+                              : randomRacyProgram(seed);
+        for (const auto kind : {ModelKind::SC, ModelKind::WO,
+                                ModelKind::RCsc}) {
+            ExecOptions opts;
+            opts.model = kind;
+            opts.seed = seed * 7 + 1;
+            opts.drainLaziness = 0.8;
+            const auto det = analyzeExecution(runProgram(p, opts));
+            EXPECT_EQ(det.anyDataRace(),
+                      !det.partitions().firstPartitions.empty())
+                << modelName(kind) << " seed " << seed;
+        }
+    }
+}
+
+TEST(Theorem42, FirstPartitionsHoldScpRaces)
+{
+    // Every first partition contains at least one race classified
+    // (possibly) in the SCP.
+    int checked = 0;
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto det = analyzeExecution(runProgram(p, opts));
+        for (const auto pi : det.partitions().firstPartitions) {
+            bool anyScp = false;
+            for (const auto r :
+                 det.partitions().partitions[pi].races) {
+                anyScp |= det.scp().raceMaybeInScp[r];
+            }
+            EXPECT_TRUE(anyScp) << "seed " << seed;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 20); // the sweep exercised real partitions
+}
+
+TEST(Theorem42, FirstPartitionRacesAreScFeasible)
+{
+    // The strong form, via exhaustive SC enumeration: each first
+    // partition of a weak execution holds a race whose static pair
+    // occurs in SOME sequentially consistent execution.
+    int partitionsChecked = 0;
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        const Program p = tinyRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 1.0;
+        const auto res = runProgram(p, opts);
+        const auto det = analyzeExecution(res);
+
+        const auto truth =
+            exploreScExecutions(p, {.maxExecutions = 20'000});
+        ASSERT_TRUE(truth.exhaustive) << "seed " << seed;
+
+        for (const auto pi : det.partitions().firstPartitions) {
+            bool feasible = false;
+            for (const auto r :
+                 det.partitions().partitions[pi].races) {
+                for (const auto &pair :
+                     staticPairsOfRace(det, r, res.ops)) {
+                    feasible |= truth.races.count(pair) > 0;
+                }
+            }
+            EXPECT_TRUE(feasible) << "seed " << seed;
+            ++partitionsChecked;
+        }
+    }
+    EXPECT_GT(partitionsChecked, 10);
+}
+
+TEST(Theorem42, WitnessEseqConfirmsScpRaces)
+{
+    // Constructive check: a race flagged raceInScp has a static pair
+    // among the races of the witness SC execution Eseq.
+    int confirmed = 0, scpRaces = 0;
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        const Program p = tinyRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 1.0;
+        const auto res = runProgram(p, opts);
+        const auto det = analyzeExecution(res);
+        if (!det.anyDataRace())
+            continue;
+        const auto w = buildScpWitness(p, res);
+        ASSERT_TRUE(w.prefixMatched) << "seed " << seed;
+        for (RaceId r = 0;
+             r < static_cast<RaceId>(det.races().size()); ++r) {
+            if (!det.scp().raceInScp[r])
+                continue;
+            ++scpRaces;
+            for (const auto &pair :
+                 staticPairsOfRace(det, r, res.ops)) {
+                if (w.eseqRaces.count(pair)) {
+                    ++confirmed;
+                    break;
+                }
+            }
+        }
+    }
+    ASSERT_GT(scpRaces, 5);
+    // Lock-free straight-line programs: the witness reproduces every
+    // SCP race (no control divergence can hide operations).
+    EXPECT_EQ(confirmed, scpRaces);
+}
+
+TEST(Condition34, HoldsAcrossModelsAndWorkloads)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        for (const auto kind :
+             {ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
+              ModelKind::DRF1}) {
+            const Program p = randomRacyProgram(seed);
+            ExecOptions opts;
+            opts.model = kind;
+            opts.seed = seed + 100;
+            opts.drainLaziness = 0.95;
+            const auto det = analyzeExecution(runProgram(p, opts));
+            const auto bad = checkCondition34(
+                det.races(), det.scp(), det.augmented());
+            EXPECT_TRUE(bad.empty())
+                << modelName(kind) << " seed " << seed;
+        }
+    }
+}
+
+TEST(Reporting, FirstPartitionSetIsSubsetOfNaiveSet)
+{
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        const auto det = analyzeExecution(runProgram(p, opts));
+        const auto reported = det.reportedRaces();
+        EXPECT_LE(reported.size(), det.races().size());
+        for (const auto r : reported)
+            EXPECT_LT(r, det.races().size());
+    }
+}
+
+TEST(Reporting, AnalysisIsDeterministic)
+{
+    const Program p = randomRacyProgram(5);
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 9;
+    const auto res = runProgram(p, opts);
+    const auto a = analyzeExecution(res);
+    const auto b = analyzeExecution(res);
+    ASSERT_EQ(a.races().size(), b.races().size());
+    for (std::size_t i = 0; i < a.races().size(); ++i) {
+        EXPECT_EQ(a.races()[i].a, b.races()[i].a);
+        EXPECT_EQ(a.races()[i].b, b.races()[i].b);
+        EXPECT_EQ(a.races()[i].addrs, b.races()[i].addrs);
+    }
+    EXPECT_EQ(a.partitions().firstPartitions,
+              b.partitions().firstPartitions);
+}
+
+} // namespace
+} // namespace wmr

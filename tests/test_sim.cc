@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Unit tests of the simulator: memory models, schedulers, executor
+ * semantics, staleness annotation, and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prog/builder.hh"
+#include "sim/executor.hh"
+#include "sim/store_buffer_model.hh"
+#include "workload/patterns.hh"
+
+namespace wmr {
+namespace {
+
+Program
+singleThread(ThreadBuilder &t)
+{
+    ProgramBuilder pb;
+    pb.thread(t);
+    return pb.build();
+}
+
+TEST(Model, PolicyTable)
+{
+    EXPECT_TRUE(policyFor(ModelKind::SC).noBuffer);
+    EXPECT_TRUE(policyFor(ModelKind::WO).drainOnAllSync);
+    EXPECT_FALSE(policyFor(ModelKind::WO).pipelinedDrain);
+    EXPECT_FALSE(policyFor(ModelKind::RCsc).drainOnAllSync);
+    EXPECT_TRUE(policyFor(ModelKind::RCsc).drainOnRelease);
+    EXPECT_TRUE(policyFor(ModelKind::DRF0).drainOnAllSync);
+    EXPECT_TRUE(policyFor(ModelKind::DRF0).pipelinedDrain);
+    EXPECT_FALSE(policyFor(ModelKind::DRF1).drainOnAllSync);
+    EXPECT_TRUE(policyFor(ModelKind::DRF1).pipelinedDrain);
+}
+
+TEST(Model, Names)
+{
+    EXPECT_EQ(modelName(ModelKind::SC), "SC");
+    EXPECT_EQ(modelName(ModelKind::WO), "WO");
+    EXPECT_EQ(modelName(ModelKind::RCsc), "RCsc");
+    EXPECT_EQ(modelName(ModelKind::DRF0), "DRF0");
+    EXPECT_EQ(modelName(ModelKind::DRF1), "DRF1");
+}
+
+TEST(StoreBuffer, OwnerForwardsPendingStore)
+{
+    auto m = makeModel(ModelKind::WO, 2, 4, {}, /*laziness=*/1.0);
+    m->writeData(0, 1, 42, /*id=*/0);
+    EXPECT_EQ(m->pendingStores(0), 1u);
+    const auto r = m->readData(0, 1);
+    EXPECT_EQ(r.value, 42);
+    EXPECT_EQ(r.observedWrite, 0u);
+    EXPECT_FALSE(r.stale); // issue-order witness agrees
+}
+
+TEST(StoreBuffer, RemoteReaderSeesStaleValue)
+{
+    auto m = makeModel(ModelKind::WO, 2, 4, {}, 1.0);
+    m->writeData(0, 1, 42, 0);
+    const auto r = m->readData(1, 1);
+    EXPECT_EQ(r.value, 0);          // buffered, not yet visible
+    EXPECT_TRUE(r.stale);           // witness says it should be 42
+}
+
+TEST(StoreBuffer, SyncDrainsOnWO)
+{
+    auto m = makeModel(ModelKind::WO, 2, 4, {}, 1.0);
+    m->writeData(0, 1, 42, 0);
+    m->readSync(0, 2, true); // any sync op drains on WO
+    EXPECT_EQ(m->pendingStores(0), 0u);
+    EXPECT_EQ(m->readData(1, 1).value, 42);
+}
+
+TEST(StoreBuffer, AcquireDoesNotDrainOnRCsc)
+{
+    auto m = makeModel(ModelKind::RCsc, 2, 4, {}, 1.0);
+    m->writeData(0, 1, 42, 0);
+    m->readSync(0, 2, /*acquire=*/true);
+    EXPECT_EQ(m->pendingStores(0), 1u); // still buffered
+    m->writeSync(0, 2, 0, 1, /*release=*/true);
+    EXPECT_EQ(m->pendingStores(0), 0u); // release drained
+}
+
+TEST(StoreBuffer, FenceDrains)
+{
+    auto m = makeModel(ModelKind::DRF1, 2, 4, {}, 1.0);
+    m->writeData(0, 1, 7, 0);
+    m->fence(0);
+    EXPECT_EQ(m->pendingStores(0), 0u);
+}
+
+TEST(StoreBuffer, ScWritesCompleteImmediately)
+{
+    auto m = makeModel(ModelKind::SC, 2, 4);
+    m->writeData(0, 1, 9, 0);
+    EXPECT_EQ(m->pendingStores(0), 0u);
+    EXPECT_EQ(m->readData(1, 1).value, 9);
+    EXPECT_FALSE(m->readData(1, 1).stale);
+}
+
+TEST(StoreBuffer, PerLocationCoherenceOnDrain)
+{
+    // Two stores by one proc to the SAME word must drain in order.
+    auto m = makeModel(ModelKind::WO, 1, 4, {}, 0.0);
+    Rng rng(3);
+    m->writeData(0, 1, 1, 0);
+    m->writeData(0, 1, 2, 1);
+    for (int i = 0; i < 10; ++i)
+        m->tick(rng);
+    EXPECT_EQ(m->globalValue(1), 2);
+}
+
+TEST(Scheduler, RoundRobinCycles)
+{
+    RoundRobinScheduler s(1);
+    Rng rng(1);
+    const std::vector<ProcId> all{0, 1, 2};
+    EXPECT_EQ(s.pick(all, rng), 0);
+    EXPECT_EQ(s.pick(all, rng), 1);
+    EXPECT_EQ(s.pick(all, rng), 2);
+    EXPECT_EQ(s.pick(all, rng), 0);
+}
+
+TEST(Scheduler, RoundRobinQuantum)
+{
+    RoundRobinScheduler s(3);
+    Rng rng(1);
+    const std::vector<ProcId> all{0, 1};
+    EXPECT_EQ(s.pick(all, rng), 0);
+    EXPECT_EQ(s.pick(all, rng), 0);
+    EXPECT_EQ(s.pick(all, rng), 0);
+    EXPECT_EQ(s.pick(all, rng), 1);
+}
+
+TEST(Scheduler, RoundRobinSkipsHalted)
+{
+    RoundRobinScheduler s(1);
+    Rng rng(1);
+    EXPECT_EQ(s.pick({0, 1, 2}, rng), 0);
+    EXPECT_EQ(s.pick({0, 2}, rng), 2);
+    EXPECT_EQ(s.pick({0, 2}, rng), 0);
+}
+
+TEST(Scheduler, ScriptedReplaysThenFallsBack)
+{
+    ScriptedScheduler s({1, 1, 0});
+    Rng rng(1);
+    const std::vector<ProcId> all{0, 1};
+    EXPECT_EQ(s.pick(all, rng), 1);
+    EXPECT_EQ(s.pick(all, rng), 1);
+    EXPECT_EQ(s.pick(all, rng), 0);
+    // script exhausted: round-robin fallback still yields valid procs
+    const ProcId next = s.pick(all, rng);
+    EXPECT_TRUE(next == 0 || next == 1);
+}
+
+TEST(Scheduler, RandomIsFairIsh)
+{
+    RandomScheduler s;
+    Rng rng(5);
+    int c0 = 0;
+    for (int i = 0; i < 1000; ++i)
+        c0 += s.pick({0, 1}, rng) == 0;
+    EXPECT_GT(c0, 300);
+    EXPECT_LT(c0, 700);
+}
+
+TEST(Executor, ArithmeticAndControlFlow)
+{
+    ThreadBuilder t;
+    t.movi(1, 0)
+     .movi(2, 5)
+     .label("loop")
+     .addi(1, 1, 2)
+     .addi(2, 2, -1)
+     .bnz(2, "loop")
+     .store(0, 1)
+     .halt();
+    const auto res = runProgram(singleThread(t),
+                                {.model = ModelKind::SC});
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.memAt(0), 10);
+}
+
+TEST(Executor, ComparisonsWork)
+{
+    ThreadBuilder t;
+    t.movi(1, 3).movi(2, 7)
+     .cmplt(3, 1, 2)   // 1
+     .cmpeq(4, 1, 2)   // 0
+     .cmpne(5, 1, 2)   // 1
+     .cmpeqi(6, 1, 3)  // 1
+     .cmplti(7, 2, 7)  // 0
+     .sub(8, 2, 1)     // 4
+     .mul(9, 1, 2)     // 21
+     .halt();
+    const auto res = runProgram(singleThread(t));
+    const auto &r = res.finalRegs[0];
+    EXPECT_EQ(r[3], 1);
+    EXPECT_EQ(r[4], 0);
+    EXPECT_EQ(r[5], 1);
+    EXPECT_EQ(r[6], 1);
+    EXPECT_EQ(r[7], 0);
+    EXPECT_EQ(r[8], 4);
+    EXPECT_EQ(r[9], 21);
+}
+
+TEST(Executor, IndexedAddressing)
+{
+    ThreadBuilder t;
+    t.movi(1, 3)
+     .storeiIdx(10, 1, 77)   // mem[10+3] = 77
+     .loadIdx(2, 10, 1)      // r2 = mem[13]
+     .halt();
+    const auto res = runProgram(singleThread(t));
+    EXPECT_EQ(res.memAt(13), 77);
+    EXPECT_EQ(res.finalRegs[0][2], 77);
+}
+
+TEST(Executor, InitialMemoryVisible)
+{
+    ProgramBuilder pb;
+    pb.var("x", 0, 37);
+    ThreadBuilder t;
+    t.load(1, 0).halt();
+    pb.thread(t);
+    const auto res = runProgram(pb.build());
+    EXPECT_EQ(res.finalRegs[0][1], 37);
+    EXPECT_EQ(res.staleReads, 0u);
+    // Reads of the initial image pair with "no writer".
+    ASSERT_EQ(res.ops.size(), 1u);
+    EXPECT_EQ(res.ops[0].observedWrite, kNoOp);
+}
+
+TEST(Executor, TasIsAtomicReadThenWrite)
+{
+    ProgramBuilder pb;
+    pb.var("s", 0, 0);
+    ThreadBuilder t;
+    t.tas(1, 0).halt();
+    pb.thread(t);
+    const auto res = runProgram(pb.build());
+    ASSERT_EQ(res.ops.size(), 2u);
+    EXPECT_EQ(res.ops[0].kind, OpKind::Read);
+    EXPECT_TRUE(res.ops[0].sync);
+    EXPECT_TRUE(res.ops[0].acquire);
+    EXPECT_EQ(res.ops[1].kind, OpKind::Write);
+    EXPECT_TRUE(res.ops[1].sync);
+    EXPECT_FALSE(res.ops[1].release); // Test&Set write is NOT a release
+    EXPECT_EQ(res.memAt(0), 1);
+    EXPECT_EQ(res.finalRegs[0][1], 0); // old value
+}
+
+TEST(Executor, UnsetIsRelease)
+{
+    ProgramBuilder pb;
+    pb.var("s", 0, 1);
+    ThreadBuilder t;
+    t.unset(0).halt();
+    pb.thread(t);
+    const auto res = runProgram(pb.build());
+    ASSERT_EQ(res.ops.size(), 1u);
+    EXPECT_TRUE(res.ops[0].sync);
+    EXPECT_TRUE(res.ops[0].release);
+    EXPECT_EQ(res.memAt(0), 0);
+}
+
+TEST(Executor, DeterministicForSeed)
+{
+    const Program p = figure2Queue({.regionSize = 10});
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 33;
+    const auto a = runProgram(p, opts);
+    const auto b = runProgram(p, opts);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[i].addr, b.ops[i].addr);
+        EXPECT_EQ(a.ops[i].value, b.ops[i].value);
+        EXPECT_EQ(a.ops[i].proc, b.ops[i].proc);
+    }
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.stepOrder, b.stepOrder);
+}
+
+TEST(Executor, MaxStepsTruncatesSpin)
+{
+    // Consumer spins on a flag nobody sets.
+    ProgramBuilder pb;
+    pb.var("f", 0, 0);
+    ThreadBuilder t;
+    t.label("w").syncload(1, 0).bz(1, "w").halt();
+    pb.thread(t);
+    ExecOptions opts;
+    opts.maxSteps = 100;
+    const auto res = runProgram(pb.build(), opts);
+    EXPECT_FALSE(res.completed);
+    EXPECT_EQ(res.steps, 100u);
+}
+
+TEST(Executor, StepOrderReplaysExactly)
+{
+    const Program p = figure2Queue({.regionSize = 8});
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 5;
+    opts.drainLaziness = 0.9;
+    const auto orig = runProgram(p, opts);
+
+    ScriptedScheduler sched(orig.stepOrder);
+    ExecOptions replay = opts;
+    replay.scheduler = &sched;
+    const auto again = runProgram(p, replay);
+    ASSERT_EQ(orig.ops.size(), again.ops.size());
+    for (std::size_t i = 0; i < orig.ops.size(); ++i) {
+        EXPECT_EQ(orig.ops[i].proc, again.ops[i].proc);
+        EXPECT_EQ(orig.ops[i].addr, again.ops[i].addr);
+    }
+}
+
+// --- Staleness & SC witness --------------------------------------
+
+TEST(Staleness, ScNeverStale)
+{
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+        const auto res = runProgram(figure1a(), opts);
+        EXPECT_EQ(res.staleReads, 0u) << "seed " << seed;
+        EXPECT_EQ(res.firstStaleRead, kNoOp);
+    }
+}
+
+TEST(Staleness, WeakFig1aEventuallyViolatesSc)
+{
+    // Figure 1a exhibits the classic violation: P2 reads the new y
+    // but the old x.  Search seeds for it under WO.
+    bool violated = false;
+    for (std::uint64_t seed = 0; seed < 200 && !violated; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.8;
+        const auto res = runProgram(figure1a(), opts);
+        const auto &regs = res.finalRegs[1];
+        if (regs[0] == 1 && regs[1] == 0) { // y new, x old
+            violated = true;
+            EXPECT_GT(res.staleReads, 0u);
+        }
+    }
+    EXPECT_TRUE(violated);
+}
+
+TEST(Staleness, RaceFreeProgramsNeverStale)
+{
+    // Condition 3.4(1) at the simulator level: figure 1b is
+    // data-race-free, so no model may produce a stale read.
+    for (const auto kind : kAllModels) {
+        for (std::uint64_t seed = 0; seed < 50; ++seed) {
+            ExecOptions opts;
+            opts.model = kind;
+            opts.seed = seed;
+            opts.drainLaziness = 0.9;
+            const auto res = runProgram(figure1b(), opts);
+            ASSERT_TRUE(res.completed);
+            EXPECT_EQ(res.staleReads, 0u)
+                << modelName(kind) << " seed " << seed;
+            // And the synchronized reads saw the new values.
+            EXPECT_EQ(res.finalRegs[1][1], 1);
+            EXPECT_EQ(res.finalRegs[1][2], 1);
+        }
+    }
+}
+
+// --- Locked counter across models (parameterized) ----------------
+
+class ModelSweep : public ::testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(ModelSweep, LockedCounterIsCorrectUnderEveryModel)
+{
+    const Program p = lockedCounter(3, 5);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ExecOptions opts;
+        opts.model = GetParam();
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_EQ(res.memAt(1), 15) << "seed " << seed;
+        EXPECT_EQ(res.staleReads, 0u) << "seed " << seed;
+    }
+}
+
+TEST_P(ModelSweep, MessagePassingDeliversUnderEveryModel)
+{
+    const Program p = messagePassing(4, /*racy=*/false);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        ExecOptions opts;
+        opts.model = GetParam();
+        opts.seed = seed;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_EQ(res.staleReads, 0u);
+        // Consumer's last loads (ring of regs 1..) saw the payloads.
+        EXPECT_EQ(res.finalRegs[1][1], 100);
+        EXPECT_EQ(res.finalRegs[1][4], 103);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelSweep,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto &info) {
+                             return std::string(modelName(info.param));
+                         });
+
+// --- Cost model ---------------------------------------------------
+
+TEST(Cost, WeakModelsOutrunScOnWriteHeavyCode)
+{
+    const Program p = lockedCounter(2, 10);
+    Tick sc = 0, wo = 0;
+    {
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = 1;
+        sc = runProgram(p, opts).totalCycles;
+    }
+    {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = 1;
+        wo = runProgram(p, opts).totalCycles;
+    }
+    EXPECT_LT(wo, sc);
+}
+
+TEST(Cost, PipelinedDrainBeatsSerialDrain)
+{
+    // Many buffered stores before a release: DRF0's pipelined drain
+    // should be cheaper than WO's serial one.
+    ThreadBuilder t;
+    for (Addr a = 1; a <= 20; ++a)
+        t.storei(a, 1);
+    t.unset(0).halt();
+    ProgramBuilder pb1;
+    pb1.thread(t);
+    const Program p = pb1.build();
+
+    ExecOptions wo;
+    wo.model = ModelKind::WO;
+    wo.drainLaziness = 1.0;
+    ExecOptions drf0;
+    drf0.model = ModelKind::DRF0;
+    drf0.drainLaziness = 1.0;
+    EXPECT_LT(runProgram(p, drf0).totalCycles,
+              runProgram(p, wo).totalCycles);
+}
+
+} // namespace
+} // namespace wmr

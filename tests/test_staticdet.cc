@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests of the static race analysis: CFG construction, the must-hold
+ * lockset dataflow, the analyzer's verdicts on the pattern library,
+ * and the soundness property (static report ⊇ dynamic races).
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "mc/static_race.hh"
+#include "prog/builder.hh"
+#include "staticdet/static_analyzer.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+
+namespace wmr {
+namespace {
+
+TEST(Cfg, StraightLine)
+{
+    ThreadBuilder t;
+    t.movi(1, 1).storei(0, 1).halt();
+    const Thread th = t.build();
+    const Cfg cfg(th);
+    ASSERT_EQ(cfg.size(), 3u);
+    EXPECT_EQ(cfg.successors(0), std::vector<std::uint32_t>{1});
+    EXPECT_EQ(cfg.successors(1), std::vector<std::uint32_t>{2});
+    EXPECT_TRUE(cfg.successors(2).empty()); // halt
+    EXPECT_TRUE(cfg.reachable()[2]);
+}
+
+TEST(Cfg, BranchHasTwoSuccessors)
+{
+    ThreadBuilder t;
+    t.bz(1, "end").storei(0, 1).label("end").halt();
+    const Cfg cfg(t.build());
+    const auto &succ = cfg.successors(0);
+    ASSERT_EQ(succ.size(), 2u);
+    EXPECT_NE(std::find(succ.begin(), succ.end(), 1u), succ.end());
+    EXPECT_NE(std::find(succ.begin(), succ.end(), 2u), succ.end());
+}
+
+TEST(Cfg, UnreachableCodeDetected)
+{
+    ThreadBuilder t;
+    t.jmp("end").storei(0, 1).label("end").halt();
+    const Cfg cfg(t.build());
+    EXPECT_TRUE(cfg.reachable()[0]);
+    EXPECT_FALSE(cfg.reachable()[1]); // skipped store
+    EXPECT_TRUE(cfg.reachable()[2]);
+}
+
+TEST(LocksetFlow, SpinLockIdiom)
+{
+    ThreadBuilder t;
+    t.acquireLock(5, 0)        // pcs 0 (tas), 1 (bnz)
+     .storei(0, 1)             // pc 2: protected
+     .unset(5)                 // pc 3
+     .storei(1, 1)             // pc 4: unprotected
+     .halt();
+    const Thread th = t.build();
+    const Cfg cfg(th);
+    const auto r = computeLocksets(th, cfg);
+    EXPECT_TRUE(r.before[2].count(5));  // held at the store
+    EXPECT_TRUE(r.before[3].count(5));  // held at the unset
+    EXPECT_FALSE(r.before[4].count(5)); // released after
+    EXPECT_TRUE(r.before[0].empty());   // nothing at entry
+}
+
+TEST(LocksetFlow, MeetIsIntersection)
+{
+    // Lock taken on only one branch: must-hold at the join is empty.
+    ThreadBuilder t;
+    t.bz(1, "skip")
+     .acquireLock(5, 0)
+     .label("skip")
+     .storei(0, 1)
+     .halt();
+    const Thread th = t.build();
+    const auto r = computeLocksets(th, Cfg(th));
+    const std::uint32_t store_pc =
+        static_cast<std::uint32_t>(th.code.size()) - 2;
+    EXPECT_TRUE(r.before[store_pc].empty());
+}
+
+TEST(LocksetFlow, NestedLocks)
+{
+    ThreadBuilder t;
+    t.acquireLock(5, 0)
+     .acquireLock(6, 0)
+     .storei(0, 1)
+     .unset(6)
+     .storei(1, 1)
+     .unset(5)
+     .halt();
+    const Thread th = t.build();
+    const auto r = computeLocksets(th, Cfg(th));
+    // pc of first store: after two acquire idioms (2 instrs each).
+    EXPECT_EQ(r.before[4].size(), 2u);
+    EXPECT_TRUE(r.before[4].count(5));
+    EXPECT_TRUE(r.before[4].count(6));
+    // second store holds only lock 5.
+    EXPECT_EQ(r.before[6].size(), 1u);
+    EXPECT_TRUE(r.before[6].count(5));
+}
+
+TEST(Analyzer, Figure1aReported)
+{
+    const auto res = analyzeStatically(figure1a());
+    EXPECT_FALSE(res.clean());
+    // write x / read x and write y / read y: two exact pairs.
+    std::size_t exact = 0;
+    for (const auto &r : res.races)
+        exact += r.exactAddress;
+    EXPECT_EQ(exact, 2u);
+}
+
+TEST(Analyzer, Figure1bLockDisciplineOrders)
+{
+    // Figure 1b synchronizes through Unset/Test&Set on s — which IS
+    // the lockset idiom the static analysis understands... but P1
+    // never takes the lock before writing, so the discipline is
+    // still violated statically: the conservative analysis reports
+    // it even though hb1 proves the execution race-free.  This is
+    // the classic static false positive.
+    const auto res = analyzeStatically(figure1b());
+    EXPECT_FALSE(res.clean());
+}
+
+TEST(Analyzer, LockedCounterClean)
+{
+    const auto res = analyzeStatically(lockedCounter(3, 4));
+    EXPECT_TRUE(res.clean());
+}
+
+TEST(Analyzer, RacyCounterReported)
+{
+    const auto res =
+        analyzeStatically(lockedCounter(2, 2, /*racy=*/true));
+    EXPECT_FALSE(res.clean());
+}
+
+TEST(Analyzer, SyncSyncPairsNotDataRaces)
+{
+    // Two Unsets of the same word with no data access: general race
+    // only, not reported as a data race.
+    ProgramBuilder pb;
+    pb.var("s", 0, 1);
+    ThreadBuilder a, b;
+    a.unset(0).halt();
+    b.unset(0).halt();
+    pb.thread(a).thread(b);
+    const auto res = analyzeStatically(pb.build());
+    EXPECT_TRUE(res.clean());
+}
+
+TEST(Analyzer, IndexedAccessAliasesDataRegion)
+{
+    // P0 writes through an index register; P1 reads a fixed data
+    // word: potential (aliasing) race.
+    ProgramBuilder pb;
+    pb.var("lockword", 0, 0);
+    ThreadBuilder a, b;
+    a.movi(1, 3).storeiIdx(4, 1, 7).halt();
+    b.load(1, 6).halt();
+    pb.thread(a).thread(b);
+    StaticOptions opts;
+    opts.firstDataAddr = 4;
+    const auto res = analyzeStatically(pb.build(), opts);
+    ASSERT_EQ(res.races.size(), 1u);
+    EXPECT_FALSE(res.races[0].exactAddress);
+
+    // The lock word below firstDataAddr is NOT aliased.
+    ProgramBuilder pb2;
+    ThreadBuilder c, d;
+    c.movi(1, 3).storeiIdx(4, 1, 7).halt();
+    d.load(1, 0).halt(); // reads the lock region only
+    pb2.thread(c).thread(d);
+    const auto res2 = analyzeStatically(pb2.build(), opts);
+    EXPECT_TRUE(res2.clean());
+}
+
+TEST(Analyzer, UnreachableRacyCodeIgnored)
+{
+    ProgramBuilder pb;
+    pb.var("x", 0);
+    ThreadBuilder a, b;
+    a.jmp("end").storei(0, 1).label("end").halt(); // dead store
+    b.load(1, 0).halt();
+    pb.thread(a).thread(b);
+    const auto res = analyzeStatically(pb.build());
+    EXPECT_TRUE(res.clean());
+}
+
+TEST(Analyzer, ReportMentionsSitesAndLocks)
+{
+    const Program p = lockedCounter(2, 2, /*racy=*/true);
+    const auto res = analyzeStatically(p);
+    const auto text = formatStaticReport(res, &p);
+    EXPECT_NE(text.find("potential data races"), std::string::npos);
+    EXPECT_NE(text.find("counter"), std::string::npos);
+    const auto clean = formatStaticReport(
+        analyzeStatically(lockedCounter(2, 2)), nullptr);
+    EXPECT_NE(clean.find("no potential data races"),
+              std::string::npos);
+}
+
+TEST(Soundness, StaticReportCoversDynamicRaces)
+{
+    // Every dynamic race's static (proc,pc) pair must appear among
+    // the static analysis's potential races — the "superset of all
+    // possible data races" property from Section 1.
+    StaticOptions opts;
+    opts.firstDataAddr = 2; // random programs: locks at 0..1
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        const auto stat = analyzeStatically(p, opts);
+        std::set<StaticRace> staticPairs;
+        for (const auto &r : stat.races) {
+            staticPairs.insert(StaticRace::make(
+                {r.a.proc, r.a.pc}, {r.b.proc, r.b.pc}));
+        }
+
+        ExecOptions eopts;
+        eopts.model = ModelKind::WO;
+        eopts.seed = seed;
+        const auto res = runProgram(p, eopts);
+        const auto det = analyzeExecution(res);
+        for (RaceId r = 0;
+             r < static_cast<RaceId>(det.races().size()); ++r) {
+            if (!det.races()[r].isDataRace)
+                continue;
+            for (const auto &pair :
+                 staticPairsOfRace(det, r, res.ops)) {
+                EXPECT_TRUE(staticPairs.count(pair))
+                    << "seed " << seed << ": dynamic race P"
+                    << pair.x.proc << ":pc" << pair.x.pc << " / P"
+                    << pair.y.proc << ":pc" << pair.y.pc
+                    << " missing from the static report";
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace wmr

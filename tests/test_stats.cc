@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests of the execution-statistics summarizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/exec_stats.hh"
+#include "workload/patterns.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+TEST(ExecStats, CountsOpKinds)
+{
+    const auto res = runProgram(figure1b(), {.model = ModelKind::WO});
+    const auto s = summarizeExecution(res);
+    EXPECT_EQ(s.dataWrites, 2u);       // x, y
+    EXPECT_EQ(s.dataReads, 2u);        // y, x
+    EXPECT_GE(s.syncReads, 1u);        // >= 1 tas read
+    EXPECT_GE(s.syncWrites, 2u);       // tas write + unset
+    EXPECT_EQ(s.releases, 1u);         // the unset
+    EXPECT_GE(s.acquires, 1u);
+    EXPECT_EQ(s.staleReads, 0u);
+    EXPECT_EQ(s.memOps,
+              s.dataReads + s.dataWrites + s.syncReads + s.syncWrites);
+}
+
+TEST(ExecStats, PerProcOpsSumToTotal)
+{
+    const auto res =
+        runProgram(lockedCounter(3, 4), {.model = ModelKind::RCsc});
+    const auto s = summarizeExecution(res);
+    std::uint64_t sum = 0;
+    for (const auto n : s.opsPerProc)
+        sum += n;
+    EXPECT_EQ(sum, s.memOps);
+    EXPECT_EQ(s.opsPerProc.size(), 3u);
+}
+
+TEST(ExecStats, StaleTrackingByAddress)
+{
+    const auto sc = stageFigure2bExecution();
+    const auto s = summarizeExecution(sc.result);
+    EXPECT_GT(s.staleReads, 0u);
+    EXPECT_GT(s.divergentOps, 0u);
+    // The stale read was of Q (address 0).
+    ASSERT_TRUE(s.staleByAddr.count(0));
+    EXPECT_GE(s.staleByAddr.at(0), 1u);
+}
+
+TEST(ExecStats, SyncFraction)
+{
+    ExecStats s;
+    s.memOps = 10;
+    s.syncReads = 2;
+    s.syncWrites = 3;
+    EXPECT_DOUBLE_EQ(s.syncFraction(), 0.5);
+    ExecStats empty;
+    EXPECT_DOUBLE_EQ(empty.syncFraction(), 0.0);
+}
+
+TEST(ExecStats, FormatMentionsKeyNumbers)
+{
+    const auto sc = stageFigure2bExecution();
+    const auto s = summarizeExecution(sc.result);
+    const auto text = formatStats(s, &sc.program);
+    EXPECT_NE(text.find("stale reads"), std::string::npos);
+    EXPECT_NE(text.find("Q:"), std::string::npos); // stale-by-addr
+    EXPECT_NE(text.find("sync fraction"), std::string::npos);
+}
+
+TEST(ExecStats, CleanRunFormat)
+{
+    const auto res = runProgram(figure1b(), {.model = ModelKind::WO});
+    const auto text = formatStats(summarizeExecution(res));
+    EXPECT_NE(text.find("no stale reads"), std::string::npos);
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests of the ASCII timeline renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/timeline.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+TEST(Timeline, RendersColumnsPerProcessor)
+{
+    const auto s = stageFigure1aViolation();
+    const auto trace = buildTrace(s.result, {.keepMemberOps = true});
+    const auto text = renderTimeline(trace, &s.program, &s.result);
+    EXPECT_NE(text.find("P1"), std::string::npos);
+    EXPECT_NE(text.find("P2"), std::string::npos);
+    EXPECT_NE(text.find("write(x,1)"), std::string::npos);
+    // P2's stale read of x is starred.
+    EXPECT_NE(text.find("read(x,0)*"), std::string::npos);
+}
+
+TEST(Timeline, MarksPrefixBoundaryOnStaleExecutions)
+{
+    const auto s = stageFigure2bExecution({.regionSize = 6,
+                                           .staleOffset = 2});
+    const auto trace = buildTrace(s.result, {.keepMemberOps = true});
+    const auto text = renderTimeline(trace, &s.program, &s.result);
+    EXPECT_NE(text.find("end of value-exact prefix"),
+              std::string::npos);
+    EXPECT_NE(text.find("Rel(S,0)"), std::string::npos);
+}
+
+TEST(Timeline, NoBoundaryOnCleanExecutions)
+{
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = 2;
+    const auto res = runProgram(figure1b(), opts);
+    const auto trace = buildTrace(res, {.keepMemberOps = true});
+    const auto text = renderTimeline(trace, nullptr, &res);
+    EXPECT_EQ(text.find("end of value-exact prefix"),
+              std::string::npos);
+    EXPECT_NE(text.find("Acq"), std::string::npos);
+}
+
+TEST(Timeline, EventSummaryModeWithoutOps)
+{
+    const auto s = stageFigure2bExecution({.regionSize = 6,
+                                           .staleOffset = 2});
+    const auto trace = buildTrace(s.result);
+    const auto text = renderTimeline(trace, &s.program);
+    EXPECT_NE(text.find("comp("), std::string::npos);
+}
+
+TEST(Timeline, CapsOpsPerEvent)
+{
+    const auto s = stageFigure2bExecution({.regionSize = 12,
+                                           .staleOffset = 4});
+    const auto trace = buildTrace(s.result, {.keepMemberOps = true});
+    TimelineOptions opts;
+    opts.opsPerEvent = 2;
+    const auto text =
+        renderTimeline(trace, &s.program, &s.result, opts);
+    EXPECT_NE(text.find("more ops"), std::string::npos);
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests of the workload library: pattern semantics and the
+ * race-free-by-construction guarantee of the random generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/analysis.hh"
+#include "mc/explorer.hh"
+#include "sim/executor.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+#include "workload/scenarios.hh"
+
+namespace wmr {
+namespace {
+
+TEST(Patterns, Figure1aShape)
+{
+    const Program p = figure1a();
+    EXPECT_EQ(p.numProcs(), 2);
+    EXPECT_EQ(p.addrOf("x"), 0u);
+    EXPECT_EQ(p.addrOf("y"), 1u);
+}
+
+TEST(Patterns, Figure1bAlwaysDelivers)
+{
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::DRF1;
+        opts.seed = seed;
+        const auto res = runProgram(figure1b(), opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_EQ(res.finalRegs[1][1], 1); // y
+        EXPECT_EQ(res.finalRegs[1][2], 1); // x
+    }
+}
+
+TEST(Patterns, QueueFixedVariantIsRaceFree)
+{
+    const Program p = figure2Queue({.regionSize = 4,
+                                    .staleOffset = 1,
+                                    .withTestAndSet = true});
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        const auto det = analyzeExecution(res);
+        EXPECT_FALSE(det.anyDataRace()) << "seed " << seed;
+        EXPECT_EQ(res.staleReads, 0u);
+    }
+}
+
+TEST(Patterns, QueueBuggyVariantRacesOnSc)
+{
+    // Even on SC the buggy program has data races (that is the bug).
+    const auto truth = exploreScExecutions(
+        figure2Queue({.regionSize = 2, .staleOffset = 1}),
+        {.maxExecutions = 200'000});
+    EXPECT_TRUE(truth.anyDataRace);
+}
+
+TEST(Patterns, ProducerConsumerDelivers)
+{
+    const Program p = producerConsumer(6, 3);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::RCsc;
+        opts.seed = seed;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed) << "seed " << seed;
+        // consumer consumed all items
+        EXPECT_EQ(res.finalRegs[1][1], 6);
+        const auto det = analyzeExecution(res);
+        EXPECT_FALSE(det.anyDataRace());
+    }
+}
+
+TEST(Patterns, ProducerConsumerRacyVariantRaces)
+{
+    const Program p = producerConsumer(3, 2, /*racy=*/true);
+    ExecOptions opts;
+    opts.model = ModelKind::SC;
+    opts.seed = 1;
+    const auto res = runProgram(p, opts);
+    ASSERT_TRUE(res.completed);
+    const auto det = analyzeExecution(res);
+    EXPECT_TRUE(det.anyDataRace());
+}
+
+TEST(Patterns, BarrierStripesRaceFreeAndCorrect)
+{
+    const Program p = barrierStripes(3, 2);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        const auto res = runProgram(p, opts);
+        ASSERT_TRUE(res.completed);
+        EXPECT_EQ(res.staleReads, 0u);
+        const auto det = analyzeExecution(res);
+        EXPECT_FALSE(det.anyDataRace()) << "seed " << seed;
+    }
+}
+
+TEST(Patterns, DekkerIsRacyByDesign)
+{
+    const auto det = analyzeExecution(
+        runProgram(dekkerDataFlags(), {.model = ModelKind::SC}));
+    EXPECT_TRUE(det.anyDataRace());
+}
+
+TEST(Patterns, DekkerFlagReadsGoStaleOnWeak)
+{
+    // On a weak model the data-flag handshake breaks: some execution
+    // reads a flag stale (the entry protocol observes a value SC
+    // would not supply).  Under SC this never happens.
+    bool sawStale = false;
+    for (std::uint64_t seed = 0; seed < 300 && !sawStale; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        opts.drainLaziness = 1.0;
+        const auto res = runProgram(dekkerDataFlags(), opts);
+        sawStale = res.staleReads > 0;
+    }
+    EXPECT_TRUE(sawStale);
+
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+        EXPECT_EQ(runProgram(dekkerDataFlags(), opts).staleReads, 0u);
+    }
+}
+
+TEST(RandomGen, RaceFreeByConstruction)
+{
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        const Program p = randomRaceFreeProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+        const auto det = analyzeExecution(runProgram(p, opts));
+        EXPECT_FALSE(det.anyDataRace()) << "seed " << seed;
+    }
+}
+
+TEST(RandomGen, RacyProgramsUsuallyRace)
+{
+    int racy = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const Program p = randomRacyProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::SC;
+        opts.seed = seed;
+        racy += analyzeExecution(runProgram(p, opts)).anyDataRace();
+    }
+    EXPECT_GT(racy, 15);
+}
+
+TEST(RandomGen, DeterministicForSeed)
+{
+    const Program a = randomRacyProgram(77);
+    const Program b = randomRacyProgram(77);
+    EXPECT_EQ(a.disassembleAll(), b.disassembleAll());
+}
+
+TEST(RandomGen, RespectsShapeParameters)
+{
+    RandomProgConfig cfg;
+    cfg.procs = 5;
+    cfg.seed = 3;
+    const Program p = randomProgram(cfg);
+    EXPECT_EQ(p.numProcs(), 5);
+}
+
+TEST(Scenarios, Figure1aViolationIsDeterministic)
+{
+    const auto a = stageFigure1aViolation();
+    const auto b = stageFigure1aViolation();
+    EXPECT_EQ(a.result.finalRegs[1][0], 1); // y: new value
+    EXPECT_EQ(a.result.finalRegs[1][1], 0); // x: old value
+    EXPECT_EQ(a.result.staleReads, b.result.staleReads);
+    EXPECT_EQ(a.result.ops.size(), b.result.ops.size());
+}
+
+TEST(Scenarios, Figure1aViolationOnAllWeakModels)
+{
+    for (const auto kind : {ModelKind::WO, ModelKind::RCsc,
+                            ModelKind::DRF0, ModelKind::DRF1}) {
+        const auto s = stageFigure1aViolation(kind);
+        EXPECT_EQ(s.result.finalRegs[1][0], 1) << modelName(kind);
+        EXPECT_EQ(s.result.finalRegs[1][1], 0) << modelName(kind);
+        EXPECT_GT(s.result.staleReads, 0u) << modelName(kind);
+    }
+}
+
+TEST(Scenarios, Figure2bMatchesThePaper)
+{
+    const auto s = stageFigure2bExecution();
+    ASSERT_TRUE(s.result.completed);
+    // P2 dequeued the stale offset 37 (the paper's value).
+    EXPECT_EQ(s.result.finalRegs[1][2], 37);
+    EXPECT_NE(s.result.firstStaleRead, kNoOp);
+    // P2 worked region [37,137), P3 worked [0,100): overlap exists,
+    // and P2's region operations are divergent (post-SCP).
+    bool divergentWork = false;
+    for (const auto &op : s.result.ops) {
+        divergentWork |= op.divergent && op.proc == 1 &&
+                         op.kind == OpKind::Write;
+    }
+    EXPECT_TRUE(divergentWork);
+}
+
+} // namespace
+} // namespace wmr

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * wmrace — the command-line driver.
+ *
+ *   wmrace run <prog.wm> [options]     simulate + detect + report
+ *   wmrace check <trace.bin> [options] post-mortem analysis of a trace
+ *   wmrace explore <prog.wm> [options] exhaustive SC model checking
+ *   wmrace disasm <prog.wm>            print the assembled program
+ *   wmrace static <prog.wm>            compile-time lockset analysis
+ *   wmrace models                      list memory models/realizations
+ *
+ * Options of `run`:
+ *   --model SC|WO|RCsc|DRF0|DRF1   memory model      (default WO)
+ *   --realization buffer|invalidate hardware flavor  (default buffer)
+ *   --seed N                       scheduler/drain seed (default 1)
+ *   --laziness X                   drain laziness 0..1  (default 0.5)
+ *   --trace FILE                   write the event trace file
+ *   --dot FILE                     write the G' graph as DOT
+ *   --events                       include per-event detail in report
+ *   --stats                        print execution statistics
+ *   --timeline                     print the per-processor timeline
+ *   --onthefly                     also run the on-the-fly detector
+ *
+ * Options of `check`: --dot FILE, --events.
+ * Options of `explore`: --max-execs N (default 100000).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "detect/analysis.hh"
+#include "detect/dot_export.hh"
+#include "detect/report.hh"
+#include "sim/exec_stats.hh"
+#include "mc/explorer.hh"
+#include "onthefly/first_race_filter.hh"
+#include "prog/assembler.hh"
+#include "staticdet/static_analyzer.hh"
+#include "trace/timeline.hh"
+#include "trace/trace_io.hh"
+
+namespace {
+
+using namespace wmr;
+
+/** Minimal flag parser: --key value / --key. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind("--", 0) == 0) {
+                const std::string key = a.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                    kv_[key] = argv[++i];
+                } else {
+                    kv_[key] = "";
+                }
+            } else {
+                positional_.push_back(std::move(a));
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return kv_.count(key); }
+
+    std::string
+    get(const std::string &key, const std::string &dflt = "") const
+    {
+        const auto it = kv_.find(key);
+        return it == kv_.end() ? dflt : it->second;
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> kv_;
+    std::vector<std::string> positional_;
+};
+
+ModelKind
+parseModel(const std::string &name)
+{
+    for (const auto kind : kAllModels) {
+        if (name == modelName(kind))
+            return kind;
+    }
+    fatal("unknown memory model '%s' (try SC, WO, RCsc, DRF0, DRF1)",
+          name.c_str());
+}
+
+Realization
+parseRealization(const std::string &name)
+{
+    if (name == "buffer" || name == "store-buffer")
+        return Realization::StoreBuffer;
+    if (name == "invalidate")
+        return Realization::Invalidate;
+    fatal("unknown realization '%s' (try buffer, invalidate)",
+          name.c_str());
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("run: missing program file");
+    const Program prog = assembleFile(args.positional()[0]);
+
+    ExecOptions opts;
+    opts.model = parseModel(args.get("model", "WO"));
+    opts.realization =
+        parseRealization(args.get("realization", "buffer"));
+    opts.seed = std::strtoull(args.get("seed", "1").c_str(), nullptr,
+                              10);
+    opts.drainLaziness =
+        std::strtod(args.get("laziness", "0.5").c_str(), nullptr);
+
+    FirstRaceFilter otf(prog.numProcs(), prog.memWords());
+    if (args.has("onthefly"))
+        opts.sink = &otf;
+
+    const ExecutionResult res = runProgram(prog, opts);
+    std::printf("model %s (%s), seed %llu: %llu instructions, %zu "
+                "memory ops, %llu cycles%s\n",
+                std::string(modelName(opts.model)).c_str(),
+                std::string(realizationName(opts.realization))
+                    .c_str(),
+                static_cast<unsigned long long>(opts.seed),
+                static_cast<unsigned long long>(res.steps),
+                res.ops.size(),
+                static_cast<unsigned long long>(res.totalCycles),
+                res.completed ? "" : "  [TRUNCATED]");
+
+    if (args.has("trace")) {
+        const auto trace = buildTrace(res, {.keepMemberOps = true});
+        const auto bytes =
+            writeTraceFile(trace, args.get("trace"));
+        std::printf("wrote %zu events (%zu bytes) to %s\n",
+                    trace.events().size(), bytes,
+                    args.get("trace").c_str());
+    }
+
+    if (args.has("stats")) {
+        std::printf("%s",
+                    formatStats(summarizeExecution(res), &prog)
+                        .c_str());
+    }
+
+    if (args.has("timeline")) {
+        const auto trace = buildTrace(res, {.keepMemberOps = true});
+        std::printf("%s",
+                    renderTimeline(trace, &prog, &res).c_str());
+    }
+
+    const DetectionResult det = analyzeExecution(res);
+    ReportOptions ropts;
+    ropts.showEvents = args.has("events");
+    std::printf("%s", formatReport(det, &prog, ropts).c_str());
+
+    if (args.has("onthefly")) {
+        std::printf("\non-the-fly: %zu race report(s), %zu distinct, "
+                    "%zu classified first\n",
+                    otf.detector().races().size(),
+                    otf.detector().distinctRaces().size(),
+                    otf.firstRaces().size());
+    }
+
+    if (args.has("dot")) {
+        writeDotFile(det, args.get("dot"), &prog);
+        std::printf("wrote DOT graph to %s  (render: dot -Tsvg %s)\n",
+                    args.get("dot").c_str(), args.get("dot").c_str());
+    }
+    return det.anyDataRace() ? 1 : 0;
+}
+
+int
+cmdCheck(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("check: missing trace file");
+    const ExecutionTrace trace =
+        readTraceFile(args.positional()[0]);
+    const DetectionResult det = analyzeTrace(trace);
+    ReportOptions ropts;
+    ropts.showEvents = args.has("events");
+    std::printf("%s", formatReport(det, nullptr, ropts).c_str());
+    if (args.has("dot")) {
+        writeDotFile(det, args.get("dot"));
+        std::printf("wrote DOT graph to %s\n",
+                    args.get("dot").c_str());
+    }
+    return det.anyDataRace() ? 1 : 0;
+}
+
+int
+cmdExplore(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("explore: missing program file");
+    const Program prog = assembleFile(args.positional()[0]);
+    McLimits limits;
+    limits.maxExecutions = std::strtoull(
+        args.get("max-execs", "100000").c_str(), nullptr, 10);
+    const auto truth = exploreScExecutions(prog, limits);
+    std::printf("explored %llu sequentially consistent execution(s)%s"
+                "%s\n",
+                static_cast<unsigned long long>(truth.executions),
+                truth.exhaustive ? " (exhaustive)" : " (bounded)",
+                truth.truncated
+                    ? (" [" + std::to_string(truth.truncated) +
+                       " truncated paths]")
+                          .c_str()
+                    : "");
+    if (truth.anyDataRace) {
+        std::printf("program HAS data races on SC; %zu static race "
+                    "pair(s):\n",
+                    truth.races.size());
+        for (const auto &r : truth.races) {
+            std::printf("  P%u:pc%u  <->  P%u:pc%u\n", r.x.proc,
+                        r.x.pc, r.y.proc, r.y.pc);
+        }
+        return 1;
+    }
+    std::printf("no data races in any explored SC execution%s\n",
+                truth.exhaustive
+                    ? ": the program is data-race-free; all weak "
+                      "models guarantee it sequential consistency"
+                    : " (bounded exploration: not a proof)");
+    return 0;
+}
+
+int
+cmdStatic(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("static: missing program file");
+    const Program prog = assembleFile(args.positional()[0]);
+    StaticOptions opts;
+    if (args.has("first-data-addr")) {
+        opts.firstDataAddr = static_cast<Addr>(std::strtoul(
+            args.get("first-data-addr").c_str(), nullptr, 10));
+    }
+    const auto analysis = analyzeStatically(prog, opts);
+    std::printf("%s", formatStaticReport(analysis, &prog).c_str());
+    return analysis.clean() ? 0 : 1;
+}
+
+int
+cmdDisasm(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("disasm: missing program file");
+    const Program prog = assembleFile(args.positional()[0]);
+    std::printf("%s", prog.disassembleAll().c_str());
+    return 0;
+}
+
+int
+cmdModels()
+{
+    std::printf("memory models:\n");
+    std::printf("  SC    sequential consistency (every op stalls to "
+                "completion)\n");
+    std::printf("  WO    weak ordering [Dubois/Scheurich/Briggs 86]\n");
+    std::printf("  RCsc  release consistency w/ SC sync ops "
+                "[Gharachorloo+ 90]\n");
+    std::printf("  DRF0  data-race-free-0 [Adve/Hill 90] (pipelined "
+                "drains)\n");
+    std::printf("  DRF1  data-race-free-1 [Adve/Hill 91] (release/"
+                "acquire + pipelined)\n");
+    std::printf("realizations:\n");
+    std::printf("  buffer       per-processor unordered store "
+                "buffers (delayed visibility)\n");
+    std::printf("  invalidate   invalidation queues (delayed death "
+                "of stale copies)\n");
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: wmrace <command> [args]\n"
+        "  run <prog.wm>      simulate on a weak model and detect "
+        "races\n"
+        "  check <trace.bin>  post-mortem analysis of a trace file\n"
+        "  explore <prog.wm>  exhaustive SC model checking\n"
+        "  static <prog.wm>   compile-time lockset analysis\n"
+        "  disasm <prog.wm>   print the assembled program\n"
+        "  models             describe the memory models\n"
+        "see the header of tools/wmrace_cli.cc for all options\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "check")
+        return cmdCheck(args);
+    if (cmd == "explore")
+        return cmdExplore(args);
+    if (cmd == "static")
+        return cmdStatic(args);
+    if (cmd == "disasm")
+        return cmdDisasm(args);
+    if (cmd == "models")
+        return cmdModels();
+    usage();
+    return 2;
+}
