@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drain.dir/bench_ablation_drain.cc.o"
+  "CMakeFiles/bench_ablation_drain.dir/bench_ablation_drain.cc.o.d"
+  "bench_ablation_drain"
+  "bench_ablation_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

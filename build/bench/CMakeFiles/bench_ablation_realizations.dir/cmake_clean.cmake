@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_realizations.dir/bench_ablation_realizations.cc.o"
+  "CMakeFiles/bench_ablation_realizations.dir/bench_ablation_realizations.cc.o.d"
+  "bench_ablation_realizations"
+  "bench_ablation_realizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_realizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_onthefly_first.dir/bench_ext_onthefly_first.cc.o"
+  "CMakeFiles/bench_ext_onthefly_first.dir/bench_ext_onthefly_first.cc.o.d"
+  "bench_ext_onthefly_first"
+  "bench_ext_onthefly_first.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_onthefly_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

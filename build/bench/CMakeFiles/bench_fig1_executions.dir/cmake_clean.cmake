@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_executions.dir/bench_fig1_executions.cc.o"
+  "CMakeFiles/bench_fig1_executions.dir/bench_fig1_executions.cc.o.d"
+  "bench_fig1_executions"
+  "bench_fig1_executions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_queue.dir/bench_fig2_queue.cc.o"
+  "CMakeFiles/bench_fig2_queue.dir/bench_fig2_queue.cc.o.d"
+  "bench_fig2_queue"
+  "bench_fig2_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_partitions.dir/bench_fig3_partitions.cc.o"
+  "CMakeFiles/bench_fig3_partitions.dir/bench_fig3_partitions.cc.o.d"
+  "bench_fig3_partitions"
+  "bench_fig3_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

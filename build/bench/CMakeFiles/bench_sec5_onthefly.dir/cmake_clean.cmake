@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_onthefly.dir/bench_sec5_onthefly.cc.o"
+  "CMakeFiles/bench_sec5_onthefly.dir/bench_sec5_onthefly.cc.o.d"
+  "bench_sec5_onthefly"
+  "bench_sec5_onthefly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_onthefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

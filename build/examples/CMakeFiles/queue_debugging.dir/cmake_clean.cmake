@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_debugging.dir/queue_debugging.cpp.o"
+  "CMakeFiles/queue_debugging.dir/queue_debugging.cpp.o.d"
+  "queue_debugging"
+  "queue_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

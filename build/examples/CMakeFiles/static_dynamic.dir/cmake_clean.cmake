@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_dynamic.dir/static_dynamic.cpp.o"
+  "CMakeFiles/static_dynamic.dir/static_dynamic.cpp.o.d"
+  "static_dynamic"
+  "static_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_common.dir/dense_bitset.cc.o"
+  "CMakeFiles/wmr_common.dir/dense_bitset.cc.o.d"
+  "CMakeFiles/wmr_common.dir/logging.cc.o"
+  "CMakeFiles/wmr_common.dir/logging.cc.o.d"
+  "CMakeFiles/wmr_common.dir/string_util.cc.o"
+  "CMakeFiles/wmr_common.dir/string_util.cc.o.d"
+  "libwmr_common.a"
+  "libwmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/analysis.cc" "src/detect/CMakeFiles/wmr_detect.dir/analysis.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/analysis.cc.o.d"
+  "/root/repo/src/detect/augmented_graph.cc" "src/detect/CMakeFiles/wmr_detect.dir/augmented_graph.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/augmented_graph.cc.o.d"
+  "/root/repo/src/detect/dot_export.cc" "src/detect/CMakeFiles/wmr_detect.dir/dot_export.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/dot_export.cc.o.d"
+  "/root/repo/src/detect/partition.cc" "src/detect/CMakeFiles/wmr_detect.dir/partition.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/partition.cc.o.d"
+  "/root/repo/src/detect/race_finder.cc" "src/detect/CMakeFiles/wmr_detect.dir/race_finder.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/race_finder.cc.o.d"
+  "/root/repo/src/detect/report.cc" "src/detect/CMakeFiles/wmr_detect.dir/report.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/report.cc.o.d"
+  "/root/repo/src/detect/scp.cc" "src/detect/CMakeFiles/wmr_detect.dir/scp.cc.o" "gcc" "src/detect/CMakeFiles/wmr_detect.dir/scp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hb/CMakeFiles/wmr_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

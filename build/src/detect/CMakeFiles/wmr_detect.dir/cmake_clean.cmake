@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_detect.dir/analysis.cc.o"
+  "CMakeFiles/wmr_detect.dir/analysis.cc.o.d"
+  "CMakeFiles/wmr_detect.dir/augmented_graph.cc.o"
+  "CMakeFiles/wmr_detect.dir/augmented_graph.cc.o.d"
+  "CMakeFiles/wmr_detect.dir/dot_export.cc.o"
+  "CMakeFiles/wmr_detect.dir/dot_export.cc.o.d"
+  "CMakeFiles/wmr_detect.dir/partition.cc.o"
+  "CMakeFiles/wmr_detect.dir/partition.cc.o.d"
+  "CMakeFiles/wmr_detect.dir/race_finder.cc.o"
+  "CMakeFiles/wmr_detect.dir/race_finder.cc.o.d"
+  "CMakeFiles/wmr_detect.dir/report.cc.o"
+  "CMakeFiles/wmr_detect.dir/report.cc.o.d"
+  "CMakeFiles/wmr_detect.dir/scp.cc.o"
+  "CMakeFiles/wmr_detect.dir/scp.cc.o.d"
+  "libwmr_detect.a"
+  "libwmr_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

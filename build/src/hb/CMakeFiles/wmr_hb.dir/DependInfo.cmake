@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hb/hb_graph.cc" "src/hb/CMakeFiles/wmr_hb.dir/hb_graph.cc.o" "gcc" "src/hb/CMakeFiles/wmr_hb.dir/hb_graph.cc.o.d"
+  "/root/repo/src/hb/reachability.cc" "src/hb/CMakeFiles/wmr_hb.dir/reachability.cc.o" "gcc" "src/hb/CMakeFiles/wmr_hb.dir/reachability.cc.o.d"
+  "/root/repo/src/hb/scc.cc" "src/hb/CMakeFiles/wmr_hb.dir/scc.cc.o" "gcc" "src/hb/CMakeFiles/wmr_hb.dir/scc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

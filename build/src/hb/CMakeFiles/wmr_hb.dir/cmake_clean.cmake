@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_hb.dir/hb_graph.cc.o"
+  "CMakeFiles/wmr_hb.dir/hb_graph.cc.o.d"
+  "CMakeFiles/wmr_hb.dir/reachability.cc.o"
+  "CMakeFiles/wmr_hb.dir/reachability.cc.o.d"
+  "CMakeFiles/wmr_hb.dir/scc.cc.o"
+  "CMakeFiles/wmr_hb.dir/scc.cc.o.d"
+  "libwmr_hb.a"
+  "libwmr_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

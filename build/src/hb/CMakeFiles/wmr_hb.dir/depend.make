@@ -1,0 +1,2 @@
+# Empty dependencies file for wmr_hb.
+# This may be replaced when dependencies are built.

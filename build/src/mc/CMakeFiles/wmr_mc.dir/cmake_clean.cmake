@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_mc.dir/explorer.cc.o"
+  "CMakeFiles/wmr_mc.dir/explorer.cc.o.d"
+  "CMakeFiles/wmr_mc.dir/scp_witness.cc.o"
+  "CMakeFiles/wmr_mc.dir/scp_witness.cc.o.d"
+  "libwmr_mc.a"
+  "libwmr_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

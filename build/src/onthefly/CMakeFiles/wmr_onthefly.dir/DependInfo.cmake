@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/onthefly/epoch_detector.cc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/epoch_detector.cc.o" "gcc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/epoch_detector.cc.o.d"
+  "/root/repo/src/onthefly/first_race_filter.cc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/first_race_filter.cc.o" "gcc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/first_race_filter.cc.o.d"
+  "/root/repo/src/onthefly/lockset_detector.cc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/lockset_detector.cc.o" "gcc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/lockset_detector.cc.o.d"
+  "/root/repo/src/onthefly/vc_detector.cc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/vc_detector.cc.o" "gcc" "src/onthefly/CMakeFiles/wmr_onthefly.dir/vc_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hb/CMakeFiles/wmr_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

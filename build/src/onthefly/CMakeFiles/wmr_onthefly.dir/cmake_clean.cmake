@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_onthefly.dir/epoch_detector.cc.o"
+  "CMakeFiles/wmr_onthefly.dir/epoch_detector.cc.o.d"
+  "CMakeFiles/wmr_onthefly.dir/first_race_filter.cc.o"
+  "CMakeFiles/wmr_onthefly.dir/first_race_filter.cc.o.d"
+  "CMakeFiles/wmr_onthefly.dir/lockset_detector.cc.o"
+  "CMakeFiles/wmr_onthefly.dir/lockset_detector.cc.o.d"
+  "CMakeFiles/wmr_onthefly.dir/vc_detector.cc.o"
+  "CMakeFiles/wmr_onthefly.dir/vc_detector.cc.o.d"
+  "libwmr_onthefly.a"
+  "libwmr_onthefly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_onthefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

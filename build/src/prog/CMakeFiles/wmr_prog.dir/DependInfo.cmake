@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/assembler.cc" "src/prog/CMakeFiles/wmr_prog.dir/assembler.cc.o" "gcc" "src/prog/CMakeFiles/wmr_prog.dir/assembler.cc.o.d"
+  "/root/repo/src/prog/builder.cc" "src/prog/CMakeFiles/wmr_prog.dir/builder.cc.o" "gcc" "src/prog/CMakeFiles/wmr_prog.dir/builder.cc.o.d"
+  "/root/repo/src/prog/instr.cc" "src/prog/CMakeFiles/wmr_prog.dir/instr.cc.o" "gcc" "src/prog/CMakeFiles/wmr_prog.dir/instr.cc.o.d"
+  "/root/repo/src/prog/program.cc" "src/prog/CMakeFiles/wmr_prog.dir/program.cc.o" "gcc" "src/prog/CMakeFiles/wmr_prog.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_prog.dir/assembler.cc.o"
+  "CMakeFiles/wmr_prog.dir/assembler.cc.o.d"
+  "CMakeFiles/wmr_prog.dir/builder.cc.o"
+  "CMakeFiles/wmr_prog.dir/builder.cc.o.d"
+  "CMakeFiles/wmr_prog.dir/instr.cc.o"
+  "CMakeFiles/wmr_prog.dir/instr.cc.o.d"
+  "CMakeFiles/wmr_prog.dir/program.cc.o"
+  "CMakeFiles/wmr_prog.dir/program.cc.o.d"
+  "libwmr_prog.a"
+  "libwmr_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

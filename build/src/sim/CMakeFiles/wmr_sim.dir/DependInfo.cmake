@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exec_stats.cc" "src/sim/CMakeFiles/wmr_sim.dir/exec_stats.cc.o" "gcc" "src/sim/CMakeFiles/wmr_sim.dir/exec_stats.cc.o.d"
+  "/root/repo/src/sim/executor.cc" "src/sim/CMakeFiles/wmr_sim.dir/executor.cc.o" "gcc" "src/sim/CMakeFiles/wmr_sim.dir/executor.cc.o.d"
+  "/root/repo/src/sim/invalidate_model.cc" "src/sim/CMakeFiles/wmr_sim.dir/invalidate_model.cc.o" "gcc" "src/sim/CMakeFiles/wmr_sim.dir/invalidate_model.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/wmr_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/wmr_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/store_buffer_model.cc" "src/sim/CMakeFiles/wmr_sim.dir/store_buffer_model.cc.o" "gcc" "src/sim/CMakeFiles/wmr_sim.dir/store_buffer_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_sim.dir/exec_stats.cc.o"
+  "CMakeFiles/wmr_sim.dir/exec_stats.cc.o.d"
+  "CMakeFiles/wmr_sim.dir/executor.cc.o"
+  "CMakeFiles/wmr_sim.dir/executor.cc.o.d"
+  "CMakeFiles/wmr_sim.dir/invalidate_model.cc.o"
+  "CMakeFiles/wmr_sim.dir/invalidate_model.cc.o.d"
+  "CMakeFiles/wmr_sim.dir/scheduler.cc.o"
+  "CMakeFiles/wmr_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/wmr_sim.dir/store_buffer_model.cc.o"
+  "CMakeFiles/wmr_sim.dir/store_buffer_model.cc.o.d"
+  "libwmr_sim.a"
+  "libwmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/staticdet/cfg.cc" "src/staticdet/CMakeFiles/wmr_staticdet.dir/cfg.cc.o" "gcc" "src/staticdet/CMakeFiles/wmr_staticdet.dir/cfg.cc.o.d"
+  "/root/repo/src/staticdet/lockset_dataflow.cc" "src/staticdet/CMakeFiles/wmr_staticdet.dir/lockset_dataflow.cc.o" "gcc" "src/staticdet/CMakeFiles/wmr_staticdet.dir/lockset_dataflow.cc.o.d"
+  "/root/repo/src/staticdet/static_analyzer.cc" "src/staticdet/CMakeFiles/wmr_staticdet.dir/static_analyzer.cc.o" "gcc" "src/staticdet/CMakeFiles/wmr_staticdet.dir/static_analyzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_staticdet.dir/cfg.cc.o"
+  "CMakeFiles/wmr_staticdet.dir/cfg.cc.o.d"
+  "CMakeFiles/wmr_staticdet.dir/lockset_dataflow.cc.o"
+  "CMakeFiles/wmr_staticdet.dir/lockset_dataflow.cc.o.d"
+  "CMakeFiles/wmr_staticdet.dir/static_analyzer.cc.o"
+  "CMakeFiles/wmr_staticdet.dir/static_analyzer.cc.o.d"
+  "libwmr_staticdet.a"
+  "libwmr_staticdet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_staticdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

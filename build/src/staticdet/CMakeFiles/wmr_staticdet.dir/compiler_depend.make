@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wmr_staticdet.
+# This may be replaced when dependencies are built.

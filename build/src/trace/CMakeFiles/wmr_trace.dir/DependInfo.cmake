@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event.cc" "src/trace/CMakeFiles/wmr_trace.dir/event.cc.o" "gcc" "src/trace/CMakeFiles/wmr_trace.dir/event.cc.o.d"
+  "/root/repo/src/trace/execution_trace.cc" "src/trace/CMakeFiles/wmr_trace.dir/execution_trace.cc.o" "gcc" "src/trace/CMakeFiles/wmr_trace.dir/execution_trace.cc.o.d"
+  "/root/repo/src/trace/timeline.cc" "src/trace/CMakeFiles/wmr_trace.dir/timeline.cc.o" "gcc" "src/trace/CMakeFiles/wmr_trace.dir/timeline.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/wmr_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/wmr_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_trace.dir/event.cc.o"
+  "CMakeFiles/wmr_trace.dir/event.cc.o.d"
+  "CMakeFiles/wmr_trace.dir/execution_trace.cc.o"
+  "CMakeFiles/wmr_trace.dir/execution_trace.cc.o.d"
+  "CMakeFiles/wmr_trace.dir/timeline.cc.o"
+  "CMakeFiles/wmr_trace.dir/timeline.cc.o.d"
+  "CMakeFiles/wmr_trace.dir/trace_io.cc.o"
+  "CMakeFiles/wmr_trace.dir/trace_io.cc.o.d"
+  "libwmr_trace.a"
+  "libwmr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/patterns.cc" "src/workload/CMakeFiles/wmr_workload.dir/patterns.cc.o" "gcc" "src/workload/CMakeFiles/wmr_workload.dir/patterns.cc.o.d"
+  "/root/repo/src/workload/random_gen.cc" "src/workload/CMakeFiles/wmr_workload.dir/random_gen.cc.o" "gcc" "src/workload/CMakeFiles/wmr_workload.dir/random_gen.cc.o.d"
+  "/root/repo/src/workload/scenarios.cc" "src/workload/CMakeFiles/wmr_workload.dir/scenarios.cc.o" "gcc" "src/workload/CMakeFiles/wmr_workload.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

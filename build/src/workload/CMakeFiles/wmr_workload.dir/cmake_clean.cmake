@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_workload.dir/patterns.cc.o"
+  "CMakeFiles/wmr_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/wmr_workload.dir/random_gen.cc.o"
+  "CMakeFiles/wmr_workload.dir/random_gen.cc.o.d"
+  "CMakeFiles/wmr_workload.dir/scenarios.cc.o"
+  "CMakeFiles/wmr_workload.dir/scenarios.cc.o.d"
+  "libwmr_workload.a"
+  "libwmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

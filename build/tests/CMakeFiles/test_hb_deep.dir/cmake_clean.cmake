@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hb_deep.dir/test_hb_deep.cc.o"
+  "CMakeFiles/test_hb_deep.dir/test_hb_deep.cc.o.d"
+  "test_hb_deep"
+  "test_hb_deep.pdb"
+  "test_hb_deep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hb_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

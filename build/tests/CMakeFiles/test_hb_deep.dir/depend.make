@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hb_deep.
+# This may be replaced when dependencies are built.

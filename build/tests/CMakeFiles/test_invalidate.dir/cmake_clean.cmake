@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invalidate.dir/test_invalidate.cc.o"
+  "CMakeFiles/test_invalidate.dir/test_invalidate.cc.o.d"
+  "test_invalidate"
+  "test_invalidate.pdb"
+  "test_invalidate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_matrix.dir/test_model_matrix.cc.o"
+  "CMakeFiles/test_model_matrix.dir/test_model_matrix.cc.o.d"
+  "test_model_matrix"
+  "test_model_matrix.pdb"
+  "test_model_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

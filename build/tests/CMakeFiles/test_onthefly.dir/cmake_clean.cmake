@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onthefly.dir/test_onthefly.cc.o"
+  "CMakeFiles/test_onthefly.dir/test_onthefly.cc.o.d"
+  "test_onthefly"
+  "test_onthefly.pdb"
+  "test_onthefly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onthefly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

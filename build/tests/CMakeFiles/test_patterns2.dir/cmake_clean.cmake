@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patterns2.dir/test_patterns2.cc.o"
+  "CMakeFiles/test_patterns2.dir/test_patterns2.cc.o.d"
+  "test_patterns2"
+  "test_patterns2.pdb"
+  "test_patterns2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patterns2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

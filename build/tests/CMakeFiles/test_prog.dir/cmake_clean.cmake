@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prog.dir/test_prog.cc.o"
+  "CMakeFiles/test_prog.dir/test_prog.cc.o.d"
+  "test_prog"
+  "test_prog.pdb"
+  "test_prog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

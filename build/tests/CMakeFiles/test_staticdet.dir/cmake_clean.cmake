@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_staticdet.dir/test_staticdet.cc.o"
+  "CMakeFiles/test_staticdet.dir/test_staticdet.cc.o.d"
+  "test_staticdet"
+  "test_staticdet.pdb"
+  "test_staticdet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_staticdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

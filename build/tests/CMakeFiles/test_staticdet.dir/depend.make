@@ -1,0 +1,2 @@
+# Empty dependencies file for test_staticdet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmrace_cli.dir/wmrace_cli.cc.o"
+  "CMakeFiles/wmrace_cli.dir/wmrace_cli.cc.o.d"
+  "wmrace"
+  "wmrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmrace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
