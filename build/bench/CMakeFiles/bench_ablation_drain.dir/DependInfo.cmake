@@ -14,12 +14,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mc/CMakeFiles/wmr_mc.dir/DependInfo.cmake"
-  "/root/repo/build/src/detect/CMakeFiles/wmr_detect.dir/DependInfo.cmake"
   "/root/repo/build/src/onthefly/CMakeFiles/wmr_onthefly.dir/DependInfo.cmake"
-  "/root/repo/build/src/hb/CMakeFiles/wmr_hb.dir/DependInfo.cmake"
-  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/staticdet/CMakeFiles/wmr_staticdet.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/wmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/wmr_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/wmr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/wmr_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"

@@ -14,3 +14,4 @@ subdirs("mc")
 subdirs("onthefly")
 subdirs("staticdet")
 subdirs("workload")
+subdirs("pipeline")

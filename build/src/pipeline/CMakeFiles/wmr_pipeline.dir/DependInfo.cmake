@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/aggregate_report.cc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/aggregate_report.cc.o" "gcc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/aggregate_report.cc.o.d"
+  "/root/repo/src/pipeline/batch_runner.cc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/batch_runner.cc.o" "gcc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/batch_runner.cc.o.d"
+  "/root/repo/src/pipeline/metrics.cc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/metrics.cc.o" "gcc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/metrics.cc.o.d"
+  "/root/repo/src/pipeline/trace_corpus.cc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/trace_corpus.cc.o" "gcc" "src/pipeline/CMakeFiles/wmr_pipeline.dir/trace_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/wmr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/wmr_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wmr_pipeline.dir/aggregate_report.cc.o"
+  "CMakeFiles/wmr_pipeline.dir/aggregate_report.cc.o.d"
+  "CMakeFiles/wmr_pipeline.dir/batch_runner.cc.o"
+  "CMakeFiles/wmr_pipeline.dir/batch_runner.cc.o.d"
+  "CMakeFiles/wmr_pipeline.dir/metrics.cc.o"
+  "CMakeFiles/wmr_pipeline.dir/metrics.cc.o.d"
+  "CMakeFiles/wmr_pipeline.dir/trace_corpus.cc.o"
+  "CMakeFiles/wmr_pipeline.dir/trace_corpus.cc.o.d"
+  "libwmr_pipeline.a"
+  "libwmr_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wmr_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwmr_pipeline.a"
+)

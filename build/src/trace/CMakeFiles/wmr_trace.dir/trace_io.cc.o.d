@@ -209,11 +209,10 @@ src/trace/CMakeFiles/wmr_trace.dir/trace_io.cc.o: \
  /root/repo/src/sim/model.hh /root/repo/src/common/rng.hh \
  /root/repo/src/sim/mem_op.hh /root/repo/src/sim/scheduler.hh \
  /root/repo/src/trace/event.hh /root/repo/src/common/dense_bitset.hh \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/logging.hh

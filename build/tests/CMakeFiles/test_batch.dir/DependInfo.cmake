@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batch.cc" "tests/CMakeFiles/test_batch.dir/test_batch.cc.o" "gcc" "tests/CMakeFiles/test_batch.dir/test_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mc/CMakeFiles/wmr_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/onthefly/CMakeFiles/wmr_onthefly.dir/DependInfo.cmake"
+  "/root/repo/build/src/staticdet/CMakeFiles/wmr_staticdet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/wmr_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/wmr_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/wmr_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wmr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/wmr_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,232 @@
+#include "pipeline/aggregate_report.hh"
+
+#include "common/string_util.hh"
+
+namespace wmr {
+
+BatchTotals
+computeTotals(const BatchResult &batch)
+{
+    BatchTotals t;
+    for (const auto &tr : batch.traces) {
+        if (tr.failed()) {
+            ++t.failed;
+            continue;
+        }
+        if (tr.status == TraceRunStatus::Skipped) {
+            ++t.skipped;
+            continue;
+        }
+        ++t.analyzed;
+        if (tr.anyDataRace)
+            ++t.tracesWithDataRaces;
+        if (tr.wholeExecutionSc)
+            ++t.tracesFullySc;
+        t.events += tr.events;
+        t.ops += tr.ops;
+        t.races += tr.races;
+        t.dataRaces += tr.dataRaces;
+        t.partitions += tr.partitions;
+        t.firstPartitions += tr.firstPartitions;
+        t.reportedRaces += tr.reportedRaces;
+    }
+    return t;
+}
+
+std::string
+formatBatchReport(const BatchResult &batch,
+                  const BatchReportOptions &opts)
+{
+    const BatchTotals t = computeTotals(batch);
+    std::string out;
+    out += "=== wmrace batch report ===\n";
+    out += strformat("corpus: %s (%zu trace file(s))\n",
+                     batch.corpus.source.c_str(),
+                     batch.traces.size());
+    out += strformat("analyzed: %zu   failed: %zu   skipped: %zu\n",
+                     t.analyzed, t.failed, t.skipped);
+    out += strformat(
+        "traces with data races: %zu   race-free (Theorem 4.1 => "
+        "execution was SC): %zu\n",
+        t.tracesWithDataRaces, t.analyzed - t.tracesWithDataRaces);
+
+    out += "\n";
+    std::size_t idx = 0;
+    for (const auto &tr : batch.traces) {
+        ++idx;
+        if (tr.status != TraceRunStatus::Ok) {
+            out += strformat("  #%3zu %s: %s: %s\n", idx,
+                             tr.path.c_str(),
+                             tr.status == TraceRunStatus::Skipped
+                                 ? "SKIPPED"
+                                 : "FAILED",
+                             tr.error.c_str());
+            continue;
+        }
+        if (!opts.showPerTrace)
+            continue;
+        out += strformat(
+            "  #%3zu %s: %llu event(s), %llu op(s), %llu race(s) "
+            "[%llu data], %llu partition(s), %llu first, "
+            "%llu reported%s\n",
+            idx, tr.path.c_str(),
+            static_cast<unsigned long long>(tr.events),
+            static_cast<unsigned long long>(tr.ops),
+            static_cast<unsigned long long>(tr.races),
+            static_cast<unsigned long long>(tr.dataRaces),
+            static_cast<unsigned long long>(tr.partitions),
+            static_cast<unsigned long long>(tr.firstPartitions),
+            static_cast<unsigned long long>(tr.reportedRaces),
+            tr.wholeExecutionSc ? "  [SC]" : "");
+    }
+
+    out += "\n";
+    out += strformat(
+        "totals: %s events, %s ops, %llu race(s) [%llu data], "
+        "%llu partition(s), %llu FIRST partition(s), %llu race(s) "
+        "reported\n",
+        withCommas(t.events).c_str(), withCommas(t.ops).c_str(),
+        static_cast<unsigned long long>(t.races),
+        static_cast<unsigned long long>(t.dataRaces),
+        static_cast<unsigned long long>(t.partitions),
+        static_cast<unsigned long long>(t.firstPartitions),
+        static_cast<unsigned long long>(t.reportedRaces));
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+const char *
+boolName(bool b)
+{
+    return b ? "true" : "false";
+}
+
+} // namespace
+
+std::string
+batchReportJson(const BatchResult &batch)
+{
+    const BatchTotals t = computeTotals(batch);
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"wmrace-batch-report\",\n";
+    out += "  \"version\": 1,\n";
+    out += "  \"corpus\": {\n";
+    out += strformat("    \"source\": \"%s\",\n",
+                     jsonEscape(batch.corpus.source).c_str());
+    out += strformat("    \"from_manifest\": %s,\n",
+                     boolName(batch.corpus.fromManifest));
+    out += strformat("    \"traces\": %zu\n", batch.traces.size());
+    out += "  },\n";
+    out += "  \"summary\": {\n";
+    out += strformat("    \"analyzed\": %zu,\n", t.analyzed);
+    out += strformat("    \"failed\": %zu,\n", t.failed);
+    out += strformat("    \"skipped\": %zu,\n", t.skipped);
+    out += strformat("    \"traces_with_data_races\": %zu,\n",
+                     t.tracesWithDataRaces);
+    out += strformat("    \"traces_fully_sc\": %zu,\n",
+                     t.tracesFullySc);
+    out += strformat("    \"events\": %llu,\n",
+                     static_cast<unsigned long long>(t.events));
+    out += strformat("    \"ops\": %llu,\n",
+                     static_cast<unsigned long long>(t.ops));
+    out += strformat("    \"races\": %llu,\n",
+                     static_cast<unsigned long long>(t.races));
+    out += strformat("    \"data_races\": %llu,\n",
+                     static_cast<unsigned long long>(t.dataRaces));
+    out += strformat("    \"partitions\": %llu,\n",
+                     static_cast<unsigned long long>(t.partitions));
+    out += strformat(
+        "    \"first_partitions\": %llu,\n",
+        static_cast<unsigned long long>(t.firstPartitions));
+    out += strformat(
+        "    \"reported_races\": %llu\n",
+        static_cast<unsigned long long>(t.reportedRaces));
+    out += "  },\n";
+    out += "  \"traces\": [\n";
+    for (std::size_t i = 0; i < batch.traces.size(); ++i) {
+        const auto &tr = batch.traces[i];
+        out += "    {\n";
+        out += strformat("      \"path\": \"%s\",\n",
+                         jsonEscape(tr.path).c_str());
+        out += strformat("      \"status\": \"%s\"",
+                         traceRunStatusName(tr.status));
+        if (tr.status != TraceRunStatus::Ok) {
+            out += strformat(",\n      \"error\": \"%s\"\n",
+                             jsonEscape(tr.error).c_str());
+        } else {
+            out += ",\n";
+            out += strformat(
+                "      \"bytes\": %llu,\n",
+                static_cast<unsigned long long>(tr.fileBytes));
+            out += strformat(
+                "      \"events\": %llu,\n",
+                static_cast<unsigned long long>(tr.events));
+            out += strformat(
+                "      \"sync_events\": %llu,\n",
+                static_cast<unsigned long long>(tr.syncEvents));
+            out += strformat(
+                "      \"ops\": %llu,\n",
+                static_cast<unsigned long long>(tr.ops));
+            out += strformat(
+                "      \"races\": %llu,\n",
+                static_cast<unsigned long long>(tr.races));
+            out += strformat(
+                "      \"data_races\": %llu,\n",
+                static_cast<unsigned long long>(tr.dataRaces));
+            out += strformat(
+                "      \"partitions\": %llu,\n",
+                static_cast<unsigned long long>(tr.partitions));
+            out += strformat(
+                "      \"first_partitions\": %llu,\n",
+                static_cast<unsigned long long>(
+                    tr.firstPartitions));
+            out += strformat(
+                "      \"reported_races\": %llu,\n",
+                static_cast<unsigned long long>(tr.reportedRaces));
+            out += strformat("      \"any_data_race\": %s,\n",
+                             boolName(tr.anyDataRace));
+            out += strformat("      \"whole_execution_sc\": %s\n",
+                             boolName(tr.wholeExecutionSc));
+        }
+        out += i + 1 < batch.traces.size() ? "    },\n" : "    }\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace wmr

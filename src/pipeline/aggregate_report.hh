@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Aggregated corpus reports: the deterministic output of a batch run.
+ *
+ * Both renderings (plain text and JSON) are pure functions of the
+ * per-trace results in corpus order — no timing, no worker count, no
+ * machine state — so the bytes are identical for --jobs 1 and
+ * --jobs N.  That property is load-bearing: the determinism test and
+ * the ThreadSanitizer CTest entry both diff these strings across job
+ * counts.  Timing belongs in metrics.hh.
+ */
+
+#ifndef WMR_PIPELINE_AGGREGATE_REPORT_HH
+#define WMR_PIPELINE_AGGREGATE_REPORT_HH
+
+#include <string>
+
+#include "pipeline/batch_runner.hh"
+
+namespace wmr {
+
+/** Formatting knobs of the text report. */
+struct BatchReportOptions
+{
+    /** List every trace (not just failures and the summary). */
+    bool showPerTrace = true;
+};
+
+/** Deterministic aggregate totals over the ok() traces. */
+struct BatchTotals
+{
+    std::size_t analyzed = 0;
+    std::size_t failed = 0;
+    std::size_t skipped = 0;
+    std::size_t tracesWithDataRaces = 0;
+    std::size_t tracesFullySc = 0;
+    std::uint64_t events = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t races = 0;
+    std::uint64_t dataRaces = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t firstPartitions = 0;
+    std::uint64_t reportedRaces = 0;
+};
+
+/** Fold @p batch's per-trace results into totals. */
+BatchTotals computeTotals(const BatchResult &batch);
+
+/** Render the human-readable aggregated report. */
+std::string formatBatchReport(const BatchResult &batch,
+                              const BatchReportOptions &opts = {});
+
+/**
+ * Render the machine-readable report (schema
+ * "wmrace-batch-report" v1; see docs/BATCH.md).
+ */
+std::string batchReportJson(const BatchResult &batch);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace wmr
+
+#endif // WMR_PIPELINE_AGGREGATE_REPORT_HH

@@ -1,0 +1,210 @@
+#include "pipeline/batch_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "pipeline/work_queue.hh"
+#include "pipeline/worker_pool.hh"
+#include "trace/trace_io.hh"
+
+namespace wmr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** Load + parse + analyze one trace file into @p out. */
+void
+analyzeOneTrace(const std::string &path, const AnalysisOptions &opts,
+                TraceRunResult &out, StageSeconds &stages)
+{
+    out.path = path;
+
+    const auto readStart = Clock::now();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        out.status = TraceRunStatus::IoError;
+        out.error = "cannot open trace file '" + path + "'";
+        return;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        out.status = TraceRunStatus::IoError;
+        out.error = "read error on trace file '" + path + "'";
+        return;
+    }
+    out.fileBytes = bytes.size();
+    stages.read += secondsSince(readStart);
+
+    const auto parseStart = Clock::now();
+    auto parsed = tryDeserializeTrace(bytes);
+    stages.parse += secondsSince(parseStart);
+    if (!parsed.ok()) {
+        out.status = parsed.status == TraceIoStatus::IoError
+                         ? TraceRunStatus::IoError
+                         : TraceRunStatus::FormatError;
+        out.error = parsed.error;
+        return;
+    }
+
+    const auto analyzeStart = Clock::now();
+    const DetectionResult det =
+        analyzeTrace(std::move(parsed.trace), opts);
+    stages.analyze += secondsSince(analyzeStart);
+
+    out.status = TraceRunStatus::Ok;
+    out.events = det.trace().events().size();
+    out.syncEvents = det.trace().numSyncEvents();
+    out.ops = det.trace().totalOps();
+    out.races = det.races().size();
+    out.dataRaces = det.numDataRaces();
+    out.partitions = det.partitions().partitions.size();
+    out.firstPartitions = det.partitions().firstPartitions.size();
+    out.reportedRaces = det.reportedRaces().size();
+    out.anyDataRace = det.anyDataRace();
+    out.wholeExecutionSc = det.scp().wholeExecutionSc;
+}
+
+} // namespace
+
+const char *
+traceRunStatusName(TraceRunStatus status)
+{
+    switch (status) {
+      case TraceRunStatus::Ok:
+        return "ok";
+      case TraceRunStatus::IoError:
+        return "io_error";
+      case TraceRunStatus::FormatError:
+        return "format_error";
+      case TraceRunStatus::Skipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+bool
+BatchResult::anyDataRace() const
+{
+    for (const auto &t : traces) {
+        if (t.ok() && t.anyDataRace)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+BatchResult::numFailed() const
+{
+    std::size_t n = 0;
+    for (const auto &t : traces) {
+        if (t.failed())
+            ++n;
+    }
+    return n;
+}
+
+BatchResult
+runBatch(const CorpusScan &corpus, const BatchOptions &opts)
+{
+    BatchResult result;
+    result.corpus = corpus;
+
+    const std::size_t n = corpus.files.size();
+    unsigned jobs = opts.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    if (jobs > n && n > 0)
+        jobs = static_cast<unsigned>(n);
+
+    result.traces.resize(n);
+    result.metrics.jobs = jobs;
+    result.metrics.corpusTraces = n;
+    if (n == 0)
+        return result;
+
+    const auto wallStart = Clock::now();
+
+    // Producer -> workers hand-off.  The bound keeps the backlog (and
+    // so the peak-depth metric) meaningful without ever stalling the
+    // workers: a few slots of slack per worker.
+    WorkQueue<std::size_t> queue(static_cast<std::size_t>(jobs) * 4);
+    std::atomic<bool> abortDispatch{false};
+
+    std::mutex metricsMutex;
+    StageSeconds stageTotal;
+
+    const auto workerBody = [&](unsigned) {
+        StageSeconds localStages;
+        std::size_t index = 0;
+        while (queue.pop(index)) {
+            TraceRunResult &slot = result.traces[index];
+            if (opts.failFast &&
+                abortDispatch.load(std::memory_order_relaxed)) {
+                slot.path = corpus.files[index];
+                slot.status = TraceRunStatus::Skipped;
+                slot.error = "--fail-fast after an earlier failure";
+                continue;
+            }
+            analyzeOneTrace(corpus.files[index], opts.analysis, slot,
+                            localStages);
+            if (slot.failed())
+                abortDispatch.store(true,
+                                    std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lock(metricsMutex);
+        stageTotal.read += localStages.read;
+        stageTotal.parse += localStages.parse;
+        stageTotal.analyze += localStages.analyze;
+    };
+
+    {
+        WorkerPool pool(jobs, workerBody);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (opts.failFast &&
+                abortDispatch.load(std::memory_order_relaxed)) {
+                // Mark everything not yet dispatched as skipped; the
+                // producer owns these slots until they are pushed.
+                TraceRunResult &slot = result.traces[i];
+                slot.path = corpus.files[i];
+                slot.status = TraceRunStatus::Skipped;
+                slot.error = "--fail-fast after an earlier failure";
+                continue;
+            }
+            queue.push(i);
+        }
+        queue.close();
+        pool.join();
+    }
+
+    result.metrics.wallSeconds = secondsSince(wallStart);
+    result.metrics.stageTotal = stageTotal;
+    result.metrics.peakQueueDepth = queue.peakDepth();
+    for (const auto &t : result.traces) {
+        result.metrics.bytesRead += t.fileBytes;
+        if (t.ok())
+            ++result.metrics.analyzed;
+        else if (t.failed())
+            ++result.metrics.failed;
+        else
+            ++result.metrics.skipped;
+    }
+    return result;
+}
+
+} // namespace wmr

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The batch analysis engine: run the full Section-4 post-mortem
+ * method (hb1 graph -> G' -> partitions -> first partitions) over a
+ * whole corpus of trace files on a pool of worker threads.
+ *
+ * Guarantees:
+ *  - GRACEFUL DEGRADATION: a corrupt, truncated or unreadable trace
+ *    becomes a per-trace failure with its reason; the batch keeps
+ *    going (unless --fail-fast was requested).
+ *  - DETERMINISM: per-trace results land in corpus order regardless
+ *    of worker count or scheduling, so the aggregated report is
+ *    byte-identical for --jobs 1 and --jobs N.  (Timing lives in
+ *    BatchMetrics, which is nondeterministic by nature and kept out
+ *    of the report.)
+ *
+ * The analysis entry point analyzeTrace() is reentrant — it keeps all
+ * state inside the DetectionResult being built and touches no global
+ * mutable data — so workers need no locking around it; the pipeline's
+ * only shared state is the work queue and the result slots (disjoint
+ * per trace).
+ */
+
+#ifndef WMR_PIPELINE_BATCH_RUNNER_HH
+#define WMR_PIPELINE_BATCH_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detect/analysis.hh"
+#include "pipeline/metrics.hh"
+#include "pipeline/trace_corpus.hh"
+
+namespace wmr {
+
+/** Outcome class of one corpus trace. */
+enum class TraceRunStatus : std::uint8_t {
+    Ok,          ///< analyzed successfully
+    IoError,     ///< file missing/unreadable
+    FormatError, ///< file bytes are not a well-formed trace
+    Skipped,     ///< not analyzed (--fail-fast after a failure)
+};
+
+/** @return a stable lowercase name for @p status. */
+const char *traceRunStatusName(TraceRunStatus status);
+
+/** Per-trace result: either a failure reason or summary counts. */
+struct TraceRunResult
+{
+    std::string path;
+    TraceRunStatus status = TraceRunStatus::Ok;
+
+    /** Failure reason (status != Ok). */
+    std::string error;
+
+    // --- Summary of the analysis (status == Ok) -----------------
+    std::uint64_t fileBytes = 0;
+    std::uint64_t events = 0;
+    std::uint64_t syncEvents = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t races = 0;
+    std::uint64_t dataRaces = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t firstPartitions = 0;
+    std::uint64_t reportedRaces = 0;
+    bool anyDataRace = false;
+    bool wholeExecutionSc = false;
+
+    bool ok() const { return status == TraceRunStatus::Ok; }
+    bool
+    failed() const
+    {
+        return status == TraceRunStatus::IoError ||
+               status == TraceRunStatus::FormatError;
+    }
+};
+
+/** Knobs of one batch run. */
+struct BatchOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned jobs = 0;
+
+    /** Stop dispatching new traces after the first failure. */
+    bool failFast = false;
+
+    /** Detector options applied to every trace. */
+    AnalysisOptions analysis;
+};
+
+/** Everything one batch run produced. */
+struct BatchResult
+{
+    /** The corpus that was analyzed (order = report order). */
+    CorpusScan corpus;
+
+    /** Per-trace outcomes, in corpus order. */
+    std::vector<TraceRunResult> traces;
+
+    /** Timing/shape metrics (nondeterministic; not in the report). */
+    BatchMetrics metrics;
+
+    /** @return whether any analyzed trace had a data race. */
+    bool anyDataRace() const;
+
+    /** @return number of traces that failed to load/parse. */
+    std::size_t numFailed() const;
+};
+
+/**
+ * Analyze every trace of @p corpus per @p opts.  The corpus must be
+ * ok(); pass the result of scanCorpus() or a hand-built file list.
+ */
+BatchResult runBatch(const CorpusScan &corpus,
+                     const BatchOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_PIPELINE_BATCH_RUNNER_HH

@@ -1,0 +1,56 @@
+#include "pipeline/metrics.hh"
+
+#include "common/string_util.hh"
+
+namespace wmr {
+
+std::string
+formatMetrics(const BatchMetrics &m)
+{
+    std::string out;
+    out += strformat("batch metrics (%u job(s)):\n", m.jobs);
+    out += strformat(
+        "  traces: %zu corpus, %zu analyzed, %zu failed, %zu "
+        "skipped\n",
+        m.corpusTraces, m.analyzed, m.failed, m.skipped);
+    out += strformat("  wall time: %.3f s  (%.1f traces/s)\n",
+                     m.wallSeconds, m.tracesPerSecond());
+    out += strformat("  bytes read: %s\n",
+                     withCommas(m.bytesRead).c_str());
+    out += strformat(
+        "  stage latency (worker-seconds): read %.3f, parse %.3f, "
+        "analyze %.3f\n",
+        m.stageTotal.read, m.stageTotal.parse, m.stageTotal.analyze);
+    out += strformat("  peak queue depth: %zu\n", m.peakQueueDepth);
+    return out;
+}
+
+std::string
+metricsJson(const BatchMetrics &m)
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"schema\": \"wmrace-batch-metrics\",\n";
+    out += "  \"version\": 1,\n";
+    out += strformat("  \"jobs\": %u,\n", m.jobs);
+    out += strformat("  \"corpus_traces\": %zu,\n", m.corpusTraces);
+    out += strformat("  \"analyzed\": %zu,\n", m.analyzed);
+    out += strformat("  \"failed\": %zu,\n", m.failed);
+    out += strformat("  \"skipped\": %zu,\n", m.skipped);
+    out += strformat("  \"bytes_read\": %llu,\n",
+                     static_cast<unsigned long long>(m.bytesRead));
+    out += strformat("  \"wall_seconds\": %.6f,\n", m.wallSeconds);
+    out += strformat("  \"traces_per_second\": %.3f,\n",
+                     m.tracesPerSecond());
+    out += "  \"stage_seconds\": {\n";
+    out += strformat("    \"read\": %.6f,\n", m.stageTotal.read);
+    out += strformat("    \"parse\": %.6f,\n", m.stageTotal.parse);
+    out += strformat("    \"analyze\": %.6f\n", m.stageTotal.analyze);
+    out += "  },\n";
+    out += strformat("  \"peak_queue_depth\": %zu\n",
+                     m.peakQueueDepth);
+    out += "}\n";
+    return out;
+}
+
+} // namespace wmr

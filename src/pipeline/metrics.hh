@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Run metrics of one batch-pipeline invocation.
+ *
+ * Everything here is TIMING and SHAPE — wall-clock, throughput,
+ * per-stage latency, queue depth.  Metrics are intentionally kept out
+ * of the aggregated report (aggregate_report.hh): the report must be
+ * byte-identical no matter how many worker threads ran, while metrics
+ * vary run to run by nature.  The CLI prints them to stderr (or to a
+ * separate JSON file via --metrics).
+ */
+
+#ifndef WMR_PIPELINE_METRICS_HH
+#define WMR_PIPELINE_METRICS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wmr {
+
+/** Seconds spent in each per-trace stage, summed across workers. */
+struct StageSeconds
+{
+    double read = 0;    ///< file -> bytes
+    double parse = 0;   ///< bytes -> ExecutionTrace
+    double analyze = 0; ///< ExecutionTrace -> DetectionResult
+};
+
+/** Metrics of one runBatch() call. */
+struct BatchMetrics
+{
+    /** Worker threads used. */
+    unsigned jobs = 0;
+
+    /** Corpus size and per-trace outcome counts. */
+    std::size_t corpusTraces = 0;
+    std::size_t analyzed = 0;
+    std::size_t failed = 0;
+    std::size_t skipped = 0;
+
+    /** Total trace bytes read from disk. */
+    std::uint64_t bytesRead = 0;
+
+    /** End-to-end wall-clock of the batch run. */
+    double wallSeconds = 0;
+
+    /** Per-stage latency, summed across all workers (CPU-seconds). */
+    StageSeconds stageTotal;
+
+    /** Deepest producer->worker backlog observed. */
+    std::size_t peakQueueDepth = 0;
+
+    /** @return corpus traces finished (ok or failed) per wall second. */
+    double
+    tracesPerSecond() const
+    {
+        const auto done = static_cast<double>(analyzed + failed);
+        return wallSeconds > 0 ? done / wallSeconds : 0.0;
+    }
+};
+
+/** Render @p m as the human-readable metrics block. */
+std::string formatMetrics(const BatchMetrics &m);
+
+/** Render @p m as a standalone JSON document. */
+std::string metricsJson(const BatchMetrics &m);
+
+} // namespace wmr
+
+#endif // WMR_PIPELINE_METRICS_HH

@@ -1,0 +1,102 @@
+#include "pipeline/trace_corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.hh"
+
+namespace fs = std::filesystem;
+
+namespace wmr {
+
+bool
+hasTraceExtension(const std::string &path)
+{
+    const auto dot = path.find_last_of('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = path.substr(dot);
+    return ext == ".trace" || ext == ".bin" || ext == ".wmtrc";
+}
+
+namespace {
+
+CorpusScan
+scanDirectory(const fs::path &dir)
+{
+    CorpusScan scan;
+    scan.source = dir.string();
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(dir, ec), end;
+         it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) &&
+            hasTraceExtension(it->path().string())) {
+            scan.files.push_back(it->path().string());
+        }
+    }
+    if (ec) {
+        scan.error = "cannot scan corpus directory '" + dir.string() +
+                     "': " + ec.message();
+        return scan;
+    }
+    // Directory iteration order is filesystem-dependent; sorting
+    // makes the corpus (and thus the report) order deterministic.
+    std::sort(scan.files.begin(), scan.files.end());
+    if (scan.files.empty()) {
+        scan.error = "corpus directory '" + dir.string() +
+                     "' contains no trace files "
+                     "(.trace/.bin/.wmtrc)";
+    }
+    return scan;
+}
+
+CorpusScan
+scanManifest(const fs::path &manifest)
+{
+    CorpusScan scan;
+    scan.source = manifest.string();
+    scan.fromManifest = true;
+    std::ifstream in(manifest);
+    if (!in) {
+        scan.error =
+            "cannot open manifest '" + manifest.string() + "'";
+        return scan;
+    }
+    const fs::path base = manifest.parent_path();
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string entry{trim(line)};
+        if (entry.empty() || entry[0] == '#')
+            continue;
+        fs::path p(entry);
+        if (p.is_relative())
+            p = base / p;
+        scan.files.push_back(p.string());
+    }
+    if (scan.files.empty()) {
+        scan.error = "manifest '" + manifest.string() +
+                     "' lists no trace files";
+    }
+    return scan;
+}
+
+} // namespace
+
+CorpusScan
+scanCorpus(const std::string &dirOrManifest)
+{
+    const fs::path path(dirOrManifest);
+    std::error_code ec;
+    if (fs::is_directory(path, ec))
+        return scanDirectory(path);
+    if (fs::is_regular_file(path, ec))
+        return scanManifest(path);
+    CorpusScan scan;
+    scan.source = dirOrManifest;
+    scan.error = "corpus '" + dirOrManifest +
+                 "' is neither a directory nor a manifest file";
+    return scan;
+}
+
+} // namespace wmr

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Corpus discovery for the batch pipeline.
+ *
+ * A corpus is named either by a DIRECTORY (every regular file with a
+ * trace extension, recursively, in sorted path order) or by a
+ * MANIFEST file (one trace path per line, '#' comments and blank
+ * lines ignored, relative paths resolved against the manifest's
+ * directory, listed order preserved).  The resulting file order is
+ * deterministic — it is the order of the aggregated report, no matter
+ * how many worker threads analyze the corpus.
+ */
+
+#ifndef WMR_PIPELINE_TRACE_CORPUS_HH
+#define WMR_PIPELINE_TRACE_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+namespace wmr {
+
+/** A discovered corpus: an ordered list of trace-file paths. */
+struct CorpusScan
+{
+    /** The directory or manifest the scan started from. */
+    std::string source;
+
+    /** Trace-file paths in deterministic (report) order. */
+    std::vector<std::string> files;
+
+    /** Non-empty when the scan itself failed. */
+    std::string error;
+
+    /** Whether the corpus came from a manifest file. */
+    bool fromManifest = false;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * @return whether @p path has one of the corpus trace extensions
+ * (.trace, .bin, .wmtrc).
+ */
+bool hasTraceExtension(const std::string &path);
+
+/**
+ * Discover the corpus named by @p dirOrManifest (see file comment).
+ * Never aborts: problems (missing path, unreadable manifest, empty
+ * corpus) come back in CorpusScan::error.
+ */
+CorpusScan scanCorpus(const std::string &dirOrManifest);
+
+} // namespace wmr
+
+#endif // WMR_PIPELINE_TRACE_CORPUS_HH

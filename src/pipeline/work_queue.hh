@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer work queue.
+ *
+ * The batch pipeline's hand-off point between the corpus producer and
+ * the analysis workers.  Deliberately simple — a mutex, two condition
+ * variables and a deque — because batch jobs are file-sized, not
+ * nanosecond-sized; contention on the lock is noise next to a single
+ * trace parse.  The queue records its peak depth so the metrics can
+ * report how far the producer ran ahead of the workers.
+ */
+
+#ifndef WMR_PIPELINE_WORK_QUEUE_HH
+#define WMR_PIPELINE_WORK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace wmr {
+
+template <typename T>
+class WorkQueue
+{
+  public:
+    /** @p capacity bounds the backlog (0 means unbounded). */
+    explicit WorkQueue(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {
+    }
+
+    /**
+     * Enqueue @p item, blocking while the queue is full.
+     * @return false (item dropped) when the queue was closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock, [&] {
+            return closed_ || capacity_ == 0 ||
+                   items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > peakDepth_)
+            peakDepth_ = items_.size();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue into @p out, blocking while the queue is empty.
+     * @return false when the queue is closed and drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Stop accepting pushes; pending items still drain via pop(). */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    /** @return the deepest backlog observed so far. */
+    std::size_t
+    peakDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peakDepth_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    std::size_t capacity_;
+    std::size_t peakDepth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace wmr
+
+#endif // WMR_PIPELINE_WORK_QUEUE_HH

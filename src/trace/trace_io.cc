@@ -1,7 +1,10 @@
 #include "trace/trace_io.hh"
 
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <new>
 
 #include "common/logging.hh"
 
@@ -10,6 +13,30 @@ namespace wmr {
 namespace {
 
 constexpr char kMagic[8] = {'W', 'M', 'R', 'T', 'R', 'C', '0', '1'};
+
+/**
+ * Internal control-flow exception of the parse path.  Thrown wherever
+ * the old code called fatal() and caught at the tryDeserializeTrace()
+ * boundary, so malformed input is a recoverable per-trace failure.
+ */
+struct ParseFailure
+{
+    std::string message;
+};
+
+[[noreturn]] void
+parseFail(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void
+parseFail(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throw ParseFailure{buf};
+}
 
 /** Growable varint encoder. */
 class Encoder
@@ -62,14 +89,14 @@ class Decoder
         int shift = 0;
         while (true) {
             if (pos_ >= bytes_.size())
-                fatal("trace file truncated at byte %zu", pos_);
+                parseFail("trace file truncated at byte %zu", pos_);
             const std::uint8_t b = bytes_[pos_++];
             v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
             if (!(b & 0x80))
                 return v;
             shift += 7;
             if (shift > 63)
-                fatal("trace file: varint overflow at byte %zu", pos_);
+                parseFail("trace file: varint overflow at byte %zu", pos_);
         }
     }
 
@@ -85,7 +112,7 @@ class Decoder
     raw(void *out, std::size_t n)
     {
         if (pos_ + n > bytes_.size())
-            fatal("trace file truncated at byte %zu", pos_);
+            parseFail("trace file truncated at byte %zu", pos_);
         std::memcpy(out, bytes_.data() + pos_, n);
         pos_ += n;
     }
@@ -95,12 +122,12 @@ class Decoder
     /** Bytes left — used to sanity-check element counts. */
     std::size_t remaining() const { return bytes_.size() - pos_; }
 
-    /** fatal() unless @p count elements can possibly fit. */
+    /** parseFail() unless @p count elements can possibly fit. */
     void
     checkCount(std::uint64_t count, const char *what) const
     {
         if (count > remaining())
-            fatal("trace file: %s count %llu exceeds remaining %zu "
+            parseFail("trace file: %s count %llu exceeds remaining %zu "
                   "bytes",
                   what, static_cast<unsigned long long>(count),
                   remaining());
@@ -141,7 +168,7 @@ decodeBitset(Decoder &dec)
     constexpr std::uint64_t kMaxBits = 1ull << 28; // 32 MiB of bits
     const std::uint64_t nbits = dec.u64();
     if (nbits > kMaxBits)
-        fatal("trace file: bitset universe %llu too large",
+        parseFail("trace file: bitset universe %llu too large",
               static_cast<unsigned long long>(nbits));
     const bool sparse = dec.u64() != 0;
     if (sparse) {
@@ -152,7 +179,7 @@ decodeBitset(Decoder &dec)
         for (std::uint64_t i = 0; i < count; ++i) {
             idx += dec.u64();
             if (idx >= nbits)
-                fatal("trace file: bitset index %llu out of range",
+                parseFail("trace file: bitset index %llu out of range",
                       static_cast<unsigned long long>(idx));
             bs.set(idx);
         }
@@ -161,7 +188,7 @@ decodeBitset(Decoder &dec)
     const std::uint64_t nwords = dec.u64();
     dec.checkCount(nwords, "bitset words");
     if (nwords * 64 < nbits)
-        fatal("trace file: bitset words underflow universe");
+        parseFail("trace file: bitset words underflow universe");
     std::vector<std::uint64_t> words(nwords);
     for (auto &w : words)
         w = dec.u64();
@@ -240,18 +267,32 @@ serializeTrace(const ExecutionTrace &trace)
     return enc.take();
 }
 
+namespace {
+
+/** The parse proper; throws ParseFailure on malformed input. */
 ExecutionTrace
-deserializeTrace(const std::vector<std::uint8_t> &bytes)
+decodeTraceOrThrow(const std::vector<std::uint8_t> &bytes)
 {
     Decoder dec(bytes);
     char magic[sizeof(kMagic)];
     dec.raw(magic, sizeof(magic));
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("not a wmrace trace file (bad magic)");
+        parseFail("not a wmrace trace file (bad magic)");
 
     ExecutionTrace trace;
-    const auto procs = static_cast<ProcId>(dec.u64());
-    const auto words = static_cast<Addr>(dec.u64());
+    // Sanity-bound the shape BEFORE allocating per-processor state:
+    // a corrupt header must produce an error, not an OOM or a
+    // narrowing-cast surprise.
+    const std::uint64_t rawProcs = dec.u64();
+    const std::uint64_t rawWords = dec.u64();
+    if (rawProcs > kNoProc)
+        parseFail("trace file: processor count %llu too large",
+                  static_cast<unsigned long long>(rawProcs));
+    if (rawWords > (1ull << 28))
+        parseFail("trace file: memory universe %llu too large",
+                  static_cast<unsigned long long>(rawWords));
+    const auto procs = static_cast<ProcId>(rawProcs);
+    const auto words = static_cast<Addr>(rawWords);
     trace.setShape(procs, words);
     trace.setFirstStaleRead(dec.u64());
     trace.setTotalOps(dec.u64());
@@ -266,7 +307,7 @@ deserializeTrace(const std::vector<std::uint8_t> &bytes)
         ev.kind = dec.u64() ? EventKind::Sync : EventKind::Computation;
         const std::uint64_t proc = dec.u64();
         if (proc >= procs)
-            fatal("trace file: event processor %llu out of range",
+            parseFail("trace file: event processor %llu out of range",
                   static_cast<unsigned long long>(proc));
         ev.proc = static_cast<ProcId>(proc);
         ev.firstOp = dec.u64();
@@ -286,7 +327,7 @@ deserializeTrace(const std::vector<std::uint8_t> &bytes)
         }
         const EventId id = trace.addEvent(std::move(ev));
         if (id != static_cast<EventId>(i))
-            fatal("trace file: events out of id order");
+            parseFail("trace file: events out of id order");
     }
     for (std::uint64_t i = 0; i < nevents; ++i) {
         if (pairing[i] != kNoEvent) {
@@ -295,8 +336,57 @@ deserializeTrace(const std::vector<std::uint8_t> &bytes)
         }
     }
     if (!dec.done())
-        fatal("trace file: trailing bytes");
+        parseFail("trace file: trailing bytes");
     return trace;
+}
+
+} // namespace
+
+TraceReadResult
+tryDeserializeTrace(const std::vector<std::uint8_t> &bytes)
+{
+    TraceReadResult res;
+    try {
+        res.trace = decodeTraceOrThrow(bytes);
+    } catch (const ParseFailure &pf) {
+        res.status = TraceIoStatus::FormatError;
+        res.error = pf.message;
+    } catch (const std::bad_alloc &) {
+        res.status = TraceIoStatus::FormatError;
+        res.error = "trace file: allocation failure during parse";
+    }
+    return res;
+}
+
+TraceReadResult
+tryReadTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        TraceReadResult res;
+        res.status = TraceIoStatus::IoError;
+        res.error = "cannot open trace file '" + path + "'";
+        return res;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        TraceReadResult res;
+        res.status = TraceIoStatus::IoError;
+        res.error = "read error on trace file '" + path + "'";
+        return res;
+    }
+    return tryDeserializeTrace(bytes);
+}
+
+ExecutionTrace
+deserializeTrace(const std::vector<std::uint8_t> &bytes)
+{
+    auto res = tryDeserializeTrace(bytes);
+    if (!res.ok())
+        fatal("%s", res.error.c_str());
+    return std::move(res.trace);
 }
 
 std::size_t
@@ -316,13 +406,10 @@ writeTraceFile(const ExecutionTrace &trace, const std::string &path)
 ExecutionTrace
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("cannot open trace file '%s'", path.c_str());
-    std::vector<std::uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    return deserializeTrace(bytes);
+    auto res = tryReadTraceFile(path);
+    if (!res.ok())
+        fatal("%s", res.error.c_str());
+    return std::move(res.trace);
 }
 
 std::vector<std::uint8_t>

@@ -27,17 +27,61 @@
 
 namespace wmr {
 
+/** Why a recoverable trace read failed. */
+enum class TraceIoStatus : std::uint8_t {
+    Ok,          ///< trace is valid
+    IoError,     ///< file could not be opened/read
+    FormatError, ///< bytes are not a well-formed trace
+};
+
+/**
+ * Outcome of a recoverable trace parse/read.  Malformed input is
+ * reported here instead of killing the process, so batch consumers
+ * (src/pipeline) can record a per-trace failure and keep going.
+ */
+struct TraceReadResult
+{
+    TraceIoStatus status = TraceIoStatus::Ok;
+
+    /** The parsed trace; meaningful only when ok(). */
+    ExecutionTrace trace;
+
+    /** Human-readable failure reason; empty when ok(). */
+    std::string error;
+
+    bool ok() const { return status == TraceIoStatus::Ok; }
+};
+
 /** Serialize @p trace into a byte buffer (event format). */
 std::vector<std::uint8_t> serializeTrace(const ExecutionTrace &trace);
 
-/** Parse an event-format buffer; fatal() on malformed input. */
+/**
+ * Parse an event-format buffer.  Never aborts: truncated, corrupt or
+ * oversized input yields a FormatError result with the reason.
+ */
+TraceReadResult
+tryDeserializeTrace(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Read and parse an event-format trace file.  Never aborts: I/O
+ * problems yield IoError, malformed bytes yield FormatError.
+ */
+TraceReadResult tryReadTraceFile(const std::string &path);
+
+/**
+ * Parse an event-format buffer; fatal() on malformed input.  Thin
+ * wrapper over tryDeserializeTrace() for single-trace tools.
+ */
 ExecutionTrace deserializeTrace(const std::vector<std::uint8_t> &bytes);
 
 /** Write @p trace to @p path (event format). @return bytes written. */
 std::size_t writeTraceFile(const ExecutionTrace &trace,
                            const std::string &path);
 
-/** Read an event-format trace file; fatal() on I/O or parse error. */
+/**
+ * Read an event-format trace file; fatal() on I/O or parse error.
+ * Thin wrapper over tryReadTraceFile() for single-trace tools.
+ */
 ExecutionTrace readTraceFile(const std::string &path);
 
 /**

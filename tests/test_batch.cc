@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests of the batch analysis pipeline (src/pipeline) and the
+ * recoverable trace_io error path it depends on:
+ *
+ *  - CorruptTrace.*:        truncated/bit-flipped trace bytes come
+ *                           back as errors, never aborts or OOB reads;
+ *  - CorpusScanner.*:       directory and manifest discovery;
+ *  - BatchPipeline.*:       graceful degradation, fail-fast, metrics;
+ *  - BatchDeterminism.*:    text and JSON reports are byte-identical
+ *                           for 1 and 8 worker threads (this suite is
+ *                           also the ThreadSanitizer CTest entry);
+ *  - AnalysisReentrancy.*:  analyzeTrace() is state-free across
+ *                           threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+#include "detect/report.hh"
+#include "pipeline/aggregate_report.hh"
+#include "pipeline/batch_runner.hh"
+#include "pipeline/work_queue.hh"
+#include "sim/executor.hh"
+#include "trace/trace_io.hh"
+#include "workload/random_gen.hh"
+
+namespace fs = std::filesystem;
+
+namespace wmr {
+namespace {
+
+/** A fresh temp directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                (tag + "." + std::to_string(::getpid())))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+
+    ~TempDir() { fs::remove_all(path_); }
+
+    const fs::path &path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+/** Produce one serialized trace from a seeded random program. */
+std::vector<std::uint8_t>
+makeTraceBytes(std::uint64_t seed, bool racy = true)
+{
+    const Program prog =
+        racy ? randomRacyProgram(seed) : randomRaceFreeProgram(seed);
+    ExecOptions opts;
+    opts.model = ModelKind::WO;
+    opts.seed = seed;
+    const auto res = runProgram(prog, opts);
+    return serializeTrace(buildTrace(res, {.keepMemberOps = true}));
+}
+
+void
+writeBytes(const fs::path &path, const std::vector<std::uint8_t> &b)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+    ASSERT_TRUE(out.good());
+}
+
+std::string
+traceName(std::size_t i)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t%03zu.trace", i);
+    return buf;
+}
+
+/**
+ * Write a mixed corpus: @p good traces (racy and race-free), one
+ * truncated trace and one bad-magic file.  @return total file count.
+ */
+std::size_t
+writeMixedCorpus(const fs::path &dir, std::size_t good)
+{
+    for (std::size_t i = 0; i < good; ++i) {
+        const auto bytes = makeTraceBytes(1000 + i, i % 2 == 0);
+        writeBytes(dir / traceName(i), bytes);
+    }
+    const auto donor = makeTraceBytes(42);
+    std::vector<std::uint8_t> truncated(
+        donor.begin(), donor.begin() + donor.size() / 2);
+    writeBytes(dir / "x_truncated.trace", truncated);
+    std::ofstream bad(dir / "y_garbage.trace");
+    bad << "this is not a trace";
+    bad.close();
+    return good + 2;
+}
+
+// ---------------------------------------------------------------
+// CorruptTrace: the recoverable trace_io parse path.
+// ---------------------------------------------------------------
+
+TEST(CorruptTrace, RoundTripStillWorks)
+{
+    const auto bytes = makeTraceBytes(7);
+    const auto res = tryDeserializeTrace(bytes);
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_GT(res.trace.events().size(), 0u);
+    // The fatal() wrapper path parses the same bytes.
+    const auto trace = deserializeTrace(bytes);
+    EXPECT_EQ(trace.events().size(), res.trace.events().size());
+}
+
+TEST(CorruptTrace, EveryStrictTruncationIsAnError)
+{
+    const auto bytes = makeTraceBytes(11);
+    ASSERT_GT(bytes.size(), 32u);
+    const std::size_t step =
+        std::max<std::size_t>(1, bytes.size() / 64);
+    for (std::size_t cut = 0; cut < bytes.size(); cut += step) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + cut);
+        const auto res = tryDeserializeTrace(prefix);
+        EXPECT_FALSE(res.ok()) << "cut at " << cut << " parsed OK";
+        EXPECT_EQ(res.status, TraceIoStatus::FormatError);
+        EXPECT_FALSE(res.error.empty());
+    }
+}
+
+TEST(CorruptTrace, BitFlipsNeverAbort)
+{
+    const auto bytes = makeTraceBytes(13);
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += std::max<std::size_t>(1, bytes.size() / 97)) {
+        auto flipped = bytes;
+        flipped[pos] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+        // Must return — ok or error — never exit/abort/overrun.
+        const auto res = tryDeserializeTrace(flipped);
+        if (!res.ok()) {
+            EXPECT_FALSE(res.error.empty());
+        }
+    }
+}
+
+TEST(CorruptTrace, BadMagicAndTrailingBytes)
+{
+    auto bytes = makeTraceBytes(17);
+    auto badMagic = bytes;
+    badMagic[0] ^= 0xff;
+    const auto r1 = tryDeserializeTrace(badMagic);
+    ASSERT_FALSE(r1.ok());
+    EXPECT_NE(r1.error.find("bad magic"), std::string::npos);
+
+    auto trailing = bytes;
+    trailing.push_back(0);
+    const auto r2 = tryDeserializeTrace(trailing);
+    ASSERT_FALSE(r2.ok());
+    EXPECT_NE(r2.error.find("trailing"), std::string::npos);
+}
+
+TEST(CorruptTrace, OversizedHeaderCountsAreErrorsNotOom)
+{
+    // Hand-build a header claiming 2^60 processors: must be a
+    // recoverable error, not an allocation attempt.
+    std::vector<std::uint8_t> bytes = {'W', 'M', 'R', 'T',
+                                       'R', 'C', '0', '1'};
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(0x80 | 0x7f); // huge varint...
+    bytes.push_back(0x0f);            // ...terminated (procs)
+    bytes.push_back(0x01);            // memWords
+    const auto res = tryDeserializeTrace(bytes);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("too large"), std::string::npos);
+}
+
+TEST(CorruptTrace, MissingFileIsIoError)
+{
+    const auto res =
+        tryReadTraceFile("/nonexistent/dir/nothing.trace");
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.status, TraceIoStatus::IoError);
+}
+
+// ---------------------------------------------------------------
+// CorpusScanner
+// ---------------------------------------------------------------
+
+TEST(CorpusScanner, DirectoryScanIsSortedAndFiltered)
+{
+    TempDir dir("wmr_corpus_scan");
+    writeBytes(dir.path() / "b.trace", makeTraceBytes(2));
+    writeBytes(dir.path() / "a.trace", makeTraceBytes(1));
+    writeBytes(dir.path() / "c.bin", makeTraceBytes(3));
+    std::ofstream(dir.path() / "notes.txt") << "ignored";
+
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+    ASSERT_EQ(scan.files.size(), 3u);
+    EXPECT_FALSE(scan.fromManifest);
+    // Sorted by path: a.trace < b.trace < c.bin.
+    EXPECT_NE(scan.files[0].find("a.trace"), std::string::npos);
+    EXPECT_NE(scan.files[1].find("b.trace"), std::string::npos);
+    EXPECT_NE(scan.files[2].find("c.bin"), std::string::npos);
+}
+
+TEST(CorpusScanner, ManifestKeepsOrderAndResolvesRelative)
+{
+    TempDir dir("wmr_corpus_manifest");
+    writeBytes(dir.path() / "one.trace", makeTraceBytes(1));
+    writeBytes(dir.path() / "two.trace", makeTraceBytes(2));
+    std::ofstream mf(dir.path() / "corpus.txt");
+    mf << "# comment line\n"
+       << "two.trace\n"
+       << "\n"
+       << "one.trace\n";
+    mf.close();
+
+    const auto scan =
+        scanCorpus((dir.path() / "corpus.txt").string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+    EXPECT_TRUE(scan.fromManifest);
+    ASSERT_EQ(scan.files.size(), 2u);
+    EXPECT_NE(scan.files[0].find("two.trace"), std::string::npos);
+    EXPECT_NE(scan.files[1].find("one.trace"), std::string::npos);
+}
+
+TEST(CorpusScanner, MissingAndEmptyCorpusAreErrors)
+{
+    EXPECT_FALSE(scanCorpus("/no/such/path/anywhere").ok());
+    TempDir dir("wmr_corpus_empty");
+    EXPECT_FALSE(scanCorpus(dir.path().string()).ok());
+}
+
+// ---------------------------------------------------------------
+// BatchPipeline: graceful degradation and engine behavior.
+// ---------------------------------------------------------------
+
+TEST(BatchPipeline, CorruptTracesBecomePerTraceFailures)
+{
+    TempDir dir("wmr_batch_degrade");
+    const std::size_t total = writeMixedCorpus(dir.path(), 6);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+    ASSERT_EQ(scan.files.size(), total);
+
+    BatchOptions opts;
+    opts.jobs = 4;
+    const auto batch = runBatch(scan, opts);
+    ASSERT_EQ(batch.traces.size(), total);
+    EXPECT_EQ(batch.numFailed(), 2u);
+    EXPECT_EQ(batch.metrics.analyzed, 6u);
+    EXPECT_EQ(batch.metrics.failed, 2u);
+    EXPECT_EQ(batch.metrics.skipped, 0u);
+
+    // The corrupt entries carry their reasons; the good ones their
+    // summaries.
+    for (const auto &tr : batch.traces) {
+        if (tr.path.find("x_truncated") != std::string::npos) {
+            EXPECT_EQ(tr.status, TraceRunStatus::FormatError);
+            EXPECT_FALSE(tr.error.empty());
+        } else if (tr.path.find("y_garbage") != std::string::npos) {
+            EXPECT_EQ(tr.status, TraceRunStatus::FormatError);
+            EXPECT_NE(tr.error.find("bad magic"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(tr.ok()) << tr.path << ": " << tr.error;
+            EXPECT_GT(tr.events, 0u);
+        }
+    }
+}
+
+TEST(BatchPipeline, FailFastSkipsAfterFirstFailure)
+{
+    TempDir dir("wmr_batch_failfast");
+    // Name the corrupt file so it sorts FIRST: with --jobs 1 every
+    // later trace must then be skipped deterministically.
+    std::ofstream(dir.path() / "000_bad.trace") << "garbage";
+    for (std::size_t i = 0; i < 5; ++i)
+        writeBytes(dir.path() / traceName(i),
+                   makeTraceBytes(50 + i));
+
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok());
+    BatchOptions opts;
+    opts.jobs = 1;
+    opts.failFast = true;
+    const auto batch = runBatch(scan, opts);
+    EXPECT_EQ(batch.metrics.failed, 1u);
+    EXPECT_EQ(batch.metrics.analyzed, 0u);
+    EXPECT_EQ(batch.metrics.skipped, 5u);
+    for (std::size_t i = 1; i < batch.traces.size(); ++i)
+        EXPECT_EQ(batch.traces[i].status, TraceRunStatus::Skipped);
+}
+
+TEST(BatchPipeline, MetricsCountWork)
+{
+    TempDir dir("wmr_batch_metrics");
+    writeMixedCorpus(dir.path(), 4);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok());
+    BatchOptions opts;
+    opts.jobs = 2;
+    const auto batch = runBatch(scan, opts);
+    EXPECT_EQ(batch.metrics.jobs, 2u);
+    EXPECT_EQ(batch.metrics.corpusTraces, 6u);
+    EXPECT_GT(batch.metrics.bytesRead, 0u);
+    EXPECT_GT(batch.metrics.wallSeconds, 0.0);
+    EXPECT_GE(batch.metrics.peakQueueDepth, 1u);
+    // JSON renderings exist and carry the schema tags.
+    EXPECT_NE(metricsJson(batch.metrics)
+                  .find("wmrace-batch-metrics"),
+              std::string::npos);
+    EXPECT_NE(batchReportJson(batch).find("wmrace-batch-report"),
+              std::string::npos);
+}
+
+TEST(BatchPipeline, WorkQueueTracksPeakDepthAndDrains)
+{
+    WorkQueue<int> q(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.peakDepth(), 8u);
+    q.close();
+    EXPECT_FALSE(q.push(99));
+    int v = -1;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(v));
+}
+
+// ---------------------------------------------------------------
+// BatchDeterminism: the --jobs invariance contract.  This suite is
+// what the batch_determinism_tsan CTest entry runs under TSan.
+// ---------------------------------------------------------------
+
+TEST(BatchDeterminism, ReportsAreByteIdenticalAcrossJobCounts)
+{
+    TempDir dir("wmr_batch_determinism");
+    // >= 20 traces incl. corrupt ones, per the pipeline contract.
+    const std::size_t total = writeMixedCorpus(dir.path(), 22);
+    ASSERT_GE(total, 20u);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+
+    BatchOptions serial;
+    serial.jobs = 1;
+    BatchOptions parallel;
+    parallel.jobs = 8;
+    const auto a = runBatch(scan, serial);
+    const auto b = runBatch(scan, parallel);
+
+    EXPECT_EQ(a.metrics.jobs, 1u);
+    EXPECT_EQ(b.metrics.jobs, 8u);
+    EXPECT_EQ(formatBatchReport(a), formatBatchReport(b));
+    EXPECT_EQ(batchReportJson(a), batchReportJson(b));
+    // And the failure really is in there.
+    EXPECT_EQ(a.numFailed(), 2u);
+    EXPECT_NE(formatBatchReport(a).find("FAILED"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// AnalysisReentrancy: analyzeTrace() across threads.
+// ---------------------------------------------------------------
+
+TEST(AnalysisReentrancy, ConcurrentAnalyzeTraceAgreesWithSerial)
+{
+    const auto bytes = makeTraceBytes(99);
+    const auto serial = formatReport(
+        analyzeTrace(deserializeTrace(bytes)), nullptr);
+
+    constexpr unsigned kThreads = 8;
+    std::vector<std::string> reports(kThreads);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            auto res = tryDeserializeTrace(bytes);
+            ASSERT_TRUE(res.ok());
+            reports[t] = formatReport(
+                analyzeTrace(std::move(res.trace)), nullptr);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (const auto &r : reports)
+        EXPECT_EQ(r, serial);
+}
+
+} // namespace
+} // namespace wmr

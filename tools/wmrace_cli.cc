@@ -4,6 +4,7 @@
  *
  *   wmrace run <prog.wm> [options]     simulate + detect + report
  *   wmrace check <trace.bin> [options] post-mortem analysis of a trace
+ *   wmrace batch <dir|manifest> [opts] analyze a whole trace corpus
  *   wmrace explore <prog.wm> [options] exhaustive SC model checking
  *   wmrace disasm <prog.wm>            print the assembled program
  *   wmrace static <prog.wm>            compile-time lockset analysis
@@ -23,11 +24,20 @@
  *
  * Options of `check`: --dot FILE, --events.
  * Options of `explore`: --max-execs N (default 100000).
+ *
+ * Options of `batch` (see docs/BATCH.md):
+ *   --jobs N       worker threads (default: hardware concurrency)
+ *   --json FILE    write the aggregated JSON report
+ *   --metrics FILE write run metrics as JSON (timing, queue depth)
+ *   --fail-fast    stop dispatching after the first failed trace
+ *   --summary      omit the per-trace lines of the text report
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -39,6 +49,8 @@
 #include "sim/exec_stats.hh"
 #include "mc/explorer.hh"
 #include "onthefly/first_race_filter.hh"
+#include "pipeline/aggregate_report.hh"
+#include "pipeline/batch_runner.hh"
 #include "prog/assembler.hh"
 #include "staticdet/static_analyzer.hh"
 #include "trace/timeline.hh"
@@ -58,7 +70,7 @@ class Args
             std::string a = argv[i];
             if (a.rfind("--", 0) == 0) {
                 const std::string key = a.substr(2);
-                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                if (i + 1 < argc && !looksLikeFlag(argv[i + 1])) {
                     kv_[key] = argv[++i];
                 } else {
                     kv_[key] = "";
@@ -84,6 +96,25 @@ class Args
     }
 
   private:
+    /**
+     * @return whether @p s is a flag rather than a value.  Values
+     * beginning with '-' are legal when they look numeric ("-5",
+     * "-0.5", "-.5"), so `--seed -5` parses as seed = -5 instead of
+     * eating "-5" as an (unknown) flag.  A bare "-" is a value too
+     * (conventional stdin placeholder).
+     */
+    static bool
+    looksLikeFlag(const char *s)
+    {
+        if (s[0] != '-' || s[1] == '\0')
+            return false;
+        if (std::isdigit(static_cast<unsigned char>(s[1])) ||
+            s[1] == '.') {
+            return false; // negative number
+        }
+        return true;
+    }
+
     std::map<std::string, std::string> kv_;
     std::vector<std::string> positional_;
 };
@@ -204,6 +235,55 @@ cmdCheck(const Args &args)
 }
 
 int
+cmdBatch(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("batch: missing corpus directory or manifest file");
+    const CorpusScan corpus = scanCorpus(args.positional()[0]);
+    if (!corpus.ok())
+        fatal("%s", corpus.error.c_str());
+
+    BatchOptions opts;
+    opts.jobs = static_cast<unsigned>(
+        std::strtoul(args.get("jobs", "0").c_str(), nullptr, 10));
+    opts.failFast = args.has("fail-fast");
+
+    const BatchResult batch = runBatch(corpus, opts);
+
+    BatchReportOptions ropts;
+    ropts.showPerTrace = !args.has("summary");
+    std::printf("%s", formatBatchReport(batch, ropts).c_str());
+
+    if (args.has("json")) {
+        const std::string path = args.get("json");
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            fatal("cannot open JSON report file '%s'", path.c_str());
+        out << batchReportJson(batch);
+        if (!out)
+            fatal("short write to JSON report file '%s'",
+                  path.c_str());
+    }
+
+    // Metrics are nondeterministic (timing); they go to stderr and
+    // the optional --metrics file so stdout and --json stay
+    // byte-identical across --jobs values.
+    std::fprintf(stderr, "%s",
+                 formatMetrics(batch.metrics).c_str());
+    if (args.has("metrics")) {
+        const std::string path = args.get("metrics");
+        std::ofstream out(path, std::ios::trunc);
+        if (!out)
+            fatal("cannot open metrics file '%s'", path.c_str());
+        out << metricsJson(batch.metrics);
+    }
+
+    if (opts.failFast && batch.numFailed() > 0)
+        return 2;
+    return batch.anyDataRace() ? 1 : 0;
+}
+
+int
 cmdExplore(const Args &args)
 {
     if (args.positional().empty())
@@ -295,6 +375,8 @@ usage()
         "  run <prog.wm>      simulate on a weak model and detect "
         "races\n"
         "  check <trace.bin>  post-mortem analysis of a trace file\n"
+        "  batch <dir|manifest>  analyze a whole trace corpus "
+        "(multi-threaded)\n"
         "  explore <prog.wm>  exhaustive SC model checking\n"
         "  static <prog.wm>   compile-time lockset analysis\n"
         "  disasm <prog.wm>   print the assembled program\n"
@@ -317,6 +399,8 @@ main(int argc, char **argv)
         return cmdRun(args);
     if (cmd == "check")
         return cmdCheck(args);
+    if (cmd == "batch")
+        return cmdBatch(args);
     if (cmd == "explore")
         return cmdExplore(args);
     if (cmd == "static")
