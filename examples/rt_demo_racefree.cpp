@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Runtime-tracer demo, fully annotated: every mutex section carries
+ * acquire/release annotations, so the recorded trace orders all
+ * conflicting accesses (so1 edges) and the analysis reports no data
+ * race.  See rt_demo_shared.hh for modes.
+ */
+
+#include "rt_demo_shared.hh"
+
+int
+main(int argc, char **argv)
+{
+    return rtdemo::demoMain(argc, argv, /*annotateLocks=*/true,
+                            "rt_demo_racefree.trace");
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Runtime-tracer demo with a seeded annotation-level race: the
+ * deposit loop holds the real mutex but never TELLS the tracer, so
+ * the recorded execution contains concurrent conflicting accesses to
+ * the account — the "missed synchronization" bug class.  See
+ * rt_demo_shared.hh for modes and docs/RUNTIME.md for the workflow.
+ */
+
+#include "rt_demo_shared.hh"
+
+int
+main(int argc, char **argv)
+{
+    return rtdemo::demoMain(argc, argv, /*annotateLocks=*/false,
+                            "rt_demo_racy.trace");
+}

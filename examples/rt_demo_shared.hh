@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Shared harness of the two runtime-tracer demos (rt_demo_racy,
+ * rt_demo_racefree).
+ *
+ * The workload is a miniature bank: two worker threads make deposits
+ * into one account under a real std::mutex and log each deposit into
+ * a small history array.  Both demos are NATIVELY well-synchronized
+ * (the mutex is always held — ThreadSanitizer finds nothing), but
+ * they differ in what they tell the tracer:
+ *
+ *  - rt_demo_racefree annotates the mutex (acquire/release), so the
+ *    recorded trace carries the so1 edges that order the deposits;
+ *  - rt_demo_racy omits the mutex annotations — the classic "missed
+ *    synchronization" bug, seen from the detector's side: the trace
+ *    says the deposits are concurrent, and the analysis must report
+ *    the (annotation-level) data race on the account.
+ *
+ * That construction is what lets the rt_demo_tsan CTest entry assert
+ * two things at once: the tracer itself is TSan-clean, and the
+ * seeded race is still reported.
+ *
+ * Modes:
+ *   rt_demo_X [out.trace]   record an EVENT trace file (default
+ *                           name per demo); analyze it with
+ *                           `wmrace check out.trace`
+ *   rt_demo_X --inline      no file: inline on-the-fly detection
+ * When WMR_RT_TRACE / WMR_RT_MODE are set (e.g. by `wmrace
+ * record`), the environment wins and configures the tracer instead.
+ */
+
+#ifndef WMR_EXAMPLES_RT_DEMO_SHARED_HH
+#define WMR_EXAMPLES_RT_DEMO_SHARED_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "rt/annotate.hh"
+#include "rt/thread.hh"
+
+namespace rtdemo {
+
+struct Account
+{
+    std::mutex mu;
+    std::uint64_t balance = 0;
+    std::uint64_t history[4] = {0, 0, 0, 0};
+};
+
+constexpr int kWorkers = 2;
+constexpr int kDepositsPerWorker = 4;
+
+/** One worker: deposit under the real mutex; annotate the mutex
+ *  only when @p annotateLocks (the race-free demo). */
+inline void
+depositLoop(Account &acct, bool annotateLocks)
+{
+    for (int i = 0; i < kDepositsPerWorker; ++i) {
+        std::lock_guard<std::mutex> lock(acct.mu);
+        std::optional<wmr::rt::ScopedSync> sync;
+        if (annotateLocks)
+            sync.emplace(&acct.mu);
+
+        wmr_rt_read(&acct.balance, sizeof(acct.balance));
+        const std::uint64_t v = acct.balance;
+        wmr_rt_write(&acct.balance, sizeof(acct.balance));
+        acct.balance = v + 10;
+
+        wmr_rt_write(&acct.history[v % 4],
+                     sizeof(acct.history[0]));
+        acct.history[v % 4] += 1;
+    }
+}
+
+inline void
+runWorkload(bool annotateLocks)
+{
+    Account acct;
+    {
+        wmr::rt::Thread w1(depositLoop, std::ref(acct),
+                           annotateLocks);
+        wmr::rt::Thread w2(depositLoop, std::ref(acct),
+                           annotateLocks);
+    } // joined (and join-annotated) here
+    std::printf("final balance: %llu\n",
+                static_cast<unsigned long long>(acct.balance));
+}
+
+/** Common main: tracer setup, workload, report.  @return exit code. */
+inline int
+demoMain(int argc, char **argv, bool annotateLocks,
+         const char *defaultTrace)
+{
+    using namespace wmr::rt;
+
+    bool inlineMode = false;
+    std::string out = defaultTrace;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--inline")
+            inlineMode = true;
+        else
+            out = a;
+    }
+
+    // `wmrace record` (or any WMR_RT_* environment) configures the
+    // global tracer lazily; only start one ourselves otherwise.
+    const bool envDriven = std::getenv("WMR_RT_TRACE") != nullptr ||
+                           std::getenv("WMR_RT_MODE") != nullptr;
+    Tracer *tracer = nullptr;
+    if (!envDriven) {
+        TracerConfig cfg;
+        cfg.mode = inlineMode ? RtMode::Inline : RtMode::Record;
+        if (!inlineMode)
+            cfg.tracePath = out;
+        tracer = &startGlobalTracer(cfg);
+    }
+
+    wmr_rt_thread_begin();
+    runWorkload(annotateLocks);
+    wmr_rt_thread_end();
+
+    if (envDriven)
+        return 0; // the atexit hook flushes and reports
+
+    tracer->stop();
+    const RtStats s = tracer->stats();
+    int rc = 0;
+    if (inlineMode) {
+        const auto races = tracer->inlineRaces();
+        std::printf("inline detection: %zu data race report(s) "
+                    "over %llu ops\n",
+                    races.size(),
+                    static_cast<unsigned long long>(s.opsEmitted));
+        for (const auto &rr : races) {
+            std::printf("  data race on %p (word %u): T%u:op%u "
+                        "<-> T%u:op%u\n",
+                        rr.nativeAddr, rr.race.addr, rr.race.proc1,
+                        rr.race.pc1, rr.race.proc2, rr.race.pc2);
+        }
+        rc = races.empty() ? 0 : 1;
+    } else {
+        std::printf("recorded %llu events (%llu sync) over %llu "
+                    "ops from %llu threads -> %s\n",
+                    static_cast<unsigned long long>(s.eventsEmitted),
+                    static_cast<unsigned long long>(s.syncEvents),
+                    static_cast<unsigned long long>(s.opsEmitted),
+                    static_cast<unsigned long long>(
+                        s.threadsTraced),
+                    out.c_str());
+        std::printf("analyze with: wmrace check %s\n", out.c_str());
+    }
+    if (s.recordsDropped != 0) {
+        std::printf("warning: %llu records dropped (ring "
+                    "overflow)\n",
+                    static_cast<unsigned long long>(
+                        s.recordsDropped));
+    }
+    stopGlobalTracer();
+    return rc;
+}
+
+} // namespace rtdemo
+
+#endif // WMR_EXAMPLES_RT_DEMO_SHARED_HH

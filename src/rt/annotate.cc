@@ -1,0 +1,203 @@
+#include "rt/annotate.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace wmr::rt {
+
+namespace {
+
+std::atomic<Tracer *> gTracer{nullptr};
+std::unique_ptr<Tracer> gOwned;
+std::mutex gMu;
+bool gEnvChecked = false;
+
+void
+printExitSummary(Tracer &t)
+{
+    const RtStats s = t.stats();
+    if (t.config().mode == RtMode::Record) {
+        inform("wmr-rt: %llu events (%llu ops, %llu words, %llu "
+               "threads) -> %s%s",
+               static_cast<unsigned long long>(s.eventsEmitted),
+               static_cast<unsigned long long>(s.opsEmitted),
+               static_cast<unsigned long long>(s.wordsMapped),
+               static_cast<unsigned long long>(s.threadsTraced),
+               t.config().tracePath.empty()
+                   ? "(memory only)"
+                   : t.config().tracePath.c_str(),
+               s.recordsDropped
+                   ? "  [records dropped: ring overflow]"
+                   : "");
+    } else {
+        inform("wmr-rt: inline detection: %llu race report(s) over "
+               "%llu ops",
+               static_cast<unsigned long long>(s.inlineRaces),
+               static_cast<unsigned long long>(s.opsEmitted));
+    }
+}
+
+void
+atexitStop()
+{
+    stopGlobalTracer();
+}
+
+/** Build a TracerConfig from WMR_RT_* (nullopt-style: returns false
+ *  when the environment requests no tracing). */
+bool
+configFromEnv(TracerConfig &cfg)
+{
+    const char *path = std::getenv("WMR_RT_TRACE");
+    const char *mode = std::getenv("WMR_RT_MODE");
+    if (!path && !mode)
+        return false;
+    if (mode && std::strcmp(mode, "inline") == 0)
+        cfg.mode = RtMode::Inline;
+    else
+        cfg.mode = RtMode::Record;
+    if (path)
+        cfg.tracePath = path;
+    if (const char *ring = std::getenv("WMR_RT_RING")) {
+        const auto cap = std::strtoull(ring, nullptr, 10);
+        if (cap >= 2 && (cap & (cap - 1)) == 0)
+            cfg.ringCapacity = static_cast<std::size_t>(cap);
+        else
+            warn("wmr-rt: ignoring WMR_RT_RING='%s' (want a power "
+                 "of two >= 2)", ring);
+    }
+    if (const char *pol = std::getenv("WMR_RT_OVERFLOW")) {
+        if (std::strcmp(pol, "drop") == 0)
+            cfg.overflow = RtOverflowPolicy::Drop;
+        else if (std::strcmp(pol, "block") == 0)
+            cfg.overflow = RtOverflowPolicy::Block;
+        else
+            warn("wmr-rt: ignoring WMR_RT_OVERFLOW='%s' (want "
+                 "'drop' or 'block')", pol);
+    }
+    return true;
+}
+
+/**
+ * The tracer the annotation entry points talk to: the explicitly
+ * started one, else (once) whatever the environment requests.
+ */
+Tracer *
+activeTracer()
+{
+    Tracer *t = gTracer.load(std::memory_order_acquire);
+    if (t)
+        return t;
+    std::lock_guard<std::mutex> lk(gMu);
+    if (gEnvChecked)
+        return gTracer.load(std::memory_order_relaxed);
+    gEnvChecked = true;
+    TracerConfig cfg;
+    if (!configFromEnv(cfg))
+        return nullptr;
+    gOwned = std::make_unique<Tracer>(cfg);
+    gTracer.store(gOwned.get(), std::memory_order_release);
+    std::atexit(atexitStop);
+    return gOwned.get();
+}
+
+} // namespace
+
+Tracer &
+startGlobalTracer(const TracerConfig &cfg)
+{
+    std::lock_guard<std::mutex> lk(gMu);
+    if (gTracer.load(std::memory_order_relaxed))
+        fatal("wmr-rt: a global tracer is already active");
+    gEnvChecked = true; // explicit start overrides the environment
+    gOwned = std::make_unique<Tracer>(cfg);
+    gTracer.store(gOwned.get(), std::memory_order_release);
+    return *gOwned;
+}
+
+void
+stopGlobalTracer()
+{
+    std::unique_ptr<Tracer> dying;
+    {
+        std::lock_guard<std::mutex> lk(gMu);
+        if (!gTracer.load(std::memory_order_relaxed))
+            return;
+        gTracer.store(nullptr, std::memory_order_release);
+        dying = std::move(gOwned);
+    }
+    dying->stop();
+    printExitSummary(*dying);
+    if (dying->config().mode == RtMode::Inline) {
+        for (const auto &rr : dying->inlineRaces()) {
+            inform("wmr-rt: data race on %p: T%u:op%u <-> T%u:op%u",
+                   rr.nativeAddr, rr.race.proc1, rr.race.pc1,
+                   rr.race.proc2, rr.race.pc2);
+        }
+    }
+}
+
+Tracer *
+globalTracer()
+{
+    return gTracer.load(std::memory_order_acquire);
+}
+
+} // namespace wmr::rt
+
+// ---------------------------------------------------------------
+// C entry points.
+// ---------------------------------------------------------------
+
+using wmr::rt::activeTracer;
+
+extern "C" {
+
+void
+wmr_rt_thread_begin(void)
+{
+    if (auto *t = activeTracer())
+        t->threadBegin();
+}
+
+void
+wmr_rt_thread_end(void)
+{
+    if (auto *t = activeTracer())
+        t->threadEnd();
+}
+
+void
+wmr_rt_read(const void *addr, size_t size)
+{
+    if (auto *t = activeTracer())
+        t->onData(addr, size, false);
+}
+
+void
+wmr_rt_write(const void *addr, size_t size)
+{
+    if (auto *t = activeTracer())
+        t->onData(addr, size, true);
+}
+
+void
+wmr_rt_acquire(const void *sync)
+{
+    if (auto *t = activeTracer())
+        t->onAcquire(sync);
+}
+
+void
+wmr_rt_release(const void *sync)
+{
+    if (auto *t = activeTracer())
+        t->onRelease(sync);
+}
+
+} // extern "C"

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The public annotation API real programs compile against.
+ *
+ * A program declares what the hardware tracer of Section 4.1 would
+ * observe: its shared data accesses and its synchronization
+ * operations.  The annotations feed the process-global Tracer
+ * (rt/tracer.hh); when no tracer is active they are near-free no-ops
+ * (one thread-local load and a branch), so annotated binaries can
+ * ship with tracing compiled in.
+ *
+ * Activation, either:
+ *  - programmatically: wmr::rt::startGlobalTracer(config) /
+ *    stopGlobalTracer();
+ *  - by environment (how `wmrace record` launches children):
+ *      WMR_RT_TRACE=<path>    record mode, trace written at exit
+ *      WMR_RT_MODE=inline     inline detection instead (stderr
+ *                             report at exit)
+ *      WMR_RT_RING=<pow2>     per-thread ring capacity
+ *      WMR_RT_OVERFLOW=drop|block
+ *    The first annotation starts the tracer; an atexit hook stops
+ *    it, flushes, and prints a one-line summary.
+ *
+ * Annotation conventions (see docs/RUNTIME.md for the full story):
+ *  - wmr_rt_acquire(m) AFTER locking m, wmr_rt_release(m) BEFORE
+ *    unlocking — the real lock then serializes the annotations, and
+ *    the recorded per-object sync order matches the real one;
+ *  - model thread fork/join as a release in the parent paired with
+ *    an acquire in the child (and vice versa for join), or just use
+ *    wmr::rt::Thread (rt/thread.hh) which does it for you.
+ */
+
+#ifndef WMR_RT_ANNOTATE_HH
+#define WMR_RT_ANNOTATE_HH
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/** Register the calling thread with the active tracer (optional:
+ *  the first annotation from an unregistered thread auto-registers). */
+void wmr_rt_thread_begin(void);
+
+/** Mark the calling thread done; its buffered records still drain. */
+void wmr_rt_thread_end(void);
+
+/** Record a read of @p size bytes at @p addr. */
+void wmr_rt_read(const void *addr, size_t size);
+
+/** Record a write of @p size bytes at @p addr. */
+void wmr_rt_write(const void *addr, size_t size);
+
+/** Record an acquire operation (lock, wait-return) on @p sync. */
+void wmr_rt_acquire(const void *sync);
+
+/** Record a release operation (unlock, signal) on @p sync. */
+void wmr_rt_release(const void *sync);
+
+#ifdef __cplusplus
+} // extern "C"
+
+#include "rt/tracer.hh"
+
+namespace wmr::rt {
+
+/**
+ * Install @p cfg as the process-global tracer.  fatal()s if one is
+ * already active.  @return the tracer (owned by the library).
+ */
+Tracer &startGlobalTracer(const TracerConfig &cfg);
+
+/**
+ * Stop and tear down the global tracer (flush, join, write the
+ * record-mode trace file).  Safe to call when none is active.
+ */
+void stopGlobalTracer();
+
+/** @return the active global tracer, or nullptr.  Does NOT consult
+ *  the environment (the annotation entry points do that once). */
+Tracer *globalTracer();
+
+// --- RAII sugar over the C entry points -------------------------
+
+/** Scoped thread registration. */
+class ScopedThread
+{
+  public:
+    ScopedThread() { wmr_rt_thread_begin(); }
+    ~ScopedThread() { wmr_rt_thread_end(); }
+    ScopedThread(const ScopedThread &) = delete;
+    ScopedThread &operator=(const ScopedThread &) = delete;
+};
+
+/** Scoped critical section: acquire on entry, release on exit.
+ *  Construct AFTER locking the real mutex, destroy BEFORE unlocking
+ *  (i.e. declare it right after the std::lock_guard). */
+class ScopedSync
+{
+  public:
+    explicit ScopedSync(const void *sync) : sync_(sync)
+    {
+        wmr_rt_acquire(sync_);
+    }
+    ~ScopedSync() { wmr_rt_release(sync_); }
+    ScopedSync(const ScopedSync &) = delete;
+    ScopedSync &operator=(const ScopedSync &) = delete;
+
+  private:
+    const void *sync_;
+};
+
+/** Annotated load: record the read, return the value. */
+template <typename T>
+inline T
+tracedRead(const T &v)
+{
+    wmr_rt_read(&v, sizeof(T));
+    return v;
+}
+
+/** Annotated store: record the write, perform it. */
+template <typename T, typename U>
+inline void
+tracedWrite(T &dst, U &&value)
+{
+    wmr_rt_write(&dst, sizeof(T));
+    dst = static_cast<T>(value);
+}
+
+} // namespace wmr::rt
+
+#endif // __cplusplus
+
+#endif // WMR_RT_ANNOTATE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Single-producer / single-consumer lock-free ring buffer.
+ *
+ * Each annotated thread owns one ring: the thread is the only
+ * producer, the tracer's drain thread the only consumer, so a pair of
+ * acquire/release indices suffices — no CAS, no locks, no syscalls on
+ * the hot path.  Both sides cache the opposite index to avoid
+ * touching the shared cache line on every operation (the classic
+ * Lamport queue refinement; see also folly::ProducerConsumerQueue).
+ *
+ * The consumer additionally gets peek()/popFront() so the drain can
+ * inspect a head record and *leave it in place* when it must stall
+ * (out-of-order sync record, see tracer.cc).
+ */
+
+#ifndef WMR_RT_RING_BUFFER_HH
+#define WMR_RT_RING_BUFFER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace wmr::rt {
+
+/** Fixed-capacity lock-free SPSC queue of trivially copyable T. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity slot count; must be a power of two. */
+    explicit SpscRing(std::size_t capacity)
+        : mask_(capacity - 1), slots_(capacity)
+    {
+        wmr_assert(capacity >= 2 &&
+                   (capacity & (capacity - 1)) == 0);
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Producer side: append @p item.
+     * @return false when the ring is full (caller decides whether to
+     * spin or drop — the overflow policy lives above this layer).
+     */
+    bool
+    tryPush(const T &item)
+    {
+        const std::uint64_t tail =
+            tail_.load(std::memory_order_relaxed);
+        if (tail - headCache_ > mask_) {
+            headCache_ = head_.load(std::memory_order_acquire);
+            if (tail - headCache_ > mask_)
+                return false;
+        }
+        slots_[tail & mask_] = item;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer side: @return pointer to the head item, or nullptr
+     * when the ring is empty.  The item stays in the ring until
+     * popFront().
+     */
+    const T *
+    peek()
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        if (head == tailCache_) {
+            tailCache_ = tail_.load(std::memory_order_acquire);
+            if (head == tailCache_)
+                return nullptr;
+        }
+        return &slots_[head & mask_];
+    }
+
+    /** Consumer side: discard the head item (must follow a
+     *  successful peek()). */
+    void
+    popFront()
+    {
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        head_.store(head + 1, std::memory_order_release);
+    }
+
+    /** Consumer-side convenience: pop into @p out. */
+    bool
+    tryPop(T &out)
+    {
+        const T *p = peek();
+        if (!p)
+            return false;
+        out = *p;
+        popFront();
+        return true;
+    }
+
+    /** @return slot count. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** Approximate occupancy (either side may race this). */
+    std::size_t
+    sizeApprox() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+  private:
+    const std::uint64_t mask_;
+    std::vector<T> slots_;
+
+    /** Consumer index + the producer's cached copy of it. */
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::uint64_t headCache_ = 0; // producer-owned
+
+    /** Producer index + the consumer's cached copy of it. */
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) std::uint64_t tailCache_ = 0; // consumer-owned
+};
+
+} // namespace wmr::rt
+
+#endif // WMR_RT_RING_BUFFER_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lock-free registry of runtime synchronization objects.
+ *
+ * Every annotated sync object (a mutex, a condition-variable+mutex
+ * pair, a thread fork/join handle — anything the program uses to
+ * order accesses) maps to one SyncSlot carrying the two atomics the
+ * annotation hot path needs:
+ *
+ *  - `lastToken`: the global release token most recently published on
+ *    the object.  A release stores its fresh token here; an acquire
+ *    loads it — that load IS the observed release→acquire (so1)
+ *    pairing of Def. 2.2, captured at annotation time so the drain
+ *    never has to guess.
+ *  - `seq`: a per-object sequence number ticked by every sync
+ *    annotation.  It gives the drain the per-location sync order
+ *    Section 4.1 requires (and a total order to drain sync records
+ *    in, which is what makes pairing resolution deadlock-free).
+ *
+ * The table is fixed-size open addressing with CAS insertion: no
+ * locks anywhere, at the cost of a capacity ceiling.  When the table
+ * fills, further objects degrade gracefully: their operations are
+ * still recorded but carry no pairing (counted in RtStats so the
+ * loss is visible).
+ */
+
+#ifndef WMR_RT_SYNC_REGISTRY_HH
+#define WMR_RT_SYNC_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace wmr::rt {
+
+/** Per-sync-object atomic state (see file comment). */
+struct SyncSlot
+{
+    std::atomic<const void *> key{nullptr};
+    std::atomic<std::uint64_t> lastToken{0};
+    std::atomic<std::uint64_t> seq{0};
+};
+
+/** Fixed-capacity lock-free pointer → SyncSlot map. */
+class SyncRegistry
+{
+  public:
+    /** @param capacity slot count; must be a power of two. */
+    explicit SyncRegistry(std::size_t capacity)
+        : mask_(capacity - 1), slots_(capacity)
+    {
+        wmr_assert(capacity >= 2 &&
+                   (capacity & (capacity - 1)) == 0);
+    }
+
+    /**
+     * @return the slot of @p obj, inserting it if new; nullptr when
+     * the table is full (the caller records the op unpaired).
+     */
+    SyncSlot *
+    findOrInsert(const void *obj)
+    {
+        std::size_t idx = hash(obj) & mask_;
+        for (std::size_t probe = 0; probe <= mask_; ++probe) {
+            SyncSlot &slot = slots_[idx];
+            const void *cur =
+                slot.key.load(std::memory_order_acquire);
+            if (cur == obj)
+                return &slot;
+            if (cur == nullptr) {
+                const void *expected = nullptr;
+                if (slot.key.compare_exchange_strong(
+                        expected, obj, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+                    return &slot;
+                }
+                if (expected == obj)
+                    return &slot; // lost the race to ourselves
+            }
+            idx = (idx + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    /** @return number of registered objects (drain/stats use only). */
+    std::size_t
+    sizeApprox() const
+    {
+        std::size_t n = 0;
+        for (const auto &s : slots_) {
+            if (s.key.load(std::memory_order_relaxed))
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    static std::size_t
+    hash(const void *p)
+    {
+        // Fibonacci hash of the pointer bits (objects are at least
+        // word-aligned, so shift the dead low bits away first).
+        auto v = reinterpret_cast<std::uintptr_t>(p) >> 3;
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(v) *
+             0x9e3779b97f4a7c15ull) >>
+            32);
+    }
+
+    const std::size_t mask_;
+    std::vector<SyncSlot> slots_;
+};
+
+} // namespace wmr::rt
+
+#endif // WMR_RT_SYNC_REGISTRY_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * wmr::rt::Thread — std::thread with the tracing protocol built in.
+ *
+ * Thread creation and join are synchronization the happens-before
+ * analysis must see, or everything a worker does would look
+ * concurrent with the parent.  The wrapper models them the way the
+ * paper models all synchronization, as release/acquire pairs on a
+ * dedicated sync object per edge:
+ *
+ *   fork: parent releases forkSync  → child acquires it on entry
+ *   join: child releases joinSync   → parent acquires it after join
+ *
+ * It also brackets the child with thread_begin/thread_end.  All of
+ * it is no-op when no tracer is active.
+ */
+
+#ifndef WMR_RT_THREAD_HH
+#define WMR_RT_THREAD_HH
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "rt/annotate.hh"
+
+namespace wmr::rt {
+
+/** An annotated thread (non-copyable, non-movable: the sync objects
+ *  are identified by member address). */
+class Thread
+{
+  public:
+    template <typename Fn, typename... Args>
+    explicit Thread(Fn &&fn, Args &&...args)
+    {
+        wmr_rt_release(&forkSync_);
+        impl_ = std::thread(
+            [this](auto &&f, auto &&...a) {
+                wmr_rt_thread_begin();
+                wmr_rt_acquire(&forkSync_);
+                std::forward<decltype(f)>(f)(
+                    std::forward<decltype(a)>(a)...);
+                wmr_rt_release(&joinSync_);
+                wmr_rt_thread_end();
+            },
+            std::forward<Fn>(fn), std::forward<Args>(args)...);
+    }
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    ~Thread()
+    {
+        if (impl_.joinable())
+            join();
+    }
+
+    void
+    join()
+    {
+        impl_.join();
+        wmr_rt_acquire(&joinSync_);
+    }
+
+    bool joinable() const { return impl_.joinable(); }
+
+  private:
+    std::thread impl_;
+    // Sync-object identity is the member address; word-sized and
+    // word-aligned so the two land in distinct trace granules.
+    alignas(8) std::uint64_t forkSync_ = 0;
+    alignas(8) std::uint64_t joinSync_ = 0;
+};
+
+} // namespace wmr::rt
+
+#endif // WMR_RT_THREAD_HH

@@ -1,0 +1,557 @@
+#include "rt/tracer.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "onthefly/epoch_detector.hh"
+#include "onthefly/vc_detector.hh"
+#include "trace/trace_io.hh"
+
+namespace wmr::rt {
+
+namespace {
+
+/** Calling thread's registration with (at most one) tracer.  The
+ *  channel is stored untyped because Tracer::Channel is private.
+ *  The epoch guards against a new Tracer reusing a dead one's
+ *  address and validating a stale channel pointer. */
+struct ThreadReg
+{
+    Tracer *owner = nullptr;
+    std::uint64_t epoch = 0;
+    void *channel = nullptr;
+};
+
+thread_local ThreadReg tlsReg;
+
+std::atomic<std::uint64_t> gTracerEpoch{0};
+
+/** Shared-memory granule: the tracer maps memory at 8-byte (word)
+ *  granularity, matching the paper's word-addressed universe. */
+inline const void *
+granuleOf(std::uintptr_t p)
+{
+    return reinterpret_cast<const void *>(p & ~std::uintptr_t{7});
+}
+
+} // namespace
+
+Tracer::Tracer(TracerConfig cfg)
+    : cfg_(std::move(cfg)), syncs_(cfg_.syncCapacity),
+      epoch_(gTracerEpoch.fetch_add(1,
+                                    std::memory_order_relaxed) +
+             1)
+{
+    if (cfg_.mode == RtMode::Inline) {
+        if (cfg_.detector == RtDetector::VectorClock) {
+            detector_ = std::make_unique<VcDetector>(
+                cfg_.maxThreads, 0);
+        } else {
+            detector_ = std::make_unique<EpochDetector>(
+                cfg_.maxThreads, 0);
+        }
+    }
+    if (cfg_.backgroundDrain)
+        drainThread_ = std::thread(&Tracer::drainLoop, this);
+}
+
+Tracer::~Tracer()
+{
+    stop();
+    if (tlsReg.owner == this)
+        tlsReg = {};
+}
+
+// ---------------------------------------------------------------
+// Producer side (annotated threads).
+// ---------------------------------------------------------------
+
+ProcId
+Tracer::threadBegin()
+{
+    if (tlsReg.owner == this && tlsReg.epoch == epoch_ &&
+        tlsReg.channel) {
+        return static_cast<Channel *>(tlsReg.channel)->proc;
+    }
+    std::lock_guard<std::mutex> lk(channelsMu_);
+    wmr_assert(channels_.size() < kNoProc);
+    const auto proc = static_cast<ProcId>(channels_.size());
+    channels_.push_back(
+        std::make_unique<Channel>(proc, cfg_.ringCapacity));
+    tlsReg = {this, epoch_, channels_.back().get()};
+    return proc;
+}
+
+void
+Tracer::threadEnd()
+{
+    if (tlsReg.owner != this || tlsReg.epoch != epoch_ ||
+        !tlsReg.channel) {
+        return;
+    }
+    static_cast<Channel *>(tlsReg.channel)
+        ->finished.store(true, std::memory_order_release);
+    tlsReg = {};
+}
+
+Tracer::Channel *
+Tracer::channelOfCallingThread()
+{
+    if (tlsReg.owner == this && tlsReg.epoch == epoch_ &&
+        tlsReg.channel) {
+        return static_cast<Channel *>(tlsReg.channel);
+    }
+    threadBegin(); // lazy registration
+    return static_cast<Channel *>(tlsReg.channel);
+}
+
+void
+Tracer::push(Channel &ch, const RtRecord &rec)
+{
+    if (ch.ring.tryPush(rec)) {
+        ch.captured.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const bool isData =
+        rec.kind == RecKind::Read || rec.kind == RecKind::Write;
+    // Sync records are never dropped: a hole in a per-object
+    // sequence would stall the drain's ordering gate forever.
+    if (cfg_.overflow == RtOverflowPolicy::Drop && isData) {
+        ch.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ch.blocked.fetch_add(1, std::memory_order_relaxed);
+    while (!ch.ring.tryPush(rec))
+        std::this_thread::yield();
+    ch.captured.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Tracer::onData(const void *addr, std::size_t size, bool isWrite)
+{
+    if (size == 0)
+        return;
+    Channel *ch = channelOfCallingThread();
+    RtRecord rec;
+    rec.kind = isWrite ? RecKind::Write : RecKind::Read;
+    rec.addr = addr;
+    rec.size = static_cast<std::uint32_t>(
+        std::min<std::size_t>(size, 1u << 20));
+    push(*ch, rec);
+}
+
+void
+Tracer::onAcquire(const void *obj)
+{
+    Channel *ch = channelOfCallingThread();
+    RtRecord rec;
+    rec.kind = RecKind::Acquire;
+    rec.addr = obj;
+    if (SyncSlot *slot = syncs_.findOrInsert(obj)) {
+        // Load the pairing token BEFORE taking a sequence number:
+        // seeing release token t proves t's publisher already took
+        // its (smaller) sequence number, so draining in sequence
+        // order processes the release first.
+        rec.token = slot->lastToken.load(std::memory_order_acquire);
+        rec.seq = slot->seq.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+        registryFull_.fetch_add(1, std::memory_order_relaxed);
+    }
+    push(*ch, rec);
+}
+
+void
+Tracer::onRelease(const void *obj)
+{
+    Channel *ch = channelOfCallingThread();
+    RtRecord rec;
+    rec.kind = RecKind::Release;
+    rec.addr = obj;
+    rec.token =
+        releaseTokens_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (SyncSlot *slot = syncs_.findOrInsert(obj)) {
+        rec.seq = slot->seq.fetch_add(1, std::memory_order_acq_rel);
+        slot->lastToken.store(rec.token,
+                              std::memory_order_release);
+    } else {
+        registryFull_.fetch_add(1, std::memory_order_relaxed);
+    }
+    push(*ch, rec);
+}
+
+// ---------------------------------------------------------------
+// Consumer side (drain thread / foreground drain).
+// ---------------------------------------------------------------
+
+void
+Tracer::drainLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        if (!drainPass(false)) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+    drainToQuiescence();
+}
+
+void
+Tracer::drainToQuiescence()
+{
+    // Normal passes until nothing moves, then force the ordering
+    // gate so a thread killed mid-annotation can't wedge shutdown.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        while (drainPass(false))
+            progress = true;
+        while (drainPass(true))
+            progress = true;
+    }
+}
+
+bool
+Tracer::drainPass(bool force)
+{
+    drainStats_.drainPasses += 1;
+    std::vector<Channel *> chans;
+    {
+        std::lock_guard<std::mutex> lk(channelsMu_);
+        chans.reserve(channels_.size());
+        for (const auto &c : channels_)
+            chans.push_back(c.get());
+    }
+    bool progress = false;
+    for (Channel *ch : chans) {
+        for (std::size_t n = 0; n < cfg_.drainBatch; ++n) {
+            const RtRecord *rec = ch->ring.peek();
+            if (!rec)
+                break;
+            const bool isSync = rec->kind == RecKind::Acquire ||
+                                rec->kind == RecKind::Release;
+            if (isSync && rec->seq != kNoSeq) {
+                const auto it = nextSeq_.find(rec->addr);
+                const std::uint64_t next =
+                    it == nextSeq_.end() ? 0 : it->second;
+                if (rec->seq != next) {
+                    if (!force) {
+                        // An earlier sync op on this object is
+                        // still in some other ring; revisit later.
+                        drainStats_.syncStalls += 1;
+                        break;
+                    }
+                    drainStats_.forcedSync += 1;
+                }
+            }
+            processRecord(*ch, *rec);
+            ch->ring.popFront();
+            drainStats_.drainedRecords += 1;
+            progress = true;
+        }
+    }
+    return progress;
+}
+
+void
+Tracer::processRecord(Channel &ch, const RtRecord &rec)
+{
+    if (detector_ && ch.proc >= cfg_.maxThreads) {
+        // Inline detectors size their clocks for maxThreads procs;
+        // later threads are dropped (visibly) rather than UB'd.
+        drainStats_.recordsDropped += 1;
+        return;
+    }
+
+    if (rec.kind == RecKind::Acquire ||
+        rec.kind == RecKind::Release) {
+        if (rec.seq != kNoSeq) {
+            auto &next = nextSeq_[rec.addr];
+            if (rec.seq + 1 > next)
+                next = rec.seq + 1;
+        }
+        emitSync(ch, rec);
+        return;
+    }
+
+    // Data access: one MemOp per touched 8-byte word.
+    const bool isWrite = rec.kind == RecKind::Write;
+    const auto base = reinterpret_cast<std::uintptr_t>(rec.addr);
+    const std::uintptr_t first = base >> 3;
+    const std::uintptr_t last = (base + rec.size - 1) >> 3;
+    for (std::uintptr_t g = first; g <= last; ++g) {
+        const Addr a = mapGranule(granuleOf(g << 3));
+        const OpId oid = nextOp_++;
+        drainStats_.opsEmitted += 1;
+        if (detector_) {
+            MemOp op;
+            op.id = oid;
+            op.proc = ch.proc;
+            op.poIndex = ch.poIndex;
+            op.pc = ch.poIndex;
+            op.kind = isWrite ? OpKind::Write : OpKind::Read;
+            op.addr = a;
+            op.tick = oid;
+            op.step = oid;
+            feedInline(op);
+        } else {
+            if (ch.openValid && cfg_.maxCompRun != 0 &&
+                ch.open.opCount >= cfg_.maxCompRun) {
+                flushOpenEvent(ch);
+            }
+            if (!ch.openValid) {
+                ch.open = StagedEvent{};
+                ch.open.kind = EventKind::Computation;
+                ch.open.proc = ch.proc;
+                ch.open.firstOp = oid;
+                ch.openValid = true;
+            }
+            ch.open.lastOp = oid;
+            ch.open.opCount += 1;
+            (isWrite ? ch.open.writeWords : ch.open.readWords)
+                .push_back(a);
+        }
+        ch.poIndex += 1;
+    }
+}
+
+void
+Tracer::emitSync(Channel &ch, const RtRecord &rec)
+{
+    flushOpenEvent(ch);
+
+    MemOp op;
+    op.id = nextOp_++;
+    op.proc = ch.proc;
+    op.poIndex = ch.poIndex;
+    op.pc = ch.poIndex;
+    op.sync = true;
+    op.addr = mapGranule(granuleOf(
+        reinterpret_cast<std::uintptr_t>(rec.addr)));
+    op.value = static_cast<Value>(rec.token);
+    op.tick = op.id;
+    op.step = op.id;
+    if (rec.kind == RecKind::Acquire) {
+        op.kind = OpKind::Read;
+        op.acquire = true;
+        if (rec.token != 0) {
+            const auto it = releaseOpByToken_.find(rec.token);
+            if (it != releaseOpByToken_.end())
+                op.observedWrite = it->second;
+            else
+                drainStats_.unresolvedPairings += 1;
+        }
+    } else {
+        op.kind = OpKind::Write;
+        op.release = true;
+        releaseOpByToken_[rec.token] = op.id;
+    }
+    ch.poIndex += 1;
+    drainStats_.opsEmitted += 1;
+    drainStats_.syncEvents += 1;
+
+    if (detector_) {
+        feedInline(op);
+        return;
+    }
+
+    StagedEvent ev;
+    ev.kind = EventKind::Sync;
+    ev.proc = ch.proc;
+    ev.firstOp = ev.lastOp = op.id;
+    ev.opCount = 1;
+    ev.syncOp = op;
+    ev.pairedToken =
+        rec.kind == RecKind::Acquire ? rec.token : 0;
+    ch.staged.push_back(std::move(ev));
+    drainStats_.eventsEmitted += 1;
+}
+
+void
+Tracer::flushOpenEvent(Channel &ch)
+{
+    if (!ch.openValid)
+        return;
+    ch.staged.push_back(std::move(ch.open));
+    ch.open = StagedEvent{};
+    ch.openValid = false;
+    drainStats_.eventsEmitted += 1;
+}
+
+void
+Tracer::feedInline(const MemOp &op)
+{
+    detector_->onOp(op);
+}
+
+Addr
+Tracer::mapGranule(const void *granule)
+{
+    const auto next = static_cast<Addr>(nativeOfDense_.size());
+    const auto [it, inserted] = addrMap_.try_emplace(granule, next);
+    if (inserted)
+        nativeOfDense_.push_back(granule);
+    return it->second;
+}
+
+// ---------------------------------------------------------------
+// Lifecycle.
+// ---------------------------------------------------------------
+
+void
+Tracer::drainAll()
+{
+    wmr_assert(!cfg_.backgroundDrain);
+    while (drainPass(false)) {
+    }
+}
+
+void
+Tracer::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    stopping_.store(true, std::memory_order_release);
+    if (drainThread_.joinable())
+        drainThread_.join(); // runs drainToQuiescence() on its way out
+    else
+        drainToQuiescence();
+    finalize();
+}
+
+void
+Tracer::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+
+    for (const auto &c : channels_)
+        flushOpenEvent(*c);
+
+    if (cfg_.mode != RtMode::Record)
+        return;
+
+    const auto words = static_cast<Addr>(nativeOfDense_.size());
+    const auto procs = static_cast<ProcId>(
+        std::max<std::size_t>(channels_.size(), 1));
+    built_ = ExecutionTrace();
+    built_.setShape(procs, words);
+    built_.setFirstStaleRead(kNoOp);
+    built_.setTotalOps(drainStats_.opsEmitted);
+
+    // Merge the per-thread staged streams into global first-op
+    // order.  Op ids are assigned in drain order, which respects
+    // both program order per thread and the per-object sync order
+    // (the drain's ordering gate), so this insertion order yields a
+    // valid per-processor sequence AND per-location sync order.
+    std::vector<StagedEvent *> staging;
+    for (const auto &c : channels_) {
+        for (auto &ev : c->staged)
+            staging.push_back(&ev);
+    }
+    std::sort(staging.begin(), staging.end(),
+              [](const StagedEvent *a, const StagedEvent *b) {
+                  return a->firstOp < b->firstOp;
+              });
+
+    std::unordered_map<std::uint64_t, EventId> releaseEventByToken;
+    std::vector<std::pair<EventId, std::uint64_t>> acquires;
+    for (StagedEvent *sev : staging) {
+        Event ev;
+        ev.kind = sev->kind;
+        ev.proc = sev->proc;
+        ev.firstOp = sev->firstOp;
+        ev.lastOp = sev->lastOp;
+        ev.opCount = sev->opCount;
+        if (sev->kind == EventKind::Sync) {
+            ev.syncOp = sev->syncOp;
+        } else {
+            ev.readSet.resize(words);
+            ev.writeSet.resize(words);
+            for (const Addr a : sev->readWords)
+                ev.readSet.set(a);
+            for (const Addr a : sev->writeWords)
+                ev.writeSet.set(a);
+        }
+        const EventId id = built_.addEvent(std::move(ev));
+        if (sev->kind == EventKind::Sync) {
+            if (sev->syncOp.release) {
+                releaseEventByToken[static_cast<std::uint64_t>(
+                    sev->syncOp.value)] = id;
+            } else if (sev->pairedToken != 0) {
+                acquires.emplace_back(id, sev->pairedToken);
+            }
+        }
+    }
+    for (const auto &[id, token] : acquires) {
+        const auto it = releaseEventByToken.find(token);
+        if (it != releaseEventByToken.end())
+            built_.mutableEvent(id).pairedRelease = it->second;
+    }
+
+    if (!cfg_.tracePath.empty())
+        writeTraceFile(built_, cfg_.tracePath);
+}
+
+ExecutionTrace
+Tracer::takeTrace()
+{
+    wmr_assert(stopped_.load() && cfg_.mode == RtMode::Record);
+    return std::move(built_);
+}
+
+// ---------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------
+
+RtStats
+Tracer::stats() const
+{
+    RtStats s = drainStats_;
+    std::lock_guard<std::mutex> lk(channelsMu_);
+    s.threadsTraced = channels_.size();
+    for (const auto &c : channels_) {
+        s.recordsCaptured +=
+            c->captured.load(std::memory_order_relaxed);
+        s.recordsDropped +=
+            c->dropped.load(std::memory_order_relaxed);
+        s.blockedPushes +=
+            c->blocked.load(std::memory_order_relaxed);
+    }
+    s.registryFull +=
+        registryFull_.load(std::memory_order_relaxed);
+    s.wordsMapped = nativeOfDense_.size();
+    if (detector_)
+        s.inlineRaces = detector_->stats().racesReported;
+    return s;
+}
+
+std::vector<Tracer::RaceReport>
+Tracer::inlineRaces() const
+{
+    std::vector<RaceReport> out;
+    if (!detector_)
+        return out;
+    for (const auto &r : detector_->races())
+        out.push_back({r, nativeAddrOf(r.addr)});
+    return out;
+}
+
+const void *
+Tracer::nativeAddrOf(Addr a) const
+{
+    if (a >= nativeOfDense_.size())
+        return nullptr;
+    return nativeOfDense_[a];
+}
+
+Addr
+Tracer::denseAddrOf(const void *addr) const
+{
+    const auto it = addrMap_.find(granuleOf(
+        reinterpret_cast<std::uintptr_t>(addr)));
+    return it == addrMap_.end() ? kNoAddr : it->second;
+}
+
+} // namespace wmr::rt

@@ -13,6 +13,8 @@ namespace wmr {
 namespace {
 
 constexpr char kMagic[8] = {'W', 'M', 'R', 'T', 'R', 'C', '0', '1'};
+constexpr char kFullOpMagic[8] = {'W', 'M', 'R', 'F',
+                                  'O', 'P', '0', '1'};
 
 /**
  * Internal control-flow exception of the parse path.  Thrown wherever
@@ -217,7 +219,13 @@ decodeMemOp(Decoder &dec)
 {
     MemOp op;
     op.id = dec.u64();
-    op.proc = static_cast<ProcId>(dec.u64());
+    // Bound the narrowing casts: a corrupt record must yield a parse
+    // error, not a silently truncated processor id or address.
+    const std::uint64_t rawProc = dec.u64();
+    if (rawProc > kNoProc)
+        parseFail("trace file: op processor %llu too large",
+                  static_cast<unsigned long long>(rawProc));
+    op.proc = static_cast<ProcId>(rawProc);
     op.poIndex = static_cast<std::uint32_t>(dec.u64());
     op.pc = static_cast<std::uint32_t>(dec.u64());
     op.kind = dec.u64() ? OpKind::Write : OpKind::Read;
@@ -228,7 +236,11 @@ decodeMemOp(Decoder &dec)
     op.stale = flags & 8;
     op.divergent = flags & 16;
     op.taintedValue = flags & 32;
-    op.addr = static_cast<Addr>(dec.u64());
+    const std::uint64_t rawAddr = dec.u64();
+    if (rawAddr > (1ull << 28))
+        parseFail("trace file: op address %llu too large",
+                  static_cast<unsigned long long>(rawAddr));
+    op.addr = static_cast<Addr>(rawAddr);
     op.value = dec.i64();
     op.observedWrite = dec.u64();
     op.tick = dec.u64();
@@ -416,11 +428,79 @@ std::vector<std::uint8_t>
 serializeFullOps(const std::vector<MemOp> &ops)
 {
     Encoder enc;
-    enc.raw(kMagic, sizeof(kMagic));
+    enc.raw(kFullOpMagic, sizeof(kFullOpMagic));
     enc.u64(ops.size());
     for (const auto &op : ops)
         encodeMemOp(enc, op);
     return enc.take();
+}
+
+namespace {
+
+/** The full-op parse proper; throws ParseFailure when malformed. */
+std::vector<MemOp>
+decodeFullOpsOrThrow(const std::vector<std::uint8_t> &bytes)
+{
+    Decoder dec(bytes);
+    char magic[sizeof(kFullOpMagic)];
+    dec.raw(magic, sizeof(magic));
+    if (std::memcmp(magic, kFullOpMagic, sizeof(kFullOpMagic)) != 0) {
+        if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+            parseFail("full-op file: this is an event-format trace "
+                      "(use the trace reader)");
+        parseFail("not a wmrace full-op file (bad magic)");
+    }
+    const std::uint64_t count = dec.u64();
+    // Each op encodes to >= 10 bytes, but 1 byte/op is enough of a
+    // bound to turn an absurd header count into an error, not an OOM.
+    dec.checkCount(count, "full-op");
+    std::vector<MemOp> ops;
+    ops.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        ops.push_back(decodeMemOp(dec));
+    if (!dec.done())
+        parseFail("full-op file: trailing bytes");
+    return ops;
+}
+
+} // namespace
+
+FullOpsReadResult
+tryDeserializeFullOps(const std::vector<std::uint8_t> &bytes)
+{
+    FullOpsReadResult res;
+    try {
+        res.ops = decodeFullOpsOrThrow(bytes);
+    } catch (const ParseFailure &pf) {
+        res.status = TraceIoStatus::FormatError;
+        res.error = pf.message;
+    } catch (const std::bad_alloc &) {
+        res.status = TraceIoStatus::FormatError;
+        res.error = "full-op file: allocation failure during parse";
+    }
+    return res;
+}
+
+FullOpsReadResult
+tryReadFullOpsFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        FullOpsReadResult res;
+        res.status = TraceIoStatus::IoError;
+        res.error = "cannot open full-op file '" + path + "'";
+        return res;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad()) {
+        FullOpsReadResult res;
+        res.status = TraceIoStatus::IoError;
+        res.error = "read error on full-op file '" + path + "'";
+        return res;
+    }
+    return tryDeserializeFullOps(bytes);
 }
 
 } // namespace wmr

@@ -13,7 +13,9 @@
  *    measure how much the event abstraction saves.
  *
  * Encoding: little-endian, varint-compressed unsigned integers, with
- * an 8-byte magic + version header.
+ * an 8-byte magic + version header.  The two formats carry distinct
+ * magics ("WMRTRC01" vs "WMRFOP01") so each reader can reject the
+ * other's files with a clear error instead of misparsing them.
  */
 
 #ifndef WMR_TRACE_TRACE_IO_HH
@@ -90,6 +92,38 @@ ExecutionTrace readTraceFile(const std::string &path);
  */
 std::vector<std::uint8_t>
 serializeFullOps(const std::vector<MemOp> &ops);
+
+/**
+ * Outcome of a recoverable full-op parse/read.  Mirrors
+ * TraceReadResult so batch consumers can treat a malformed full-op
+ * buffer as a per-file failure and keep going.
+ */
+struct FullOpsReadResult
+{
+    TraceIoStatus status = TraceIoStatus::Ok;
+
+    /** The decoded operations; meaningful only when ok(). */
+    std::vector<MemOp> ops;
+
+    /** Human-readable failure reason; empty when ok(). */
+    std::string error;
+
+    bool ok() const { return status == TraceIoStatus::Ok; }
+};
+
+/**
+ * Parse a full-op-format buffer.  Never aborts: truncated, corrupt,
+ * oversized or wrong-format input (e.g. an event-format trace) yields
+ * a FormatError result with the reason.
+ */
+FullOpsReadResult
+tryDeserializeFullOps(const std::vector<std::uint8_t> &bytes);
+
+/**
+ * Read and parse a full-op-format file.  Never aborts: I/O problems
+ * yield IoError, malformed bytes yield FormatError.
+ */
+FullOpsReadResult tryReadFullOpsFile(const std::string &path);
 
 } // namespace wmr
 

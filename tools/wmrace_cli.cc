@@ -5,6 +5,8 @@
  *   wmrace run <prog.wm> [options]     simulate + detect + report
  *   wmrace check <trace.bin> [options] post-mortem analysis of a trace
  *   wmrace batch <dir|manifest> [opts] analyze a whole trace corpus
+ *   wmrace record [opts] <bin> [args]  run an annotated program,
+ *                                      record + analyze its trace
  *   wmrace explore <prog.wm> [options] exhaustive SC model checking
  *   wmrace disasm <prog.wm>            print the assembled program
  *   wmrace static <prog.wm>            compile-time lockset analysis
@@ -26,14 +28,23 @@
  * Options of `explore`: --max-execs N (default 100000).
  *
  * Options of `batch` (see docs/BATCH.md):
- *   --jobs N       worker threads (default: hardware concurrency)
+ *   --jobs N       worker threads, N >= 1 (default: hardware
+ *                  concurrency); anything else is rejected (exit 2)
  *   --json FILE    write the aggregated JSON report
  *   --metrics FILE write run metrics as JSON (timing, queue depth)
  *   --fail-fast    stop dispatching after the first failed trace
  *   --summary      omit the per-trace lines of the text report
+ *
+ * Options of `record` (see docs/RUNTIME.md; they must precede the
+ * child binary — everything after it belongs to the child):
+ *   --out FILE     trace file (default: <binary-basename>.trace)
+ *   --no-check     just record; skip the post-mortem analysis
+ * The child is launched with WMR_RT_TRACE set, so a program
+ * annotated with rt/annotate.hh records itself and flushes at exit.
  */
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +52,9 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "detect/analysis.hh"
@@ -244,8 +258,24 @@ cmdBatch(const Args &args)
         fatal("%s", corpus.error.c_str());
 
     BatchOptions opts;
-    opts.jobs = static_cast<unsigned>(
-        std::strtoul(args.get("jobs", "0").c_str(), nullptr, 10));
+    if (args.has("jobs")) {
+        // Validate strictly: a mistyped --jobs must not silently
+        // become "hardware concurrency" (0) or a huge unsigned.
+        const std::string v = args.get("jobs");
+        char *end = nullptr;
+        errno = 0;
+        const long long n =
+            v.empty() ? -1 : std::strtoll(v.c_str(), &end, 10);
+        if (v.empty() || *end != '\0' || errno == ERANGE || n < 1 ||
+            n > 4096) {
+            std::fprintf(stderr,
+                         "batch: invalid --jobs '%s': expected an "
+                         "integer between 1 and 4096\n",
+                         v.c_str());
+            return 2;
+        }
+        opts.jobs = static_cast<unsigned>(n);
+    }
     opts.failFast = args.has("fail-fast");
 
     const BatchResult batch = runBatch(corpus, opts);
@@ -281,6 +311,75 @@ cmdBatch(const Args &args)
     if (opts.failFast && batch.numFailed() > 0)
         return 2;
     return batch.anyDataRace() ? 1 : 0;
+}
+
+/**
+ * `wmrace record [--out FILE] [--no-check] <binary> [args...]`:
+ * launch an annotated program with WMR_RT_TRACE set so its runtime
+ * tracer (src/rt) records an EVENT trace, then analyze the trace
+ * with the regular post-mortem pipeline.
+ */
+int
+cmdRecord(int argc, char **argv)
+{
+    std::string out;
+    bool check = true;
+    int i = 2;
+    for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--out" && i + 1 < argc) {
+            out = argv[++i];
+        } else if (a == "--no-check") {
+            check = false;
+        } else if (a.rfind("--", 0) == 0) {
+            fatal("record: unknown option '%s' (options go before "
+                  "the child binary)", a.c_str());
+        } else {
+            break; // the child binary
+        }
+    }
+    if (i >= argc)
+        fatal("record: missing child binary to run");
+    const std::string child = argv[i];
+    if (out.empty()) {
+        const auto slash = child.find_last_of('/');
+        out = (slash == std::string::npos
+                   ? child
+                   : child.substr(slash + 1)) +
+              ".trace";
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("record: fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        ::setenv("WMR_RT_TRACE", out.c_str(), 1);
+        ::execvp(child.c_str(), argv + i);
+        std::fprintf(stderr, "record: cannot exec '%s': %s\n",
+                     child.c_str(), std::strerror(errno));
+        std::_Exit(127);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0)
+        fatal("record: waitpid failed: %s", std::strerror(errno));
+    if (WIFSIGNALED(status)) {
+        fatal("record: '%s' died on signal %d", child.c_str(),
+              WTERMSIG(status));
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        fatal("record: '%s' exited with status %d (trace may be "
+              "missing or partial)", child.c_str(),
+              WEXITSTATUS(status));
+    }
+    std::printf("recorded '%s' -> %s\n", child.c_str(),
+                out.c_str());
+    if (!check)
+        return 0;
+
+    const ExecutionTrace trace = readTraceFile(out);
+    const DetectionResult det = analyzeTrace(trace);
+    std::printf("%s", formatReport(det, nullptr, {}).c_str());
+    return det.anyDataRace() ? 1 : 0;
 }
 
 int
@@ -377,6 +476,8 @@ usage()
         "  check <trace.bin>  post-mortem analysis of a trace file\n"
         "  batch <dir|manifest>  analyze a whole trace corpus "
         "(multi-threaded)\n"
+        "  record <bin> [args]  run an annotated program, record + "
+        "analyze its trace\n"
         "  explore <prog.wm>  exhaustive SC model checking\n"
         "  static <prog.wm>   compile-time lockset analysis\n"
         "  disasm <prog.wm>   print the assembled program\n"
@@ -401,6 +502,8 @@ main(int argc, char **argv)
         return cmdCheck(args);
     if (cmd == "batch")
         return cmdBatch(args);
+    if (cmd == "record")
+        return cmdRecord(argc, argv);
     if (cmd == "explore")
         return cmdExplore(args);
     if (cmd == "static")
