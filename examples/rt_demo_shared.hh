@@ -25,6 +25,9 @@
  *                           name per demo); analyze it with
  *                           `wmrace check out.trace`
  *   rt_demo_X --inline      no file: inline on-the-fly detection
+ *   rt_demo_X --fail        exit with status 9 after the workload
+ *                           (exercises `wmrace record`'s handling of
+ *                           nonzero children: report, keep trace)
  * When WMR_RT_TRACE / WMR_RT_MODE are set (e.g. by `wmrace
  * record`), the environment wins and configures the tracer instead.
  */
@@ -97,11 +100,14 @@ demoMain(int argc, char **argv, bool annotateLocks,
     using namespace wmr::rt;
 
     bool inlineMode = false;
+    bool failExit = false;
     std::string out = defaultTrace;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--inline")
             inlineMode = true;
+        else if (a == "--fail")
+            failExit = true;
         else
             out = a;
     }
@@ -124,7 +130,7 @@ demoMain(int argc, char **argv, bool annotateLocks,
     wmr_rt_thread_end();
 
     if (envDriven)
-        return 0; // the atexit hook flushes and reports
+        return failExit ? 9 : 0; // the atexit hook still flushes
 
     tracer->stop();
     const RtStats s = tracer->stats();
@@ -160,7 +166,7 @@ demoMain(int argc, char **argv, bool annotateLocks,
                         s.recordsDropped));
     }
     stopGlobalTracer();
-    return rc;
+    return failExit ? 9 : rc;
 }
 
 } // namespace rtdemo

@@ -1,0 +1,38 @@
+#include "common/crc32.hh"
+
+#include <array>
+
+namespace wmr {
+
+namespace {
+
+/** The reflected IEEE 802.3 polynomial. */
+constexpr std::uint32_t kPoly = 0xedb88320u;
+
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < n; ++i)
+        crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc;
+}
+
+} // namespace wmr

@@ -18,6 +18,10 @@ computeTotals(const BatchResult &batch)
             continue;
         }
         ++t.analyzed;
+        if (tr.salvaged)
+            ++t.salvaged;
+        t.unresolvedPairings += tr.unresolvedPairings;
+        t.droppedDataRecords += tr.droppedDataRecords;
         if (tr.anyDataRace)
             ++t.tracesWithDataRaces;
         if (tr.wholeExecutionSc)
@@ -45,6 +49,18 @@ formatBatchReport(const BatchResult &batch,
                      batch.traces.size());
     out += strformat("analyzed: %zu   failed: %zu   skipped: %zu\n",
                      t.analyzed, t.failed, t.skipped);
+    if (t.salvaged > 0)
+        out += strformat(
+            "salvaged: %zu damaged trace(s) analyzed from their "
+            "recovered prefix (%llu release->acquire pairing(s) "
+            "lost)\n",
+            t.salvaged,
+            static_cast<unsigned long long>(t.unresolvedPairings));
+    if (t.droppedDataRecords > 0)
+        out += strformat(
+            "recorder loss: %llu data record(s) dropped by the "
+            "ring-overflow Drop policy\n",
+            static_cast<unsigned long long>(t.droppedDataRecords));
     out += strformat(
         "traces with data races: %zu   race-free (Theorem 4.1 => "
         "execution was SC): %zu\n",
@@ -65,6 +81,16 @@ formatBatchReport(const BatchResult &batch,
         }
         if (!opts.showPerTrace)
             continue;
+        std::string marks;
+        if (tr.wholeExecutionSc)
+            marks += "  [SC]";
+        if (tr.salvaged)
+            marks += "  [salvaged]";
+        if (tr.droppedDataRecords > 0)
+            marks += strformat(
+                "  [dropped records: %llu]",
+                static_cast<unsigned long long>(
+                    tr.droppedDataRecords));
         out += strformat(
             "  #%3zu %s: %llu event(s), %llu op(s), %llu race(s) "
             "[%llu data], %llu partition(s), %llu first, "
@@ -77,7 +103,7 @@ formatBatchReport(const BatchResult &batch,
             static_cast<unsigned long long>(tr.partitions),
             static_cast<unsigned long long>(tr.firstPartitions),
             static_cast<unsigned long long>(tr.reportedRaces),
-            tr.wholeExecutionSc ? "  [SC]" : "");
+            marks.c_str());
     }
 
     out += "\n";
@@ -155,6 +181,13 @@ batchReportJson(const BatchResult &batch)
     out += strformat("    \"analyzed\": %zu,\n", t.analyzed);
     out += strformat("    \"failed\": %zu,\n", t.failed);
     out += strformat("    \"skipped\": %zu,\n", t.skipped);
+    out += strformat("    \"salvaged\": %zu,\n", t.salvaged);
+    out += strformat(
+        "    \"unresolved_pairings\": %llu,\n",
+        static_cast<unsigned long long>(t.unresolvedPairings));
+    out += strformat(
+        "    \"dropped_data_records\": %llu,\n",
+        static_cast<unsigned long long>(t.droppedDataRecords));
     out += strformat("    \"traces_with_data_races\": %zu,\n",
                      t.tracesWithDataRaces);
     out += strformat("    \"traces_fully_sc\": %zu,\n",
@@ -219,6 +252,18 @@ batchReportJson(const BatchResult &batch)
                 static_cast<unsigned long long>(tr.reportedRaces));
             out += strformat("      \"any_data_race\": %s,\n",
                              boolName(tr.anyDataRace));
+            if (tr.salvaged || tr.droppedDataRecords > 0) {
+                out += strformat("      \"salvaged\": %s,\n",
+                                 boolName(tr.salvaged));
+                out += strformat(
+                    "      \"unresolved_pairings\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        tr.unresolvedPairings));
+                out += strformat(
+                    "      \"dropped_data_records\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        tr.droppedDataRecords));
+            }
             out += strformat("      \"whole_execution_sc\": %s\n",
                              boolName(tr.wholeExecutionSc));
         }

@@ -32,6 +32,16 @@ struct BatchTotals
     std::size_t analyzed = 0;
     std::size_t failed = 0;
     std::size_t skipped = 0;
+
+    /** Damaged segmented traces analyzed from a recovered prefix. */
+    std::size_t salvaged = 0;
+
+    /** so1 pairings lost across all salvaged traces. */
+    std::uint64_t unresolvedPairings = 0;
+
+    /** Recorder Drop-policy losses across all analyzed traces. */
+    std::uint64_t droppedDataRecords = 0;
+
     std::size_t tracesWithDataRaces = 0;
     std::size_t tracesFullySc = 0;
     std::uint64_t events = 0;

@@ -5,9 +5,13 @@
 #include <fstream>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
+#include "common/logging.hh"
+#include "pipeline/checkpoint.hh"
 #include "pipeline/work_queue.hh"
 #include "pipeline/worker_pool.hh"
+#include "trace/segmented_io.hh"
 #include "trace/trace_io.hh"
 
 namespace wmr {
@@ -25,7 +29,7 @@ secondsSince(Clock::time_point start)
 
 /** Load + parse + analyze one trace file into @p out. */
 void
-analyzeOneTrace(const std::string &path, const AnalysisOptions &opts,
+analyzeOneTrace(const std::string &path, const BatchOptions &opts,
                 TraceRunResult &out, StageSeconds &stages)
 {
     out.path = path;
@@ -49,19 +53,49 @@ analyzeOneTrace(const std::string &path, const AnalysisOptions &opts,
     stages.read += secondsSince(readStart);
 
     const auto parseStart = Clock::now();
-    auto parsed = tryDeserializeTrace(bytes);
-    stages.parse += secondsSince(parseStart);
-    if (!parsed.ok()) {
-        out.status = parsed.status == TraceIoStatus::IoError
-                         ? TraceRunStatus::IoError
-                         : TraceRunStatus::FormatError;
-        out.error = parsed.error;
-        return;
+    ExecutionTrace trace;
+    if (looksSegmented(bytes.data(), bytes.size())) {
+        // Segmented traces go through their own reader (rather than
+        // the sniffing tryDeserializeTrace) so the batch can salvage
+        // damaged files and surface recorder-side losses per trace.
+        auto seg = opts.salvage ? trySalvageTrace(bytes)
+                                : tryReadSegmentedTrace(bytes);
+        if (seg.ok() && seg.salvage.salvaged &&
+            seg.trace.events().empty()) {
+            // Nothing recoverable: fail so the file lands in the
+            // quarantine instead of passing as an empty analysis.
+            seg.status = TraceIoStatus::FormatError;
+            seg.error = "salvage recovered no events (" +
+                        seg.salvage.summary() + ")";
+        }
+        stages.parse += secondsSince(parseStart);
+        if (!seg.ok()) {
+            out.status = seg.status == TraceIoStatus::IoError
+                             ? TraceRunStatus::IoError
+                             : TraceRunStatus::FormatError;
+            out.error = seg.error;
+            return;
+        }
+        out.salvaged = seg.salvage.salvaged;
+        out.unresolvedPairings = seg.salvage.unresolvedPairings;
+        out.droppedDataRecords = seg.salvage.droppedDataRecords;
+        trace = std::move(seg.trace);
+    } else {
+        auto parsed = tryDeserializeTrace(bytes);
+        stages.parse += secondsSince(parseStart);
+        if (!parsed.ok()) {
+            out.status = parsed.status == TraceIoStatus::IoError
+                             ? TraceRunStatus::IoError
+                             : TraceRunStatus::FormatError;
+            out.error = parsed.error;
+            return;
+        }
+        trace = std::move(parsed.trace);
     }
 
     const auto analyzeStart = Clock::now();
     const DetectionResult det =
-        analyzeTrace(std::move(parsed.trace), opts);
+        analyzeTrace(std::move(trace), opts.analysis);
     stages.analyze += secondsSince(analyzeStart);
 
     out.status = TraceRunStatus::Ok;
@@ -138,13 +172,49 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     if (n == 0)
         return result;
 
+    // Resume: prefill result slots journaled by a previous run over
+    // this corpus, then keep journaling the rest as they complete.
+    // The journal is an optimization — any problem with it degrades
+    // to re-analyzing traces, never to wrong results.
+    std::vector<char> done(n, 0);
+    bool priorFailure = false;
+    CheckpointWriter journal;
+    bool journaling = false;
+    if (!opts.checkpointPath.empty()) {
+        std::unordered_map<std::string, std::size_t> slotByPath;
+        slotByPath.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            slotByPath.emplace(corpus.files[i], i);
+        const CheckpointLoad prior =
+            loadCheckpoint(opts.checkpointPath);
+        if (prior.tornLines > 0)
+            warn("batch: checkpoint '%s': ignoring %zu torn or "
+                 "foreign line(s)",
+                 opts.checkpointPath.c_str(), prior.tornLines);
+        for (const auto &entry : prior.entries) {
+            const auto it = slotByPath.find(entry.path);
+            if (it == slotByPath.end() || done[it->second])
+                continue; // journaled under a different corpus
+            result.traces[it->second] = entry;
+            done[it->second] = 1;
+            priorFailure |= entry.failed();
+            ++result.metrics.resumed;
+        }
+        if (journal.open(opts.checkpointPath))
+            journaling = true;
+        else
+            warn("batch: checkpoint journaling disabled: %s",
+                 journal.lastError().c_str());
+    }
+
     const auto wallStart = Clock::now();
 
     // Producer -> workers hand-off.  The bound keeps the backlog (and
     // so the peak-depth metric) meaningful without ever stalling the
     // workers: a few slots of slack per worker.
     WorkQueue<std::size_t> queue(static_cast<std::size_t>(jobs) * 4);
-    std::atomic<bool> abortDispatch{false};
+    std::atomic<bool> abortDispatch{priorFailure};
+    std::atomic<bool> journalWarned{false};
 
     std::mutex metricsMutex;
     StageSeconds stageTotal;
@@ -161,11 +231,15 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
                 slot.error = "--fail-fast after an earlier failure";
                 continue;
             }
-            analyzeOneTrace(corpus.files[index], opts.analysis, slot,
+            analyzeOneTrace(corpus.files[index], opts, slot,
                             localStages);
             if (slot.failed())
                 abortDispatch.store(true,
                                     std::memory_order_relaxed);
+            if (journaling && !journal.append(slot) &&
+                !journalWarned.exchange(true))
+                warn("batch: checkpoint journaling failed: %s",
+                     journal.lastError().c_str());
         }
         std::lock_guard<std::mutex> lock(metricsMutex);
         stageTotal.read += localStages.read;
@@ -176,6 +250,8 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     {
         WorkerPool pool(jobs, workerBody);
         for (std::size_t i = 0; i < n; ++i) {
+            if (done[i])
+                continue; // resumed from the checkpoint journal
             if (opts.failFast &&
                 abortDispatch.load(std::memory_order_relaxed)) {
                 // Mark everything not yet dispatched as skipped; the
@@ -197,12 +273,15 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     result.metrics.peakQueueDepth = queue.peakDepth();
     for (const auto &t : result.traces) {
         result.metrics.bytesRead += t.fileBytes;
-        if (t.ok())
+        if (t.ok()) {
             ++result.metrics.analyzed;
-        else if (t.failed())
+            if (t.salvaged)
+                ++result.metrics.salvaged;
+        } else if (t.failed()) {
             ++result.metrics.failed;
-        else
+        } else {
             ++result.metrics.skipped;
+        }
     }
     return result;
 }

@@ -13,6 +13,10 @@
  *    byte-identical for --jobs 1 and --jobs N.  (Timing lives in
  *    BatchMetrics, which is nondeterministic by nature and kept out
  *    of the report.)
+ *  - RESUMABILITY: with a checkpoint journal (BatchOptions::
+ *    checkpointPath) a run killed halfway resumes without
+ *    re-analyzing completed traces, and the resumed report is
+ *    byte-identical to an uninterrupted run's.
  *
  * The analysis entry point analyzeTrace() is reentrant — it keeps all
  * state inside the DetectionResult being built and touches no global
@@ -67,6 +71,18 @@ struct TraceRunResult
     bool anyDataRace = false;
     bool wholeExecutionSc = false;
 
+    // --- Provenance (segmented "WMRSEG01" traces only) ----------
+    /** The trace was a damaged/truncated segmented file and only
+     *  the valid checksummed prefix was analyzed. */
+    bool salvaged = false;
+
+    /** Acquire events whose paired release was lost with the
+     *  dropped tail (so1 edges missing => races may be missed). */
+    std::uint64_t unresolvedPairings = 0;
+
+    /** Data records the recorder's Drop overflow policy lost. */
+    std::uint64_t droppedDataRecords = 0;
+
     bool ok() const { return status == TraceRunStatus::Ok; }
     bool
     failed() const
@@ -84,6 +100,22 @@ struct BatchOptions
 
     /** Stop dispatching new traces after the first failure. */
     bool failFast = false;
+
+    /**
+     * Recover the valid prefix of damaged segmented traces instead
+     * of failing them (the per-trace analogue of
+     * `wmrace check --salvage`).  A salvage that recovers nothing is
+     * still a failure, so poison files land in the quarantine.
+     */
+    bool salvage = false;
+
+    /**
+     * Append-only resume journal ("" = disabled): completed traces
+     * found in it are prefilled, not re-analyzed, and every newly
+     * completed trace is journaled as it finishes — so a batch run
+     * killed halfway resumes where it stopped.  See checkpoint.hh.
+     */
+    std::string checkpointPath;
 
     /** Detector options applied to every trace. */
     AnalysisOptions analysis;

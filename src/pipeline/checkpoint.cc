@@ -1,0 +1,313 @@
+#include "pipeline/checkpoint.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/string_util.hh"
+
+namespace wmr {
+
+namespace {
+
+// Journal line: tag, status, path, 12 counters/flags, error, end
+// marker — tab-separated.  The trailing marker is the torn-line
+// detector: a write cut short by SIGKILL loses it (or whole fields)
+// and the loader drops the line.
+constexpr const char *kTag = "wmrck1";
+constexpr const char *kEndMarker = ".";
+constexpr std::size_t kFields = 19;
+
+/** Escape tabs/newlines/backslashes so fields never split lines. */
+std::string
+escapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+          case '\\':
+            out += '\\';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          default: // unknown escape: keep both chars verbatim
+            out += '\\';
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "0")
+        out = false;
+    else if (s == "1")
+        out = true;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseStatus(const std::string &s, TraceRunStatus &out)
+{
+    if (s == "ok")
+        out = TraceRunStatus::Ok;
+    else if (s == "io_error")
+        out = TraceRunStatus::IoError;
+    else if (s == "format_error")
+        out = TraceRunStatus::FormatError;
+    else // "skipped" is not a completed state; never journaled
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+checkpointLine(const TraceRunResult &r)
+{
+    std::string out;
+    out += kTag;
+    out += '\t';
+    out += traceRunStatusName(r.status);
+    out += '\t';
+    out += escapeField(r.path);
+    const std::uint64_t counters[] = {
+        r.fileBytes,      r.events,
+        r.syncEvents,     r.ops,
+        r.races,          r.dataRaces,
+        r.partitions,     r.firstPartitions,
+        r.reportedRaces,  r.unresolvedPairings,
+        r.droppedDataRecords,
+    };
+    for (const std::uint64_t c : counters)
+        out += strformat("\t%llu",
+                         static_cast<unsigned long long>(c));
+    out += strformat("\t%d\t%d\t%d", r.anyDataRace ? 1 : 0,
+                     r.wholeExecutionSc ? 1 : 0, r.salvaged ? 1 : 0);
+    out += '\t';
+    out += escapeField(r.error);
+    out += '\t';
+    out += kEndMarker;
+    return out;
+}
+
+bool
+parseCheckpointLine(const std::string &line, TraceRunResult &out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t tab = line.find('\t', start);
+        if (tab == std::string::npos) {
+            fields.push_back(line.substr(start));
+            break;
+        }
+        fields.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+    if (fields.size() != kFields || fields[0] != kTag ||
+        fields[kFields - 1] != kEndMarker)
+        return false;
+
+    TraceRunResult r;
+    if (!parseStatus(fields[1], r.status))
+        return false;
+    r.path = unescapeField(fields[2]);
+    if (r.path.empty())
+        return false;
+    std::uint64_t *counters[] = {
+        &r.fileBytes,      &r.events,
+        &r.syncEvents,     &r.ops,
+        &r.races,          &r.dataRaces,
+        &r.partitions,     &r.firstPartitions,
+        &r.reportedRaces,  &r.unresolvedPairings,
+        &r.droppedDataRecords,
+    };
+    for (std::size_t i = 0; i < 11; ++i) {
+        if (!parseU64(fields[3 + i], *counters[i]))
+            return false;
+    }
+    if (!parseBool(fields[14], r.anyDataRace) ||
+        !parseBool(fields[15], r.wholeExecutionSc) ||
+        !parseBool(fields[16], r.salvaged))
+        return false;
+    r.error = unescapeField(fields[17]);
+    if (r.status != TraceRunStatus::Ok && r.error.empty())
+        return false; // a failure line must say why
+    out = std::move(r);
+    return true;
+}
+
+CheckpointLoad
+loadCheckpoint(const std::string &path)
+{
+    CheckpointLoad load;
+    std::ifstream in(path);
+    if (!in)
+        return load; // missing journal: fresh start
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        TraceRunResult r;
+        if (parseCheckpointLine(line, r))
+            load.entries.push_back(std::move(r));
+        else
+            ++load.tornLines;
+    }
+    return load;
+}
+
+CheckpointWriter::~CheckpointWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+CheckpointWriter::open(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_) {
+        error_ = "checkpoint already open";
+        return false;
+    }
+    // If a crash tore the journal's final line, appending would glue
+    // the next entry onto the fragment and lose it too; start on a
+    // fresh line instead.
+    bool needNewline = false;
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (in && in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            char last = '\0';
+            in.get(last);
+            needNewline = last != '\n';
+        }
+    }
+    file_ = std::fopen(path.c_str(), "ae");
+    if (!file_) {
+        error_ = "cannot open checkpoint file '" + path +
+                 "': " + std::strerror(errno);
+        return false;
+    }
+    if (needNewline)
+        std::fputc('\n', file_);
+    return true;
+}
+
+bool
+CheckpointWriter::append(const TraceRunResult &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_) {
+        error_ = "checkpoint not open";
+        return false;
+    }
+    const std::string line = checkpointLine(r) + "\n";
+    // One fwrite per line + an immediate flush: the line reaches the
+    // OS before the next trace starts, so a SIGKILL costs at most
+    // the line being written right now (and the loader skips a torn
+    // one).
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fflush(file_) != 0) {
+        error_ = std::string("checkpoint write failed: ") +
+                 std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+std::string
+quarantineManifest(const BatchResult &batch)
+{
+    std::size_t failed = 0;
+    for (const auto &tr : batch.traces) {
+        if (tr.failed())
+            ++failed;
+    }
+    if (failed == 0)
+        return "";
+    std::string out;
+    out += "# wmrace quarantine manifest: trace files that failed "
+           "to load or parse\n";
+    out += strformat("# source corpus: %s\n",
+                     batch.corpus.source.c_str());
+    out += "# this file is itself a corpus manifest: re-run with "
+           "`wmrace batch <this file>`\n";
+    for (const auto &tr : batch.traces) {
+        if (!tr.failed())
+            continue;
+        out += strformat("# %s: %s\n",
+                         traceRunStatusName(tr.status),
+                         tr.error.c_str());
+        out += tr.path;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace wmr

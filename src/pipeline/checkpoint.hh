@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The batch checkpoint journal: crash-tolerant resume for long
+ * corpus runs, plus the quarantine manifest for poison traces.
+ *
+ * A checkpoint is an APPEND-ONLY text journal with one line per
+ * COMPLETED trace (analyzed or failed; skipped traces are not
+ * completed and are never journaled).  Workers append their line the
+ * moment a trace finishes, so a batch run killed halfway leaves a
+ * journal listing exactly the finished prefix; re-running with the
+ * same --checkpoint file prefills those results and analyzes only
+ * the remainder.
+ *
+ * Crash tolerance mirrors the segmented trace container: a line is
+ * only trusted if it parses completely (tag, full field count, end
+ * marker), so a line torn by SIGKILL mid-append is silently ignored
+ * and its trace is simply re-analyzed — resume never trusts a
+ * half-written record.  Lines starting with '#' are comments.
+ *
+ * DETERMINISM: a journaled line carries every per-trace field that
+ * the aggregated report (text and JSON) renders, so a resumed run
+ * produces byte-identical report output to an uninterrupted one —
+ * the property the determinism tests diff.
+ *
+ * The quarantine manifest is the complementary output: the paths of
+ * traces that FAILED to load/parse, written in the corpus-manifest
+ * syntax ('#' comments + one path per line) so it can be fed
+ * straight back to `wmrace batch` once the traces are repaired.
+ */
+
+#ifndef WMR_PIPELINE_CHECKPOINT_HH
+#define WMR_PIPELINE_CHECKPOINT_HH
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pipeline/batch_runner.hh"
+
+namespace wmr {
+
+/** Render @p r as one checkpoint journal line (no newline). */
+std::string checkpointLine(const TraceRunResult &r);
+
+/**
+ * Parse one journal line into @p out.  @return false (and leaves
+ * @p out unspecified) for comments, blank lines, torn/truncated
+ * lines, or lines from an incompatible journal version.
+ */
+bool parseCheckpointLine(const std::string &line, TraceRunResult &out);
+
+/** What loadCheckpoint() recovered from a journal file. */
+struct CheckpointLoad
+{
+    /** Completed-trace results, in journal (= completion) order. */
+    std::vector<TraceRunResult> entries;
+
+    /** Unparseable non-comment lines that were skipped (at most one
+     *  for a journal torn by a single crash; more means the file was
+     *  edited or is not a checkpoint). */
+    std::size_t tornLines = 0;
+};
+
+/**
+ * Load @p path.  A missing file is a fresh start (no entries); a
+ * torn final line is skipped.  Never fails: the journal is an
+ * optimization, and the worst case is re-analyzing a trace.
+ */
+CheckpointLoad loadCheckpoint(const std::string &path);
+
+/**
+ * Thread-safe append-only journal writer.  Each append() writes one
+ * complete line and flushes it to the OS, so the journal survives
+ * the process being killed (a torn line is possible only if the
+ * kill lands mid-write, and the loader tolerates that).
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter() = default;
+    ~CheckpointWriter();
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+    /** Open @p path for appending (creating it if absent). */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return file_ != nullptr; }
+    const std::string &lastError() const { return error_; }
+
+    /** Journal one completed trace. */
+    bool append(const TraceRunResult &r);
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string error_;
+    std::mutex mu_;
+};
+
+/**
+ * Render the quarantine manifest of @p batch: every failed trace
+ * path, in corpus order, under a '#' comment header.  Empty string
+ * when nothing failed.
+ */
+std::string quarantineManifest(const BatchResult &batch);
+
+} // namespace wmr
+
+#endif // WMR_PIPELINE_CHECKPOINT_HH

@@ -13,6 +13,10 @@ formatMetrics(const BatchMetrics &m)
         "  traces: %zu corpus, %zu analyzed, %zu failed, %zu "
         "skipped\n",
         m.corpusTraces, m.analyzed, m.failed, m.skipped);
+    if (m.resumed > 0 || m.salvaged > 0)
+        out += strformat(
+            "  resumed from checkpoint: %zu   salvaged: %zu\n",
+            m.resumed, m.salvaged);
     out += strformat("  wall time: %.3f s  (%.1f traces/s)\n",
                      m.wallSeconds, m.tracesPerSecond());
     out += strformat("  bytes read: %s\n",
@@ -37,6 +41,8 @@ metricsJson(const BatchMetrics &m)
     out += strformat("  \"analyzed\": %zu,\n", m.analyzed);
     out += strformat("  \"failed\": %zu,\n", m.failed);
     out += strformat("  \"skipped\": %zu,\n", m.skipped);
+    out += strformat("  \"resumed\": %zu,\n", m.resumed);
+    out += strformat("  \"salvaged\": %zu,\n", m.salvaged);
     out += strformat("  \"bytes_read\": %llu,\n",
                      static_cast<unsigned long long>(m.bytesRead));
     out += strformat("  \"wall_seconds\": %.6f,\n", m.wallSeconds);

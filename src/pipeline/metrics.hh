@@ -39,6 +39,13 @@ struct BatchMetrics
     std::size_t failed = 0;
     std::size_t skipped = 0;
 
+    /** Traces prefilled from the checkpoint journal (a subset of
+     *  analyzed/failed that this run did NOT re-analyze). */
+    std::size_t resumed = 0;
+
+    /** Damaged segmented traces recovered by salvage. */
+    std::size_t salvaged = 0;
+
     /** Total trace bytes read from disk. */
     std::uint64_t bytesRead = 0;
 

@@ -80,6 +80,33 @@ configFromEnv(TracerConfig &cfg)
             warn("wmr-rt: ignoring WMR_RT_OVERFLOW='%s' (want "
                  "'drop' or 'block')", pol);
     }
+    if (cfg.mode == RtMode::Record && !cfg.tracePath.empty()) {
+        // Env-driven recording (i.e. a `wmrace record` child) gets
+        // crash-resilient segmented spilling by default; a crashed
+        // program then leaves a salvageable trace behind.
+        cfg.spillSegmentBytes = 64 * 1024;
+        cfg.crashHandlers = true;
+        if (const char *spill = std::getenv("WMR_RT_SPILL")) {
+            if (std::strcmp(spill, "off") == 0 ||
+                std::strcmp(spill, "0") == 0) {
+                cfg.spillSegmentBytes = 0;
+                cfg.crashHandlers = false;
+            } else {
+                char *end = nullptr;
+                const auto bytes =
+                    std::strtoull(spill, &end, 10);
+                if (end && *end == '\0' && bytes > 0)
+                    cfg.spillSegmentBytes =
+                        static_cast<std::size_t>(bytes);
+                else
+                    warn("wmr-rt: ignoring WMR_RT_SPILL='%s' "
+                         "(want a byte count, '0' or 'off')",
+                         spill);
+            }
+        }
+    }
+    if (const char *fault = std::getenv("WMR_RT_FAULT"))
+        cfg.faultSpec = fault;
     return true;
 }
 

@@ -1,7 +1,12 @@
 #include "rt/tracer.hh"
 
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "onthefly/epoch_detector.hh"
@@ -11,6 +16,67 @@
 namespace wmr::rt {
 
 namespace {
+
+// --- Fatal-signal crash flush -----------------------------------
+//
+// At most one tracer registers for crash flushing (the global one
+// `wmrace record` children run).  The handler seals + fsyncs the
+// pending spill segment with async-signal-safe calls only, restores
+// the default disposition, and re-raises so the process still dies
+// with the original signal (the parent's waitpid classification and
+// core dumps stay truthful).
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+constexpr std::size_t kNumCrashSignals =
+    sizeof(kCrashSignals) / sizeof(kCrashSignals[0]);
+
+std::atomic<Tracer *> gCrashTracer{nullptr};
+std::atomic<bool> gCrashFlushDone{false};
+struct sigaction gOldActions[kNumCrashSignals];
+
+void
+crashSignalHandler(int sig)
+{
+    if (!gCrashFlushDone.exchange(true)) {
+        if (Tracer *t =
+                gCrashTracer.load(std::memory_order_acquire)) {
+            t->crashFlush();
+        }
+    }
+    for (std::size_t i = 0; i < kNumCrashSignals; ++i) {
+        if (kCrashSignals[i] == sig) {
+            ::sigaction(sig, &gOldActions[i], nullptr);
+            ::raise(sig);
+            return;
+        }
+    }
+}
+
+bool
+installCrashHandlers(Tracer *t)
+{
+    Tracer *expected = nullptr;
+    if (!gCrashTracer.compare_exchange_strong(expected, t))
+        return false; // another tracer already owns the handlers
+    gCrashFlushDone.store(false);
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crashSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    for (std::size_t i = 0; i < kNumCrashSignals; ++i)
+        ::sigaction(kCrashSignals[i], &sa, &gOldActions[i]);
+    return true;
+}
+
+void
+uninstallCrashHandlers(Tracer *t)
+{
+    Tracer *expected = t;
+    if (!gCrashTracer.compare_exchange_strong(expected, nullptr))
+        return;
+    for (std::size_t i = 0; i < kNumCrashSignals; ++i)
+        ::sigaction(kCrashSignals[i], &gOldActions[i], nullptr);
+}
 
 /** Calling thread's registration with (at most one) tracer.  The
  *  channel is stored untyped because Tracer::Channel is private.
@@ -50,6 +116,22 @@ Tracer::Tracer(TracerConfig cfg)
         } else {
             detector_ = std::make_unique<EpochDetector>(
                 cfg_.maxThreads, 0);
+        }
+    }
+    parseFault();
+    if (cfg_.mode == RtMode::Record && cfg_.spillSegmentBytes > 0 &&
+        !cfg_.tracePath.empty()) {
+        auto spill = std::make_unique<SegmentSpillWriter>();
+        if (spill->open(cfg_.tracePath)) {
+            spill_ = std::move(spill);
+            if (cfg_.crashHandlers)
+                crashHandlersInstalled_ =
+                    installCrashHandlers(this);
+        } else {
+            // Degrade to the classic at-stop() write.
+            warn("wmr-rt: spill disabled: %s",
+                 spill->lastError().c_str());
+            spillFailures_ += 1;
         }
     }
     if (cfg_.backgroundDrain)
@@ -189,8 +271,13 @@ Tracer::drainLoop()
 {
     while (!stopping_.load(std::memory_order_acquire)) {
         if (!drainPass(false)) {
+            // Quiescent: everything drained so far is sealed to
+            // disk, so a SIGKILL during the lull loses nothing.
+            maybeSealSpill(/*force=*/true);
             std::this_thread::sleep_for(
                 std::chrono::microseconds(50));
+        } else {
+            maybeSealSpill(/*force=*/false);
         }
     }
     drainToQuiescence();
@@ -247,6 +334,7 @@ Tracer::drainPass(bool force)
             processRecord(*ch, *rec);
             ch->ring.popFront();
             drainStats_.drainedRecords += 1;
+            maybeFaultInDrain();
             progress = true;
         }
     }
@@ -364,6 +452,7 @@ Tracer::emitSync(Channel &ch, const RtRecord &rec)
     ev.pairedToken =
         rec.kind == RecKind::Acquire ? rec.token : 0;
     ch.staged.push_back(std::move(ev));
+    spillStaged(ch.staged.back());
     drainStats_.eventsEmitted += 1;
 }
 
@@ -375,7 +464,121 @@ Tracer::flushOpenEvent(Channel &ch)
     ch.staged.push_back(std::move(ch.open));
     ch.open = StagedEvent{};
     ch.openValid = false;
+    spillStaged(ch.staged.back());
     drainStats_.eventsEmitted += 1;
+}
+
+// ---------------------------------------------------------------
+// Spill path (drain thread only).
+// ---------------------------------------------------------------
+
+void
+Tracer::spillStaged(const StagedEvent &sev)
+{
+    if (!spill_)
+        return;
+    SegEvent ev;
+    ev.kind = sev.kind;
+    ev.proc = sev.proc;
+    ev.firstOp = sev.firstOp;
+    ev.lastOp = sev.lastOp;
+    ev.opCount = sev.opCount;
+    if (sev.kind == EventKind::Sync) {
+        ev.syncOp = sev.syncOp;
+        // The release token rides in the sync op's value field; the
+        // drain's per-object ordering gate guarantees a release is
+        // spilled before any acquire that observed it, so the writer
+        // can always resolve the pairing to an earlier ordinal.
+        if (sev.syncOp.release)
+            ev.releaseToken =
+                static_cast<std::uint64_t>(sev.syncOp.value);
+        ev.pairedToken = sev.pairedToken;
+    } else {
+        ev.readWords = sev.readWords;
+        ev.writeWords = sev.writeWords;
+    }
+    spill_->addEvent(ev);
+}
+
+std::uint64_t
+Tracer::currentDropped() const
+{
+    std::uint64_t dropped = drainStats_.recordsDropped;
+    std::lock_guard<std::mutex> lk(channelsMu_);
+    for (const auto &c : channels_)
+        dropped += c->dropped.load(std::memory_order_relaxed);
+    return dropped;
+}
+
+void
+Tracer::maybeSealSpill(bool force)
+{
+    if (!spill_ || spill_->pendingEvents() == 0)
+        return;
+    if (!force && spill_->pendingBytes() < cfg_.spillSegmentBytes)
+        return;
+    if (fault_ == Fault::CrashMidSegment &&
+        spill_->segmentsWritten() >= faultParam_) {
+        spill_->writeTornFrame();
+        ::_exit(86);
+    }
+    spill_->setCounters(drainStats_.opsEmitted, currentDropped());
+    if (!spill_->sealSegment()) {
+        warn("wmr-rt: spill write failed: %s",
+             spill_->lastError().c_str());
+        spillFailures_ += 1;
+        spill_.reset(); // fall back to the classic write at stop()
+    }
+}
+
+bool
+Tracer::crashFlush()
+{
+    // Async-signal-safe: crashSeal() frames the pre-encoded pending
+    // payload with stack buffers and raw write()/fsync() only.  If
+    // the drain thread was mid-append the final frame may be torn;
+    // the CRC makes salvage drop exactly that segment.
+    SegmentSpillWriter *w = spill_.get();
+    return w && w->crashSeal();
+}
+
+void
+Tracer::parseFault()
+{
+    if (cfg_.faultSpec.empty())
+        return;
+    std::string name = cfg_.faultSpec;
+    std::uint64_t param = 0;
+    bool haveParam = false;
+    const auto at = name.find('@');
+    if (at != std::string::npos) {
+        param = std::strtoull(name.c_str() + at + 1, nullptr, 10);
+        haveParam = true;
+        name.resize(at);
+    }
+    if (name == "crash-in-drain") {
+        fault_ = Fault::CrashInDrain;
+        faultParam_ = haveParam ? param : 50;
+    } else if (name == "crash-mid-segment") {
+        fault_ = Fault::CrashMidSegment;
+        faultParam_ = haveParam ? param : 1;
+    } else if (name == "slow-child") {
+        fault_ = Fault::SlowChild;
+        faultParam_ = haveParam ? param : 30;
+    } else {
+        warn("wmr-rt: ignoring unknown fault spec '%s'",
+             cfg_.faultSpec.c_str());
+    }
+}
+
+void
+Tracer::maybeFaultInDrain()
+{
+    if (fault_ == Fault::CrashInDrain &&
+        drainStats_.drainedRecords >= faultParam_) {
+        fault_ = Fault::None; // don't re-fire from the handler path
+        ::raise(SIGSEGV);
+    }
 }
 
 void
@@ -411,12 +614,23 @@ Tracer::stop()
 {
     if (stopped_.exchange(true))
         return;
+    if (fault_ == Fault::SlowChild) {
+        // Wedged-shutdown fault: everything already drained has been
+        // sealed to disk by the idle spill, so a supervisor killing
+        // us now still finds a salvageable trace.
+        std::this_thread::sleep_for(
+            std::chrono::seconds(faultParam_));
+    }
     stopping_.store(true, std::memory_order_release);
     if (drainThread_.joinable())
         drainThread_.join(); // runs drainToQuiescence() on its way out
     else
         drainToQuiescence();
     finalize();
+    if (crashHandlersInstalled_) {
+        uninstallCrashHandlers(this);
+        crashHandlersInstalled_ = false;
+    }
 }
 
 void
@@ -490,7 +704,28 @@ Tracer::finalize()
             built_.mutableEvent(id).pairedRelease = it->second;
     }
 
-    if (!cfg_.tracePath.empty())
+    if (spill_) {
+        // The spill file already holds every event (flushOpenEvent
+        // above spilled the stragglers); seal the remainder and
+        // stamp the FIN segment that marks a clean shutdown.
+        maybeSealSpill(/*force=*/true);
+    }
+    if (spill_) {
+        SegShape shape;
+        shape.procs = procs;
+        shape.memWords = words;
+        shape.firstStaleRead = kNoOp;
+        shape.totalOps = drainStats_.opsEmitted;
+        shape.droppedRecords = currentDropped();
+        spill_->setCounters(shape.totalOps, shape.droppedRecords);
+        if (!spill_->finish(shape)) {
+            warn("wmr-rt: spill finish failed: %s",
+                 spill_->lastError().c_str());
+            spillFailures_ += 1;
+            spill_.reset();
+        }
+    }
+    if (!spill_ && !cfg_.tracePath.empty())
         writeTraceFile(built_, cfg_.tracePath);
 }
 
@@ -524,6 +759,11 @@ Tracer::stats() const
     s.wordsMapped = nativeOfDense_.size();
     if (detector_)
         s.inlineRaces = detector_->stats().racesReported;
+    if (spill_) {
+        s.segmentsSpilled = spill_->segmentsWritten();
+        s.spillBytes = spill_->bytesWritten();
+    }
+    s.spillFailures = spillFailures_;
     return s;
 }
 

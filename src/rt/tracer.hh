@@ -46,6 +46,7 @@
 #include "rt/ring_buffer.hh"
 #include "rt/sync_registry.hh"
 #include "trace/execution_trace.hh"
+#include "trace/segmented_io.hh"
 
 namespace wmr::rt {
 
@@ -100,6 +101,37 @@ struct TracerConfig
      * overflow or a large ring, or producers will spin forever.
      */
     bool backgroundDrain = true;
+
+    /**
+     * Record mode: spill sealed events to cfg.tracePath incrementally
+     * as segmented, checksummed frames (trace/segmented_io.hh), a
+     * data segment every time this many pending payload bytes
+     * accumulate (and at every drain quiescence point).  0 = classic
+     * single-blob write at stop() — the historical behavior, which
+     * loses the whole trace if the process dies first.  `wmrace
+     * record` children default to 64 KiB via WMR_RT_SPILL.
+     */
+    std::size_t spillSegmentBytes = 0;
+
+    /**
+     * Install SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that best-effort
+     * seal + fsync the current spill segment before re-raising, so a
+     * crashing traced program still leaves a salvageable trace.
+     * Only meaningful with spillSegmentBytes > 0.
+     */
+    bool crashHandlers = false;
+
+    /**
+     * Fault-injection point for robustness tests ("" = none):
+     *   crash-in-drain[@N]    raise SIGSEGV on the drain thread
+     *                         after N drained records (default 50)
+     *   crash-mid-segment[@N] write a torn frame instead of sealing
+     *                         segment N+1, then _exit(86) (default 1)
+     *   slow-child[@SEC]      sleep SEC seconds at the top of stop()
+     *                         (default 30) — a wedged shutdown
+     * Set via WMR_RT_FAULT for env-driven tracers.
+     */
+    std::string faultSpec;
 };
 
 /** Flush/drain metrics and loss counters of one tracing run. */
@@ -123,6 +155,10 @@ struct RtStats
     std::uint64_t threadsTraced = 0;
     std::uint64_t wordsMapped = 0;   ///< distinct shared words seen
     std::uint64_t inlineRaces = 0;   ///< inline mode race reports
+
+    std::uint64_t segmentsSpilled = 0; ///< spill segments on disk
+    std::uint64_t spillBytes = 0;      ///< spill file size so far
+    std::uint64_t spillFailures = 0;   ///< spill writer I/O errors
 };
 
 /** See the file comment. */
@@ -165,6 +201,14 @@ class Tracer
 
     /** Foreground drain (backgroundDrain=false runs). */
     void drainAll();
+
+    /**
+     * Async-signal-safe best-effort flush: frame + fsync whatever
+     * spill payload is pending.  Called by the fatal-signal handlers
+     * (cfg.crashHandlers); safe to call from test code too.
+     * @return whether anything was durably written.
+     */
+    bool crashFlush();
 
     /**
      * @return aggregated metrics.  Producer-side counters are safe
@@ -271,6 +315,21 @@ class Tracer
     void finalize();
     void drainLoop();
 
+    // Spill path (drain thread only).
+    void spillStaged(const StagedEvent &ev);
+    void maybeSealSpill(bool force);
+    std::uint64_t currentDropped() const;
+
+    /** Parsed cfg.faultSpec. */
+    enum class Fault : std::uint8_t {
+        None,
+        CrashInDrain,
+        CrashMidSegment,
+        SlowChild,
+    };
+    void parseFault();
+    void maybeFaultInDrain();
+
     TracerConfig cfg_;
     SyncRegistry syncs_;
 
@@ -291,6 +350,15 @@ class Tracer
     std::unique_ptr<OnTheFlyDetector> detector_;
     ExecutionTrace built_;
     bool finalized_ = false;
+
+    /** Incremental spill writer (record mode, spillSegmentBytes>0);
+     *  null when spilling is off or the file failed to open. */
+    std::unique_ptr<SegmentSpillWriter> spill_;
+    std::uint64_t spillFailures_ = 0;
+    bool crashHandlersInstalled_ = false;
+
+    Fault fault_ = Fault::None;
+    std::uint64_t faultParam_ = 0;
 
     std::thread drainThread_;
     std::atomic<bool> stopping_{false};

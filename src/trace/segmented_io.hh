@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The segmented, checksummed trace container ("WMRSEG01") — the
+ * crash-resilient sibling of the classic single-blob EVENT format.
+ *
+ * The classic container (trace_io.hh) is written in one shot at the
+ * end of a recording, so the executions most worth debugging — the
+ * ones that crash or wedge on a race — lose their trace entirely.
+ * This container is APPEND-ONLY: the recorder spills sealed events
+ * incrementally as framed segments, each protected by a length
+ * header and a CRC-32 footer, so whatever prefix reached the disk
+ * before a crash is recoverable:
+ *
+ *   file     := "WMRSEG01" segment*
+ *   segment  := len:u32le payload crc:u32le      crc = CRC32(payload)
+ *   payload  := 'D' opsSoFar droppedSoFar nevents event*
+ *             | 'F' procs memWords firstStaleRead totalOps
+ *                   droppedRecords
+ *   event    := kind proc firstOp lastOp opCount
+ *               sync(kind=1): memop pairing     (pairing = 1 + file
+ *                 ordinal of the paired release event, 0 = unpaired)
+ *               comp(kind=0): nread wordDelta* nwrite wordDelta*
+ *                 (strictly increasing word ids, delta-coded)
+ *
+ * A final 'F' (FIN) segment marks a clean shutdown and carries the
+ * authoritative shape plus the Drop-policy loss count.  Readers:
+ *
+ *  - tryReadSegmentedTraceFile(): STRICT — every frame must verify
+ *    and the FIN must be present (a complete recording);
+ *  - trySalvageTraceFile(): TOLERANT — recovers the longest valid
+ *    checksummed segment prefix of a truncated/corrupt file and
+ *    reports what was lost, so analysis can still run on the prefix.
+ *
+ * Integration: tryReadTraceFile() (trace_io.hh) sniffs this magic
+ * and delegates to the strict reader, so `wmrace check`/`batch`
+ * accept both containers transparently; the salvage reader is the
+ * abnormal-exit path of `wmrace record` and `wmrace batch`.
+ */
+
+#ifndef WMR_TRACE_SEGMENTED_IO_HH
+#define WMR_TRACE_SEGMENTED_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_io.hh"
+
+namespace wmr {
+
+/** @return whether @p n bytes at @p data start with the segmented
+ *  container magic. */
+bool looksSegmented(const std::uint8_t *data, std::size_t n);
+
+/** What a (possibly partial) segmented read recovered and lost. */
+struct SalvageInfo
+{
+    /** A FIN segment was decoded: the recording shut down cleanly. */
+    bool finSeen = false;
+
+    /** The file was incomplete or damaged: no FIN, or a bad tail. */
+    bool salvaged = false;
+
+    std::uint64_t segmentsRecovered = 0;
+
+    /** Damaged/undecodable trailing frames (0 when only the FIN is
+     *  missing — e.g. the recorder was SIGKILLed between spills). */
+    std::uint64_t segmentsDropped = 0;
+
+    /** Bytes of the file discarded after the last valid segment. */
+    std::uint64_t bytesDropped = 0;
+
+    std::uint64_t eventsRecovered = 0;
+    std::uint64_t opsRecovered = 0;
+
+    /** Acquire events whose paired release fell outside the
+     *  recovered prefix (their so1 edge is dropped). */
+    std::uint64_t unresolvedPairings = 0;
+
+    /** Data records lost to the recorder's Drop overflow policy, as
+     *  of the last recovered segment (FIN value when finSeen). */
+    std::uint64_t droppedDataRecords = 0;
+
+    /** Why recovery stopped (empty for a clean, complete file). */
+    std::string note;
+
+    /** @return a one-line human summary ("complete" when clean). */
+    std::string summary() const;
+};
+
+/** Outcome of a segmented read/salvage. */
+struct SegTraceReadResult
+{
+    TraceIoStatus status = TraceIoStatus::Ok;
+    ExecutionTrace trace;
+    std::string error;
+    SalvageInfo salvage;
+
+    bool ok() const { return status == TraceIoStatus::Ok; }
+};
+
+/**
+ * STRICT read of a complete segmented trace: all frames verify, FIN
+ * present.  Damage or a missing FIN yields FormatError whose message
+ * points at the salvage reader.
+ */
+SegTraceReadResult
+tryReadSegmentedTrace(const std::vector<std::uint8_t> &bytes);
+SegTraceReadResult
+tryReadSegmentedTraceFile(const std::string &path);
+
+/**
+ * TOLERANT read: recover the longest valid checksummed segment
+ * prefix.  Only an unreadable file or an unrecognizable header (not
+ * even the magic survives) fails; an empty prefix (zero segments)
+ * comes back ok() with an empty trace and salvage.salvaged set.
+ */
+SegTraceReadResult
+trySalvageTrace(const std::vector<std::uint8_t> &bytes);
+SegTraceReadResult trySalvageTraceFile(const std::string &path);
+
+/**
+ * One event as the segmented container carries it — word lists
+ * instead of universe-sized bitsets, so events can be encoded before
+ * the address universe is known (the whole point of spilling).
+ */
+struct SegEvent
+{
+    EventKind kind = EventKind::Computation;
+    ProcId proc = 0;
+    OpId firstOp = kNoOp;
+    OpId lastOp = kNoOp;
+    std::uint32_t opCount = 0;
+
+    /** Computation payload: touched word ids (need not be sorted or
+     *  unique; the encoder canonicalizes). */
+    std::vector<Addr> readWords;
+    std::vector<Addr> writeWords;
+
+    /** Sync payload. */
+    MemOp syncOp;
+
+    /** Sync release: producer-chosen nonzero token later acquires
+     *  reference; sync acquire: token of the observed release (0 =
+     *  unpaired).  Tokens never reach the wire — the writer resolves
+     *  them to file ordinals. */
+    std::uint64_t releaseToken = 0;
+    std::uint64_t pairedToken = 0;
+};
+
+/** Shape written into the FIN segment. */
+struct SegShape
+{
+    ProcId procs = 0;
+    Addr memWords = 0;
+    OpId firstStaleRead = kNoOp;
+    std::uint64_t totalOps = 0;
+
+    /** Drop-policy data-record losses of the whole recording. */
+    std::uint64_t droppedRecords = 0;
+};
+
+/**
+ * Incremental segment writer over a raw file descriptor.
+ *
+ * Usage (the recorder's drain thread): open(), then addEvent() as
+ * events seal; sealSegment() when pendingBytes() crosses the spill
+ * threshold or the drain goes idle; finish() at clean shutdown.
+ *
+ * crashSeal() is the fatal-signal path: it frames and writes the
+ * pending payload and fsyncs using only async-signal-safe syscalls
+ * plus arithmetic on memory that is already allocated.  If the drain
+ * thread was mid-append when the signal hit, the frame may be torn —
+ * the CRC then fails and salvage drops exactly that final segment,
+ * which is the contract: best effort, never a lie.
+ */
+class SegmentSpillWriter
+{
+  public:
+    SegmentSpillWriter() = default;
+    ~SegmentSpillWriter();
+
+    SegmentSpillWriter(const SegmentSpillWriter &) = delete;
+    SegmentSpillWriter &operator=(const SegmentSpillWriter &) = delete;
+
+    /** Create/truncate @p path and write the magic. */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return fd_ >= 0; }
+    const std::string &lastError() const { return error_; }
+
+    /** Running counters embedded in every data segment, so salvage
+     *  can report losses up to the recovered prefix. */
+    void
+    setCounters(std::uint64_t opsEmitted, std::uint64_t dropped)
+    {
+        ops_ = opsEmitted;
+        dropped_ = dropped;
+    }
+
+    /** Append one sealed event to the pending segment payload. */
+    void addEvent(const SegEvent &ev);
+
+    std::size_t pendingBytes() const;
+    std::uint64_t pendingEvents() const { return pendingEvents_; }
+
+    /** Frame and write the pending payload (no-op when empty). */
+    bool sealSegment();
+
+    /** Seal the remainder, write the FIN segment, fsync, close. */
+    bool finish(const SegShape &shape);
+
+    /** Fatal-signal flush: seal pending + fsync, nothing else. */
+    bool crashSeal();
+
+    /**
+     * Fault-injection hook (WMR_RT_FAULT=crash-mid-segment): append
+     * a deliberately truncated frame — a length header promising more
+     * payload than follows — so tests can prove salvage drops exactly
+     * the damaged tail.
+     */
+    void writeTornFrame();
+
+    std::uint64_t segmentsWritten() const { return segments_; }
+    std::uint64_t bytesWritten() const { return bytes_; }
+
+  private:
+    bool writeFrame(const std::uint8_t *hdr, std::size_t hdrLen,
+                    const std::uint8_t *body, std::size_t bodyLen,
+                    bool fsyncAfter);
+    bool fail(const std::string &why);
+
+    int fd_ = -1;
+    std::string error_;
+
+    // Pending DATA payload: the event bytes accumulate here; the
+    // 'D'+counters+count header is prepended at seal time.
+    std::vector<std::uint8_t> pending_;
+    std::uint64_t pendingEvents_ = 0;
+
+    std::uint64_t ops_ = 0;
+    std::uint64_t dropped_ = 0;
+
+    // Token -> file ordinal of release events (pairing resolution).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> tokenMap_;
+    std::uint64_t nextOrdinal_ = 0;
+
+    std::uint64_t segments_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * Serialize a whole ExecutionTrace into the segmented container,
+ * @p eventsPerSegment events per frame — the test/tooling producer
+ * (the recorder spills through SegmentSpillWriter instead).
+ */
+std::vector<std::uint8_t>
+serializeSegmentedTrace(const ExecutionTrace &trace,
+                        std::size_t eventsPerSegment = 64);
+
+/** Write @p trace to @p path segmented. @return bytes written. */
+std::size_t
+writeSegmentedTraceFile(const ExecutionTrace &trace,
+                        const std::string &path,
+                        std::size_t eventsPerSegment = 64);
+
+} // namespace wmr
+
+#endif // WMR_TRACE_SEGMENTED_IO_HH

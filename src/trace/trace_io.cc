@@ -1,251 +1,25 @@
 #include "trace/trace_io.hh"
 
-#include <cstdarg>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <new>
 
 #include "common/logging.hh"
+#include "trace/segmented_io.hh"
+#include "trace/wire_codec.hh"
 
 namespace wmr {
 
 namespace {
 
+using wire::Decoder;
+using wire::Encoder;
+using wire::ParseFailure;
+using wire::parseFail;
+
 constexpr char kMagic[8] = {'W', 'M', 'R', 'T', 'R', 'C', '0', '1'};
 constexpr char kFullOpMagic[8] = {'W', 'M', 'R', 'F',
                                   'O', 'P', '0', '1'};
-
-/**
- * Internal control-flow exception of the parse path.  Thrown wherever
- * the old code called fatal() and caught at the tryDeserializeTrace()
- * boundary, so malformed input is a recoverable per-trace failure.
- */
-struct ParseFailure
-{
-    std::string message;
-};
-
-[[noreturn]] void
-parseFail(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
-
-[[noreturn]] void
-parseFail(const char *fmt, ...)
-{
-    char buf[512];
-    va_list args;
-    va_start(args, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, args);
-    va_end(args);
-    throw ParseFailure{buf};
-}
-
-/** Growable varint encoder. */
-class Encoder
-{
-  public:
-    void
-    u64(std::uint64_t v)
-    {
-        while (v >= 0x80) {
-            bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
-            v >>= 7;
-        }
-        bytes_.push_back(static_cast<std::uint8_t>(v));
-    }
-
-    void
-    i64(std::int64_t v)
-    {
-        // zigzag
-        u64((static_cast<std::uint64_t>(v) << 1) ^
-            static_cast<std::uint64_t>(v >> 63));
-    }
-
-    void
-    raw(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const std::uint8_t *>(data);
-        bytes_.insert(bytes_.end(), p, p + n);
-    }
-
-    std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
-  private:
-    std::vector<std::uint8_t> bytes_;
-};
-
-/** Bounds-checked varint decoder. */
-class Decoder
-{
-  public:
-    explicit Decoder(const std::vector<std::uint8_t> &bytes)
-        : bytes_(bytes)
-    {
-    }
-
-    std::uint64_t
-    u64()
-    {
-        std::uint64_t v = 0;
-        int shift = 0;
-        while (true) {
-            if (pos_ >= bytes_.size())
-                parseFail("trace file truncated at byte %zu", pos_);
-            const std::uint8_t b = bytes_[pos_++];
-            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-            if (!(b & 0x80))
-                return v;
-            shift += 7;
-            if (shift > 63)
-                parseFail("trace file: varint overflow at byte %zu", pos_);
-        }
-    }
-
-    std::int64_t
-    i64()
-    {
-        const std::uint64_t z = u64();
-        return static_cast<std::int64_t>(z >> 1) ^
-               -static_cast<std::int64_t>(z & 1);
-    }
-
-    void
-    raw(void *out, std::size_t n)
-    {
-        if (pos_ + n > bytes_.size())
-            parseFail("trace file truncated at byte %zu", pos_);
-        std::memcpy(out, bytes_.data() + pos_, n);
-        pos_ += n;
-    }
-
-    bool done() const { return pos_ == bytes_.size(); }
-
-    /** Bytes left — used to sanity-check element counts. */
-    std::size_t remaining() const { return bytes_.size() - pos_; }
-
-    /** parseFail() unless @p count elements can possibly fit. */
-    void
-    checkCount(std::uint64_t count, const char *what) const
-    {
-        if (count > remaining())
-            parseFail("trace file: %s count %llu exceeds remaining %zu "
-                  "bytes",
-                  what, static_cast<unsigned long long>(count),
-                  remaining());
-    }
-
-  private:
-    const std::vector<std::uint8_t> &bytes_;
-    std::size_t pos_ = 0;
-};
-
-void
-encodeBitset(Encoder &enc, const DenseBitset &bs)
-{
-    // Two encodings: SPARSE (delta-coded set-bit indices; the common
-    // case — computation events touch a handful of the shared words)
-    // and DENSE (raw words) for heavily populated sets.
-    const std::size_t count = bs.count();
-    const bool sparse = count * 2 < bs.words().size() * 8;
-    enc.u64(bs.size());
-    enc.u64(sparse ? 1 : 0);
-    if (sparse) {
-        enc.u64(count);
-        std::uint64_t prev = 0;
-        bs.forEach([&](std::size_t i) {
-            enc.u64(i - prev);
-            prev = i;
-        });
-    } else {
-        enc.u64(bs.words().size());
-        for (const auto w : bs.words())
-            enc.u64(w);
-    }
-}
-
-DenseBitset
-decodeBitset(Decoder &dec)
-{
-    constexpr std::uint64_t kMaxBits = 1ull << 28; // 32 MiB of bits
-    const std::uint64_t nbits = dec.u64();
-    if (nbits > kMaxBits)
-        parseFail("trace file: bitset universe %llu too large",
-              static_cast<unsigned long long>(nbits));
-    const bool sparse = dec.u64() != 0;
-    if (sparse) {
-        DenseBitset bs(nbits);
-        const std::uint64_t count = dec.u64();
-        dec.checkCount(count, "sparse bitset");
-        std::uint64_t idx = 0;
-        for (std::uint64_t i = 0; i < count; ++i) {
-            idx += dec.u64();
-            if (idx >= nbits)
-                parseFail("trace file: bitset index %llu out of range",
-                      static_cast<unsigned long long>(idx));
-            bs.set(idx);
-        }
-        return bs;
-    }
-    const std::uint64_t nwords = dec.u64();
-    dec.checkCount(nwords, "bitset words");
-    if (nwords * 64 < nbits)
-        parseFail("trace file: bitset words underflow universe");
-    std::vector<std::uint64_t> words(nwords);
-    for (auto &w : words)
-        w = dec.u64();
-    return DenseBitset::fromWords(std::move(words), nbits);
-}
-
-void
-encodeMemOp(Encoder &enc, const MemOp &op)
-{
-    enc.u64(op.id);
-    enc.u64(op.proc);
-    enc.u64(op.poIndex);
-    enc.u64(op.pc);
-    enc.u64(op.kind == OpKind::Write ? 1 : 0);
-    enc.u64((op.sync ? 1u : 0u) | (op.acquire ? 2u : 0u) |
-            (op.release ? 4u : 0u) | (op.stale ? 8u : 0u) |
-            (op.divergent ? 16u : 0u) | (op.taintedValue ? 32u : 0u));
-    enc.u64(op.addr);
-    enc.i64(op.value);
-    enc.u64(op.observedWrite);
-    enc.u64(op.tick);
-}
-
-MemOp
-decodeMemOp(Decoder &dec)
-{
-    MemOp op;
-    op.id = dec.u64();
-    // Bound the narrowing casts: a corrupt record must yield a parse
-    // error, not a silently truncated processor id or address.
-    const std::uint64_t rawProc = dec.u64();
-    if (rawProc > kNoProc)
-        parseFail("trace file: op processor %llu too large",
-                  static_cast<unsigned long long>(rawProc));
-    op.proc = static_cast<ProcId>(rawProc);
-    op.poIndex = static_cast<std::uint32_t>(dec.u64());
-    op.pc = static_cast<std::uint32_t>(dec.u64());
-    op.kind = dec.u64() ? OpKind::Write : OpKind::Read;
-    const std::uint64_t flags = dec.u64();
-    op.sync = flags & 1;
-    op.acquire = flags & 2;
-    op.release = flags & 4;
-    op.stale = flags & 8;
-    op.divergent = flags & 16;
-    op.taintedValue = flags & 32;
-    const std::uint64_t rawAddr = dec.u64();
-    if (rawAddr > (1ull << 28))
-        parseFail("trace file: op address %llu too large",
-                  static_cast<unsigned long long>(rawAddr));
-    op.addr = static_cast<Addr>(rawAddr);
-    op.value = dec.i64();
-    op.observedWrite = dec.u64();
-    op.tick = dec.u64();
-    return op;
-}
 
 } // namespace
 
@@ -266,11 +40,11 @@ serializeTrace(const ExecutionTrace &trace)
         enc.u64(ev.lastOp);
         enc.u64(ev.opCount);
         if (ev.kind == EventKind::Sync) {
-            encodeMemOp(enc, ev.syncOp);
+            wire::encodeMemOp(enc, ev.syncOp);
             enc.u64(ev.pairedRelease);
         } else {
-            encodeBitset(enc, ev.readSet);
-            encodeBitset(enc, ev.writeSet);
+            wire::encodeBitset(enc, ev.readSet);
+            wire::encodeBitset(enc, ev.writeSet);
             enc.u64(ev.memberOps.size());
             for (const auto oid : ev.memberOps)
                 enc.u64(oid);
@@ -326,11 +100,11 @@ decodeTraceOrThrow(const std::vector<std::uint8_t> &bytes)
         ev.lastOp = dec.u64();
         ev.opCount = static_cast<std::uint32_t>(dec.u64());
         if (ev.kind == EventKind::Sync) {
-            ev.syncOp = decodeMemOp(dec);
+            ev.syncOp = wire::decodeMemOp(dec);
             pairing[i] = static_cast<EventId>(dec.u64());
         } else {
-            ev.readSet = decodeBitset(dec);
-            ev.writeSet = decodeBitset(dec);
+            ev.readSet = wire::decodeBitset(dec);
+            ev.writeSet = wire::decodeBitset(dec);
             const std::uint64_t nmembers = dec.u64();
             dec.checkCount(nmembers, "member op");
             ev.memberOps.reserve(nmembers);
@@ -357,6 +131,17 @@ decodeTraceOrThrow(const std::vector<std::uint8_t> &bytes)
 TraceReadResult
 tryDeserializeTrace(const std::vector<std::uint8_t> &bytes)
 {
+    // Transparently accept the segmented container (strict read —
+    // a damaged segmented file is routed to the salvage reader by
+    // the callers that want tolerance).
+    if (looksSegmented(bytes.data(), bytes.size())) {
+        auto seg = tryReadSegmentedTrace(bytes);
+        TraceReadResult res;
+        res.status = seg.status;
+        res.error = std::move(seg.error);
+        res.trace = std::move(seg.trace);
+        return res;
+    }
     TraceReadResult res;
     try {
         res.trace = decodeTraceOrThrow(bytes);
@@ -431,7 +216,7 @@ serializeFullOps(const std::vector<MemOp> &ops)
     enc.raw(kFullOpMagic, sizeof(kFullOpMagic));
     enc.u64(ops.size());
     for (const auto &op : ops)
-        encodeMemOp(enc, op);
+        wire::encodeMemOp(enc, op);
     return enc.take();
 }
 
@@ -448,6 +233,11 @@ decodeFullOpsOrThrow(const std::vector<std::uint8_t> &bytes)
         if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
             parseFail("full-op file: this is an event-format trace "
                       "(use the trace reader)");
+        if (looksSegmented(
+                reinterpret_cast<const std::uint8_t *>(magic),
+                sizeof(magic)))
+            parseFail("full-op file: this is a segmented event trace "
+                      "(use the trace reader)");
         parseFail("not a wmrace full-op file (bad magic)");
     }
     const std::uint64_t count = dec.u64();
@@ -457,7 +247,7 @@ decodeFullOpsOrThrow(const std::vector<std::uint8_t> &bytes)
     std::vector<MemOp> ops;
     ops.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i)
-        ops.push_back(decodeMemOp(dec));
+        ops.push_back(wire::decodeMemOp(dec));
     if (!dec.done())
         parseFail("full-op file: trailing bytes");
     return ops;
@@ -484,9 +274,9 @@ tryDeserializeFullOps(const std::vector<std::uint8_t> &bytes)
 FullOpsReadResult
 tryReadFullOpsFile(const std::string &path)
 {
+    FullOpsReadResult res;
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        FullOpsReadResult res;
         res.status = TraceIoStatus::IoError;
         res.error = "cannot open full-op file '" + path + "'";
         return res;
@@ -495,7 +285,6 @@ tryReadFullOpsFile(const std::string &path)
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
     if (in.bad()) {
-        FullOpsReadResult res;
         res.status = TraceIoStatus::IoError;
         res.error = "read error on full-op file '" + path + "'";
         return res;

@@ -10,6 +10,9 @@
  *  - BatchDeterminism.*:    text and JSON reports are byte-identical
  *                           for 1 and 8 worker threads (this suite is
  *                           also the ThreadSanitizer CTest entry);
+ *  - BatchSalvage.*:        damaged segmented traces recovered (or
+ *                           quarantined) per trace;
+ *  - CheckpointJournal.*:   crash-tolerant --checkpoint resume;
  *  - AnalysisReentrancy.*:  analyzeTrace() is state-free across
  *                           threads.
  */
@@ -24,7 +27,9 @@
 #include "detect/report.hh"
 #include "pipeline/aggregate_report.hh"
 #include "pipeline/batch_runner.hh"
+#include "pipeline/checkpoint.hh"
 #include "pipeline/work_queue.hh"
+#include "trace/segmented_io.hh"
 #include "sim/executor.hh"
 #include "trace/trace_io.hh"
 #include "workload/random_gen.hh"
@@ -492,6 +497,280 @@ TEST(BatchDeterminism, ReportsAreByteIdenticalAcrossJobCounts)
     EXPECT_EQ(a.numFailed(), 2u);
     EXPECT_NE(formatBatchReport(a).find("FAILED"),
               std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// BatchSalvage: damaged segmented traces in a corpus.
+// ---------------------------------------------------------------
+
+/** A segmented trace with its last @p chop bytes cut off. */
+void
+writeDamagedSegmented(const fs::path &path, std::uint64_t seed,
+                      std::size_t chop)
+{
+    const Program prog = randomRacyProgram(seed);
+    ExecOptions eopts;
+    eopts.model = ModelKind::WO;
+    eopts.seed = seed;
+    const auto res = runProgram(prog, eopts);
+    auto bytes = serializeSegmentedTrace(
+        buildTrace(res, {.keepMemberOps = true}), 2);
+    ASSERT_GT(bytes.size(), chop + 16);
+    bytes.resize(bytes.size() - chop);
+    writeBytes(path, bytes);
+}
+
+TEST(BatchSalvage, DamagedTraceFailsStrictButSalvages)
+{
+    TempDir dir("wmr_batch_salvage");
+    writeBytes(dir.path() / "good.trace", makeTraceBytes(501));
+    writeDamagedSegmented(dir.path() / "hurt.trace", 502, 9);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+
+    BatchOptions strict;
+    strict.jobs = 2;
+    const auto a = runBatch(scan, strict);
+    EXPECT_EQ(a.numFailed(), 1u);
+    EXPECT_EQ(a.metrics.salvaged, 0u);
+
+    BatchOptions tolerant;
+    tolerant.jobs = 2;
+    tolerant.salvage = true;
+    const auto b = runBatch(scan, tolerant);
+    EXPECT_EQ(b.numFailed(), 0u);
+    EXPECT_EQ(b.metrics.salvaged, 1u);
+    bool sawSalvaged = false;
+    for (const auto &tr : b.traces) {
+        if (tr.salvaged) {
+            sawSalvaged = true;
+            EXPECT_TRUE(tr.ok());
+            EXPECT_GT(tr.events, 0u);
+        }
+    }
+    EXPECT_TRUE(sawSalvaged);
+    EXPECT_NE(formatBatchReport(b).find("[salvaged]"),
+              std::string::npos);
+    EXPECT_NE(batchReportJson(b).find("\"salvaged\": true"),
+              std::string::npos);
+}
+
+TEST(BatchSalvage, UnsalvageableFileStillFails)
+{
+    // Magic + garbage: salvage recovers zero events, which must be
+    // a failure (quarantine material), not an empty analysis.
+    TempDir dir("wmr_batch_unsalvageable");
+    std::vector<std::uint8_t> junk = {'W', 'M', 'R', 'S',
+                                      'E', 'G', '0', '1'};
+    for (int i = 0; i < 32; ++i)
+        junk.push_back(static_cast<std::uint8_t>(i * 41));
+    writeBytes(dir.path() / "junk.trace", junk);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+
+    BatchOptions opts;
+    opts.salvage = true;
+    const auto batch = runBatch(scan, opts);
+    EXPECT_EQ(batch.numFailed(), 1u);
+    EXPECT_NE(batch.traces[0].error.find("recovered no events"),
+              std::string::npos)
+        << batch.traces[0].error;
+}
+
+TEST(BatchSalvage, QuarantineManifestIsReFeedable)
+{
+    TempDir dir("wmr_batch_quarantine");
+    writeBytes(dir.path() / "a_good.trace", makeTraceBytes(601));
+    std::ofstream bad1(dir.path() / "b_bad.trace");
+    bad1 << "not a trace at all";
+    bad1.close();
+    std::ofstream bad2(dir.path() / "c_bad.trace");
+    bad2 << "also not a trace";
+    bad2.close();
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+
+    const auto batch = runBatch(scan, {});
+    ASSERT_EQ(batch.numFailed(), 2u);
+
+    const std::string manifest = quarantineManifest(batch);
+    ASSERT_FALSE(manifest.empty());
+    const fs::path mpath = dir.path() / "quarantine.txt";
+    std::ofstream mout(mpath);
+    mout << manifest;
+    mout.close();
+
+    // The manifest is itself a corpus: scanning it yields exactly
+    // the failed traces.
+    const auto rescan = scanCorpus(mpath.string());
+    ASSERT_TRUE(rescan.ok()) << rescan.error;
+    ASSERT_EQ(rescan.files.size(), 2u);
+    EXPECT_NE(rescan.files[0].find("b_bad.trace"),
+              std::string::npos);
+    EXPECT_NE(rescan.files[1].find("c_bad.trace"),
+              std::string::npos);
+
+    // Nothing failed -> no manifest.
+    TempDir clean("wmr_batch_quarantine_clean");
+    writeBytes(clean.path() / "ok.trace", makeTraceBytes(602));
+    const auto cleanScan = scanCorpus(clean.path().string());
+    ASSERT_TRUE(cleanScan.ok());
+    EXPECT_TRUE(quarantineManifest(runBatch(cleanScan, {})).empty());
+}
+
+// ---------------------------------------------------------------
+// CheckpointJournal: crash-tolerant resume.
+// ---------------------------------------------------------------
+
+TEST(CheckpointJournal, LineRoundTripCarriesEveryReportedField)
+{
+    TraceRunResult r;
+    r.path = "/tmp/some dir/weird\tname\n.trace";
+    r.status = TraceRunStatus::Ok;
+    r.fileBytes = 12345;
+    r.events = 17;
+    r.syncEvents = 5;
+    r.ops = 99;
+    r.races = 3;
+    r.dataRaces = 2;
+    r.partitions = 4;
+    r.firstPartitions = 1;
+    r.reportedRaces = 1;
+    r.anyDataRace = true;
+    r.wholeExecutionSc = false;
+    r.salvaged = true;
+    r.unresolvedPairings = 7;
+    r.droppedDataRecords = 11;
+
+    TraceRunResult back;
+    ASSERT_TRUE(parseCheckpointLine(checkpointLine(r), back));
+    EXPECT_EQ(back.path, r.path);
+    EXPECT_EQ(back.status, r.status);
+    EXPECT_EQ(back.fileBytes, r.fileBytes);
+    EXPECT_EQ(back.events, r.events);
+    EXPECT_EQ(back.syncEvents, r.syncEvents);
+    EXPECT_EQ(back.ops, r.ops);
+    EXPECT_EQ(back.races, r.races);
+    EXPECT_EQ(back.dataRaces, r.dataRaces);
+    EXPECT_EQ(back.partitions, r.partitions);
+    EXPECT_EQ(back.firstPartitions, r.firstPartitions);
+    EXPECT_EQ(back.reportedRaces, r.reportedRaces);
+    EXPECT_EQ(back.anyDataRace, r.anyDataRace);
+    EXPECT_EQ(back.wholeExecutionSc, r.wholeExecutionSc);
+    EXPECT_EQ(back.salvaged, r.salvaged);
+    EXPECT_EQ(back.unresolvedPairings, r.unresolvedPairings);
+    EXPECT_EQ(back.droppedDataRecords, r.droppedDataRecords);
+
+    TraceRunResult fail;
+    fail.path = "x.trace";
+    fail.status = TraceRunStatus::FormatError;
+    fail.error = "bad magic\tin line 1";
+    ASSERT_TRUE(parseCheckpointLine(checkpointLine(fail), back));
+    EXPECT_EQ(back.status, TraceRunStatus::FormatError);
+    EXPECT_EQ(back.error, fail.error);
+}
+
+TEST(CheckpointJournal, EveryTornPrefixIsRejected)
+{
+    TraceRunResult r;
+    r.path = "t.trace";
+    r.status = TraceRunStatus::Ok;
+    r.events = 9;
+    const std::string line = checkpointLine(r);
+    TraceRunResult out;
+    for (std::size_t cut = 0; cut < line.size(); ++cut) {
+        EXPECT_FALSE(parseCheckpointLine(line.substr(0, cut), out))
+            << "torn prefix of length " << cut << " parsed";
+    }
+    EXPECT_TRUE(parseCheckpointLine(line, out));
+    // Comments and junk are rejected too, without stopping a load.
+    EXPECT_FALSE(parseCheckpointLine("# a comment", out));
+    EXPECT_FALSE(parseCheckpointLine("random garbage", out));
+}
+
+TEST(CheckpointJournal, ResumeSkipsCompletedAndReportIsIdentical)
+{
+    TempDir dir("wmr_batch_resume");
+    const std::size_t total = writeMixedCorpus(dir.path(), 6);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+
+    // The reference: one uninterrupted run, no checkpoint.
+    const auto ref = runBatch(scan, {});
+
+    // "Killed halfway": run only the first half of the corpus (via
+    // a manifest) with the journal, as if the process died there.
+    const fs::path half = dir.path() / "half.manifest";
+    {
+        std::ofstream out(half);
+        for (std::size_t i = 0; i < scan.files.size() / 2; ++i)
+            out << scan.files[i] << "\n";
+    }
+    const auto halfScan = scanCorpus(half.string());
+    ASSERT_TRUE(halfScan.ok()) << halfScan.error;
+    const std::string ckpt = (dir.path() / "ck.tsv").string();
+    BatchOptions withCkpt;
+    withCkpt.checkpointPath = ckpt;
+    const auto first = runBatch(halfScan, withCkpt);
+    EXPECT_EQ(first.metrics.resumed, 0u);
+
+    // Resume over the FULL corpus: the journaled half is prefilled,
+    // only the rest is analyzed, and the report is byte-identical
+    // to the uninterrupted run.
+    const auto resumed = runBatch(scan, withCkpt);
+    EXPECT_EQ(resumed.metrics.resumed, scan.files.size() / 2);
+    EXPECT_EQ(resumed.metrics.corpusTraces, total);
+    EXPECT_EQ(formatBatchReport(resumed), formatBatchReport(ref));
+    EXPECT_EQ(batchReportJson(resumed), batchReportJson(ref));
+
+    // A third run resumes everything.
+    const auto third = runBatch(scan, withCkpt);
+    EXPECT_EQ(third.metrics.resumed, scan.files.size());
+    EXPECT_EQ(formatBatchReport(third), formatBatchReport(ref));
+}
+
+TEST(CheckpointJournal, TornJournalLineIsIgnoredAndHealed)
+{
+    TempDir dir("wmr_batch_torn_journal");
+    writeMixedCorpus(dir.path(), 4);
+    const auto scan = scanCorpus(dir.path().string());
+    ASSERT_TRUE(scan.ok()) << scan.error;
+
+    const std::string ckpt = (dir.path() / "ck.tsv").string();
+    BatchOptions opts;
+    opts.checkpointPath = ckpt;
+    const auto ref = runBatch(scan, opts);
+
+    // Tear the journal: keep two lines plus half of a third, with
+    // no trailing newline — the SIGKILL-mid-append shape.
+    const auto full = loadCheckpoint(ckpt);
+    ASSERT_GE(full.entries.size(), 3u);
+    {
+        std::ifstream in(ckpt);
+        std::string l1, l2, l3;
+        std::getline(in, l1);
+        std::getline(in, l2);
+        std::getline(in, l3);
+        in.close();
+        std::ofstream out(ckpt, std::ios::trunc);
+        out << l1 << "\n"
+            << l2 << "\n"
+            << l3.substr(0, l3.size() / 2);
+    }
+    const auto torn = loadCheckpoint(ckpt);
+    EXPECT_EQ(torn.entries.size(), 2u);
+    EXPECT_EQ(torn.tornLines, 1u);
+
+    // Resuming over the torn journal re-analyzes the torn trace and
+    // appends on a FRESH line (no gluing onto the fragment)...
+    const auto again = runBatch(scan, opts);
+    EXPECT_EQ(again.metrics.resumed, 2u);
+    EXPECT_EQ(formatBatchReport(again), formatBatchReport(ref));
+
+    // ...so the next resume recovers every completed trace.
+    const auto healed = runBatch(scan, opts);
+    EXPECT_EQ(healed.metrics.resumed, scan.files.size());
+    EXPECT_EQ(formatBatchReport(healed), formatBatchReport(ref));
 }
 
 // ---------------------------------------------------------------

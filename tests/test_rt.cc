@@ -11,6 +11,9 @@
  *                      seeded race (and none on the race-free twin);
  *  - RtInline.*:       inline mode reports the same race through the
  *                      on-the-fly detectors without writing a file;
+ *  - RtSpill.*:        crash-resilient segmented spilling — strict
+ *                      round trip, crashFlush() salvage, parity with
+ *                      the classic container;
  *  - RtOverflow.*:     Drop-policy accounting and foreground drains.
  *
  * The workload mirrors examples/rt_demo_shared.hh: two worker
@@ -25,6 +28,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -35,6 +39,7 @@
 #include "rt/ring_buffer.hh"
 #include "rt/sync_registry.hh"
 #include "rt/tracer.hh"
+#include "trace/segmented_io.hh"
 #include "trace/trace_io.hh"
 
 namespace fs = std::filesystem;
@@ -422,6 +427,128 @@ TEST(RtOverflow, ForegroundDrainAllMakesRoom)
     EXPECT_EQ(s.recordsDropped, 0u)
         << "drained-between-bursts run must be lossless";
     EXPECT_EQ(s.opsEmitted, 400u);
+}
+
+// ---------------------------------------------------------------
+// RtSpill: crash-resilient segmented spilling from the recorder.
+// ---------------------------------------------------------------
+
+TEST(RtSpill, SpillProducesAStrictReadableSegmentedFile)
+{
+    const std::string path = tempTracePath("wmr_rt_spill");
+    Account acct;
+    TracerConfig cfg;
+    cfg.mode = RtMode::Record;
+    cfg.tracePath = path;
+    cfg.spillSegmentBytes = 64; // tiny threshold -> many segments
+    {
+        Tracer t(cfg);
+        runWorkload(t, acct, /*annotateLocks=*/false);
+        t.stop();
+        const RtStats s = t.stats();
+        EXPECT_GT(s.segmentsSpilled, 1u);
+        EXPECT_GT(s.spillBytes, 0u);
+        EXPECT_EQ(s.spillFailures, 0u);
+    }
+    // The file is the segmented container, complete (FIN present),
+    // and the seeded race survives the incremental path.
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> head(8);
+    in.read(reinterpret_cast<char *>(head.data()), 8);
+    ASSERT_TRUE(in.good());
+    EXPECT_TRUE(looksSegmented(head.data(), head.size()));
+    in.close();
+
+    auto seg = tryReadSegmentedTraceFile(path);
+    ASSERT_TRUE(seg.ok()) << seg.error;
+    EXPECT_TRUE(seg.salvage.finSeen);
+    EXPECT_FALSE(seg.salvage.salvaged);
+
+    // And the classic entry point sniffs it transparently.
+    auto res = tryReadTraceFile(path);
+    ASSERT_TRUE(res.ok()) << res.error;
+    const DetectionResult det = analyzeTrace(std::move(res.trace));
+    EXPECT_TRUE(det.anyDataRace());
+    EXPECT_FALSE(det.reportedRaces().empty());
+    fs::remove(path);
+}
+
+TEST(RtSpill, SpilledAndClassicTracesAgreeOnTheVerdict)
+{
+    const std::string classicPath = tempTracePath("wmr_rt_classic");
+    const std::string spillPath = tempTracePath("wmr_rt_spill2");
+    for (const bool spill : {false, true}) {
+        Account acct;
+        TracerConfig cfg;
+        cfg.mode = RtMode::Record;
+        cfg.tracePath = spill ? spillPath : classicPath;
+        cfg.spillSegmentBytes = spill ? 128 : 0;
+        Tracer t(cfg);
+        runWorkload(t, acct, /*annotateLocks=*/true);
+        t.stop();
+    }
+    auto a = tryReadTraceFile(classicPath);
+    auto b = tryReadTraceFile(spillPath);
+    ASSERT_TRUE(a.ok()) << a.error;
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_EQ(a.trace.events().size(), b.trace.events().size());
+    EXPECT_EQ(a.trace.numSyncEvents(), b.trace.numSyncEvents());
+    const DetectionResult da = analyzeTrace(std::move(a.trace));
+    const DetectionResult db = analyzeTrace(std::move(b.trace));
+    EXPECT_EQ(da.anyDataRace(), db.anyDataRace());
+    EXPECT_EQ(da.numDataRaces(), db.numDataRaces());
+    fs::remove(classicPath);
+    fs::remove(spillPath);
+}
+
+TEST(RtSpill, CrashFlushLeavesASalvageableTrace)
+{
+    // Simulate the fatal-signal path without dying: crashFlush() is
+    // exactly what the installed handlers call.  Crash flush can only
+    // save events that have CLOSED (open events are still in flux in
+    // the owning threads); maxCompRun bounds how much of an
+    // unsynchronized run stays open, i.e. the worst-case crash loss.
+    const std::string path = tempTracePath("wmr_rt_crashflush");
+    Account acct;
+    TracerConfig cfg;
+    cfg.mode = RtMode::Record;
+    cfg.tracePath = path;
+    cfg.spillSegmentBytes = 1 << 20; // never reaches the threshold
+    cfg.backgroundDrain = false;     // we drain, deterministically
+    cfg.maxCompRun = 2;              // close events every 2 ops
+    auto *t = new Tracer(cfg);
+    runWorkload(*t, acct, /*annotateLocks=*/false);
+    t->drainAll();
+    ASSERT_TRUE(t->crashFlush());
+    // The process "died": the tracer is abandoned, never stop()ed.
+    // (Leaked deliberately; its drain thread keeps the file open.)
+
+    auto strict = tryReadSegmentedTraceFile(path);
+    EXPECT_FALSE(strict.ok()) << "no FIN must fail the strict read";
+
+    auto res = trySalvageTraceFile(path);
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_TRUE(res.salvage.salvaged);
+    EXPECT_FALSE(res.salvage.finSeen);
+    EXPECT_GT(res.salvage.eventsRecovered, 0u);
+    const DetectionResult det = analyzeTrace(std::move(res.trace));
+    EXPECT_TRUE(det.anyDataRace())
+        << "the seeded race must survive the crash flush";
+    fs::remove(path);
+}
+
+TEST(RtSpill, SpillStatsStayZeroWhenDisabled)
+{
+    Account acct;
+    TracerConfig cfg;
+    cfg.mode = RtMode::Record; // no tracePath, no spill
+    Tracer t(cfg);
+    runWorkload(t, acct, /*annotateLocks=*/false);
+    t.stop();
+    const RtStats s = t.stats();
+    EXPECT_EQ(s.segmentsSpilled, 0u);
+    EXPECT_EQ(s.spillBytes, 0u);
+    EXPECT_EQ(s.spillFailures, 0u);
 }
 
 TEST(RtOverflow, SyncRecordsAreNeverDropped)

@@ -34,23 +34,42 @@
  *   --metrics FILE write run metrics as JSON (timing, queue depth)
  *   --fail-fast    stop dispatching after the first failed trace
  *   --summary      omit the per-trace lines of the text report
+ *   --salvage      analyze the recovered prefix of damaged
+ *                  segmented traces instead of failing them
+ *   --checkpoint FILE  append-only resume journal: a killed batch
+ *                  re-run with the same file skips completed traces
+ *   --quarantine FILE  write failed trace paths as a corpus
+ *                  manifest (re-feedable to `wmrace batch`)
  *
  * Options of `record` (see docs/RUNTIME.md; they must precede the
  * child binary — everything after it belongs to the child):
  *   --out FILE     trace file (default: <binary-basename>.trace)
  *   --no-check     just record; skip the post-mortem analysis
+ *   --timeout SEC  kill the child after SEC seconds (classified as
+ *                  timed-out; the partial trace is salvaged)
+ *   --retries N    re-run an abnormally terminated child up to N
+ *                  extra times with backoff before salvaging
  * The child is launched with WMR_RT_TRACE set, so a program
- * annotated with rt/annotate.hh records itself and flushes at exit.
+ * annotated with rt/annotate.hh records itself; crash-resilient
+ * segmented spilling is on by default (WMR_RT_SPILL to tune), so a
+ * crashed or killed child still leaves a salvageable trace, which
+ * `record` analyzes instead of fataling.
+ *
+ * Options of `check`: --dot FILE, --events, --salvage (recover the
+ * longest valid prefix of a damaged segmented trace).
  */
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/wait.h>
@@ -65,8 +84,10 @@
 #include "onthefly/first_race_filter.hh"
 #include "pipeline/aggregate_report.hh"
 #include "pipeline/batch_runner.hh"
+#include "pipeline/checkpoint.hh"
 #include "prog/assembler.hh"
 #include "staticdet/static_analyzer.hh"
+#include "trace/segmented_io.hh"
 #include "trace/timeline.hh"
 #include "trace/trace_io.hh"
 
@@ -229,14 +250,98 @@ cmdRun(const Args &args)
     return det.anyDataRace() ? 1 : 0;
 }
 
+/** @return whether the file at @p path starts with the segmented
+ *  trace magic (false on unreadable files too). */
+bool
+fileLooksSegmented(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::uint8_t head[8] = {};
+    if (!in.read(reinterpret_cast<char *>(head), sizeof(head)))
+        return false;
+    return looksSegmented(head, sizeof(head));
+}
+
+/** A trace loaded for analysis plus its provenance. */
+struct LoadedTrace
+{
+    bool ok = false;
+    ExecutionTrace trace;
+    std::string error;
+    bool segmented = false;
+    SalvageInfo salvage;
+};
+
+/**
+ * Load @p path whichever container it uses.  @p allowSalvage makes
+ * a damaged/incomplete segmented file recover its longest valid
+ * prefix instead of failing.
+ */
+LoadedTrace
+loadRecordedTrace(const std::string &path, bool allowSalvage)
+{
+    LoadedTrace out;
+    if (fileLooksSegmented(path)) {
+        out.segmented = true;
+        auto res = allowSalvage ? trySalvageTraceFile(path)
+                                : tryReadSegmentedTraceFile(path);
+        out.ok = res.ok();
+        out.trace = std::move(res.trace);
+        out.error = std::move(res.error);
+        out.salvage = std::move(res.salvage);
+        return out;
+    }
+    auto res = tryReadTraceFile(path);
+    out.ok = res.ok();
+    out.trace = std::move(res.trace);
+    out.error = std::move(res.error);
+    return out;
+}
+
+/**
+ * The report header lines stating what the analyzed trace actually
+ * is: salvage provenance and recorder-side data loss, so a partial
+ * or Drop-mode trace can never masquerade as a complete one.
+ */
+void
+printTraceProvenance(const LoadedTrace &lt)
+{
+    if (!lt.segmented)
+        return;
+    if (lt.salvage.salvaged) {
+        std::printf("SALVAGED trace: %s\n",
+                    lt.salvage.summary().c_str());
+        if (lt.salvage.unresolvedPairings > 0) {
+            std::printf("  %llu release->acquire pairing(s) lost "
+                        "with the dropped tail\n",
+                        static_cast<unsigned long long>(
+                            lt.salvage.unresolvedPairings));
+        }
+    }
+    if (lt.salvage.droppedDataRecords > 0) {
+        std::printf("RECORDER LOSS: %llu data record(s) dropped by "
+                    "the ring-overflow Drop policy; computation "
+                    "events undercount accordingly\n",
+                    static_cast<unsigned long long>(
+                        lt.salvage.droppedDataRecords));
+    }
+}
+
 int
 cmdCheck(const Args &args)
 {
     if (args.positional().empty())
         fatal("check: missing trace file");
-    const ExecutionTrace trace =
-        readTraceFile(args.positional()[0]);
-    const DetectionResult det = analyzeTrace(trace);
+    const LoadedTrace lt = loadRecordedTrace(args.positional()[0],
+                                             args.has("salvage"));
+    if (!lt.ok)
+        fatal("%s%s", lt.error.c_str(),
+              lt.segmented && !args.has("salvage")
+                  ? "  (re-run with --salvage to recover the valid "
+                    "prefix)"
+                  : "");
+    printTraceProvenance(lt);
+    const DetectionResult det = analyzeTrace(lt.trace);
     ReportOptions ropts;
     ropts.showEvents = args.has("events");
     std::printf("%s", formatReport(det, nullptr, ropts).c_str());
@@ -277,6 +382,12 @@ cmdBatch(const Args &args)
         opts.jobs = static_cast<unsigned>(n);
     }
     opts.failFast = args.has("fail-fast");
+    opts.salvage = args.has("salvage");
+    if (args.has("checkpoint")) {
+        opts.checkpointPath = args.get("checkpoint");
+        if (opts.checkpointPath.empty())
+            fatal("batch: --checkpoint needs a file path");
+    }
 
     const BatchResult batch = runBatch(corpus, opts);
 
@@ -293,6 +404,31 @@ cmdBatch(const Args &args)
         if (!out)
             fatal("short write to JSON report file '%s'",
                   path.c_str());
+    }
+
+    if (args.has("quarantine")) {
+        const std::string path = args.get("quarantine");
+        if (path.empty())
+            fatal("batch: --quarantine needs a file path");
+        const std::string manifest = quarantineManifest(batch);
+        if (manifest.empty()) {
+            // Nothing failed: do not leave a stale quarantine
+            // around from an earlier, worse run.
+            std::remove(path.c_str());
+        } else {
+            std::ofstream out(path, std::ios::trunc);
+            if (!out)
+                fatal("cannot open quarantine file '%s'",
+                      path.c_str());
+            out << manifest;
+            if (!out)
+                fatal("short write to quarantine file '%s'",
+                      path.c_str());
+            std::fprintf(stderr,
+                         "batch: %zu failed trace(s) listed in "
+                         "quarantine manifest %s\n",
+                         batch.numFailed(), path.c_str());
+        }
     }
 
     // Metrics are nondeterministic (timing); they go to stderr and
@@ -313,17 +449,128 @@ cmdBatch(const Args &args)
     return batch.anyDataRace() ? 1 : 0;
 }
 
+/** How a supervised recording child ended. */
+struct ChildOutcome
+{
+    enum class Kind : std::uint8_t {
+        Clean,    ///< exit 0
+        Nonzero,  ///< nonzero exit status
+        Signaled, ///< killed by a signal (its own crash)
+        TimedOut, ///< exceeded --timeout; we SIGKILLed it
+    };
+    Kind kind = Kind::Clean;
+    int code = 0; ///< exit status or signal number
+
+    bool abnormal() const { return kind != Kind::Clean; }
+
+    std::string
+    describe(const std::string &child) const
+    {
+        char buf[256];
+        switch (kind) {
+          case Kind::Clean:
+            std::snprintf(buf, sizeof(buf),
+                          "child '%s' exited cleanly",
+                          child.c_str());
+            break;
+          case Kind::Nonzero:
+            std::snprintf(buf, sizeof(buf),
+                          "child '%s' exited with status %d",
+                          child.c_str(), code);
+            break;
+          case Kind::Signaled:
+            std::snprintf(buf, sizeof(buf),
+                          "child '%s' died on signal %d (%s)",
+                          child.c_str(), code,
+                          ::strsignal(code));
+            break;
+          case Kind::TimedOut:
+            std::snprintf(buf, sizeof(buf),
+                          "child '%s' timed out after %ds; killed",
+                          child.c_str(), code);
+            break;
+        }
+        return buf;
+    }
+};
+
 /**
- * `wmrace record [--out FILE] [--no-check] <binary> [args...]`:
- * launch an annotated program with WMR_RT_TRACE set so its runtime
- * tracer (src/rt) records an EVENT trace, then analyze the trace
- * with the regular post-mortem pipeline.
+ * Run the recording child once: fork, point its tracer at @p out,
+ * exec, and supervise.  With @p timeoutSec > 0 a child still running
+ * after the deadline is SIGKILLed and classified TimedOut (its
+ * incrementally spilled trace survives for salvage).
+ */
+ChildOutcome
+runRecordChild(const std::string &child, char **childArgv,
+               const std::string &out, int timeoutSec)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("record: fork failed: %s", std::strerror(errno));
+    if (pid == 0) {
+        ::setenv("WMR_RT_TRACE", out.c_str(), 1);
+        ::execvp(child.c_str(), childArgv);
+        std::fprintf(stderr, "record: cannot exec '%s': %s\n",
+                     child.c_str(), std::strerror(errno));
+        std::_Exit(127);
+    }
+
+    int status = 0;
+    bool timedOut = false;
+    if (timeoutSec > 0) {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::seconds(timeoutSec);
+        while (true) {
+            const pid_t r = ::waitpid(pid, &status, WNOHANG);
+            if (r == pid)
+                break;
+            if (r < 0 && errno != EINTR)
+                fatal("record: waitpid failed: %s",
+                      std::strerror(errno));
+            if (std::chrono::steady_clock::now() >= deadline) {
+                ::kill(pid, SIGKILL);
+                if (::waitpid(pid, &status, 0) < 0)
+                    fatal("record: waitpid failed: %s",
+                          std::strerror(errno));
+                timedOut = true;
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    } else if (::waitpid(pid, &status, 0) < 0) {
+        fatal("record: waitpid failed: %s", std::strerror(errno));
+    }
+
+    ChildOutcome oc;
+    if (timedOut) {
+        oc.kind = ChildOutcome::Kind::TimedOut;
+        oc.code = timeoutSec;
+    } else if (WIFSIGNALED(status)) {
+        oc.kind = ChildOutcome::Kind::Signaled;
+        oc.code = WTERMSIG(status);
+    } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        oc.kind = ChildOutcome::Kind::Nonzero;
+        oc.code = WEXITSTATUS(status);
+    }
+    return oc;
+}
+
+/**
+ * `wmrace record [opts] <binary> [args...]`: launch an annotated
+ * program with WMR_RT_TRACE set so its runtime tracer (src/rt)
+ * records an EVENT trace, then analyze the trace with the regular
+ * post-mortem pipeline.  An abnormally terminated child is retried
+ * (--retries) and its partial trace salvaged — never a fatal().
  */
 int
 cmdRecord(int argc, char **argv)
 {
     std::string out;
     bool check = true;
+    int timeoutSec = 0;
+    int retries = 0;
     int i = 2;
     for (; i < argc; ++i) {
         const std::string a = argv[i];
@@ -331,6 +578,18 @@ cmdRecord(int argc, char **argv)
             out = argv[++i];
         } else if (a == "--no-check") {
             check = false;
+        } else if (a == "--timeout" && i + 1 < argc) {
+            timeoutSec =
+                static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+            if (timeoutSec < 1)
+                fatal("record: invalid --timeout '%s' (want a "
+                      "positive number of seconds)", argv[i]);
+        } else if (a == "--retries" && i + 1 < argc) {
+            retries =
+                static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+            if (retries < 0 || retries > 100)
+                fatal("record: invalid --retries '%s' (want 0..100)",
+                      argv[i]);
         } else if (a.rfind("--", 0) == 0) {
             fatal("record: unknown option '%s' (options go before "
                   "the child binary)", a.c_str());
@@ -349,35 +608,46 @@ cmdRecord(int argc, char **argv)
               ".trace";
     }
 
-    const pid_t pid = ::fork();
-    if (pid < 0)
-        fatal("record: fork failed: %s", std::strerror(errno));
-    if (pid == 0) {
-        ::setenv("WMR_RT_TRACE", out.c_str(), 1);
-        ::execvp(child.c_str(), argv + i);
-        std::fprintf(stderr, "record: cannot exec '%s': %s\n",
-                     child.c_str(), std::strerror(errno));
-        std::_Exit(127);
+    ChildOutcome oc;
+    for (int attempt = 0; attempt <= retries; ++attempt) {
+        if (attempt > 0) {
+            // Exponential backoff for flaky children: 200ms, 400ms,
+            // 800ms, ... capped at 5s.
+            const auto backoff = std::min<std::int64_t>(
+                200ll << (attempt - 1), 5000);
+            std::fprintf(stderr,
+                         "record: retrying (%d/%d) after %lldms\n",
+                         attempt, retries,
+                         static_cast<long long>(backoff));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff));
+        }
+        oc = runRecordChild(child, argv + i, out, timeoutSec);
+        std::printf("record: %s\n", oc.describe(child).c_str());
+        if (!oc.abnormal())
+            break;
     }
-    int status = 0;
-    if (::waitpid(pid, &status, 0) < 0)
-        fatal("record: waitpid failed: %s", std::strerror(errno));
-    if (WIFSIGNALED(status)) {
-        fatal("record: '%s' died on signal %d", child.c_str(),
-              WTERMSIG(status));
-    }
-    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
-        fatal("record: '%s' exited with status %d (trace may be "
-              "missing or partial)", child.c_str(),
-              WEXITSTATUS(status));
-    }
-    std::printf("recorded '%s' -> %s\n", child.c_str(),
-                out.c_str());
-    if (!check)
-        return 0;
 
-    const ExecutionTrace trace = readTraceFile(out);
-    const DetectionResult det = analyzeTrace(trace);
+    std::printf("recorded '%s' -> %s\n", child.c_str(), out.c_str());
+    if (!check) {
+        // --no-check keeps whatever trace the child left, even after
+        // an abnormal exit; 0 only when the recording is complete.
+        std::ifstream probe(out, std::ios::binary);
+        return !probe ? 3 : (oc.abnormal() ? 3 : 0);
+    }
+
+    // Strict read after a clean exit; salvage after an abnormal one
+    // (the spill file has no FIN segment — that is expected, not an
+    // error).
+    const LoadedTrace lt = loadRecordedTrace(out, oc.abnormal());
+    if (!lt.ok) {
+        std::fprintf(stderr,
+                     "record: no analyzable trace: %s\n",
+                     lt.error.c_str());
+        return 3;
+    }
+    printTraceProvenance(lt);
+    const DetectionResult det = analyzeTrace(lt.trace);
     std::printf("%s", formatReport(det, nullptr, {}).c_str());
     return det.anyDataRace() ? 1 : 0;
 }
