@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A fixed-size pool of worker threads, plus the data-parallel loop
+ * helpers the analysis engine is built on.
+ *
+ * WorkerPool is a thin RAII wrapper over std::thread: construction
+ * spawns N workers running the same body (which typically loops
+ * popping a WorkQueue or processing a static partition), join() waits
+ * for all of them.  The body receives its worker index for per-worker
+ * scratch state; everything shared must be owned by the caller and
+ * synchronized there.
+ *
+ * parallelFor() statically partitions an index range across a pool —
+ * the caller's body must write only its own disjoint slice (or only
+ * thread-local state), which is what makes the parallel analysis
+ * passes deterministic: every value computed is a pure function of
+ * the input range, never of thread scheduling.
+ */
+
+#ifndef WMR_COMMON_WORKER_POOL_HH
+#define WMR_COMMON_WORKER_POOL_HH
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace wmr {
+
+class WorkerPool
+{
+  public:
+    /** Spawn @p workers threads, each running body(workerIndex). */
+    WorkerPool(unsigned workers,
+               const std::function<void(unsigned)> &body)
+    {
+        threads_.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            threads_.emplace_back(body, w);
+    }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Wait for every worker to finish (idempotent). */
+    void
+    join()
+    {
+        for (auto &t : threads_) {
+            if (t.joinable())
+                t.join();
+        }
+    }
+
+    ~WorkerPool() { join(); }
+
+  private:
+    std::vector<std::thread> threads_;
+};
+
+/** @return @p threads with 0 resolved to hardware concurrency. */
+inline unsigned
+resolveThreads(unsigned threads)
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/**
+ * The static block partition of [0, n): worker @p w of @p workers
+ * owns [first, last).  Blocks differ in size by at most one element
+ * and depend only on (n, workers, w) — never on scheduling.
+ */
+inline std::pair<std::size_t, std::size_t>
+workerSlice(std::size_t n, unsigned workers, unsigned w)
+{
+    const std::size_t base = n / workers;
+    const std::size_t extra = n % workers;
+    const std::size_t first =
+        w * base + (w < extra ? w : extra);
+    const std::size_t last = first + base + (w < extra ? 1 : 0);
+    return {first, last};
+}
+
+/**
+ * Run body(i) for every i in [0, n) on up to @p threads workers,
+ * each owning one contiguous statically-assigned block.  With
+ * threads <= 1 (or a trivial range) the loop runs inline on the
+ * caller's thread — same iteration order, no spawn cost.
+ */
+template <typename Body>
+void
+parallelFor(unsigned threads, std::size_t n, Body &&body)
+{
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    const unsigned workers = static_cast<unsigned>(
+        n < threads ? n : threads);
+    WorkerPool pool(workers, [&](unsigned w) {
+        const auto [first, last] = workerSlice(n, workers, w);
+        for (std::size_t i = first; i < last; ++i)
+            body(i);
+    });
+    pool.join();
+}
+
+} // namespace wmr
+
+#endif // WMR_COMMON_WORKER_POOL_HH

@@ -1,18 +1,66 @@
 #include "detect/analysis.hh"
 
+#include <chrono>
+#include <sstream>
+
+#include "common/worker_pool.hh"
+
 namespace wmr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
 
 DetectionResult::DetectionResult(ExecutionTrace trace,
                                  const AnalysisOptions &opts,
                                  const std::vector<MemOp> *ops)
     : trace_(std::move(trace))
 {
+    const unsigned threads = resolveThreads(opts.threads);
+    stats_.threads = threads;
+    stats_.events = trace_.events().size();
+    const auto totalStart = Clock::now();
+
+    auto stageStart = Clock::now();
     hb_ = std::make_unique<HbGraph>(trace_);
-    reach_ = std::make_unique<ReachabilityIndex>(*hb_, trace_);
-    races_ = findRaces(trace_, *reach_, opts.finder);
-    aug_ = std::make_unique<AugmentedGraph>(*hb_, races_, trace_);
+    stats_.graphBuildSeconds = secondsSince(stageStart);
+
+    stageStart = Clock::now();
+    reach_ = std::make_unique<ReachabilityIndex>(*hb_, trace_, threads);
+    stats_.reachabilitySeconds = secondsSince(stageStart);
+    stats_.hbReach = reach_->buildStats();
+    stats_.hbComponents = reach_->scc().numComponents;
+
+    stageStart = Clock::now();
+    races_ =
+        findRaces(trace_, *reach_, opts.finder, threads, &stats_.finder);
+    stats_.raceFindSeconds = secondsSince(stageStart);
+
+    stageStart = Clock::now();
+    aug_ = std::make_unique<AugmentedGraph>(*hb_, races_, trace_,
+                                            threads);
+    stats_.augmentSeconds = secondsSince(stageStart);
+    stats_.augReach = aug_->reach().buildStats();
+    stats_.augComponents = aug_->reach().scc().numComponents;
+
+    stageStart = Clock::now();
     parts_ = partitionRaces(races_, *aug_);
+    stats_.partitionSeconds = secondsSince(stageStart);
+
+    stageStart = Clock::now();
     scp_ = analyzeScp(trace_, races_, ops);
+    stats_.scpSeconds = secondsSince(stageStart);
+
+    stats_.totalSeconds = secondsSince(totalStart);
 }
 
 bool
@@ -43,6 +91,44 @@ analyzeExecution(const ExecutionResult &res, const AnalysisOptions &opts)
 {
     ExecutionTrace trace = buildTrace(res, opts.traceOpts);
     return DetectionResult(std::move(trace), opts, &res.ops);
+}
+
+std::string
+formatAnalysisStats(const AnalysisStats &s)
+{
+    std::ostringstream os;
+    os << "analysis stats (" << s.threads
+       << (s.threads == 1 ? " thread)\n" : " threads)\n");
+    os << "  events             " << s.events << "\n";
+    os << "  hb1 components     " << s.hbComponents << "\n";
+    os << "  G' components      " << s.augComponents << "\n";
+    os << std::fixed;
+    os.precision(6);
+    const auto stage = [&os](const char *name, double seconds) {
+        os << "  " << name << seconds << " s\n";
+    };
+    stage("graph build        ", s.graphBuildSeconds);
+    stage("reachability       ", s.reachabilitySeconds);
+    os << "    scc              " << s.hbReach.sccSeconds << " s, clocks "
+       << s.hbReach.clockSeconds << " s ("
+       << (s.hbReach.parallelClocks ? "parallel, " : "serial, ")
+       << s.hbReach.levels << " levels)\n";
+    stage("race finding       ", s.raceFindSeconds);
+    os << "    shards " << s.finder.shards << ", addrs "
+       << s.finder.indexedAddrs << ", candidates "
+       << s.finder.candidatePairs << ", memo hits "
+       << s.finder.memoHits << ", oracle queries "
+       << s.finder.reachQueries << ", ordered "
+       << s.finder.orderedPairs << "\n";
+    stage("augment (G')       ", s.augmentSeconds);
+    os << "    scc              " << s.augReach.sccSeconds << " s, clocks "
+       << s.augReach.clockSeconds << " s ("
+       << (s.augReach.parallelClocks ? "parallel, " : "serial, ")
+       << s.augReach.levels << " levels)\n";
+    stage("partitioning       ", s.partitionSeconds);
+    stage("scp classification ", s.scpSeconds);
+    stage("total              ", s.totalSeconds);
+    return os.str();
 }
 
 } // namespace wmr

@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "detect/analysis_stats.hh"
 #include "detect/augmented_graph.hh"
 #include "detect/partition.hh"
 #include "detect/race_finder.hh"
@@ -33,6 +34,14 @@ struct AnalysisOptions
 
     /** Trace-construction options (analyzeExecution only). */
     TraceBuildOptions traceOpts{.keepMemberOps = true, .maxCompRun = 0};
+
+    /**
+     * Analysis worker budget (0 = hardware concurrency).  Threads
+     * shard the race enumeration and the reachability clock builds;
+     * every result — races, partitions, SCP, reports — is
+     * byte-identical at every value.
+     */
+    unsigned threads = 1;
 };
 
 /** Everything the post-mortem analysis produced. */
@@ -49,6 +58,10 @@ class DetectionResult
     const AugmentedGraph &augmented() const { return *aug_; }
     const RacePartitions &partitions() const { return parts_; }
     const ScpInfo &scp() const { return scp_; }
+
+    /** @return per-stage timing/counters of this run (not part of
+     *  the deterministic analysis output). */
+    const AnalysisStats &stats() const { return stats_; }
 
     /** @return whether any data race was detected (Theorem 4.1 side). */
     bool anyDataRace() const;
@@ -72,6 +85,7 @@ class DetectionResult
     std::unique_ptr<AugmentedGraph> aug_;
     RacePartitions parts_;
     ScpInfo scp_;
+    AnalysisStats stats_;
 };
 
 /** Run the Section-4 method on an existing trace (post-mortem). */

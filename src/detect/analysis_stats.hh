@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-stage timing and work counters of one analyzeTrace() run.
+ *
+ * The numbers answer "where did the time go" for a SINGLE trace —
+ * graph build, SCC condensation, reachability clocks, candidate
+ * enumeration, G' augmentation, partitioning, SCP — which is what the
+ * parallel engine tunes.  Timings are nondeterministic by nature, so
+ * they are kept strictly OUT of the analysis reports: `wmrace check
+ * --stats` prints them to stderr and `wmrace batch` folds them into
+ * its metrics channel, leaving stdout/--json byte-identical at every
+ * thread count.
+ */
+
+#ifndef WMR_DETECT_ANALYSIS_STATS_HH
+#define WMR_DETECT_ANALYSIS_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "detect/race_finder.hh"
+#include "hb/reachability.hh"
+
+namespace wmr {
+
+/** What one analyzeTrace() run did, stage by stage. */
+struct AnalysisStats
+{
+    /** Effective analysis thread budget (after resolving 0). */
+    unsigned threads = 1;
+
+    // --- Shape ---------------------------------------------------
+    std::uint64_t events = 0;
+    std::uint32_t hbComponents = 0;  ///< SCCs of the hb1 graph
+    std::uint32_t augComponents = 0; ///< SCCs of G'
+
+    // --- Stage wall-clock seconds --------------------------------
+    double graphBuildSeconds = 0;   ///< trace -> hb1 adjacency
+    double reachabilitySeconds = 0; ///< hb1 SCC + clock propagation
+    double raceFindSeconds = 0;     ///< candidate enumeration
+    double augmentSeconds = 0;      ///< G' build + its reachability
+    double partitionSeconds = 0;    ///< partitions + first flags
+    double scpSeconds = 0;          ///< SCP classification
+    double totalSeconds = 0;        ///< whole pipeline
+
+    // --- Sub-stage detail ----------------------------------------
+    /** hb1 reachability build breakdown (SCC vs clocks). */
+    ReachBuildStats hbReach;
+
+    /** G' reachability build breakdown. */
+    ReachBuildStats augReach;
+
+    /** Candidate-enumeration work counters. */
+    RaceFinderStats finder;
+};
+
+/** Render @p s as a human-readable block (for `check --stats`). */
+std::string formatAnalysisStats(const AnalysisStats &s);
+
+} // namespace wmr
+
+#endif // WMR_DETECT_ANALYSIS_STATS_HH

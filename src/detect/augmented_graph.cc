@@ -37,9 +37,11 @@ indicesOf(const ExecutionTrace &trace)
 
 AugmentedGraph::AugmentedGraph(const HbGraph &hb,
                                const std::vector<DataRace> &races,
-                               const ExecutionTrace &trace)
+                               const ExecutionTrace &trace,
+                               unsigned threads)
     : adj_(augment(hb, races)),
-      reach_(adj_, procsOf(trace), indicesOf(trace), trace.numProcs())
+      reach_(adj_, procsOf(trace), indicesOf(trace), trace.numProcs(),
+             threads)
 {
 }
 

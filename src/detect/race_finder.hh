@@ -6,11 +6,21 @@
  * READ/WRITE sets or sync operation touch a common word can race),
  * filtered by processor (same-processor events are always po-ordered)
  * and then by the hb1 reachability oracle.
+ *
+ * The enumeration can run on multiple threads: the per-address
+ * accessor lists are sharded into contiguous, cost-balanced address
+ * ranges, each shard enumerates its candidates with a thread-local
+ * pair-dedupe table (which also memoizes hb1-ORDERED pairs, so a pair
+ * conflicting on many addresses consults the reachability oracle
+ * once, not once per address), and the shard outputs are merged and
+ * canonicalized (sort by event pair, sorted/deduped address lists) —
+ * making the result byte-identical at every thread count.
  */
 
 #ifndef WMR_DETECT_RACE_FINDER_HH
 #define WMR_DETECT_RACE_FINDER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "detect/race.hh"
@@ -30,14 +40,42 @@ struct RaceFinderOptions
     bool includeSyncSyncRaces = false;
 };
 
+/** Work counters of one findRaces() call (summed over shards). */
+struct RaceFinderStats
+{
+    /** Address shards actually enumerated in parallel. */
+    unsigned shards = 1;
+
+    /** Addresses with at least one writing accessor. */
+    std::uint64_t indexedAddrs = 0;
+
+    /** Candidate pairs considered (after the self-pair filter). */
+    std::uint64_t candidatePairs = 0;
+
+    /** Pairs answered by the per-shard dedupe/memo table. */
+    std::uint64_t memoHits = 0;
+
+    /** reach.ordered() oracle queries actually issued. */
+    std::uint64_t reachQueries = 0;
+
+    /** Distinct pairs the oracle found hb1-ordered (memoized). */
+    std::uint64_t orderedPairs = 0;
+};
+
 /**
  * Enumerate the races of @p trace under the hb1 order @p reach.
  * Pairs are deduplicated across addresses; each returned race lists
  * every conflicting location of its event pair.
+ *
+ * @p threads shards the candidate enumeration (0 = hardware
+ * concurrency); the returned vector is byte-identical for every
+ * value.  @p stats, when non-null, receives the work counters.
  */
 std::vector<DataRace> findRaces(const ExecutionTrace &trace,
                                 const ReachabilityIndex &reach,
-                                const RaceFinderOptions &opts = {});
+                                const RaceFinderOptions &opts = {},
+                                unsigned threads = 1,
+                                RaceFinderStats *stats = nullptr);
 
 } // namespace wmr
 

@@ -22,6 +22,14 @@
  * Cycles (possible in weak executions and guaranteed in the
  * augmented graph G') are handled by the condensation: events in one
  * SCC are mutually reachable.  Memory is O(#components × #procs).
+ *
+ * Clock propagation can run on multiple threads: the condensation is
+ * stratified into longest-path levels and each level's components are
+ * computed pull-style (from already-final predecessor clocks) in
+ * parallel.  Every clock entry is a max over a fixed input set, so
+ * the parallel build is bit-identical to the serial one; it is only
+ * engaged where the level structure is wide enough to pay for the
+ * per-level barrier (see ReachBuildStats::parallelClocks).
  */
 
 #ifndef WMR_HB_REACHABILITY_HH
@@ -36,6 +44,16 @@
 
 namespace wmr {
 
+/** Shape/time facts of one ReachabilityIndex build. */
+struct ReachBuildStats
+{
+    double sccSeconds = 0;   ///< SCC condensation
+    double clockSeconds = 0; ///< clock propagation
+    std::uint32_t components = 0;
+    std::uint32_t levels = 0; ///< condensation levels (parallel path)
+    bool parallelClocks = false; ///< level-parallel path engaged
+};
+
 /** Reachability oracle over an event graph containing po chains. */
 class ReachabilityIndex
 {
@@ -48,15 +66,19 @@ class ReachabilityIndex
      * @param indexInProc program-order index of each event within
      *        its processor.
      * @param nprocs number of processors.
+     * @param threads clock-propagation worker budget (0 = hardware
+     *        concurrency).  Any value yields bit-identical clocks;
+     *        extra threads are used only where profitable.
      */
     ReachabilityIndex(const AdjList &graph,
                       const std::vector<ProcId> &procOf,
                       const std::vector<std::uint32_t> &indexInProc,
-                      ProcId nprocs);
+                      ProcId nprocs, unsigned threads = 1);
 
     /** Convenience: build for the hb1 graph of @p trace. */
     ReachabilityIndex(const HbGraph &graph,
-                      const ExecutionTrace &trace);
+                      const ExecutionTrace &trace,
+                      unsigned threads = 1);
 
     /** @return whether a path a →* b exists (true when a == b). */
     bool reaches(EventId a, EventId b) const;
@@ -74,10 +96,16 @@ class ReachabilityIndex
     /** @return whether component @p a reaches component @p b. */
     bool componentReaches(std::uint32_t a, std::uint32_t b) const;
 
+    /** @return shape/time facts of the build. */
+    const ReachBuildStats &buildStats() const { return stats_; }
+
   private:
     void build(const AdjList &graph,
                const std::vector<ProcId> &procOf,
-               const std::vector<std::uint32_t> &indexInProc);
+               const std::vector<std::uint32_t> &indexInProc,
+               unsigned threads);
+    void propagateSerial();
+    bool propagateParallel(unsigned threads);
 
     std::int64_t &hi(std::uint32_t comp, ProcId p);
     std::int64_t &clock(std::uint32_t comp, ProcId p);
@@ -88,6 +116,7 @@ class ReachabilityIndex
     SccResult scc_;
     std::vector<std::int64_t> hi_;      // [comp * nprocs + p]
     std::vector<std::int64_t> clock_;   // [comp * nprocs + p]
+    ReachBuildStats stats_;
 };
 
 } // namespace wmr

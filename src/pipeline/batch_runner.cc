@@ -27,11 +27,21 @@ secondsSince(Clock::time_point start)
         .count();
 }
 
+/** One worker's private metric accumulators (merged at exit). */
+struct WorkerTotals
+{
+    StageSeconds stages;
+    AnalysisStageSeconds analysis;
+    std::uint64_t candidatePairs = 0;
+    std::uint64_t reachQueries = 0;
+};
+
 /** Load + parse + analyze one trace file into @p out. */
 void
 analyzeOneTrace(const std::string &path, const BatchOptions &opts,
-                TraceRunResult &out, StageSeconds &stages)
+                TraceRunResult &out, WorkerTotals &totals)
 {
+    StageSeconds &stages = totals.stages;
     out.path = path;
 
     const auto readStart = Clock::now();
@@ -97,6 +107,15 @@ analyzeOneTrace(const std::string &path, const BatchOptions &opts,
     const DetectionResult det =
         analyzeTrace(std::move(trace), opts.analysis);
     stages.analyze += secondsSince(analyzeStart);
+    const AnalysisStats &as = det.stats();
+    totals.analysis.graphBuild += as.graphBuildSeconds;
+    totals.analysis.reachability += as.reachabilitySeconds;
+    totals.analysis.raceFind += as.raceFindSeconds;
+    totals.analysis.augment += as.augmentSeconds;
+    totals.analysis.partition += as.partitionSeconds;
+    totals.analysis.scp += as.scpSeconds;
+    totals.candidatePairs += as.finder.candidatePairs;
+    totals.reachQueries += as.finder.reachQueries;
 
     out.status = TraceRunStatus::Ok;
     out.events = det.trace().events().size();
@@ -157,17 +176,24 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     result.corpus = corpus;
 
     const std::size_t n = corpus.files.size();
-    unsigned jobs = opts.jobs;
-    if (jobs == 0) {
-        jobs = std::thread::hardware_concurrency();
-        if (jobs == 0)
-            jobs = 1;
-    }
+    const unsigned budget = resolveThreads(opts.jobs);
+
+    // Split the thread budget: one worker per trace up to the corpus
+    // size, and when the corpus is smaller than the budget, spend the
+    // leftover INSIDE each analysis (intra-trace parallelism) instead
+    // of idling.  An explicit AnalysisOptions::threads wins.
+    unsigned jobs = budget;
     if (jobs > n && n > 0)
         jobs = static_cast<unsigned>(n);
+    BatchOptions effective = opts;
+    if (effective.analysis.threads == 1 && jobs > 0)
+        effective.analysis.threads = std::max(1u, budget / jobs);
+    effective.analysis.threads =
+        resolveThreads(effective.analysis.threads);
 
     result.traces.resize(n);
     result.metrics.jobs = jobs;
+    result.metrics.analysisThreads = effective.analysis.threads;
     result.metrics.corpusTraces = n;
     if (n == 0)
         return result;
@@ -217,10 +243,10 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     std::atomic<bool> journalWarned{false};
 
     std::mutex metricsMutex;
-    StageSeconds stageTotal;
+    WorkerTotals grandTotal;
 
     const auto workerBody = [&](unsigned) {
-        StageSeconds localStages;
+        WorkerTotals local;
         std::size_t index = 0;
         while (queue.pop(index)) {
             TraceRunResult &slot = result.traces[index];
@@ -231,8 +257,8 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
                 slot.error = "--fail-fast after an earlier failure";
                 continue;
             }
-            analyzeOneTrace(corpus.files[index], opts, slot,
-                            localStages);
+            analyzeOneTrace(corpus.files[index], effective, slot,
+                            local);
             if (slot.failed())
                 abortDispatch.store(true,
                                     std::memory_order_relaxed);
@@ -242,9 +268,18 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
                      journal.lastError().c_str());
         }
         std::lock_guard<std::mutex> lock(metricsMutex);
-        stageTotal.read += localStages.read;
-        stageTotal.parse += localStages.parse;
-        stageTotal.analyze += localStages.analyze;
+        grandTotal.stages.read += local.stages.read;
+        grandTotal.stages.parse += local.stages.parse;
+        grandTotal.stages.analyze += local.stages.analyze;
+        grandTotal.analysis.graphBuild += local.analysis.graphBuild;
+        grandTotal.analysis.reachability +=
+            local.analysis.reachability;
+        grandTotal.analysis.raceFind += local.analysis.raceFind;
+        grandTotal.analysis.augment += local.analysis.augment;
+        grandTotal.analysis.partition += local.analysis.partition;
+        grandTotal.analysis.scp += local.analysis.scp;
+        grandTotal.candidatePairs += local.candidatePairs;
+        grandTotal.reachQueries += local.reachQueries;
     };
 
     {
@@ -269,7 +304,10 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     }
 
     result.metrics.wallSeconds = secondsSince(wallStart);
-    result.metrics.stageTotal = stageTotal;
+    result.metrics.stageTotal = grandTotal.stages;
+    result.metrics.analysisStages = grandTotal.analysis;
+    result.metrics.candidatePairs = grandTotal.candidatePairs;
+    result.metrics.reachQueries = grandTotal.reachQueries;
     result.metrics.peakQueueDepth = queue.peakDepth();
     for (const auto &t : result.traces) {
         result.metrics.bytesRead += t.fileBytes;

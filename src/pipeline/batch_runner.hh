@@ -95,7 +95,12 @@ struct TraceRunResult
 /** Knobs of one batch run. */
 struct BatchOptions
 {
-    /** Worker threads; 0 = hardware concurrency. */
+    /**
+     * Total worker-thread budget; 0 = hardware concurrency.  One
+     * worker analyzes each trace; when the corpus has fewer traces
+     * than the budget, the leftover becomes intra-trace analysis
+     * threads (AnalysisOptions::threads, unless set explicitly).
+     */
     unsigned jobs = 0;
 
     /** Stop dispatching new traces after the first failure. */

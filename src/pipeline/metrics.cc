@@ -8,7 +8,9 @@ std::string
 formatMetrics(const BatchMetrics &m)
 {
     std::string out;
-    out += strformat("batch metrics (%u job(s)):\n", m.jobs);
+    out += strformat(
+        "batch metrics (%u job(s), %u analysis thread(s) each):\n",
+        m.jobs, m.analysisThreads);
     out += strformat(
         "  traces: %zu corpus, %zu analyzed, %zu failed, %zu "
         "skipped\n",
@@ -25,6 +27,17 @@ formatMetrics(const BatchMetrics &m)
         "  stage latency (worker-seconds): read %.3f, parse %.3f, "
         "analyze %.3f\n",
         m.stageTotal.read, m.stageTotal.parse, m.stageTotal.analyze);
+    out += strformat(
+        "  analyze breakdown: graph %.3f, reach %.3f, races %.3f, "
+        "augment %.3f, partition %.3f, scp %.3f\n",
+        m.analysisStages.graphBuild, m.analysisStages.reachability,
+        m.analysisStages.raceFind, m.analysisStages.augment,
+        m.analysisStages.partition, m.analysisStages.scp);
+    out += strformat(
+        "  race finding: %llu candidate pair(s), %llu oracle "
+        "quer(ies)\n",
+        static_cast<unsigned long long>(m.candidatePairs),
+        static_cast<unsigned long long>(m.reachQueries));
     out += strformat("  peak queue depth: %zu\n", m.peakQueueDepth);
     return out;
 }
@@ -35,8 +48,10 @@ metricsJson(const BatchMetrics &m)
     std::string out;
     out += "{\n";
     out += "  \"schema\": \"wmrace-batch-metrics\",\n";
-    out += "  \"version\": 1,\n";
+    out += "  \"version\": 2,\n";
     out += strformat("  \"jobs\": %u,\n", m.jobs);
+    out += strformat("  \"analysis_threads\": %u,\n",
+                     m.analysisThreads);
     out += strformat("  \"corpus_traces\": %zu,\n", m.corpusTraces);
     out += strformat("  \"analyzed\": %zu,\n", m.analyzed);
     out += strformat("  \"failed\": %zu,\n", m.failed);
@@ -53,6 +68,25 @@ metricsJson(const BatchMetrics &m)
     out += strformat("    \"parse\": %.6f,\n", m.stageTotal.parse);
     out += strformat("    \"analyze\": %.6f\n", m.stageTotal.analyze);
     out += "  },\n";
+    out += "  \"analysis_stage_seconds\": {\n";
+    out += strformat("    \"graph_build\": %.6f,\n",
+                     m.analysisStages.graphBuild);
+    out += strformat("    \"reachability\": %.6f,\n",
+                     m.analysisStages.reachability);
+    out += strformat("    \"race_find\": %.6f,\n",
+                     m.analysisStages.raceFind);
+    out += strformat("    \"augment\": %.6f,\n",
+                     m.analysisStages.augment);
+    out += strformat("    \"partition\": %.6f,\n",
+                     m.analysisStages.partition);
+    out += strformat("    \"scp\": %.6f\n", m.analysisStages.scp);
+    out += "  },\n";
+    out += strformat(
+        "  \"candidate_pairs\": %llu,\n",
+        static_cast<unsigned long long>(m.candidatePairs));
+    out += strformat(
+        "  \"reach_queries\": %llu,\n",
+        static_cast<unsigned long long>(m.reachQueries));
     out += strformat("  \"peak_queue_depth\": %zu\n",
                      m.peakQueueDepth);
     out += "}\n";

@@ -27,11 +27,32 @@ struct StageSeconds
     double analyze = 0; ///< ExecutionTrace -> DetectionResult
 };
 
+/**
+ * The analyze stage broken down into its Section-4 sub-stages,
+ * summed across all traces and workers (worker-seconds).
+ */
+struct AnalysisStageSeconds
+{
+    double graphBuild = 0;   ///< trace -> hb1 adjacency
+    double reachability = 0; ///< hb1 SCC + clock propagation
+    double raceFind = 0;     ///< candidate enumeration
+    double augment = 0;      ///< G' build + its reachability
+    double partition = 0;    ///< partitions + first flags
+    double scp = 0;          ///< SCP classification
+};
+
 /** Metrics of one runBatch() call. */
 struct BatchMetrics
 {
-    /** Worker threads used. */
+    /** Inter-trace worker threads used. */
     unsigned jobs = 0;
+
+    /**
+     * Intra-trace analysis threads per worker: when the corpus is
+     * smaller than the --jobs budget, the leftover budget is spent
+     * inside analyzeTrace() instead of idling.
+     */
+    unsigned analysisThreads = 1;
 
     /** Corpus size and per-trace outcome counts. */
     std::size_t corpusTraces = 0;
@@ -54,6 +75,15 @@ struct BatchMetrics
 
     /** Per-stage latency, summed across all workers (CPU-seconds). */
     StageSeconds stageTotal;
+
+    /** The analyze stage broken down by analysis sub-stage. */
+    AnalysisStageSeconds analysisStages;
+
+    /** Race-candidate pairs considered across all analyzed traces. */
+    std::uint64_t candidatePairs = 0;
+
+    /** hb1 reachability oracle queries across all analyzed traces. */
+    std::uint64_t reachQueries = 0;
 
     /** Deepest producer->worker backlog observed. */
     std::size_t peakQueueDepth = 0;

@@ -1,54 +1,13 @@
 /**
  * @file
- * A fixed-size pool of analysis worker threads.
- *
- * Thin RAII wrapper over std::thread: construction spawns N workers
- * running the same body (which typically loops popping a WorkQueue),
- * join() waits for all of them.  The body receives its worker index
- * for per-worker scratch state; everything shared must be owned by
- * the caller and synchronized there.
+ * Compatibility forwarder: WorkerPool moved to common/worker_pool.hh
+ * when the single-trace analysis engine (src/hb, src/detect) started
+ * sharing it — the hb layer cannot depend on pipeline headers.
  */
 
 #ifndef WMR_PIPELINE_WORKER_POOL_HH
 #define WMR_PIPELINE_WORKER_POOL_HH
 
-#include <functional>
-#include <thread>
-#include <vector>
-
-namespace wmr {
-
-class WorkerPool
-{
-  public:
-    /** Spawn @p workers threads, each running body(workerIndex). */
-    WorkerPool(unsigned workers,
-               const std::function<void(unsigned)> &body)
-    {
-        threads_.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w)
-            threads_.emplace_back(body, w);
-    }
-
-    WorkerPool(const WorkerPool &) = delete;
-    WorkerPool &operator=(const WorkerPool &) = delete;
-
-    /** Wait for every worker to finish (idempotent). */
-    void
-    join()
-    {
-        for (auto &t : threads_) {
-            if (t.joinable())
-                t.join();
-        }
-    }
-
-    ~WorkerPool() { join(); }
-
-  private:
-    std::vector<std::thread> threads_;
-};
-
-} // namespace wmr
+#include "common/worker_pool.hh"
 
 #endif // WMR_PIPELINE_WORKER_POOL_HH

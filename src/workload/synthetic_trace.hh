@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic synthetic ExecutionTrace generator.
+ *
+ * The simulator can only produce traces as large as the programs it
+ * runs; scaling tests and benchmarks of the ANALYSIS side (candidate
+ * enumeration, reachability clocks, partitioning) need traces with
+ * hundreds of thousands of events and controllable conflict density.
+ * This generator builds such traces directly — per-processor event
+ * sequences of computation events (random skewed READ/WRITE sets)
+ * interleaved with sync events whose acquires pair with the latest
+ * earlier release on their location, exactly the Section-4.1 record
+ * the detector consumes.  Equal options (including seed) yield
+ * byte-identical traces, so differential tests can hand the same
+ * input to every thread count.
+ */
+
+#ifndef WMR_WORKLOAD_SYNTHETIC_TRACE_HH
+#define WMR_WORKLOAD_SYNTHETIC_TRACE_HH
+
+#include <cstdint>
+
+#include "trace/execution_trace.hh"
+
+namespace wmr {
+
+/** Shape knobs of one synthetic trace. */
+struct SyntheticTraceOptions
+{
+    ProcId procs = 4;
+    std::uint32_t eventsPerProc = 1000;
+
+    /** Shared address universe (sync + data words). */
+    Addr memWords = 256;
+
+    /** Sync operations target words [0, syncWords). */
+    Addr syncWords = 16;
+
+    /** Probability an event is a sync event. */
+    double syncFraction = 0.15;
+
+    /** Probability a sync event is an acquire read (else a release
+     *  write). */
+    double acquireFraction = 0.5;
+
+    /**
+     * Probability an acquire pairs with the latest earlier release
+     * on its word (creating an so1 edge); unpaired acquires model
+     * reads of the initial image.
+     */
+    double pairFraction = 0.9;
+
+    /**
+     * Probability a data access lands in the small "hot" word set
+     * (the first few words after the sync range) instead of the
+     * whole data range — the knob for cross-processor conflict
+     * density, i.e. how many race candidates the trace yields.
+     */
+    double hotFraction = 0.3;
+
+    /** Hot-set size in words. */
+    Addr hotWords = 8;
+
+    /** Max words read / written by one computation event. */
+    std::uint32_t maxReads = 4;
+    std::uint32_t maxWrites = 2;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * @return a trace with the shape of @p opts.  Pure function of the
+ * options: equal options give equal traces.
+ */
+ExecutionTrace makeSyntheticTrace(const SyntheticTraceOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_WORKLOAD_SYNTHETIC_TRACE_HH

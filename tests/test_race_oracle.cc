@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Property tests of the detection pipeline against brute force.
+ *
+ * The production path answers "is this pair hb1-ordered" with the
+ * per-processor clock oracle over the SCC condensation, enumerates
+ * candidates per address shard, and partitions races by G'-SCC.
+ * Every one of those layers has a trivially correct O(n^2)
+ * counterpart: the transitive closure computed by DFS from every
+ * node.  This file cross-checks, over seeded random-program traces
+ * and synthetic traces:
+ *
+ *  - ReachOracle.*:     reaches()/ordered() equal the hb1 closure on
+ *                       ALL event pairs;
+ *  - RaceOracle.*:      findRaces() (serial and sharded) returns
+ *                       exactly the conflicting-unordered pairs, with
+ *                       exactly the conflict addresses;
+ *  - PartitionOracle.*: partition membership equals mutual G'-closure
+ *                       reachability and first flags equal Def. 4.1
+ *                       computed by brute force.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "detect/analysis.hh"
+#include "hb/hb_graph.hh"
+#include "hb/reachability.hh"
+#include "sim/executor.hh"
+#include "trace/event.hh"
+#include "workload/random_gen.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace wmr {
+namespace {
+
+/** O(V*E) transitive closure: reach[a][b] == path a ->* b (and
+ *  reach[a][a] always).  Handles cycles — plain DFS. */
+std::vector<std::vector<char>>
+bruteClosure(const AdjList &adj)
+{
+    const std::size_t n = adj.size();
+    std::vector<std::vector<char>> reach(
+        n, std::vector<char>(n, 0));
+    std::vector<std::uint32_t> stack;
+    for (std::size_t s = 0; s < n; ++s) {
+        auto &row = reach[s];
+        stack.assign(1, static_cast<std::uint32_t>(s));
+        row[s] = 1;
+        while (!stack.empty()) {
+            const std::uint32_t v = stack.back();
+            stack.pop_back();
+            for (const std::uint32_t w : adj[v]) {
+                if (!row[w]) {
+                    row[w] = 1;
+                    stack.push_back(w);
+                }
+            }
+        }
+    }
+    return reach;
+}
+
+/** The inputs every oracle check needs, built once per trace. */
+struct TraceUnderTest
+{
+    ExecutionTrace trace;
+    HbGraph hb;
+    ReachabilityIndex reach;
+    std::vector<std::vector<char>> closure; ///< hb1 brute closure
+
+    explicit TraceUnderTest(ExecutionTrace t)
+        : trace(std::move(t)), hb(trace), reach(hb, trace),
+          closure(bruteClosure(hb.adjacency()))
+    {
+    }
+
+    bool
+    bruteOrdered(EventId a, EventId b) const
+    {
+        return closure[a][b] || closure[b][a];
+    }
+};
+
+/** A spread of trace shapes: weak-model program runs (racy and
+ *  race-free) plus synthetic hot-conflict traces. */
+std::vector<ExecutionTrace>
+oracleTraces()
+{
+    std::vector<ExecutionTrace> out;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const Program prog = seed % 2 == 0
+                                 ? randomRacyProgram(seed)
+                                 : randomRaceFreeProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        out.push_back(
+            buildTrace(runProgram(prog, opts),
+                       {.keepMemberOps = true}));
+    }
+    for (std::uint64_t seed = 30; seed < 34; ++seed) {
+        SyntheticTraceOptions opts;
+        opts.procs = 3 + static_cast<ProcId>(seed % 3);
+        opts.eventsPerProc = 40;
+        opts.memWords = 48;
+        opts.hotFraction = 0.6;
+        opts.seed = seed;
+        out.push_back(makeSyntheticTrace(opts));
+    }
+    return out;
+}
+
+/** Brute-force findRaces: every conflicting pair the closure leaves
+ *  unordered, with its conflict addresses, canonically sorted. */
+std::vector<DataRace>
+bruteRaces(const TraceUnderTest &t, bool includeSyncSync)
+{
+    const auto &events = t.trace.events();
+    std::vector<DataRace> out;
+    for (EventId a = 0; a < events.size(); ++a) {
+        for (EventId b = a + 1; b < events.size(); ++b) {
+            const bool isData =
+                events[a].kind == EventKind::Computation ||
+                events[b].kind == EventKind::Computation;
+            if (!isData && !includeSyncSync)
+                continue;
+            if (!eventsConflict(events[a], events[b]))
+                continue;
+            if (t.bruteOrdered(a, b))
+                continue;
+            DataRace r;
+            r.a = a;
+            r.b = b;
+            r.addrs = conflictAddrs(events[a], events[b]);
+            std::sort(r.addrs.begin(), r.addrs.end());
+            r.isDataRace = isData;
+            out.push_back(std::move(r));
+        }
+    }
+    return out; // (a, b) ascending by construction
+}
+
+// ---------------------------------------------------------------
+// ReachOracle
+// ---------------------------------------------------------------
+
+TEST(ReachOracle, AllPairsMatchBruteClosure)
+{
+    for (auto &trace : oracleTraces()) {
+        const TraceUnderTest t(std::move(trace));
+        const EventId n =
+            static_cast<EventId>(t.trace.events().size());
+        ASSERT_GT(n, 0u);
+        for (EventId a = 0; a < n; ++a) {
+            for (EventId b = 0; b < n; ++b) {
+                ASSERT_EQ(t.reach.reaches(a, b),
+                          static_cast<bool>(t.closure[a][b]))
+                    << "reaches(" << a << ", " << b << ")";
+                ASSERT_EQ(t.reach.ordered(a, b), t.bruteOrdered(a, b))
+                    << "ordered(" << a << ", " << b << ")";
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// RaceOracle
+// ---------------------------------------------------------------
+
+void
+expectSameRaces(const std::vector<DataRace> &got,
+                const std::vector<DataRace> &want, const char *what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].a, want[i].a) << what << " race " << i;
+        EXPECT_EQ(got[i].b, want[i].b) << what << " race " << i;
+        EXPECT_EQ(got[i].addrs, want[i].addrs)
+            << what << " race " << i;
+        EXPECT_EQ(got[i].isDataRace, want[i].isDataRace)
+            << what << " race " << i;
+    }
+}
+
+TEST(RaceOracle, SerialAndShardedMatchBruteForce)
+{
+    for (auto &trace : oracleTraces()) {
+        const TraceUnderTest t(std::move(trace));
+        const auto expected = bruteRaces(t, false);
+        expectSameRaces(findRaces(t.trace, t.reach, {}, 1), expected,
+                        "serial");
+        expectSameRaces(findRaces(t.trace, t.reach, {}, 4), expected,
+                        "sharded");
+    }
+}
+
+TEST(RaceOracle, SyncSyncGeneralRacesMatchToo)
+{
+    RaceFinderOptions opts;
+    opts.includeSyncSyncRaces = true;
+    for (auto &trace : oracleTraces()) {
+        const TraceUnderTest t(std::move(trace));
+        const auto expected = bruteRaces(t, true);
+        expectSameRaces(findRaces(t.trace, t.reach, opts, 1),
+                        expected, "serial+syncsync");
+        expectSameRaces(findRaces(t.trace, t.reach, opts, 8),
+                        expected, "sharded+syncsync");
+    }
+}
+
+// ---------------------------------------------------------------
+// PartitionOracle
+// ---------------------------------------------------------------
+
+TEST(PartitionOracle, MembershipAndFirstFlagsMatchBruteForce)
+{
+    for (auto &trace : oracleTraces()) {
+        for (const unsigned threads : {1u, 4u}) {
+            AnalysisOptions aopts;
+            aopts.threads = threads;
+            const DetectionResult det = analyzeTrace(trace, aopts);
+            const auto &races = det.races();
+            const auto &parts = det.partitions();
+
+            // Brute closure of G' = hb1 + doubly directed race edges.
+            AdjList aug = det.hbGraph().adjacency();
+            for (const auto &r : races) {
+                aug[r.a].push_back(r.b);
+                aug[r.b].push_back(r.a);
+            }
+            const auto closure = bruteClosure(aug);
+
+            // Same partition <=> mutually reachable in G'.
+            for (RaceId r = 0; r < races.size(); ++r) {
+                for (RaceId s = 0; s < races.size(); ++s) {
+                    const bool sameBrute =
+                        closure[races[r].a][races[s].a] &&
+                        closure[races[s].a][races[r].a];
+                    EXPECT_EQ(parts.partitionOf[r] ==
+                                  parts.partitionOf[s],
+                              sameBrute)
+                        << "races " << r << ", " << s
+                        << " at threads=" << threads;
+                }
+            }
+
+            // First flags (Def. 4.1): a data-race partition is first
+            // iff no OTHER data-race partition precedes it, where
+            // partition j precedes i iff a G' path leads from j's
+            // events to i's.
+            for (std::size_t i = 0; i < parts.partitions.size();
+                 ++i) {
+                const auto &pi = parts.partitions[i];
+                if (!pi.hasDataRace) {
+                    EXPECT_FALSE(pi.first);
+                    continue;
+                }
+                bool bruteFirst = true;
+                for (std::size_t j = 0;
+                     j < parts.partitions.size() && bruteFirst;
+                     ++j) {
+                    const auto &pj = parts.partitions[j];
+                    if (j == i || !pj.hasDataRace)
+                        continue;
+                    const EventId from =
+                        races[pj.races.front()].a;
+                    const EventId to = races[pi.races.front()].a;
+                    if (closure[from][to])
+                        bruteFirst = false;
+                }
+                EXPECT_EQ(pi.first, bruteFirst)
+                    << "partition " << i << " at threads=" << threads;
+            }
+
+            // firstPartitions lists exactly the flagged ones.
+            std::vector<std::uint32_t> flagged;
+            for (std::size_t i = 0; i < parts.partitions.size();
+                 ++i) {
+                if (parts.partitions[i].first)
+                    flagged.push_back(
+                        static_cast<std::uint32_t>(i));
+            }
+            EXPECT_EQ(parts.firstPartitions, flagged);
+        }
+    }
+}
+
+} // namespace
+} // namespace wmr

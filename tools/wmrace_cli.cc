@@ -24,12 +24,15 @@
  *   --timeline                     print the per-processor timeline
  *   --onthefly                     also run the on-the-fly detector
  *
- * Options of `check`: --dot FILE, --events.
+ * Options of `check`: --dot FILE, --events, --salvage, --jobs N,
+ *   --stats.
  * Options of `explore`: --max-execs N (default 100000).
  *
  * Options of `batch` (see docs/BATCH.md):
- *   --jobs N       worker threads, N >= 1 (default: hardware
- *                  concurrency); anything else is rejected (exit 2)
+ *   --jobs N       total thread budget, N >= 1 (default: hardware
+ *                  concurrency); anything else is rejected (exit 2).
+ *                  When the corpus has fewer traces than N, the
+ *                  leftover budget parallelizes INSIDE each analysis
  *   --json FILE    write the aggregated JSON report
  *   --metrics FILE write run metrics as JSON (timing, queue depth)
  *   --fail-fast    stop dispatching after the first failed trace
@@ -56,7 +59,9 @@
  * `record` analyzes instead of fataling.
  *
  * Options of `check`: --dot FILE, --events, --salvage (recover the
- * longest valid prefix of a damaged segmented trace).
+ * longest valid prefix of a damaged segmented trace), --jobs N
+ * (analysis threads; the report is byte-identical at every N), and
+ * --stats (per-stage timing to stderr).
  */
 
 #include <cctype>
@@ -153,6 +158,34 @@ class Args
     std::map<std::string, std::string> kv_;
     std::vector<std::string> positional_;
 };
+
+/**
+ * Parse a strict `--jobs` value into @p jobs (untouched when the
+ * flag is absent).  A mistyped --jobs must not silently become
+ * "hardware concurrency" (0) or a huge unsigned, so anything but an
+ * integer in [1, 4096] prints an error and returns false.
+ */
+bool
+parseJobs(const Args &args, const char *cmd, unsigned &jobs)
+{
+    if (!args.has("jobs"))
+        return true;
+    const std::string v = args.get("jobs");
+    char *end = nullptr;
+    errno = 0;
+    const long long n =
+        v.empty() ? -1 : std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || *end != '\0' || errno == ERANGE || n < 1 ||
+        n > 4096) {
+        std::fprintf(stderr,
+                     "%s: invalid --jobs '%s': expected an integer "
+                     "between 1 and 4096\n",
+                     cmd, v.c_str());
+        return false;
+    }
+    jobs = static_cast<unsigned>(n);
+    return true;
+}
 
 ModelKind
 parseModel(const std::string &name)
@@ -341,7 +374,10 @@ cmdCheck(const Args &args)
                     "prefix)"
                   : "");
     printTraceProvenance(lt);
-    const DetectionResult det = analyzeTrace(lt.trace);
+    AnalysisOptions aopts;
+    if (!parseJobs(args, "check", aopts.threads))
+        return 2;
+    const DetectionResult det = analyzeTrace(lt.trace, aopts);
     ReportOptions ropts;
     ropts.showEvents = args.has("events");
     std::printf("%s", formatReport(det, nullptr, ropts).c_str());
@@ -350,6 +386,11 @@ cmdCheck(const Args &args)
         std::printf("wrote DOT graph to %s\n",
                     args.get("dot").c_str());
     }
+    // Timing is nondeterministic by nature: --stats goes to stderr
+    // so stdout stays byte-identical at every --jobs value.
+    if (args.has("stats"))
+        std::fprintf(stderr, "%s",
+                     formatAnalysisStats(det.stats()).c_str());
     return det.anyDataRace() ? 1 : 0;
 }
 
@@ -363,24 +404,8 @@ cmdBatch(const Args &args)
         fatal("%s", corpus.error.c_str());
 
     BatchOptions opts;
-    if (args.has("jobs")) {
-        // Validate strictly: a mistyped --jobs must not silently
-        // become "hardware concurrency" (0) or a huge unsigned.
-        const std::string v = args.get("jobs");
-        char *end = nullptr;
-        errno = 0;
-        const long long n =
-            v.empty() ? -1 : std::strtoll(v.c_str(), &end, 10);
-        if (v.empty() || *end != '\0' || errno == ERANGE || n < 1 ||
-            n > 4096) {
-            std::fprintf(stderr,
-                         "batch: invalid --jobs '%s': expected an "
-                         "integer between 1 and 4096\n",
-                         v.c_str());
-            return 2;
-        }
-        opts.jobs = static_cast<unsigned>(n);
-    }
+    if (!parseJobs(args, "batch", opts.jobs))
+        return 2;
     opts.failFast = args.has("fail-fast");
     opts.salvage = args.has("salvage");
     if (args.has("checkpoint")) {
