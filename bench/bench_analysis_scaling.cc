@@ -33,14 +33,6 @@ namespace {
 using namespace wmr;
 using namespace wmr::benchutil;
 
-bool
-smokeMode()
-{
-    const char *env = std::getenv("WMR_BENCH_SMOKE");
-    return env != nullptr && env[0] != '\0' &&
-           std::string(env) != "0";
-}
-
 /** The benched trace, built once.  Low hot fraction: the goal is a
  *  LARGE candidate workload, not a quadratic race blowup in the
  *  partitioning stages. */

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "pipeline/aggregate_report.hh"
 #include "pipeline/batch_runner.hh"
@@ -31,7 +32,12 @@ namespace {
 using namespace wmr;
 using namespace wmr::benchutil;
 
-constexpr std::size_t kCorpusTraces = 24;
+/** Corpus size: small in smoke mode so CTest can afford the build. */
+std::size_t
+corpusTraces()
+{
+    return smokeMode() ? 4 : 24;
+}
 
 /** The corpus directory, created once and removed at process exit. */
 class BenchCorpus
@@ -43,11 +49,11 @@ class BenchCorpus
     {
         fs::remove_all(dir_);
         fs::create_directories(dir_);
-        for (std::size_t i = 0; i < kCorpusTraces; ++i) {
+        for (std::size_t i = 0; i < corpusTraces(); ++i) {
             RandomProgConfig cfg;
             cfg.seed = 100 + i;
             cfg.procs = 6;
-            cfg.blocksPerProc = 24;
+            cfg.blocksPerProc = smokeMode() ? 6 : 24;
             cfg.opsPerBlock = 10;
             cfg.dataWords = 96;
             cfg.numLocks = 8;
@@ -86,7 +92,7 @@ void
 reproduce()
 {
     section("batch pipeline thread scaling (" +
-            std::to_string(kCorpusTraces) + "-trace corpus)");
+            std::to_string(corpusTraces()) + "-trace corpus)");
     const unsigned cores = std::thread::hardware_concurrency();
     note("hardware concurrency: " + std::to_string(cores) +
          " core(s) — speedup saturates there; on a single-core "
@@ -96,14 +102,18 @@ reproduce()
 
     double baseline = 0;
     std::string report1;
-    for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    const std::vector<unsigned> jobCounts =
+        smokeMode() ? std::vector<unsigned>{1u, 2u}
+                    : std::vector<unsigned>{1u, 2u, 4u, 8u};
+    const int reps = smokeMode() ? 1 : 3;
+    for (const unsigned jobs : jobCounts) {
         BatchOptions opts;
         opts.jobs = jobs;
         // Best of 3 runs: the corpus is small enough that one
         // scheduler hiccup would otherwise dominate the table.
         double bestWall = 0;
         BatchResult best;
-        for (int rep = 0; rep < 3; ++rep) {
+        for (int rep = 0; rep < reps; ++rep) {
             auto batch = runBatch(corpus(), opts);
             if (bestWall == 0 ||
                 batch.metrics.wallSeconds < bestWall) {
@@ -140,7 +150,7 @@ BM_BatchAnalyze(benchmark::State &state)
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(kCorpusTraces));
+        static_cast<std::int64_t>(corpusTraces()));
 }
 BENCHMARK(BM_BatchAnalyze)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();

@@ -137,8 +137,12 @@ benchTracePath(const char *tag)
 void
 reproduce()
 {
+    // Smoke mode (WMR_BENCH_SMOKE=1) keeps every section but shrinks
+    // the op counts so CTest can run the full reproduction quickly.
+    const std::uint64_t kRingOps = smokeMode() ? 1u << 15 : 1u << 22;
+    const std::uint64_t kOps = smokeMode() ? 1u << 14 : 1u << 21;
+
     section("(1) SPSC ring throughput (per-thread record queue)");
-    constexpr std::uint64_t kRingOps = 1u << 22;
     const double st = ringSingleThreadNs(kRingOps);
     const double xt = ringCrossThreadNs(kRingOps);
     std::printf("  %-28s %8.1f ns/rec  (%6.1f Mrec/s)\n",
@@ -147,7 +151,6 @@ reproduce()
                 "producer -> consumer", xt, 1e3 / xt);
 
     section("(2)+(3) annotation overhead per data access");
-    constexpr std::uint64_t kOps = 1u << 21;
     const double off = inactiveAnnotationNs(kOps);
 
     TracerConfig rec;

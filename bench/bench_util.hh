@@ -13,11 +13,26 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/logging.hh"
 
 namespace wmr::benchutil {
+
+/**
+ * WMR_BENCH_SMOKE=1 shrinks a bench's workload so the binary doubles
+ * as a fast CTest smoke entry (guards the reproduction tables and
+ * their claims against bit-rot without paying full bench time).
+ */
+inline bool
+smokeMode()
+{
+    const char *env = std::getenv("WMR_BENCH_SMOKE");
+    return env != nullptr && *env != '\0' &&
+           std::strcmp(env, "0") != 0;
+}
 
 /** Print a section header. */
 inline void

@@ -1,24 +1,11 @@
 #include "detect/analysis.hh"
 
-#include <chrono>
 #include <sstream>
 
 #include "common/worker_pool.hh"
+#include "obs/obs.hh"
 
 namespace wmr {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double
-secondsSince(Clock::time_point start)
-{
-    return std::chrono::duration<double>(Clock::now() - start)
-        .count();
-}
-
-} // namespace
 
 DetectionResult::DetectionResult(ExecutionTrace trace,
                                  const AnalysisOptions &opts,
@@ -28,39 +15,66 @@ DetectionResult::DetectionResult(ExecutionTrace trace,
     const unsigned threads = resolveThreads(opts.threads);
     stats_.threads = threads;
     stats_.events = trace_.events().size();
-    const auto totalStart = Clock::now();
 
-    auto stageStart = Clock::now();
-    hb_ = std::make_unique<HbGraph>(trace_);
-    stats_.graphBuildSeconds = secondsSince(stageStart);
+    // Every stage is timed by the SAME obs::StagedSpan shim: the
+    // seconds land in AnalysisStats (as before), and when span
+    // collection is on (WMR_OBS / --trace-out) the six stages show
+    // up on the process-wide timeline.  The stage names here are the
+    // contract of the Chrome-trace acceptance test.
+    obs::StagedSpan total("analysis.run", stats_.totalSeconds);
 
-    stageStart = Clock::now();
-    reach_ = std::make_unique<ReachabilityIndex>(*hb_, trace_, threads);
-    stats_.reachabilitySeconds = secondsSince(stageStart);
+    {
+        obs::StagedSpan s("analysis.graph_build",
+                          stats_.graphBuildSeconds);
+        hb_ = std::make_unique<HbGraph>(trace_);
+    }
+    {
+        obs::StagedSpan s("analysis.reachability",
+                          stats_.reachabilitySeconds);
+        reach_ = std::make_unique<ReachabilityIndex>(*hb_, trace_,
+                                                     threads);
+    }
     stats_.hbReach = reach_->buildStats();
     stats_.hbComponents = reach_->scc().numComponents;
 
-    stageStart = Clock::now();
-    races_ =
-        findRaces(trace_, *reach_, opts.finder, threads, &stats_.finder);
-    stats_.raceFindSeconds = secondsSince(stageStart);
-
-    stageStart = Clock::now();
-    aug_ = std::make_unique<AugmentedGraph>(*hb_, races_, trace_,
-                                            threads);
-    stats_.augmentSeconds = secondsSince(stageStart);
+    {
+        obs::StagedSpan s("analysis.race_find",
+                          stats_.raceFindSeconds);
+        races_ = findRaces(trace_, *reach_, opts.finder, threads,
+                           &stats_.finder);
+    }
+    {
+        obs::StagedSpan s("analysis.augment", stats_.augmentSeconds);
+        aug_ = std::make_unique<AugmentedGraph>(*hb_, races_, trace_,
+                                                threads);
+    }
     stats_.augReach = aug_->reach().buildStats();
     stats_.augComponents = aug_->reach().scc().numComponents;
 
-    stageStart = Clock::now();
-    parts_ = partitionRaces(races_, *aug_);
-    stats_.partitionSeconds = secondsSince(stageStart);
+    {
+        obs::StagedSpan s("analysis.partition",
+                          stats_.partitionSeconds);
+        parts_ = partitionRaces(races_, *aug_);
+    }
+    {
+        obs::StagedSpan s("analysis.scp", stats_.scpSeconds);
+        scp_ = analyzeScp(trace_, races_, ops);
+    }
 
-    stageStart = Clock::now();
-    scp_ = analyzeScp(trace_, races_, ops);
-    stats_.scpSeconds = secondsSince(stageStart);
-
-    stats_.totalSeconds = secondsSince(totalStart);
+    // Publish the run into the process-wide registry — the one sink
+    // `wmrace check`, `batch` workers and annotated programs share.
+    static obs::Counter cRuns = obs::counter("analysis.runs");
+    static obs::Counter cEvents = obs::counter("analysis.events");
+    static obs::Counter cRaces = obs::counter("analysis.races");
+    static obs::Counter cCandidates =
+        obs::counter("analysis.candidate_pairs");
+    static obs::Counter cQueries =
+        obs::counter("analysis.reach_queries");
+    cRuns.inc();
+    cEvents.add(stats_.events);
+    cRaces.add(races_.size());
+    cCandidates.add(stats_.finder.candidatePairs);
+    cQueries.add(stats_.finder.reachQueries);
 }
 
 bool

@@ -1,0 +1,216 @@
+#include "obs/export.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/obs.hh"
+
+namespace wmr::obs {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+/** Microseconds with sub-ns kept (Chrome `ts`/`dur` are doubles). */
+std::string
+usOf(std::uint64_t ns)
+{
+    return fmt("%.3f", static_cast<double>(ns) / 1e3);
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out)
+        return false;
+    out << content;
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char ch : s) {
+        const auto c = static_cast<unsigned char>(ch);
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                out += fmt("\\u%04x", c);
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+chromeTraceJson()
+{
+    const auto threads = spanSnapshot();
+    const auto counters = counterSnapshot();
+
+    std::string out;
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    const auto emit = [&](const std::string &event) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n";
+        out += event;
+    };
+
+    // Process + thread metadata first: perfetto shows the names on
+    // the track headers instead of bare tids.
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"name\":\"process_name\","
+         "\"args\":{\"name\":\"wmrace\"}}");
+    std::uint64_t lastNs = 0;
+    for (const auto &t : threads) {
+        if (!t.name.empty()) {
+            emit(fmt("{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                     "\"name\":\"thread_name\",\"args\":{\"name\":"
+                     "\"%s\"}}",
+                     t.tid, jsonEscape(t.name).c_str()));
+        }
+        for (const auto &s : t.spans)
+            lastNs = std::max(lastNs, s.startNs + s.durNs);
+    }
+
+    // Complete ("X") events: one per finished span.
+    for (const auto &t : threads) {
+        for (const auto &s : t.spans) {
+            std::string ev =
+                fmt("{\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                    "\"name\":\"%s\",\"cat\":\"wmr\",\"ts\":%s,"
+                    "\"dur\":%s",
+                    t.tid, jsonEscape(s.name).c_str(),
+                    usOf(s.startNs).c_str(), usOf(s.durNs).c_str());
+            ev += fmt(",\"args\":{\"depth\":%u", s.depth);
+            if (!s.detail.empty()) {
+                ev += ",\"detail\":\"";
+                ev += jsonEscape(s.detail);
+                ev += "\"";
+            }
+            ev += "}}";
+            emit(ev);
+        }
+    }
+
+    // Counter ("C") events: final registry values, stamped at the
+    // end of the span timeline.
+    for (const auto &c : counters) {
+        emit(fmt("{\"ph\":\"C\",\"pid\":1,\"tid\":0,"
+                 "\"name\":\"%s\",\"ts\":%s,"
+                 "\"args\":{\"value\":%" PRIu64 "}}",
+                 jsonEscape(c.name).c_str(), usOf(lastNs).c_str(),
+                 c.value));
+    }
+
+    out += "\n],\"displayTimeUnit\":\"ms\",";
+    out += "\"otherData\":{\"tool\":\"wmrace\",\"format\":"
+           "\"wmr-obs-chrome\",\"version\":1}}\n";
+    return out;
+}
+
+std::string
+jsonLines()
+{
+    const auto threads = spanSnapshot();
+    const auto counters = counterSnapshot();
+    std::string out;
+    for (const auto &t : threads) {
+        for (const auto &s : t.spans) {
+            out += fmt("{\"type\":\"span\",\"name\":\"%s\","
+                       "\"tid\":%u,\"thread\":\"%s\","
+                       "\"start_ns\":%" PRIu64 ",\"dur_ns\":%" PRIu64
+                       ",\"depth\":%u",
+                       jsonEscape(s.name).c_str(), t.tid,
+                       jsonEscape(t.name).c_str(), s.startNs,
+                       s.durNs, s.depth);
+            if (!s.detail.empty()) {
+                out += ",\"detail\":\"";
+                out += jsonEscape(s.detail);
+                out += "\"";
+            }
+            out += "}\n";
+        }
+    }
+    for (const auto &c : counters) {
+        out += fmt("{\"type\":\"%s\",\"name\":\"%s\","
+                   "\"value\":%" PRIu64 "}\n",
+                   c.isGauge ? "gauge" : "counter",
+                   jsonEscape(c.name).c_str(), c.value);
+    }
+    return out;
+}
+
+std::string
+formatCounterSummary()
+{
+    const auto counters = counterSnapshot();
+    std::string out = "wmr-obs counters:\n";
+    if (counters.empty()) {
+        out += "  (none registered)\n";
+        return out;
+    }
+    for (const auto &c : counters) {
+        out += fmt("  %-36s %20" PRIu64 "%s\n", c.name.c_str(),
+                   c.value, c.isGauge ? "  (gauge)" : "");
+    }
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    return writeFile(path, chromeTraceJson());
+}
+
+bool
+writeJsonLines(const std::string &path)
+{
+    return writeFile(path, jsonLines());
+}
+
+} // namespace wmr::obs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exporters of the observability snapshot (obs.hh): Chrome
+ * trace_event JSON (loadable in perfetto / chrome://tracing) and
+ * JSON-lines, plus the plain-text counter summary `WMR_OBS=1`
+ * prints to stderr at exit.
+ *
+ * Both machine formats carry the same data: every finished span of
+ * every thread (name, thread, start, duration, depth, optional
+ * detail) and every registered counter/gauge.  Timestamps are
+ * steady-clock microseconds relative to the obs epoch, so a trace of
+ * a whole `record -> salvage -> analyze -> report` run lines up on
+ * one timeline.
+ */
+
+#ifndef WMR_OBS_EXPORT_HH
+#define WMR_OBS_EXPORT_HH
+
+#include <string>
+
+namespace wmr::obs {
+
+/** JSON-escape @p s (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+/** @return the snapshot as a Chrome trace_event JSON document. */
+std::string chromeTraceJson();
+
+/** @return the snapshot as JSON-lines (one object per line). */
+std::string jsonLines();
+
+/** @return the registered counters as a human-readable block. */
+std::string formatCounterSummary();
+
+/** Write chromeTraceJson() to @p path. @return success. */
+bool writeChromeTrace(const std::string &path);
+
+/** Write jsonLines() to @p path. @return success. */
+bool writeJsonLines(const std::string &path);
+
+} // namespace wmr::obs
+
+#endif // WMR_OBS_EXPORT_HH

@@ -1,0 +1,348 @@
+#include "obs/obs.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/export.hh"
+
+namespace wmr::obs {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+} // namespace detail
+
+namespace {
+
+// ---------------------------------------------------------------
+// The lock-free counter/gauge registry.
+//
+// Fixed table of cells; a registration hashes the name and probes
+// linearly, claiming an empty slot by CAS on the name pointer (the
+// stored string is an immutable process-lifetime copy).  Lookups and
+// updates never lock; a full table yields null handles, counted.
+// ---------------------------------------------------------------
+
+constexpr std::size_t kRegistryCells = 1024; // power of two
+
+struct Cell
+{
+    std::atomic<const char *> name{nullptr};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<bool> isGauge{false};
+};
+
+Cell gCells[kRegistryCells];
+std::atomic<std::uint64_t> gRegistryOverflows{0};
+
+std::uint64_t
+hashName(const char *s)
+{
+    // FNV-1a.
+    std::uint64_t h = 1469598103934665603ull;
+    for (; *s; ++s) {
+        h ^= static_cast<unsigned char>(*s);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+Cell *
+findOrClaim(const char *name)
+{
+    const std::uint64_t h = hashName(name);
+    for (std::size_t probe = 0; probe < kRegistryCells; ++probe) {
+        Cell &c = gCells[(h + probe) & (kRegistryCells - 1)];
+        const char *cur = c.name.load(std::memory_order_acquire);
+        if (cur == nullptr) {
+            // Claim: publish an immutable copy of the name.  The
+            // copy leaks by design (registered names live for the
+            // process); a lost race frees ours and retries on the
+            // winner's slot.
+            char *copy = ::strdup(name);
+            const char *expected = nullptr;
+            if (c.name.compare_exchange_strong(
+                    expected, copy, std::memory_order_acq_rel)) {
+                return &c;
+            }
+            std::free(copy);
+            cur = expected;
+        }
+        if (std::strcmp(cur, name) == 0)
+            return &c;
+    }
+    gRegistryOverflows.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+// ---------------------------------------------------------------
+// Per-thread span logs.
+//
+// Each thread owns a log; a light mutex per log makes the snapshot
+// (rare, end of run) race-free against a still-recording thread
+// without slowing other threads.  Logs are shared_ptr so a thread
+// exiting before the export does not invalidate its spans.
+// ---------------------------------------------------------------
+
+struct SpanRecord
+{
+    const char *name = nullptr;
+    std::string detail;
+    std::uint64_t startNs = 0;
+    std::uint64_t durNs = 0;
+    std::uint32_t depth = 0;
+};
+
+struct ThreadLog
+{
+    std::uint32_t tid = 0;
+    std::mutex mu; ///< guards spans + threadName vs snapshot
+    std::string threadName;
+    std::vector<SpanRecord> spans;
+    std::uint32_t depth = 0; ///< owning thread only
+};
+
+std::mutex gLogsMu;
+std::vector<std::shared_ptr<ThreadLog>> gLogs;
+std::atomic<std::uint32_t> gNextTid{0};
+
+ThreadLog &
+threadLog()
+{
+    thread_local std::shared_ptr<ThreadLog> log = [] {
+        auto l = std::make_shared<ThreadLog>();
+        l->tid = gNextTid.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(gLogsMu);
+        gLogs.push_back(l);
+        return l;
+    }();
+    return *log;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return t0;
+}
+
+// ---------------------------------------------------------------
+// WMR_OBS environment activation.
+// ---------------------------------------------------------------
+
+char gExitPath[4096];
+enum class ExitSink : std::uint8_t { None, Stderr, Chrome, Jsonl };
+ExitSink gExitSink = ExitSink::None;
+
+void
+atexitExport()
+{
+    switch (gExitSink) {
+      case ExitSink::None:
+        break;
+      case ExitSink::Stderr:
+        std::fprintf(stderr, "%s", formatCounterSummary().c_str());
+        break;
+      case ExitSink::Chrome:
+        if (!writeChromeTrace(gExitPath))
+            std::fprintf(stderr,
+                         "wmr-obs: cannot write Chrome trace '%s'\n",
+                         gExitPath);
+        break;
+      case ExitSink::Jsonl:
+        if (!writeJsonLines(gExitPath))
+            std::fprintf(stderr,
+                         "wmr-obs: cannot write JSON lines '%s'\n",
+                         gExitPath);
+        break;
+    }
+}
+
+void
+initFromEnv()
+{
+    const char *env = std::getenv("WMR_OBS");
+    if (!env || !*env || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "off") == 0) {
+        return;
+    }
+    if (std::strncmp(env, "chrome:", 7) == 0 && env[7]) {
+        gExitSink = ExitSink::Chrome;
+        std::snprintf(gExitPath, sizeof(gExitPath), "%s", env + 7);
+    } else if (std::strncmp(env, "jsonl:", 6) == 0 && env[6]) {
+        gExitSink = ExitSink::Jsonl;
+        std::snprintf(gExitPath, sizeof(gExitPath), "%s", env + 6);
+    } else {
+        gExitSink = ExitSink::Stderr; // "1", "on", anything else
+    }
+    (void)epoch(); // pin the time origin before any span
+    detail::gEnabled.store(true, std::memory_order_relaxed);
+    std::atexit(atexitExport);
+}
+
+/** Static-init hook: env activation needs no call from main(), so
+ *  annotated programs (wmrace record children) get it too. */
+struct EnvInit
+{
+    EnvInit() { initFromEnv(); }
+};
+EnvInit gEnvInit;
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------
+
+void
+setEnabled(bool on)
+{
+    if (on)
+        (void)epoch();
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+Counter
+counter(const char *name)
+{
+    Counter h;
+    if (Cell *c = findOrClaim(name))
+        h.cell_ = &c->value;
+    return h;
+}
+
+Counter
+gauge(const char *name)
+{
+    Counter h;
+    if (Cell *c = findOrClaim(name)) {
+        c->isGauge.store(true, std::memory_order_relaxed);
+        h.cell_ = &c->value;
+    }
+    return h;
+}
+
+std::vector<CounterSample>
+counterSnapshot()
+{
+    std::vector<CounterSample> out;
+    for (Cell &c : gCells) {
+        const char *name = c.name.load(std::memory_order_acquire);
+        if (!name)
+            continue;
+        CounterSample s;
+        s.name = name;
+        s.value = c.value.load(std::memory_order_relaxed);
+        s.isGauge = c.isGauge.load(std::memory_order_relaxed);
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CounterSample &a, const CounterSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch())
+            .count());
+}
+
+void
+setThreadName(const std::string &name)
+{
+    ThreadLog &log = threadLog();
+    std::lock_guard<std::mutex> lk(log.mu);
+    log.threadName = name;
+}
+
+std::vector<ThreadSample>
+spanSnapshot()
+{
+    std::vector<std::shared_ptr<ThreadLog>> logs;
+    {
+        std::lock_guard<std::mutex> lk(gLogsMu);
+        logs = gLogs;
+    }
+    std::vector<ThreadSample> out;
+    out.reserve(logs.size());
+    for (const auto &log : logs) {
+        ThreadSample t;
+        std::lock_guard<std::mutex> lk(log->mu);
+        t.tid = log->tid;
+        t.name = log->threadName;
+        t.spans.reserve(log->spans.size());
+        for (const SpanRecord &r : log->spans) {
+            SpanSample s;
+            s.name = r.name;
+            s.detail = r.detail;
+            s.startNs = r.startNs;
+            s.durNs = r.durNs;
+            s.depth = r.depth;
+            t.spans.push_back(std::move(s));
+        }
+        out.push_back(std::move(t));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ThreadSample &a, const ThreadSample &b) {
+                  return a.tid < b.tid;
+              });
+    return out;
+}
+
+void
+Span::begin(const char *name)
+{
+    ThreadLog &log = threadLog();
+    log_ = &log;
+    name_ = name;
+    depth_ = log.depth++;
+    startNs_ = nowNs();
+}
+
+void
+Span::end()
+{
+    auto &log = *static_cast<ThreadLog *>(log_);
+    const std::uint64_t endNs = nowNs();
+    log.depth = depth_; // unwind nesting even on exceptions
+    SpanRecord rec;
+    rec.name = name_;
+    rec.detail = std::move(detail_);
+    rec.startNs = startNs_;
+    rec.durNs = endNs - startNs_;
+    rec.depth = depth_;
+    std::lock_guard<std::mutex> lk(log.mu);
+    log.spans.push_back(std::move(rec));
+}
+
+void
+resetForTest()
+{
+    {
+        std::lock_guard<std::mutex> lk(gLogsMu);
+        for (const auto &log : gLogs) {
+            std::lock_guard<std::mutex> lk2(log->mu);
+            log->spans.clear();
+        }
+    }
+    for (Cell &c : gCells) {
+        if (c.name.load(std::memory_order_acquire))
+            c.value.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+registryOverflows()
+{
+    return gRegistryOverflows.load(std::memory_order_relaxed);
+}
+
+} // namespace wmr::obs

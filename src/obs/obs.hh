@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Process-wide observability: one counter/gauge registry and one
+ * span collector for the whole record -> salvage -> analyze ->
+ * report pipeline.
+ *
+ * Before this layer existed the repo had three disconnected stats
+ * mechanisms (RtStats in src/rt, AnalysisStats in src/detect, the
+ * batch metrics of src/pipeline), each rolling its own accumulation
+ * and its own sink.  They now all publish through here:
+ *
+ *  - Counters/gauges: a LOCK-FREE fixed-capacity registry (CAS-claimed
+ *    slots, same idiom as rt/sync_registry.hh).  Handles are cheap
+ *    relaxed atomics; registration is wait-free on the reader side
+ *    and lock-free on insert.  A full table degrades to no-op
+ *    handles, counted in `obs.registry_full` — never a crash.
+ *
+ *  - Spans: RAII scopes forming a per-thread span tree with
+ *    steady-clock timestamps.  When observability is DISABLED (the
+ *    default) a span costs one inlined relaxed load and a branch —
+ *    target <1% overhead, verified by bench/bench_obs_overhead.
+ *
+ *  - StagedSpan: the unification shim.  The per-run stat structs
+ *    (AnalysisStats seconds, the batch StageSeconds) are filled by
+ *    this ONE timing helper instead of bespoke Clock::now() pairs,
+ *    and the same scope doubles as a span when collection is on.
+ *
+ * Activation (see docs/OBSERVABILITY.md):
+ *   WMR_OBS=1              collect; counter summary to stderr at exit
+ *   WMR_OBS=chrome:PATH    collect; Chrome trace_event JSON at exit
+ *   WMR_OBS=jsonl:PATH     collect; JSON-lines at exit
+ *   wmrace check|batch|record --trace-out FILE
+ *                          collect; Chrome trace written by the CLI
+ *
+ * Span timestamps are steady-clock and never reach the analysis
+ * reports: enabling observability cannot change a single report
+ * byte (tests/test_obs.cc proves it at several thread counts).
+ */
+
+#ifndef WMR_OBS_OBS_HH
+#define WMR_OBS_OBS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wmr::obs {
+
+namespace detail {
+extern std::atomic<bool> gEnabled;
+} // namespace detail
+
+/** @return whether span/counter collection is on (inlined relaxed
+ *  load — the whole disabled-mode cost). */
+inline bool
+enabled()
+{
+    return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+/** Turn collection on/off (spans recorded only while on). */
+void setEnabled(bool on);
+
+// ---------------------------------------------------------------
+// Counters and gauges.
+// ---------------------------------------------------------------
+
+/**
+ * Handle to one registered counter/gauge cell.  Copyable, trivially
+ * cheap; a null handle (registry full) no-ops every operation.
+ * Counter updates are live even when enabled() is false — they are
+ * single relaxed atomics, and the registry snapshot is the one
+ * process-wide stats sink.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void
+    add(std::uint64_t n)
+    {
+        if (cell_)
+            cell_->fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void inc() { add(1); }
+
+    /** Gauge-style overwrite (last writer wins). */
+    void
+    set(std::uint64_t v)
+    {
+        if (cell_)
+            cell_->store(v, std::memory_order_relaxed);
+    }
+
+    /** Gauge-style maximum (e.g. peak queue depth). */
+    void
+    max(std::uint64_t v)
+    {
+        if (!cell_)
+            return;
+        std::uint64_t cur =
+            cell_->load(std::memory_order_relaxed);
+        while (cur < v &&
+               !cell_->compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+    }
+
+    bool valid() const { return cell_ != nullptr; }
+
+  private:
+    friend Counter counter(const char *);
+    friend Counter gauge(const char *);
+    std::atomic<std::uint64_t> *cell_ = nullptr;
+};
+
+/**
+ * Find-or-create the counter named @p name (registered names live
+ * for the process).  Lock-free: a CAS claims an empty slot; losing a
+ * race retries on the winner's slot.  Callers on hot paths should
+ * cache the handle (e.g. in a function-local static).
+ */
+Counter counter(const char *name);
+
+/** Same cell namespace, exported as a point-in-time gauge. */
+Counter gauge(const char *name);
+
+/** One registry entry at snapshot time. */
+struct CounterSample
+{
+    std::string name;
+    std::uint64_t value = 0;
+    bool isGauge = false;
+};
+
+/** @return every registered counter/gauge, sorted by name. */
+std::vector<CounterSample> counterSnapshot();
+
+// ---------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------
+
+/** One finished span as the exporters see it. */
+struct SpanSample
+{
+    std::string name;
+    std::string detail;      ///< optional annotate() payload
+    std::uint64_t startNs = 0; ///< steady-clock, process-relative
+    std::uint64_t durNs = 0;
+    std::uint32_t depth = 0; ///< nesting depth inside its thread
+};
+
+/** One thread's span log at snapshot time. */
+struct ThreadSample
+{
+    std::uint32_t tid = 0; ///< dense obs-assigned thread id
+    std::string name;      ///< setThreadName(), "" if never named
+    std::vector<SpanSample> spans;
+};
+
+/** @return every thread's finished spans (threads sorted by tid). */
+std::vector<ThreadSample> spanSnapshot();
+
+/** Name the calling thread in exports ("batch.worker.3"). */
+void setThreadName(const std::string &name);
+
+/** Steady-clock ns since the obs epoch (first use in the process). */
+std::uint64_t nowNs();
+
+/**
+ * RAII scoped span.  Construction with collection disabled is one
+ * relaxed load + branch; with it enabled, begin/end record into the
+ * calling thread's log.  @p name must have static storage duration
+ * (string literals — see the naming convention in
+ * docs/OBSERVABILITY.md).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (enabled())
+            begin(name);
+    }
+
+    ~Span()
+    {
+        if (log_)
+            end();
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach a free-form detail string (shown as an arg in the
+     *  Chrome trace).  No-op when the span is not recording. */
+    void
+    annotate(const std::string &detail)
+    {
+        if (log_)
+            detail_ = detail;
+    }
+
+    bool recording() const { return log_ != nullptr; }
+
+  private:
+    void begin(const char *name); // out of line (cold)
+    void end();                   // out of line (cold)
+
+    void *log_ = nullptr; ///< ThreadLog*, null when not recording
+    const char *name_ = nullptr;
+    std::string detail_;
+    std::uint64_t startNs_ = 0;
+    std::uint32_t depth_ = 0;
+};
+
+/**
+ * The stage-timing shim every stats struct now goes through: always
+ * accumulates elapsed seconds into @p sink (AnalysisStats and the
+ * batch StageSeconds need their numbers with observability off too),
+ * and doubles as a Span while collection is on.
+ */
+class StagedSpan
+{
+  public:
+    StagedSpan(const char *name, double &sink)
+        : sink_(sink), span_(name),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~StagedSpan()
+    {
+        sink_ += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    }
+
+    StagedSpan(const StagedSpan &) = delete;
+    StagedSpan &operator=(const StagedSpan &) = delete;
+
+    void annotate(const std::string &d) { span_.annotate(d); }
+
+  private:
+    double &sink_;
+    Span span_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------
+// Lifecycle / test support.
+// ---------------------------------------------------------------
+
+/**
+ * Drop every recorded span and zero every registered counter (the
+ * cells stay registered; live handles remain valid).  Test isolation
+ * only — never needed in production.
+ */
+void resetForTest();
+
+/** How many registrations the fixed table had to turn away. */
+std::uint64_t registryOverflows();
+
+} // namespace wmr::obs
+
+#endif // WMR_OBS_OBS_HH

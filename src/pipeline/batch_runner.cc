@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "pipeline/checkpoint.hh"
 #include "pipeline/work_queue.hh"
 #include "pipeline/worker_pool.hh"
@@ -44,69 +45,75 @@ analyzeOneTrace(const std::string &path, const BatchOptions &opts,
     StageSeconds &stages = totals.stages;
     out.path = path;
 
-    const auto readStart = Clock::now();
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        out.status = TraceRunStatus::IoError;
-        out.error = "cannot open trace file '" + path + "'";
-        return;
-    }
-    std::vector<std::uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    if (in.bad()) {
-        out.status = TraceRunStatus::IoError;
-        out.error = "read error on trace file '" + path + "'";
-        return;
-    }
-    out.fileBytes = bytes.size();
-    stages.read += secondsSince(readStart);
+    obs::Span traceSpan("batch.trace");
+    traceSpan.annotate(path);
 
-    const auto parseStart = Clock::now();
     ExecutionTrace trace;
-    if (looksSegmented(bytes.data(), bytes.size())) {
-        // Segmented traces go through their own reader (rather than
-        // the sniffing tryDeserializeTrace) so the batch can salvage
-        // damaged files and surface recorder-side losses per trace.
-        auto seg = opts.salvage ? trySalvageTrace(bytes)
-                                : tryReadSegmentedTrace(bytes);
-        if (seg.ok() && seg.salvage.salvaged &&
-            seg.trace.events().empty()) {
-            // Nothing recoverable: fail so the file lands in the
-            // quarantine instead of passing as an empty analysis.
-            seg.status = TraceIoStatus::FormatError;
-            seg.error = "salvage recovered no events (" +
-                        seg.salvage.summary() + ")";
+    {
+        std::vector<std::uint8_t> bytes;
+        {
+            obs::StagedSpan s("batch.read", stages.read);
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                out.status = TraceRunStatus::IoError;
+                out.error =
+                    "cannot open trace file '" + path + "'";
+                return;
+            }
+            bytes.assign((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+            if (in.bad()) {
+                out.status = TraceRunStatus::IoError;
+                out.error =
+                    "read error on trace file '" + path + "'";
+                return;
+            }
+            out.fileBytes = bytes.size();
         }
-        stages.parse += secondsSince(parseStart);
-        if (!seg.ok()) {
-            out.status = seg.status == TraceIoStatus::IoError
-                             ? TraceRunStatus::IoError
-                             : TraceRunStatus::FormatError;
-            out.error = seg.error;
-            return;
+
+        obs::StagedSpan s("batch.parse", stages.parse);
+        if (looksSegmented(bytes.data(), bytes.size())) {
+            // Segmented traces go through their own reader (rather
+            // than the sniffing tryDeserializeTrace) so the batch can
+            // salvage damaged files and surface recorder-side losses
+            // per trace.
+            auto seg = opts.salvage ? trySalvageTrace(bytes)
+                                    : tryReadSegmentedTrace(bytes);
+            if (seg.ok() && seg.salvage.salvaged &&
+                seg.trace.events().empty()) {
+                // Nothing recoverable: fail so the file lands in the
+                // quarantine instead of passing as an empty analysis.
+                seg.status = TraceIoStatus::FormatError;
+                seg.error = "salvage recovered no events (" +
+                            seg.salvage.summary() + ")";
+            }
+            if (!seg.ok()) {
+                out.status = seg.status == TraceIoStatus::IoError
+                                 ? TraceRunStatus::IoError
+                                 : TraceRunStatus::FormatError;
+                out.error = seg.error;
+                return;
+            }
+            out.salvaged = seg.salvage.salvaged;
+            out.unresolvedPairings = seg.salvage.unresolvedPairings;
+            out.droppedDataRecords = seg.salvage.droppedDataRecords;
+            trace = std::move(seg.trace);
+        } else {
+            auto parsed = tryDeserializeTrace(bytes);
+            if (!parsed.ok()) {
+                out.status = parsed.status == TraceIoStatus::IoError
+                                 ? TraceRunStatus::IoError
+                                 : TraceRunStatus::FormatError;
+                out.error = parsed.error;
+                return;
+            }
+            trace = std::move(parsed.trace);
         }
-        out.salvaged = seg.salvage.salvaged;
-        out.unresolvedPairings = seg.salvage.unresolvedPairings;
-        out.droppedDataRecords = seg.salvage.droppedDataRecords;
-        trace = std::move(seg.trace);
-    } else {
-        auto parsed = tryDeserializeTrace(bytes);
-        stages.parse += secondsSince(parseStart);
-        if (!parsed.ok()) {
-            out.status = parsed.status == TraceIoStatus::IoError
-                             ? TraceRunStatus::IoError
-                             : TraceRunStatus::FormatError;
-            out.error = parsed.error;
-            return;
-        }
-        trace = std::move(parsed.trace);
     }
 
-    const auto analyzeStart = Clock::now();
+    obs::StagedSpan analyzeSpan("batch.analyze", stages.analyze);
     const DetectionResult det =
         analyzeTrace(std::move(trace), opts.analysis);
-    stages.analyze += secondsSince(analyzeStart);
     const AnalysisStats &as = det.stats();
     totals.analysis.graphBuild += as.graphBuildSeconds;
     totals.analysis.reachability += as.reachabilitySeconds;
@@ -245,7 +252,9 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
     std::mutex metricsMutex;
     WorkerTotals grandTotal;
 
-    const auto workerBody = [&](unsigned) {
+    const auto workerBody = [&](unsigned worker) {
+        obs::setThreadName("batch.worker." + std::to_string(worker));
+        obs::Span workerSpan("batch.worker");
         WorkerTotals local;
         std::size_t index = 0;
         while (queue.pop(index)) {
@@ -321,6 +330,18 @@ runBatch(const CorpusScan &corpus, const BatchOptions &opts)
             ++result.metrics.skipped;
         }
     }
+
+    // Publish the batch into the shared registry alongside the
+    // analysis.* and rt.* series; the JSON report keeps its own
+    // schema-stable copy of these numbers.
+    obs::counter("batch.traces").add(result.metrics.corpusTraces);
+    obs::counter("batch.analyzed").add(result.metrics.analyzed);
+    obs::counter("batch.failed").add(result.metrics.failed);
+    obs::counter("batch.salvaged").add(result.metrics.salvaged);
+    obs::counter("batch.bytes_read").add(result.metrics.bytesRead);
+    obs::gauge("batch.jobs").set(result.metrics.jobs);
+    obs::gauge("batch.peak_queue_depth")
+        .set(result.metrics.peakQueueDepth);
     return result;
 }
 

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "onthefly/epoch_detector.hh"
 #include "onthefly/vc_detector.hh"
 #include "trace/trace_io.hh"
@@ -269,6 +270,8 @@ Tracer::onRelease(const void *obj)
 void
 Tracer::drainLoop()
 {
+    obs::setThreadName("rt.drain");
+    obs::Span loopSpan("rt.drain_loop");
     while (!stopping_.load(std::memory_order_acquire)) {
         if (!drainPass(false)) {
             // Quiescent: everything drained so far is sealed to
@@ -286,6 +289,7 @@ Tracer::drainLoop()
 void
 Tracer::drainToQuiescence()
 {
+    obs::Span span("rt.drain_quiescence");
     // Normal passes until nothing moves, then force the ordering
     // gate so a thread killed mid-annotation can't wedge shutdown.
     bool progress = true;
@@ -523,6 +527,8 @@ Tracer::maybeSealSpill(bool force)
         ::_exit(86);
     }
     spill_->setCounters(drainStats_.opsEmitted, currentDropped());
+    obs::Span span("rt.spill_seal");
+    obs::counter("rt.spill_seals").inc();
     if (!spill_->sealSegment()) {
         warn("wmr-rt: spill write failed: %s",
              spill_->lastError().c_str());
@@ -622,15 +628,31 @@ Tracer::stop()
             std::chrono::seconds(faultParam_));
     }
     stopping_.store(true, std::memory_order_release);
-    if (drainThread_.joinable())
-        drainThread_.join(); // runs drainToQuiescence() on its way out
-    else
-        drainToQuiescence();
-    finalize();
+    {
+        obs::Span span("rt.stop");
+        if (drainThread_.joinable())
+            drainThread_.join(); // runs drainToQuiescence() on exit
+        else
+            drainToQuiescence();
+        finalize();
+    }
     if (crashHandlersInstalled_) {
         uninstallCrashHandlers(this);
         crashHandlersInstalled_ = false;
     }
+
+    // Mirror the final RtStats into the shared registry so a single
+    // WMR_OBS export shows recorder and analysis side by side.
+    const RtStats s = stats();
+    obs::counter("rt.records_captured").add(s.recordsCaptured);
+    obs::counter("rt.records_drained").add(s.drainedRecords);
+    obs::counter("rt.records_dropped").add(s.recordsDropped);
+    obs::counter("rt.ops_emitted").add(s.opsEmitted);
+    obs::counter("rt.drain_passes").add(s.drainPasses);
+    obs::counter("rt.sync_stalls").add(s.syncStalls);
+    obs::counter("rt.blocked_pushes").add(s.blockedPushes);
+    obs::gauge("rt.threads_traced").set(s.threadsTraced);
+    obs::gauge("rt.words_mapped").set(s.wordsMapped);
 }
 
 void
@@ -639,6 +661,7 @@ Tracer::finalize()
     if (finalized_)
         return;
     finalized_ = true;
+    obs::Span span("rt.finalize");
 
     for (const auto &c : channels_)
         flushOpenEvent(*c);

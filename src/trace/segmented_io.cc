@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "common/crc32.hh"
+#include "obs/obs.hh"
 #include "trace/wire_codec.hh"
 
 namespace wmr {
@@ -408,6 +409,11 @@ buildFromScan(ScanResult scan, bool strict)
 SegTraceReadResult
 readSegmented(const std::vector<std::uint8_t> &bytes, bool strict)
 {
+    obs::Span span(strict ? "trace.read_segmented"
+                          : "trace.salvage");
+    obs::counter(strict ? "trace.segmented_reads"
+                        : "trace.salvage_reads")
+        .inc();
     SegTraceReadResult res;
     if (!looksSegmented(bytes.data(), bytes.size())) {
         res.status = TraceIoStatus::FormatError;
@@ -415,13 +421,16 @@ readSegmented(const std::vector<std::uint8_t> &bytes, bool strict)
         return res;
     }
     try {
-        return buildFromScan(scanSegments(bytes, strict), strict);
+        res = buildFromScan(scanSegments(bytes, strict), strict);
     } catch (const wire::ParseFailure &pf) {
         res.status = TraceIoStatus::FormatError;
         res.error = pf.message;
         res.trace = ExecutionTrace();
         return res;
     }
+    if (res.salvage.salvaged && span.recording())
+        span.annotate(res.salvage.summary());
+    return res;
 }
 
 bool

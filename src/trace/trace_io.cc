@@ -5,6 +5,7 @@
 #include <new>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 #include "trace/segmented_io.hh"
 #include "trace/wire_codec.hh"
 
@@ -158,6 +159,9 @@ tryDeserializeTrace(const std::vector<std::uint8_t> &bytes)
 TraceReadResult
 tryReadTraceFile(const std::string &path)
 {
+    obs::Span span("trace.read");
+    span.annotate(path);
+    obs::counter("trace.file_reads").inc();
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         TraceReadResult res;

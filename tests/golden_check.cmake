@@ -1,0 +1,45 @@
+# Golden-report comparison, run by CTest (see tests/CMakeLists.txt):
+#
+#   cmake -DWMRACE=<tool> -DTRACE=<file> -DEXPECTED=<file>
+#         -DOUT=<file> -DSALVAGE=0|1 -P golden_check.cmake
+#
+# Runs `wmrace check [--salvage] TRACE`, captures stdout, and
+# compares it byte for byte with the committed EXPECTED report.  Any
+# drift — a reworded line, a changed count, a reordered partition —
+# fails the test; intentional changes are re-blessed with
+# tests/data/golden/regen.sh.
+
+foreach(var WMRACE TRACE EXPECTED OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "golden_check.cmake: ${var} not set")
+    endif()
+endforeach()
+
+set(args check ${TRACE})
+if(SALVAGE)
+    list(APPEND args --salvage)
+endif()
+
+execute_process(COMMAND ${WMRACE} ${args}
+                OUTPUT_FILE ${OUT}
+                RESULT_VARIABLE rc)
+# `check` exits 0 (clean) or 1 (data races found); both are valid
+# golden outcomes.  Anything else is a tool failure.
+if(NOT rc MATCHES "^[01]$")
+    message(FATAL_ERROR
+            "wmrace ${args} exited '${rc}' (expected 0 or 1)")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT} ${EXPECTED}
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E echo
+                    "--- got (${OUT}) ---")
+    file(READ ${OUT} got)
+    message(STATUS "${got}")
+    message(FATAL_ERROR
+            "report differs from golden ${EXPECTED}.  If the change "
+            "is intentional, re-bless with tests/data/golden/regen.sh "
+            "and review the diff.")
+endif()

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * A deliberately tiny recursive-descent JSON parser for tests.
+ *
+ * The repo's machine outputs (batch --metrics JSON, the Chrome
+ * trace_event export) are consumed by external tools, so the tests
+ * must validate them as real JSON — not with regexes.  Pulling in a
+ * JSON library for that would add a dependency the container may not
+ * have; this ~150-line parser accepts exactly standard JSON and
+ * keeps object fields in document order.
+ *
+ * Test-only: no error recovery, everything public, values are copied
+ * freely.  Not for product code.
+ */
+
+#ifndef WMR_TESTS_JSON_MINI_HH
+#define WMR_TESTS_JSON_MINI_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsonmini {
+
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> items;                            // Array
+    std::vector<std::pair<std::string, Value>> fields;   // Object
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** @return the field named @p key, or nullptr. */
+    const Value *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : fields) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    std::vector<std::string>
+    keys() const
+    {
+        std::vector<std::string> out;
+        out.reserve(fields.size());
+        for (const auto &[k, v] : fields)
+            out.push_back(k);
+        return out;
+    }
+};
+
+struct ParseResult
+{
+    bool ok = false;
+    Value value;
+    std::string error;
+};
+
+namespace detail {
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::size_t n)
+    {
+        if (text.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < text.size()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                break;
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  if (pos + 4 > text.size())
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = text[pos++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape digit");
+                  }
+                  // UTF-8 encode (no surrogate-pair support; the
+                  // exporters only emit \u00XX control escapes).
+                  if (cp < 0x80) {
+                      out.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out.push_back(
+                          static_cast<char>(0xC0 | (cp >> 6)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      out.push_back(
+                          static_cast<char>(0xE0 | (cp >> 12)));
+                      out.push_back(static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3F)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = Value::Kind::Object;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.fields.emplace_back(std::move(key),
+                                        std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = Value::Kind::Array;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                out.items.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+        }
+        if (c == 'f') {
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+        }
+        if (c == 'n') {
+            out.kind = Value::Kind::Null;
+            return literal("null", 4);
+        }
+        // Number.
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(text.substr(start, pos - start).c_str(),
+                                 nullptr);
+        return true;
+    }
+};
+
+} // namespace detail
+
+/** Parse @p text as one JSON document (trailing garbage rejected). */
+inline ParseResult
+parse(const std::string &text)
+{
+    detail::Parser p(text);
+    ParseResult res;
+    if (!p.parseValue(res.value)) {
+        res.error = p.error;
+        return res;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        res.error = "trailing bytes after the JSON document";
+        return res;
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace jsonmini
+
+#endif // WMR_TESTS_JSON_MINI_HH

@@ -7,6 +7,8 @@
  *   wmrace batch <dir|manifest> [opts] analyze a whole trace corpus
  *   wmrace record [opts] <bin> [args]  run an annotated program,
  *                                      record + analyze its trace
+ *   wmrace gen-trace <out> [options]   write a deterministic
+ *                                      synthetic trace file
  *   wmrace explore <prog.wm> [options] exhaustive SC model checking
  *   wmrace disasm <prog.wm>            print the assembled program
  *   wmrace static <prog.wm>            compile-time lockset analysis
@@ -62,6 +64,18 @@
  * longest valid prefix of a damaged segmented trace), --jobs N
  * (analysis threads; the report is byte-identical at every N), and
  * --stats (per-stage timing to stderr).
+ *
+ * Options of `gen-trace` (see SyntheticTraceOptions): --procs N,
+ *   --events N (per processor), --words N, --sync-words N, --seed N,
+ *   --sync-fraction X, --hot-fraction X, --segmented (WMRSEG01
+ *   container), --truncate N (keep only the first N bytes — a
+ *   damaged-file fixture for --salvage testing).
+ *
+ * `check`, `batch` and `record` also take `--trace-out FILE`: write
+ * a Chrome trace_event JSON timeline of the run (spans + counters;
+ * see docs/OBSERVABILITY.md) — purely additive, reports stay
+ * byte-identical.  The WMR_OBS environment variable provides the
+ * same without CLI support (WMR_OBS=1 | chrome:FILE | jsonl:FILE).
  */
 
 #include <cctype>
@@ -84,6 +98,8 @@
 #include "detect/analysis.hh"
 #include "detect/dot_export.hh"
 #include "detect/report.hh"
+#include "obs/export.hh"
+#include "obs/obs.hh"
 #include "sim/exec_stats.hh"
 #include "mc/explorer.hh"
 #include "onthefly/first_race_filter.hh"
@@ -95,6 +111,7 @@
 #include "trace/segmented_io.hh"
 #include "trace/timeline.hh"
 #include "trace/trace_io.hh"
+#include "workload/synthetic_trace.hh"
 
 namespace {
 
@@ -186,6 +203,48 @@ parseJobs(const Args &args, const char *cmd, unsigned &jobs)
     jobs = static_cast<unsigned>(n);
     return true;
 }
+
+/**
+ * `--trace-out FILE`: turn span/counter collection on for the whole
+ * command and write a Chrome trace_event JSON file (loadable in
+ * perfetto / chrome://tracing) when the command finishes.  Purely
+ * additive: stdout and every report stay byte-identical.
+ */
+class TraceOut
+{
+  public:
+    explicit TraceOut(const Args &args) : path_(args.get("trace-out"))
+    {
+        if (args.has("trace-out") && path_.empty())
+            fatal("--trace-out needs a file path");
+        if (!path_.empty())
+            obs::setEnabled(true);
+    }
+
+    explicit TraceOut(std::string path) : path_(std::move(path))
+    {
+        if (!path_.empty())
+            obs::setEnabled(true);
+    }
+
+    ~TraceOut()
+    {
+        if (path_.empty())
+            return;
+        if (!obs::writeChromeTrace(path_)) {
+            std::fprintf(stderr,
+                         "cannot write Chrome trace to '%s'\n",
+                         path_.c_str());
+        } else {
+            std::fprintf(stderr, "wrote Chrome trace to %s  (open "
+                                 "in ui.perfetto.dev)\n",
+                         path_.c_str());
+        }
+    }
+
+  private:
+    std::string path_;
+};
 
 ModelKind
 parseModel(const std::string &name)
@@ -365,6 +424,7 @@ cmdCheck(const Args &args)
 {
     if (args.positional().empty())
         fatal("check: missing trace file");
+    const TraceOut traceOut(args);
     const LoadedTrace lt = loadRecordedTrace(args.positional()[0],
                                              args.has("salvage"));
     if (!lt.ok)
@@ -399,6 +459,7 @@ cmdBatch(const Args &args)
 {
     if (args.positional().empty())
         fatal("batch: missing corpus directory or manifest file");
+    const TraceOut traceOut(args);
     const CorpusScan corpus = scanCorpus(args.positional()[0]);
     if (!corpus.ok())
         fatal("%s", corpus.error.c_str());
@@ -593,6 +654,7 @@ int
 cmdRecord(int argc, char **argv)
 {
     std::string out;
+    std::string traceOutPath;
     bool check = true;
     int timeoutSec = 0;
     int retries = 0;
@@ -601,6 +663,8 @@ cmdRecord(int argc, char **argv)
         const std::string a = argv[i];
         if (a == "--out" && i + 1 < argc) {
             out = argv[++i];
+        } else if (a == "--trace-out" && i + 1 < argc) {
+            traceOutPath = argv[++i];
         } else if (a == "--no-check") {
             check = false;
         } else if (a == "--timeout" && i + 1 < argc) {
@@ -624,6 +688,7 @@ cmdRecord(int argc, char **argv)
     }
     if (i >= argc)
         fatal("record: missing child binary to run");
+    const TraceOut traceOut(traceOutPath);
     const std::string child = argv[i];
     if (out.empty()) {
         const auto slash = child.find_last_of('/');
@@ -675,6 +740,68 @@ cmdRecord(int argc, char **argv)
     const DetectionResult det = analyzeTrace(lt.trace);
     std::printf("%s", formatReport(det, nullptr, {}).c_str());
     return det.anyDataRace() ? 1 : 0;
+}
+
+/**
+ * `wmrace gen-trace <out> [opts]`: write a deterministic synthetic
+ * trace file — the reproducible source of the golden-report corpus
+ * (tests/data/golden/regen.sh).  Equal options give byte-identical
+ * files.  --segmented emits the WMRSEG01 container; --truncate N
+ * keeps only the first N bytes, crafting a damaged file for salvage
+ * fixtures.
+ */
+int
+cmdGenTrace(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("gen-trace: missing output file");
+    const std::string path = args.positional()[0];
+
+    SyntheticTraceOptions opts;
+    opts.procs = static_cast<ProcId>(
+        std::strtoul(args.get("procs", "4").c_str(), nullptr, 10));
+    opts.eventsPerProc = static_cast<std::uint32_t>(std::strtoul(
+        args.get("events", "1000").c_str(), nullptr, 10));
+    opts.memWords = static_cast<Addr>(
+        std::strtoul(args.get("words", "256").c_str(), nullptr, 10));
+    opts.syncWords = static_cast<Addr>(std::strtoul(
+        args.get("sync-words", "16").c_str(), nullptr, 10));
+    opts.seed = std::strtoull(args.get("seed", "1").c_str(), nullptr,
+                              10);
+    if (args.has("sync-fraction"))
+        opts.syncFraction =
+            std::strtod(args.get("sync-fraction").c_str(), nullptr);
+    if (args.has("hot-fraction"))
+        opts.hotFraction =
+            std::strtod(args.get("hot-fraction").c_str(), nullptr);
+    if (opts.procs == 0 || opts.eventsPerProc == 0 ||
+        opts.memWords == 0)
+        fatal("gen-trace: --procs, --events and --words must be "
+              "positive");
+
+    const ExecutionTrace trace = makeSyntheticTrace(opts);
+    const std::size_t bytes =
+        args.has("segmented")
+            ? writeSegmentedTraceFile(trace, path)
+            : writeTraceFile(trace, path);
+
+    std::size_t kept = bytes;
+    if (args.has("truncate")) {
+        const auto want = std::strtoull(
+            args.get("truncate").c_str(), nullptr, 10);
+        if (want == 0 || want >= bytes)
+            fatal("gen-trace: --truncate must be in (0, %zu)",
+                  bytes);
+        if (::truncate(path.c_str(),
+                       static_cast<off_t>(want)) != 0)
+            fatal("gen-trace: truncate '%s' failed: %s",
+                  path.c_str(), std::strerror(errno));
+        kept = static_cast<std::size_t>(want);
+    }
+    std::printf("wrote %zu events (%zu bytes%s) to %s\n",
+                trace.events().size(), kept,
+                kept != bytes ? ", truncated" : "", path.c_str());
+    return 0;
 }
 
 int
@@ -773,6 +900,8 @@ usage()
         "(multi-threaded)\n"
         "  record <bin> [args]  run an annotated program, record + "
         "analyze its trace\n"
+        "  gen-trace <out>    write a deterministic synthetic trace "
+        "file\n"
         "  explore <prog.wm>  exhaustive SC model checking\n"
         "  static <prog.wm>   compile-time lockset analysis\n"
         "  disasm <prog.wm>   print the assembled program\n"
@@ -799,6 +928,8 @@ main(int argc, char **argv)
         return cmdBatch(args);
     if (cmd == "record")
         return cmdRecord(argc, argv);
+    if (cmd == "gen-trace")
+        return cmdGenTrace(args);
     if (cmd == "explore")
         return cmdExplore(args);
     if (cmd == "static")
