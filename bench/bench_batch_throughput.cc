@@ -102,6 +102,14 @@ reproduce()
 
     double baseline = 0;
     std::string report1;
+    bool identical = true;
+    struct Row
+    {
+        unsigned jobs;
+        double wall;
+        double tracesPerSec;
+    };
+    std::vector<Row> rows;
     const std::vector<unsigned> jobCounts =
         smokeMode() ? std::vector<unsigned>{1u, 2u}
                     : std::vector<unsigned>{1u, 2u, 4u, 8u};
@@ -125,6 +133,7 @@ reproduce()
             baseline = bestWall;
             report1 = formatBatchReport(best);
         } else if (formatBatchReport(best) != report1) {
+            identical = false;
             note("!! report mismatch vs --jobs 1 (determinism "
                  "violation)");
         }
@@ -132,11 +141,31 @@ reproduce()
                     bestWall * 1e3, best.metrics.tracesPerSecond(),
                     baseline / bestWall,
                     best.metrics.peakQueueDepth);
+        rows.push_back(
+            {jobs, bestWall, best.metrics.tracesPerSecond()});
     }
     note("aggregated report verified byte-identical across job "
          "counts;");
     note("speedup ceiling = min(cores, corpus traces) minus "
          "read/parse serial fraction.");
+
+    // Machine-readable block for the committed BENCH_*.json
+    // baselines (tools/bench_baselines.sh extracts it).
+    std::printf("{\n  \"schema\": \"wmrace-batch-throughput\",\n");
+    std::printf("  \"corpus_traces\": %zu,\n", corpusTraces());
+    std::printf("  \"hardware_concurrency\": %u,\n", cores);
+    std::printf("  \"reports_identical\": %s,\n",
+                identical ? "true" : "false");
+    std::printf("  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("    {\"jobs\": %u, \"wall_seconds\": %.6f, "
+                    "\"traces_per_second\": %.1f, \"speedup\": "
+                    "%.3f}%s\n",
+                    rows[i].jobs, rows[i].wall, rows[i].tracesPerSec,
+                    rows[0].wall / rows[i].wall,
+                    i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
 }
 
 void

@@ -167,6 +167,19 @@ reproduce()
     else
         note("!! OBS OVERHEAD BUDGET EXCEEDED — a hot path is "
              "wrapping per-event work in spans");
+
+    // Machine-readable block for the committed BENCH_*.json
+    // baselines (tools/bench_baselines.sh extracts it).
+    std::printf("{\n  \"schema\": \"wmrace-obs-overhead\",\n");
+    std::printf("  \"span_disabled_ns\": %.3f,\n", off);
+    std::printf("  \"counter_add_ns\": %.3f,\n", ctr);
+    std::printf("  \"span_enabled_ns\": %.3f,\n", on);
+    std::printf("  \"spans_per_analysis\": %llu,\n",
+                static_cast<unsigned long long>(spans));
+    std::printf("  \"analysis_wall_seconds\": %.6f,\n", wall);
+    std::printf("  \"disabled_overhead_percent\": %.5f,\n", pct);
+    std::printf("  \"within_budget\": %s\n}\n",
+                pct < 1.0 ? "true" : "false");
 }
 
 // --- google-benchmark timings ----------------------------------

@@ -1,0 +1,91 @@
+#include "common/hash64.hh"
+
+#include "common/crc32.hh"
+
+namespace wmr {
+
+namespace {
+
+/** Compile-time per-byte bit-reversal table: the fixed GF(2)
+ *  permutation that decorrelates the high CRC stream from the low. */
+struct BitReverseTable
+{
+    std::uint8_t rev[256];
+
+    constexpr BitReverseTable() : rev()
+    {
+        for (unsigned b = 0; b < 256; ++b) {
+            std::uint8_t r = 0;
+            for (unsigned bit = 0; bit < 8; ++bit) {
+                if (b & (1u << bit))
+                    r |= static_cast<std::uint8_t>(
+                        1u << (7 - bit));
+            }
+            rev[b] = r;
+        }
+    }
+};
+
+constexpr BitReverseTable kBitRev;
+
+} // namespace
+
+void
+ContentHash::update(const void *data, std::size_t n)
+{
+    lo_ = crc32Update(lo_, data, n);
+    len_ += n;
+
+    // The high stream sees every byte bit-reversed; transform in
+    // small stack chunks so streaming callers never allocate.
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint8_t chunk[256];
+    while (n > 0) {
+        const std::size_t take = n < sizeof(chunk) ? n : sizeof(chunk);
+        for (std::size_t i = 0; i < take; ++i)
+            chunk[i] = kBitRev.rev[p[i]];
+        hi_ = crc32Update(hi_, chunk, take);
+        p += take;
+        n -= take;
+    }
+}
+
+std::uint64_t
+ContentHash::finish() const
+{
+    const std::uint32_t lo = crc32Final(lo_);
+
+    // Finish the high stream over the finalized low word and the
+    // length so equal-prefix streams of different shapes split.
+    std::uint8_t tail[12];
+    for (int i = 0; i < 4; ++i)
+        tail[i] = static_cast<std::uint8_t>(lo >> (8 * i));
+    for (int i = 0; i < 8; ++i)
+        tail[4 + i] = static_cast<std::uint8_t>(len_ >> (8 * i));
+    const std::uint32_t hi =
+        crc32Final(crc32Update(hi_, tail, sizeof(tail)));
+
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+std::uint64_t
+contentHash64(const void *data, std::size_t n)
+{
+    ContentHash h;
+    h.update(data, n);
+    return h.finish();
+}
+
+std::string
+hash64Hex(std::uint64_t digest)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = hex[digest & 0xf];
+        digest >>= 4;
+    }
+    return out;
+}
+
+} // namespace wmr

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A CRC32-extended 64-bit content digest for content addressing
+ * (the serve result cache keys analysis results by trace bytes).
+ *
+ * Construction: two INDEPENDENT CRC-32 streams over the same data.
+ * The low word is the plain CRC-32 (src/common/crc32.hh); the high
+ * word is a CRC-32 over the bit-reversed bytes, finished over the
+ * low word and the total length.  Bit reversal is a fixed GF(2)
+ * permutation of the message bits, so the two words are DIFFERENT
+ * linear codes: a message pair that collides in one stream is not in
+ * the kernel of the other, which is what makes this an extension
+ * rather than two correlated copies (two CRCs that differ only in
+ * their initial value collide together on same-length inputs).
+ *
+ * This is NOT cryptographic — an adversary can forge collisions.
+ * It is collision-resistant enough for cache addressing of trusted
+ * uploads, and cache keys additionally carry the exact byte length
+ * (see serve/result_cache.hh), so a forged hit also needs a length
+ * match against both codes.
+ *
+ * The incremental API mirrors crc32.hh so hashing can stream over
+ * socket reads without buffering twice.
+ */
+
+#ifndef WMR_COMMON_HASH64_HH
+#define WMR_COMMON_HASH64_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wmr {
+
+/** Incremental CRC32-extended 64-bit digest. */
+class ContentHash
+{
+  public:
+    /** Fold @p n bytes at @p data into the running digest. */
+    void update(const void *data, std::size_t n);
+
+    /** @return the finished 64-bit digest (idempotent). */
+    std::uint64_t finish() const;
+
+    /** @return total bytes folded in so far. */
+    std::uint64_t length() const { return len_; }
+
+  private:
+    std::uint32_t lo_ = 0xffffffffu; ///< running plain CRC-32
+    std::uint32_t hi_ = 0xffffffffu; ///< running bit-reversed CRC-32
+    std::uint64_t len_ = 0;
+};
+
+/** One-shot convenience: digest of @p n bytes at @p data. */
+std::uint64_t contentHash64(const void *data, std::size_t n);
+
+/** Render @p digest as 16 lowercase hex digits (stable file names
+ *  for the disk-persisted cache and the serve spool). */
+std::string hash64Hex(std::uint64_t digest);
+
+} // namespace wmr
+
+#endif // WMR_COMMON_HASH64_HH

@@ -53,6 +53,27 @@ class WorkQueue
     }
 
     /**
+     * Enqueue @p item only if there is room RIGHT NOW.  @return
+     * false — without blocking — when the queue is full or closed.
+     * This is the admission-control edge of the serve subsystem: a
+     * saturated queue must turn into an explicit "overloaded"
+     * rejection at the door, never into a stalled accept loop.
+     */
+    bool
+    tryPush(T item)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ ||
+            (capacity_ != 0 && items_.size() >= capacity_))
+            return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > peakDepth_)
+            peakDepth_ = items_.size();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
      * Dequeue into @p out, blocking while the queue is empty.
      * @return false when the queue is closed and drained.
      */
@@ -88,6 +109,14 @@ class WorkQueue
     {
         std::lock_guard<std::mutex> lock(mutex_);
         return peakDepth_;
+    }
+
+    /** @return the current backlog (racy by nature; metrics only). */
+    std::size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
     }
 
   private:

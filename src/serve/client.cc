@@ -1,0 +1,211 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/string_util.hh"
+#include "serve/io_util.hh"
+
+namespace wmr::serve {
+
+std::string
+ServerAddress::str() const
+{
+    if (tcp)
+        return strformat("tcp:%s:%d", host.c_str(), port);
+    return socketPath;
+}
+
+bool
+parseServerAddress(const std::string &text, ServerAddress &out,
+                   std::string &error)
+{
+    out = ServerAddress{};
+    if (text.empty()) {
+        error = "server address is empty";
+        return false;
+    }
+    if (text.rfind("tcp:", 0) != 0) {
+        out.socketPath = text;
+        return true;
+    }
+    const std::size_t colon = text.rfind(':');
+    if (colon == 3) { // only the "tcp:" prefix — no port separator
+        error = "tcp server address needs tcp:HOST:PORT";
+        return false;
+    }
+    out.tcp = true;
+    out.host = text.substr(4, colon - 4);
+    const std::string portText = text.substr(colon + 1);
+    char *end = nullptr;
+    const long port = std::strtol(portText.c_str(), &end, 10);
+    if (out.host.empty() || portText.empty() || *end != '\0' ||
+        port < 1 || port > 65535) {
+        error = "tcp server address needs tcp:HOST:PORT with a "
+                "port in 1..65535";
+        return false;
+    }
+    out.port = static_cast<int>(port);
+    return true;
+}
+
+int
+connectToServer(const ServerAddress &addr, std::string &error)
+{
+    if (!addr.tcp) {
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        if (addr.socketPath.size() >= sizeof(sa.sun_path)) {
+            error = "socket path exceeds the unix-domain limit";
+            return -1;
+        }
+        std::memcpy(sa.sun_path, addr.socketPath.c_str(),
+                    addr.socketPath.size() + 1);
+        const int fd =
+            ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            error = std::string("socket: ") + std::strerror(errno);
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&sa),
+                      sizeof(sa)) != 0) {
+            error = strformat("connect %s: %s",
+                              addr.socketPath.c_str(),
+                              std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portText = std::to_string(addr.port);
+    const int gai = ::getaddrinfo(addr.host.c_str(),
+                                  portText.c_str(), &hints, &res);
+    if (gai != 0) {
+        error = strformat("resolve %s: %s", addr.host.c_str(),
+                          ::gai_strerror(gai));
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family,
+                      ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0)
+        error = strformat("connect %s: %s", addr.str().c_str(),
+                          std::strerror(errno));
+    return fd;
+}
+
+namespace {
+
+/** One request/response round trip on a fresh connection. */
+SubmitResult
+roundTrip(const ServerAddress &addr, const Request &req)
+{
+    SubmitResult out;
+    const int fd = connectToServer(addr, out.error);
+    if (fd < 0)
+        return out;
+    const std::vector<std::uint8_t> frame = encodeRequestFrame(req);
+    if (!writeAll(fd, frame.data(), frame.size())) {
+        out.error = std::string("send failed: ") +
+                    std::strerror(errno);
+        ::close(fd);
+        return out;
+    }
+    const FrameReadStatus rs =
+        readResponse(fd, out.response, out.error);
+    ::close(fd);
+    out.ok = rs == FrameReadStatus::Ok;
+    return out;
+}
+
+} // namespace
+
+SubmitResult
+submitTraceBytes(const ServerAddress &addr,
+                 const std::vector<std::uint8_t> &bytes,
+                 const SubmitOptions &opts)
+{
+    Request req;
+    req.command = Command::Analyze;
+    req.flags = (opts.salvage ? kReqSalvage : 0u) |
+                (opts.noCache ? kReqNoCache : 0u);
+    req.body = bytes;
+
+    const unsigned attempts = std::max(1u, opts.maxAttempts);
+    SubmitResult last;
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        last = roundTrip(addr, req);
+        if (!last.ok)
+            return last;
+        const RespStatus status = last.response.status;
+        if (status != RespStatus::Overloaded &&
+            status != RespStatus::Draining)
+            return last;
+        if (attempt + 1 == attempts)
+            break; // out of attempts: surface the rejection
+        const std::uint32_t waitMs =
+            last.response.retryAfterMs != 0
+                ? last.response.retryAfterMs
+                : opts.retryAfterMs;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(waitMs));
+    }
+    return last;
+}
+
+SubmitResult
+submitTraceFile(const ServerAddress &addr, const std::string &path,
+                const SubmitOptions &opts)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readWholeFile(path, bytes)) {
+        SubmitResult out;
+        out.error =
+            strformat("cannot read trace file '%s'", path.c_str());
+        return out;
+    }
+    return submitTraceBytes(addr, bytes, opts);
+}
+
+SubmitResult
+queryStatus(const ServerAddress &addr)
+{
+    Request req;
+    req.command = Command::Status;
+    return roundTrip(addr, req);
+}
+
+SubmitResult
+requestShutdown(const ServerAddress &addr)
+{
+    Request req;
+    req.command = Command::Shutdown;
+    return roundTrip(addr, req);
+}
+
+} // namespace wmr::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Client side of the serve protocol: connect, submit, interrogate.
+ *
+ * Used by `wmrace submit` (one trace, print the report), by
+ * `wmrace batch --server ADDR` (ship every corpus trace to a server
+ * and rebuild the aggregate report from the returned meta blocks),
+ * and by the serve tests.  Addresses are either a unix-socket path
+ * or "tcp:HOST:PORT" — the same strings `wmrace serve` prints as its
+ * bound address.
+ *
+ * submitTrace*() understands the server's admission control: an
+ * Overloaded (or Draining) response with a retry hint is retried
+ * with that backoff up to the caller's attempt budget, so a client
+ * pointed at a saturated server degrades to waiting instead of
+ * failing — but always finitely.
+ */
+
+#ifndef WMR_SERVE_CLIENT_HH
+#define WMR_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace wmr::serve {
+
+/** A parsed server address. */
+struct ServerAddress
+{
+    bool tcp = false;
+    std::string socketPath; ///< unix transport
+    std::string host;       ///< tcp transport
+    int port = 0;
+
+    /** The canonical string form (what the server prints). */
+    std::string str() const;
+};
+
+/** Parse @p text ("path" or "tcp:host:port") into @p out.
+ *  @return false with @p error set on a malformed address. */
+bool parseServerAddress(const std::string &text, ServerAddress &out,
+                        std::string &error);
+
+/** Connect to @p addr. @return the socket fd, or -1 with @p error
+ *  set. */
+int connectToServer(const ServerAddress &addr, std::string &error);
+
+/** Knobs for submitTrace*(). */
+struct SubmitOptions
+{
+    bool salvage = false; ///< ask the server to salvage damage
+    bool noCache = false; ///< bypass the server's result cache
+
+    /** Total attempts when the server answers Overloaded/Draining
+     *  (1 = no retry).  Each retry sleeps the server's retry hint
+     *  (or retryAfterMs when the hint is 0). */
+    unsigned maxAttempts = 4;
+    std::uint32_t retryAfterMs = 250;
+};
+
+/** Outcome of one submission (after retries). */
+struct SubmitResult
+{
+    bool ok = false;      ///< transport + protocol succeeded
+    std::string error;    ///< transport/protocol failure reason
+    Response response;    ///< valid when ok
+};
+
+/** Submit @p bytes as one Analyze request to @p addr. */
+SubmitResult submitTraceBytes(const ServerAddress &addr,
+                              const std::vector<std::uint8_t> &bytes,
+                              const SubmitOptions &opts = {});
+
+/** Read @p path and submit its bytes. */
+SubmitResult submitTraceFile(const ServerAddress &addr,
+                             const std::string &path,
+                             const SubmitOptions &opts = {});
+
+/** Fetch the server's status JSON. */
+SubmitResult queryStatus(const ServerAddress &addr);
+
+/** Ask the server to drain and exit (the network SIGTERM). */
+SubmitResult requestShutdown(const ServerAddress &addr);
+
+} // namespace wmr::serve
+
+#endif // WMR_SERVE_CLIENT_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tiny whole-file I/O helpers shared by the serve subsystem's disk
+ * paths (result-cache persistence, request spooling).  Both write
+ * sides go through writeFileAtomic() — temp-then-rename — so a crash
+ * mid-write leaves either the old file or none, never a torn one;
+ * readers additionally CRC-frame their payloads and treat damage as
+ * absence.
+ */
+
+#ifndef WMR_SERVE_IO_UTIL_HH
+#define WMR_SERVE_IO_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wmr::serve {
+
+/** Read @p path entirely into @p out. @return false on open/read
+ *  failure (out is unspecified). */
+inline bool
+readWholeFile(const std::string &path,
+              std::vector<std::uint8_t> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rbe");
+    if (f == nullptr)
+        return false;
+    out.clear();
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+        const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+        out.insert(out.end(), buf, buf + n);
+        if (n < sizeof(buf))
+            break;
+    }
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+/** Write @p bytes to @p path via a ".tmp" sibling and rename(2), so
+ *  the destination is never observable half-written. */
+inline bool
+writeFileAtomic(const std::string &path,
+                const std::vector<std::uint8_t> &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wbe");
+    if (f == nullptr)
+        return false;
+    const bool wrote =
+        bytes.empty() ||
+        std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+            bytes.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace wmr::serve
+
+#endif // WMR_SERVE_IO_UTIL_HH

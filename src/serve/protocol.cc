@@ -1,0 +1,399 @@
+#include "serve/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/string_util.hh"
+#include "pipeline/aggregate_report.hh"
+#include "trace/wire_codec.hh"
+
+namespace wmr::serve {
+
+namespace {
+
+constexpr std::uint8_t kReqMagic[8] = {'W', 'M', 'R', 'Q',
+                                       'S', 'V', '0', '1'};
+constexpr std::uint8_t kRespMagic[8] = {'W', 'M', 'R', 'P',
+                                        'S', 'V', '0', '1'};
+
+// Caps on the announced payload lengths a reader will honor.  The
+// request body cap is the caller's (admission policy); these bound
+// the response fields so a confused peer cannot OOM a client.
+constexpr std::uint64_t kMaxMetaBytes = 1ull << 20;    // 1 MiB
+constexpr std::uint64_t kMaxReportBytes = 1ull << 32;  // 4 GiB
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+/** Read exactly @p n bytes; false on EOF/error (sets @p eof). */
+bool
+readFull(int fd, void *out, std::size_t n, bool &eof)
+{
+    auto *p = static_cast<std::uint8_t *>(out);
+    std::size_t got = 0;
+    eof = false;
+    while (got < n) {
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r == 0) {
+            eof = true;
+            return false;
+        }
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeMeta(const ResponseMeta &meta)
+{
+    wire::Encoder enc;
+    enc.u64(1); // meta schema version
+    enc.u64(meta.fileBytes);
+    enc.u64(meta.events);
+    enc.u64(meta.syncEvents);
+    enc.u64(meta.ops);
+    enc.u64(meta.races);
+    enc.u64(meta.dataRaces);
+    enc.u64(meta.partitions);
+    enc.u64(meta.firstPartitions);
+    enc.u64(meta.reportedRaces);
+    enc.u64((meta.anyDataRace ? 1u : 0u) |
+            (meta.wholeExecutionSc ? 2u : 0u) |
+            (meta.salvaged ? 4u : 0u));
+    enc.u64(meta.unresolvedPairings);
+    enc.u64(meta.droppedDataRecords);
+    enc.u64(meta.contentHash);
+    enc.u64(meta.error.size());
+    enc.raw(meta.error.data(), meta.error.size());
+    return enc.take();
+}
+
+/** Throws wire::ParseFailure on malformed bytes. */
+ResponseMeta
+decodeMetaOrThrow(const std::uint8_t *data, std::size_t n)
+{
+    wire::Decoder dec(data, n);
+    const std::uint64_t version = dec.u64();
+    if (version != 1)
+        wire::parseFail("response meta: unsupported version %llu",
+                        static_cast<unsigned long long>(version));
+    ResponseMeta meta;
+    meta.fileBytes = dec.u64();
+    meta.events = dec.u64();
+    meta.syncEvents = dec.u64();
+    meta.ops = dec.u64();
+    meta.races = dec.u64();
+    meta.dataRaces = dec.u64();
+    meta.partitions = dec.u64();
+    meta.firstPartitions = dec.u64();
+    meta.reportedRaces = dec.u64();
+    const std::uint64_t flags = dec.u64();
+    meta.anyDataRace = flags & 1;
+    meta.wholeExecutionSc = flags & 2;
+    meta.salvaged = flags & 4;
+    meta.unresolvedPairings = dec.u64();
+    meta.droppedDataRecords = dec.u64();
+    meta.contentHash = dec.u64();
+    const std::uint64_t errLen = dec.u64();
+    dec.checkCount(errLen, "error string");
+    meta.error.resize(errLen);
+    if (errLen > 0)
+        dec.raw(meta.error.data(), errLen);
+    if (!dec.done())
+        wire::parseFail("response meta: trailing bytes");
+    return meta;
+}
+
+} // namespace
+
+const char *
+respStatusName(RespStatus status)
+{
+    switch (status) {
+      case RespStatus::Ok:
+        return "ok";
+      case RespStatus::BadRequest:
+        return "bad_request";
+      case RespStatus::Overloaded:
+        return "overloaded";
+      case RespStatus::Draining:
+        return "draining";
+      case RespStatus::InternalError:
+        return "internal_error";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+encodeRequestFrame(const Request &req)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(24 + req.body.size());
+    out.insert(out.end(), kReqMagic, kReqMagic + sizeof(kReqMagic));
+    putU32(out, static_cast<std::uint32_t>(req.command));
+    putU32(out, req.flags);
+    putU64(out, req.body.size());
+    out.insert(out.end(), req.body.begin(), req.body.end());
+    return out;
+}
+
+std::vector<std::uint8_t>
+encodeResponseFrame(const Response &resp)
+{
+    const std::vector<std::uint8_t> meta = encodeMeta(resp.meta);
+    std::vector<std::uint8_t> out;
+    out.reserve(36 + meta.size() + resp.report.size());
+    out.insert(out.end(), kRespMagic,
+               kRespMagic + sizeof(kRespMagic));
+    putU32(out, static_cast<std::uint32_t>(resp.status));
+    putU32(out, resp.flags);
+    putU32(out, resp.retryAfterMs);
+    putU64(out, meta.size());
+    putU64(out, resp.report.size());
+    out.insert(out.end(), meta.begin(), meta.end());
+    out.insert(out.end(), resp.report.begin(), resp.report.end());
+    return out;
+}
+
+FrameReadStatus
+readRequest(int fd, std::uint64_t maxBodyBytes, Request &out,
+            std::string &error)
+{
+    std::uint8_t header[24];
+    bool eof = false;
+    if (!readFull(fd, header, sizeof(header), eof)) {
+        error = eof ? "connection closed before a full request "
+                      "header"
+                    : std::string("request read failed: ") +
+                          std::strerror(errno);
+        return eof ? FrameReadStatus::Eof : FrameReadStatus::IoError;
+    }
+    if (std::memcmp(header, kReqMagic, sizeof(kReqMagic)) != 0) {
+        error = "not a wmrace serve request (bad magic)";
+        return FrameReadStatus::Malformed;
+    }
+    const std::uint32_t cmd = getU32(header + 8);
+    if (cmd < 1 || cmd > 3) {
+        error = "unknown request command " + std::to_string(cmd);
+        return FrameReadStatus::Malformed;
+    }
+    out.command = static_cast<Command>(cmd);
+    out.flags = getU32(header + 12);
+    const std::uint64_t bodyLen = getU64(header + 16);
+    if (bodyLen > maxBodyBytes) {
+        error = strformat("request body %llu bytes exceeds the "
+                          "server limit of %llu",
+                          static_cast<unsigned long long>(bodyLen),
+                          static_cast<unsigned long long>(
+                              maxBodyBytes));
+        return FrameReadStatus::TooLarge;
+    }
+    out.body.resize(bodyLen);
+    if (bodyLen > 0 &&
+        !readFull(fd, out.body.data(), bodyLen, eof)) {
+        error = eof ? "connection closed mid-body"
+                    : std::string("request body read failed: ") +
+                          std::strerror(errno);
+        return eof ? FrameReadStatus::Eof : FrameReadStatus::IoError;
+    }
+    return FrameReadStatus::Ok;
+}
+
+FrameReadStatus
+readResponse(int fd, Response &out, std::string &error)
+{
+    std::uint8_t header[36];
+    bool eof = false;
+    if (!readFull(fd, header, sizeof(header), eof)) {
+        error = eof ? "connection closed before a full response "
+                      "header"
+                    : std::string("response read failed: ") +
+                          std::strerror(errno);
+        return eof ? FrameReadStatus::Eof : FrameReadStatus::IoError;
+    }
+    if (std::memcmp(header, kRespMagic, sizeof(kRespMagic)) != 0) {
+        error = "not a wmrace serve response (bad magic)";
+        return FrameReadStatus::Malformed;
+    }
+    const std::uint32_t status = getU32(header + 8);
+    if (status > 4) {
+        error = "unknown response status " + std::to_string(status);
+        return FrameReadStatus::Malformed;
+    }
+    out.status = static_cast<RespStatus>(status);
+    out.flags = getU32(header + 12);
+    out.retryAfterMs = getU32(header + 16);
+    const std::uint64_t metaLen = getU64(header + 20);
+    const std::uint64_t reportLen = getU64(header + 28);
+    if (metaLen > kMaxMetaBytes || reportLen > kMaxReportBytes) {
+        error = "response payload lengths out of range";
+        return FrameReadStatus::Malformed;
+    }
+    std::vector<std::uint8_t> meta(metaLen);
+    if (metaLen > 0 && !readFull(fd, meta.data(), metaLen, eof)) {
+        error = eof ? "connection closed mid-meta"
+                    : std::string("response meta read failed: ") +
+                          std::strerror(errno);
+        return eof ? FrameReadStatus::Eof : FrameReadStatus::IoError;
+    }
+    try {
+        out.meta = decodeMetaOrThrow(meta.data(), meta.size());
+    } catch (const wire::ParseFailure &pf) {
+        error = pf.message;
+        return FrameReadStatus::Malformed;
+    }
+    out.report.resize(reportLen);
+    if (reportLen > 0 &&
+        !readFull(fd, out.report.data(), reportLen, eof)) {
+        error = eof ? "connection closed mid-report"
+                    : std::string("response report read failed: ") +
+                          std::strerror(errno);
+        return eof ? FrameReadStatus::Eof : FrameReadStatus::IoError;
+    }
+    return FrameReadStatus::Ok;
+}
+
+bool
+decodeResponseFrame(const std::uint8_t *data, std::size_t n,
+                    Response &out, std::string &error)
+{
+    if (n < 36) {
+        error = "response frame truncated before the header";
+        return false;
+    }
+    if (std::memcmp(data, kRespMagic, sizeof(kRespMagic)) != 0) {
+        error = "not a wmrace serve response (bad magic)";
+        return false;
+    }
+    const std::uint32_t status = getU32(data + 8);
+    if (status > 4) {
+        error = "unknown response status " + std::to_string(status);
+        return false;
+    }
+    out.status = static_cast<RespStatus>(status);
+    out.flags = getU32(data + 12);
+    out.retryAfterMs = getU32(data + 16);
+    const std::uint64_t metaLen = getU64(data + 20);
+    const std::uint64_t reportLen = getU64(data + 28);
+    if (metaLen > kMaxMetaBytes || reportLen > kMaxReportBytes ||
+        36 + metaLen + reportLen != n) {
+        error = "response payload lengths do not match the frame";
+        return false;
+    }
+    try {
+        out.meta = decodeMetaOrThrow(data + 36, metaLen);
+    } catch (const wire::ParseFailure &pf) {
+        error = pf.message;
+        return false;
+    }
+    out.report.assign(
+        reinterpret_cast<const char *>(data + 36 + metaLen),
+        reportLen);
+    return true;
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t r =
+            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+std::string
+metaJson(const Response &resp)
+{
+    const ResponseMeta &m = resp.meta;
+    std::string out = "{\"schema\": \"wmrace-serve-meta\"";
+    out += strformat(", \"status\": \"%s\"",
+                     respStatusName(resp.status));
+    out += strformat(", \"cache_hit\": %s",
+                     resp.cacheHit() ? "true" : "false");
+    out += strformat(", \"content_hash\": \"%016llx\"",
+                     static_cast<unsigned long long>(m.contentHash));
+    out += strformat(", \"file_bytes\": %llu",
+                     static_cast<unsigned long long>(m.fileBytes));
+    out += strformat(", \"events\": %llu",
+                     static_cast<unsigned long long>(m.events));
+    out += strformat(", \"sync_events\": %llu",
+                     static_cast<unsigned long long>(m.syncEvents));
+    out += strformat(", \"ops\": %llu",
+                     static_cast<unsigned long long>(m.ops));
+    out += strformat(", \"races\": %llu",
+                     static_cast<unsigned long long>(m.races));
+    out += strformat(", \"data_races\": %llu",
+                     static_cast<unsigned long long>(m.dataRaces));
+    out += strformat(", \"partitions\": %llu",
+                     static_cast<unsigned long long>(m.partitions));
+    out += strformat(
+        ", \"first_partitions\": %llu",
+        static_cast<unsigned long long>(m.firstPartitions));
+    out += strformat(
+        ", \"reported_races\": %llu",
+        static_cast<unsigned long long>(m.reportedRaces));
+    out += strformat(", \"any_data_race\": %s",
+                     m.anyDataRace ? "true" : "false");
+    out += strformat(", \"whole_execution_sc\": %s",
+                     m.wholeExecutionSc ? "true" : "false");
+    out += strformat(", \"salvaged\": %s",
+                     m.salvaged ? "true" : "false");
+    out += strformat(
+        ", \"unresolved_pairings\": %llu",
+        static_cast<unsigned long long>(m.unresolvedPairings));
+    out += strformat(
+        ", \"dropped_data_records\": %llu",
+        static_cast<unsigned long long>(m.droppedDataRecords));
+    if (!m.error.empty())
+        out += ", \"error\": \"" + jsonEscape(m.error) + "\"";
+    out += "}";
+    return out;
+}
+
+} // namespace wmr::serve

@@ -1,0 +1,770 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <unordered_set>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/hash64.hh"
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "common/worker_pool.hh"
+#include "detect/analysis.hh"
+#include "detect/report.hh"
+#include "obs/obs.hh"
+#include "pipeline/checkpoint.hh"
+#include "serve/io_util.hh"
+#include "trace/segmented_io.hh"
+#include "trace/trace_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace wmr::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Everything one upload's analysis produced. */
+struct UploadOutcome
+{
+    bool ok = false;
+    std::string error;
+    TraceRunResult rr; ///< journal + meta source
+    std::string report;
+};
+
+/**
+ * The serve twin of the batch pipeline's analyzeOneTrace(): parse
+ * (either container, optionally salvaging) and analyze an in-memory
+ * upload.  The report is provenance + formatReport with default
+ * options — EXACTLY what `wmrace check` (no --events) prints, which
+ * is the byte-identity contract the golden replay diffs.
+ */
+UploadOutcome
+analyzeUpload(const std::vector<std::uint8_t> &bytes, bool salvage,
+              unsigned threads)
+{
+    UploadOutcome out;
+    out.rr.fileBytes = bytes.size();
+
+    ExecutionTrace trace;
+    bool segmented = false;
+    SalvageInfo salvageInfo;
+    {
+        obs::Span parseSpan("serve.parse");
+        if (looksSegmented(bytes.data(), bytes.size())) {
+            segmented = true;
+            auto seg = salvage ? trySalvageTrace(bytes)
+                               : tryReadSegmentedTrace(bytes);
+            if (seg.ok() && seg.salvage.salvaged &&
+                seg.trace.events().empty()) {
+                seg.status = TraceIoStatus::FormatError;
+                seg.error = "salvage recovered no events (" +
+                            seg.salvage.summary() + ")";
+            }
+            if (!seg.ok()) {
+                out.rr.status =
+                    seg.status == TraceIoStatus::IoError
+                        ? TraceRunStatus::IoError
+                        : TraceRunStatus::FormatError;
+                out.rr.error = seg.error;
+                out.error = seg.error;
+                return out;
+            }
+            out.rr.salvaged = seg.salvage.salvaged;
+            out.rr.unresolvedPairings =
+                seg.salvage.unresolvedPairings;
+            out.rr.droppedDataRecords =
+                seg.salvage.droppedDataRecords;
+            salvageInfo = seg.salvage;
+            trace = std::move(seg.trace);
+        } else {
+            auto parsed = tryDeserializeTrace(bytes);
+            if (!parsed.ok()) {
+                out.rr.status =
+                    parsed.status == TraceIoStatus::IoError
+                        ? TraceRunStatus::IoError
+                        : TraceRunStatus::FormatError;
+                out.rr.error = parsed.error;
+                out.error = parsed.error;
+                return out;
+            }
+            trace = std::move(parsed.trace);
+        }
+    }
+
+    obs::Span analyzeSpan("serve.analyze");
+    AnalysisOptions aopts;
+    aopts.threads = threads;
+    const DetectionResult det = analyzeTrace(std::move(trace), aopts);
+
+    out.rr.status = TraceRunStatus::Ok;
+    out.rr.events = det.trace().events().size();
+    out.rr.syncEvents = det.trace().numSyncEvents();
+    out.rr.ops = det.trace().totalOps();
+    out.rr.races = det.races().size();
+    out.rr.dataRaces = det.numDataRaces();
+    out.rr.partitions = det.partitions().partitions.size();
+    out.rr.firstPartitions = det.partitions().firstPartitions.size();
+    out.rr.reportedRaces = det.reportedRaces().size();
+    out.rr.anyDataRace = det.anyDataRace();
+    out.rr.wholeExecutionSc = det.scp().wholeExecutionSc;
+
+    out.report = formatTraceProvenance(segmented, salvageInfo) +
+                 formatReport(det);
+    out.ok = true;
+    return out;
+}
+
+/** Copy a completed run into the wire meta block. */
+ResponseMeta
+metaFromRunResult(const TraceRunResult &rr, std::uint64_t hash)
+{
+    ResponseMeta m;
+    m.fileBytes = rr.fileBytes;
+    m.events = rr.events;
+    m.syncEvents = rr.syncEvents;
+    m.ops = rr.ops;
+    m.races = rr.races;
+    m.dataRaces = rr.dataRaces;
+    m.partitions = rr.partitions;
+    m.firstPartitions = rr.firstPartitions;
+    m.reportedRaces = rr.reportedRaces;
+    m.anyDataRace = rr.anyDataRace;
+    m.wholeExecutionSc = rr.wholeExecutionSc;
+    m.salvaged = rr.salvaged;
+    m.unresolvedPairings = rr.unresolvedPairings;
+    m.droppedDataRecords = rr.droppedDataRecords;
+    m.contentHash = hash;
+    m.error = rr.error;
+    return m;
+}
+
+std::uint32_t
+responseFlagsFor(const TraceRunResult &rr)
+{
+    return (rr.anyDataRace ? kRespAnyDataRace : 0u) |
+           (rr.salvaged ? kRespSalvaged : 0u);
+}
+
+/** Bucketed request latency counters (a cheap fixed histogram the
+ *  obs snapshot exports; percentiles are read off the buckets). */
+void
+recordLatency(std::uint64_t ns)
+{
+    static obs::Counter count = obs::counter("serve.latency.count");
+    static obs::Counter total =
+        obs::counter("serve.latency.total_ns");
+    static obs::Counter le1 = obs::counter("serve.latency.le_1ms");
+    static obs::Counter le10 = obs::counter("serve.latency.le_10ms");
+    static obs::Counter le100 =
+        obs::counter("serve.latency.le_100ms");
+    static obs::Counter le1s = obs::counter("serve.latency.le_1s");
+    static obs::Counter le10s =
+        obs::counter("serve.latency.le_10s");
+    static obs::Counter inf = obs::counter("serve.latency.inf");
+    count.inc();
+    total.add(ns);
+    const double ms = static_cast<double>(ns) / 1e6;
+    if (ms <= 1.0)
+        le1.inc();
+    else if (ms <= 10.0)
+        le10.inc();
+    else if (ms <= 100.0)
+        le100.inc();
+    else if (ms <= 1000.0)
+        le1s.inc();
+    else if (ms <= 10000.0)
+        le10s.inc();
+    else
+        inf.inc();
+}
+
+/** Parse the flags field back out of a spool file name
+ *  ("h<16hex>-s<bytes>-f<flags>.req"); 0 when unparseable. */
+std::uint32_t
+flagsFromSpoolName(const std::string &name)
+{
+    const std::size_t f = name.rfind("-f");
+    if (f == std::string::npos)
+        return 0;
+    return static_cast<std::uint32_t>(
+        std::strtoul(name.c_str() + f + 2, nullptr, 10));
+}
+
+} // namespace
+
+Server::Server(ServeOptions opts)
+    : opts_(std::move(opts)),
+      cache_(opts_.cacheBytes, opts_.cacheDir),
+      queue_(opts_.maxQueue)
+{
+    const unsigned jobs = resolveThreads(opts_.jobs);
+    workerCount_ = opts_.workers != 0 ? opts_.workers
+                                      : std::min(jobs, 4u);
+    if (workerCount_ == 0)
+        workerCount_ = 1;
+    // Carve the global budget across concurrent analyses: W workers
+    // at J/W threads each never oversubscribe the --jobs cores.
+    analysisThreads_ = std::max(1u, jobs / workerCount_);
+}
+
+Server::~Server()
+{
+    if (started_) {
+        beginShutdown();
+        waitDrained();
+    }
+    if (wakePipe_[0] >= 0)
+        ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0)
+        ::close(wakePipe_[1]);
+}
+
+bool
+Server::bindListener()
+{
+    if (opts_.tcpPort >= 0) {
+        listenFd_ = ::socket(AF_INET,
+                             SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listenFd_ < 0) {
+            error_ = std::string("socket: ") +
+                     std::strerror(errno);
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opts_.tcpPort));
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            error_ = strformat("bind tcp:127.0.0.1:%d: %s",
+                               opts_.tcpPort,
+                               std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+        socklen_t len = sizeof(addr);
+        ::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&addr), &len);
+        boundTcpPort_ = ntohs(addr.sin_port);
+    } else {
+        if (opts_.socketPath.empty()) {
+            error_ = "serve: no socket path and no TCP port";
+            return false;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opts_.socketPath.size() >= sizeof(addr.sun_path)) {
+            error_ = strformat(
+                "socket path '%s' exceeds the unix-domain limit "
+                "of %zu bytes",
+                opts_.socketPath.c_str(),
+                sizeof(addr.sun_path) - 1);
+            return false;
+        }
+        std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                    opts_.socketPath.size() + 1);
+        ::unlink(opts_.socketPath.c_str());
+        listenFd_ = ::socket(AF_UNIX,
+                             SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (listenFd_ < 0) {
+            error_ = std::string("socket: ") +
+                     std::strerror(errno);
+            return false;
+        }
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            error_ = strformat("bind %s: %s",
+                               opts_.socketPath.c_str(),
+                               std::strerror(errno));
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        error_ = std::string("listen: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::recoverSpool()
+{
+    if (opts_.spoolDir.empty())
+        return true;
+    std::error_code ec;
+    fs::create_directories(opts_.spoolDir, ec);
+    if (ec) {
+        error_ = strformat("spool dir %s: %s",
+                           opts_.spoolDir.c_str(),
+                           ec.message().c_str());
+        return false;
+    }
+    const std::string journalPath =
+        opts_.spoolDir + "/journal.wmrck";
+
+    // What the previous incarnation finished: journaled spool paths
+    // are complete (response may have been lost, but the analysis
+    // was not); anything else on disk was admitted but cut short.
+    const CheckpointLoad done = loadCheckpoint(journalPath);
+    std::unordered_set<std::string> finished;
+    for (const TraceRunResult &e : done.entries)
+        finished.insert(e.path);
+
+    const unsigned bootThreads = resolveThreads(opts_.jobs);
+    for (const fs::directory_entry &de :
+         fs::directory_iterator(opts_.spoolDir, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        const std::string path = de.path().string();
+        if (de.path().extension() != ".req")
+            continue;
+        if (finished.count(path) != 0) {
+            fs::remove(de.path(), ec);
+            continue;
+        }
+        std::vector<std::uint8_t> bytes;
+        if (!readWholeFile(path, bytes)) {
+            warn("serve: cannot read spooled request %s",
+                 path.c_str());
+            continue;
+        }
+        const std::uint32_t flags =
+            flagsFromSpoolName(de.path().filename().string());
+        // Never trust the name for the content address: rehash.
+        UploadOutcome out = analyzeUpload(
+            bytes, (flags & kReqSalvage) != 0, bootThreads);
+        if (out.ok) {
+            CacheKey key{contentHash64(bytes.data(), bytes.size()),
+                         bytes.size(), cacheRelevantFlags(flags)};
+            CachedResult value;
+            value.meta = metaFromRunResult(out.rr, key.hash);
+            value.respFlags = responseFlagsFor(out.rr);
+            value.report = out.report;
+            cache_.put(key, value);
+        }
+        recovered_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.recovered").inc();
+        fs::remove(de.path(), ec);
+    }
+
+    // The spool is empty again: restart the journal from scratch so
+    // it tracks only this incarnation's in-flight work.
+    fs::remove(journalPath, ec);
+    journal_ = std::make_unique<CheckpointWriter>();
+    if (!journal_->open(journalPath)) {
+        error_ = journal_->lastError();
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::start()
+{
+    if (::pipe(wakePipe_) != 0) {
+        error_ = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    if (!recoverSpool())
+        return false;
+    if (!bindListener())
+        return false;
+    for (unsigned i = 0; i < workerCount_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    started_ = true;
+    return true;
+}
+
+void
+Server::waitDrained()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+    started_ = false;
+}
+
+bool
+Server::run()
+{
+    if (!start())
+        return false;
+    waitDrained();
+    return true;
+}
+
+void
+Server::beginShutdown()
+{
+    // Async-signal-safe: one write on the pre-opened self-pipe.
+    const char byte = 1;
+    if (wakePipe_[1] >= 0)
+        (void)!::write(wakePipe_[1], &byte, 1);
+}
+
+std::string
+Server::boundAddress() const
+{
+    if (opts_.tcpPort >= 0)
+        return strformat("tcp:127.0.0.1:%d", boundTcpPort_);
+    return opts_.socketPath;
+}
+
+ServeStats
+Server::stats() const
+{
+    ServeStats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.analyses = analyses_.load(std::memory_order_relaxed);
+    s.overloaded = overloaded_.load(std::memory_order_relaxed);
+    s.badRequests = badRequests_.load(std::memory_order_relaxed);
+    s.drainRejected =
+        drainRejected_.load(std::memory_order_relaxed);
+    s.recovered = recovered_.load(std::memory_order_relaxed);
+    s.queueDepth = queue_.depth();
+    s.inflightBytes =
+        inflightBytes_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::string
+Server::statusJson() const
+{
+    const ServeStats s = stats();
+    const CacheStats c = cache_.stats();
+    std::string out = "{\"schema\": \"wmrace-serve-status\"";
+    out += strformat(", \"address\": \"%s\"",
+                     boundAddress().c_str());
+    out += strformat(", \"draining\": %s",
+                     draining_.load() ? "true" : "false");
+    out += strformat(", \"workers\": %u", workerCount_);
+    out += strformat(", \"analysis_threads\": %u",
+                     analysisThreads_);
+    out += strformat(", \"max_queue\": %zu", opts_.maxQueue);
+    out += strformat(", \"queue_depth\": %llu",
+                     static_cast<unsigned long long>(s.queueDepth));
+    out += strformat(
+        ", \"inflight_bytes\": %llu",
+        static_cast<unsigned long long>(s.inflightBytes));
+    out += strformat(", \"requests\": %llu",
+                     static_cast<unsigned long long>(s.requests));
+    out += strformat(", \"analyses\": %llu",
+                     static_cast<unsigned long long>(s.analyses));
+    out += strformat(", \"overloaded\": %llu",
+                     static_cast<unsigned long long>(s.overloaded));
+    out += strformat(
+        ", \"bad_requests\": %llu",
+        static_cast<unsigned long long>(s.badRequests));
+    out += strformat(
+        ", \"drain_rejected\": %llu",
+        static_cast<unsigned long long>(s.drainRejected));
+    out += strformat(", \"recovered\": %llu",
+                     static_cast<unsigned long long>(s.recovered));
+    out += strformat(
+        ", \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"disk_hits\": %llu, \"insertions\": %llu, "
+        "\"evictions\": %llu, \"entries\": %llu, "
+        "\"bytes\": %llu, \"byte_budget\": %llu}",
+        static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.diskHits),
+        static_cast<unsigned long long>(c.insertions),
+        static_cast<unsigned long long>(c.evictions),
+        static_cast<unsigned long long>(c.entries),
+        static_cast<unsigned long long>(c.bytes),
+        static_cast<unsigned long long>(c.byteBudget));
+    out += "}";
+    return out;
+}
+
+void
+Server::respondAndClose(int fd, const Response &resp)
+{
+    const std::vector<std::uint8_t> frame =
+        encodeResponseFrame(resp);
+    (void)writeAll(fd, frame.data(), frame.size());
+    ::close(fd);
+}
+
+std::string
+Server::spoolRequest(const Job &job)
+{
+    if (opts_.spoolDir.empty() ||
+        (job.reqFlags & kReqNoCache) != 0)
+        return "";
+    const std::string path =
+        opts_.spoolDir + "/" +
+        strformat("h%s-s%llu-f%u.req",
+                  hash64Hex(job.key.hash).c_str(),
+                  static_cast<unsigned long long>(job.key.bytes),
+                  job.key.flags);
+    if (!writeFileAtomic(path, job.body)) {
+        warn("serve: cannot spool request to %s", path.c_str());
+        return "";
+    }
+    return path;
+}
+
+void
+Server::handleAnalyze(int fd, Request &req)
+{
+    Response resp;
+    if (draining_.load(std::memory_order_relaxed)) {
+        drainRejected_.fetch_add(1, std::memory_order_relaxed);
+        resp.status = RespStatus::Draining;
+        resp.retryAfterMs = opts_.retryAfterMs;
+        resp.meta.error = "server is draining";
+        respondAndClose(fd, resp);
+        return;
+    }
+
+    Job job;
+    job.fd = fd;
+    job.reqFlags = req.flags;
+    job.body = std::move(req.body);
+    job.key = CacheKey{
+        contentHash64(job.body.data(), job.body.size()),
+        job.body.size(), cacheRelevantFlags(req.flags)};
+
+    // Cache-hit fast path, answered straight from the accept loop:
+    // no queueing, no worker, no analysis spans — the acceptance
+    // test for "served from cache" keys off exactly that.
+    if ((req.flags & kReqNoCache) == 0) {
+        CachedResult hit;
+        if (cache_.get(job.key, hit)) {
+            obs::counter("serve.cache.hit").inc();
+            resp.status = RespStatus::Ok;
+            resp.flags = hit.respFlags | kRespCacheHit;
+            resp.meta = hit.meta;
+            resp.report = hit.report;
+            respondAndClose(fd, resp);
+            return;
+        }
+        obs::counter("serve.cache.miss").inc();
+    }
+
+    // Admission control: a request that does not fit the queue or
+    // the in-flight byte budget is refused NOW, with a retry hint —
+    // never queued unboundedly, never blocking the accept loop.
+    const std::uint64_t bytes = job.body.size();
+    // Charge the in-flight budget BEFORE the push: the worker that
+    // pops the job subtracts, and charging first keeps the counter
+    // from transiently underflowing past the budget check.
+    const std::uint64_t charged =
+        inflightBytes_.fetch_add(bytes,
+                                 std::memory_order_relaxed) +
+        bytes;
+    const bool fitsBytes = charged <= opts_.maxInflightBytes;
+    bool admitted = false;
+    if (fitsBytes) {
+        job.spoolPath = spoolRequest(job);
+        const std::string spooled = job.spoolPath;
+        admitted = queue_.tryPush(std::move(job));
+        if (!admitted && !spooled.empty())
+            ::unlink(spooled.c_str());
+    }
+    if (!admitted) {
+        inflightBytes_.fetch_sub(bytes,
+                                 std::memory_order_relaxed);
+        overloaded_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.overloaded").inc();
+        resp.status = RespStatus::Overloaded;
+        resp.retryAfterMs = opts_.retryAfterMs;
+        resp.meta.error =
+            fitsBytes ? "request queue is full"
+                      : "in-flight byte budget is exhausted";
+        respondAndClose(fd, resp);
+        return;
+    }
+    obs::gauge("serve.inflight.bytes")
+        .set(inflightBytes_.load(std::memory_order_relaxed));
+    obs::gauge("serve.queue.depth").max(queue_.depth());
+}
+
+void
+Server::handleConnection(int fd)
+{
+    if (opts_.ioTimeoutSec > 0) {
+        timeval tv{};
+        tv.tv_sec = opts_.ioTimeoutSec;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+
+    Request req;
+    std::string err;
+    const FrameReadStatus rs =
+        readRequest(fd, opts_.maxRequestBytes, req, err);
+    if (rs == FrameReadStatus::Eof ||
+        rs == FrameReadStatus::IoError) {
+        ::close(fd);
+        return;
+    }
+    if (rs == FrameReadStatus::Malformed ||
+        rs == FrameReadStatus::TooLarge) {
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.bad_request").inc();
+        Response resp;
+        resp.status = RespStatus::BadRequest;
+        resp.meta.error = err;
+        respondAndClose(fd, resp);
+        return;
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.requests").inc();
+
+    switch (req.command) {
+      case Command::Status: {
+        Response resp;
+        resp.status = RespStatus::Ok;
+        resp.report = statusJson();
+        respondAndClose(fd, resp);
+        return;
+      }
+      case Command::Shutdown: {
+        Response resp;
+        resp.status = RespStatus::Ok;
+        respondAndClose(fd, resp);
+        beginShutdown();
+        return;
+      }
+      case Command::Analyze:
+        handleAnalyze(fd, req);
+        return;
+    }
+    ::close(fd);
+}
+
+void
+Server::acceptLoop()
+{
+    obs::setThreadName("serve.accept");
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0},
+                         {wakePipe_[0], POLLIN, 0}};
+        const int n = ::poll(fds, 2, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll: %s", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents & POLLIN)
+            draining_.store(true, std::memory_order_relaxed);
+        if (fds[0].revents & POLLIN) {
+            const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                     SOCK_CLOEXEC);
+            if (fd >= 0)
+                handleConnection(fd);
+            else if (errno != EINTR && errno != ECONNABORTED)
+                warn("serve: accept: %s", std::strerror(errno));
+        }
+        if (draining_.load(std::memory_order_relaxed))
+            break;
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+    if (opts_.tcpPort < 0 && !opts_.socketPath.empty())
+        ::unlink(opts_.socketPath.c_str());
+    // No new work can arrive: let the workers drain what is queued
+    // (every admitted request is still analyzed and answered) and
+    // then exit their pop loops.
+    queue_.close();
+}
+
+void
+Server::serveJob(Job &job, unsigned analysisThreads)
+{
+    const Clock::time_point start = Clock::now();
+    obs::Span reqSpan("serve.request");
+    reqSpan.annotate(hash64Hex(job.key.hash));
+
+    if (opts_.testAnalysisGate)
+        opts_.testAnalysisGate();
+
+    analyses_.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("serve.analyses").inc();
+
+    const bool salvage = (job.reqFlags & kReqSalvage) != 0;
+    UploadOutcome out =
+        analyzeUpload(job.body, salvage, analysisThreads);
+
+    Response resp;
+    if (out.ok) {
+        resp.status = RespStatus::Ok;
+        resp.flags = responseFlagsFor(out.rr);
+        resp.meta = metaFromRunResult(out.rr, job.key.hash);
+        resp.report = std::move(out.report);
+        if ((job.reqFlags & kReqNoCache) == 0) {
+            CachedResult value;
+            value.meta = resp.meta;
+            value.respFlags = resp.flags;
+            value.report = resp.report;
+            cache_.put(job.key, value);
+        }
+    } else {
+        resp.status = RespStatus::BadRequest;
+        resp.meta = metaFromRunResult(out.rr, job.key.hash);
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("serve.bad_request").inc();
+    }
+
+    // Journal BEFORE unlinking the spool entry: a crash between the
+    // two re-analyzes at worst one already-finished request.
+    if (!job.spoolPath.empty() && journal_) {
+        out.rr.path = job.spoolPath;
+        journal_->append(out.rr);
+        ::unlink(job.spoolPath.c_str());
+    }
+
+    inflightBytes_.fetch_sub(job.body.size(),
+                             std::memory_order_relaxed);
+    obs::gauge("serve.inflight.bytes")
+        .set(inflightBytes_.load(std::memory_order_relaxed));
+
+    respondAndClose(job.fd, resp);
+    recordLatency(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count()));
+}
+
+void
+Server::workerLoop(unsigned index)
+{
+    obs::setThreadName(strformat("serve.worker.%u", index));
+    Job job;
+    while (queue_.pop(job))
+        serveJob(job, analysisThreads_);
+}
+
+} // namespace wmr::serve

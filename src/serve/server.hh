@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The wmrace analysis server: a long-lived daemon that accepts trace
+ * uploads over the serve protocol (protocol.hh), schedules analyses
+ * on a worker pool carved from one global --jobs budget, and answers
+ * with reports byte-identical to local `wmrace check` output.
+ *
+ * Shape (one accept loop, W analysis workers, one bounded queue):
+ *
+ *   accept ── read request ── cache? ──hit──▶ respond (no analysis)
+ *                               │miss
+ *                               ▼
+ *                       admission control ──full──▶ Overloaded
+ *                               │
+ *                        [spool + queue]
+ *                               ▼
+ *                    worker: analyze → cache.put
+ *                            → journal → respond
+ *
+ * ADMISSION CONTROL is explicit and visible: the request queue is
+ * bounded (maxQueue) and total queued upload bytes are bounded
+ * (maxInflightBytes); a request that does not fit is answered
+ * Overloaded with a retry-after hint IMMEDIATELY — the server never
+ * queues unboundedly and the accept loop never blocks on a full
+ * queue (WorkQueue::tryPush is the enforcement point).
+ *
+ * THREAD BUDGET: --jobs J is the global analysis budget.  W workers
+ * (default min(J, 4)) each run analyses with max(1, J/W) threads, so
+ * a lone large upload still parallelizes while concurrent uploads
+ * share the same J cores instead of oversubscribing W*J.
+ *
+ * CRASH SAFETY (optional, spoolDir): every admitted upload is
+ * spooled to disk before analysis and journaled through the batch
+ * checkpoint writer when it completes.  A server restarted over the
+ * same spool re-analyzes exactly the admitted-but-unjournaled
+ * requests into the cache before accepting new work, so a crash
+ * loses connections but not analysis work.
+ *
+ * SHUTDOWN: beginShutdown() is async-signal-safe (one write to a
+ * self-pipe), so the CLI's SIGTERM handler can call it directly; the
+ * server then drains — queued requests are still analyzed and
+ * answered, new ones get a Draining response — and run() returns.
+ */
+
+#ifndef WMR_SERVE_SERVER_HH
+#define WMR_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pipeline/work_queue.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+
+namespace wmr {
+class CheckpointWriter;
+}
+
+namespace wmr::serve {
+
+struct ServeOptions
+{
+    /** Unix-domain listening socket path (the default transport). */
+    std::string socketPath;
+
+    /** >= 0: listen on loopback TCP this port INSTEAD of the unix
+     *  socket (the cross-host transport). */
+    int tcpPort = -1;
+
+    /** Global analysis thread budget (0 = hardware concurrency). */
+    unsigned jobs = 0;
+
+    /** Concurrent analysis workers (0 = min(jobs, 4)). */
+    unsigned workers = 0;
+
+    /** Bounded request queue depth (admission control edge #1). */
+    std::size_t maxQueue = 64;
+
+    /** Total bytes of queued uploads (admission control edge #2). */
+    std::uint64_t maxInflightBytes = 256ull << 20;
+
+    /** Largest single upload honored (pre-read header check). */
+    std::uint64_t maxRequestBytes = 1ull << 30;
+
+    /** Result cache memory budget (0 disables caching). */
+    std::uint64_t cacheBytes = 64ull << 20;
+
+    /** Result cache disk tier ("" = memory only). */
+    std::string cacheDir;
+
+    /** Admitted-request spool + completion journal for crash-safe
+     *  recovery ("" = no spooling). */
+    std::string spoolDir;
+
+    /** Client retry hint attached to Overloaded responses. */
+    std::uint32_t retryAfterMs = 250;
+
+    /** Per-connection socket I/O timeout (0 = none). */
+    unsigned ioTimeoutSec = 30;
+
+    /** TEST HOOK: when set, every worker calls this immediately
+     *  before analyzing — tests park workers on a latch here to
+     *  flood the queue deterministically. */
+    std::function<void()> testAnalysisGate;
+};
+
+/** Point-in-time serving counters (statusJson() renders these). */
+struct ServeStats
+{
+    std::uint64_t requests = 0;   ///< frames accepted and parsed
+    std::uint64_t analyses = 0;   ///< analyses actually run
+    std::uint64_t overloaded = 0; ///< admission rejections
+    std::uint64_t badRequests = 0;
+    std::uint64_t drainRejected = 0; ///< refused while draining
+    std::uint64_t recovered = 0; ///< spool entries re-analyzed at boot
+    std::uint64_t queueDepth = 0;
+    std::uint64_t inflightBytes = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, recover the spool, start the workers and the accept
+     * loop.  @return false (with lastError() set) when the socket
+     * cannot be bound or the spool/journal cannot be opened.
+     */
+    bool start();
+
+    /** Block until the server has drained and every thread exited
+     *  (i.e. until after beginShutdown()). */
+    void waitDrained();
+
+    /** start() + waitDrained(). */
+    bool run();
+
+    /**
+     * Request a graceful drain.  ASYNC-SIGNAL-SAFE: one write(2) on
+     * a pre-opened pipe — callable straight from a SIGTERM handler.
+     */
+    void beginShutdown();
+
+    const std::string &lastError() const { return error_; }
+
+    /** Bound address for clients: the socket path, or
+     *  "tcp:127.0.0.1:PORT" (with the kernel-assigned port when
+     *  tcpPort was 0). */
+    std::string boundAddress() const;
+
+    ServeStats stats() const;
+    CacheStats cacheStats() const { return cache_.stats(); }
+
+    /** One-line server status JSON (the Status command's payload;
+     *  schema "wmrace-serve-status"). */
+    std::string statusJson() const;
+
+  private:
+    struct Job
+    {
+        int fd = -1;
+        std::uint32_t reqFlags = 0;
+        std::vector<std::uint8_t> body;
+        CacheKey key;
+        std::string spoolPath; ///< "" when spooling is off
+    };
+
+    bool bindListener();
+    bool recoverSpool();
+    void acceptLoop();
+    void workerLoop(unsigned index);
+    void handleConnection(int fd);
+    void handleAnalyze(int fd, Request &req);
+    void serveJob(Job &job, unsigned analysisThreads);
+    void respondAndClose(int fd, const Response &resp);
+    std::string spoolRequest(const Job &job);
+
+    const ServeOptions opts_;
+    unsigned analysisThreads_ = 1;
+    unsigned workerCount_ = 1;
+
+    ResultCache cache_;
+    WorkQueue<Job> queue_;
+    std::unique_ptr<CheckpointWriter> journal_;
+
+    int listenFd_ = -1;
+    int boundTcpPort_ = -1;
+    int wakePipe_[2] = {-1, -1};
+
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> inflightBytes_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> analyses_{0};
+    std::atomic<std::uint64_t> overloaded_{0};
+    std::atomic<std::uint64_t> badRequests_{0};
+    std::atomic<std::uint64_t> drainRejected_{0};
+    std::atomic<std::uint64_t> recovered_{0};
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    std::string error_;
+};
+
+} // namespace wmr::serve
+
+#endif // WMR_SERVE_SERVER_HH

@@ -505,6 +505,36 @@ SalvageInfo::summary() const
     return s;
 }
 
+std::string
+formatTraceProvenance(bool segmented, const SalvageInfo &salvage)
+{
+    if (!segmented)
+        return "";
+    std::string out;
+    char buf[256];
+    if (salvage.salvaged) {
+        out += "SALVAGED trace: " + salvage.summary() + "\n";
+        if (salvage.unresolvedPairings > 0) {
+            std::snprintf(buf, sizeof(buf),
+                          "  %llu release->acquire pairing(s) lost "
+                          "with the dropped tail\n",
+                          static_cast<unsigned long long>(
+                              salvage.unresolvedPairings));
+            out += buf;
+        }
+    }
+    if (salvage.droppedDataRecords > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "RECORDER LOSS: %llu data record(s) dropped "
+                      "by the ring-overflow Drop policy; computation "
+                      "events undercount accordingly\n",
+                      static_cast<unsigned long long>(
+                          salvage.droppedDataRecords));
+        out += buf;
+    }
+    return out;
+}
+
 SegTraceReadResult
 tryReadSegmentedTrace(const std::vector<std::uint8_t> &bytes)
 {

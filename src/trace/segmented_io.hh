@@ -100,6 +100,18 @@ struct SegTraceReadResult
 };
 
 /**
+ * Render the report header lines stating what an analyzed trace
+ * actually is — salvage provenance and recorder-side data loss — so
+ * a partial or Drop-mode trace can never masquerade as a complete
+ * one.  Empty for a non-segmented or clean, lossless trace.  Both
+ * `wmrace check` and the serve subsystem emit EXACTLY this string
+ * ahead of the report, which is what keeps a served analysis
+ * byte-identical to a local one.
+ */
+std::string formatTraceProvenance(bool segmented,
+                                  const SalvageInfo &salvage);
+
+/**
  * STRICT read of a complete segmented trace: all frames verify, FIN
  * present.  Damage or a missing FIN yields FormatError whose message
  * points at the salvage reader.

@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <new>
@@ -21,6 +22,25 @@ using wire::parseFail;
 constexpr char kMagic[8] = {'W', 'M', 'R', 'T', 'R', 'C', '0', '1'};
 constexpr char kFullOpMagic[8] = {'W', 'M', 'R', 'F',
                                   'O', 'P', '0', '1'};
+
+/** Render the 8 magic bytes with non-printable bytes escaped, so an
+ *  "unrecognized magic" error is copy-pasteable and unambiguous. */
+std::string
+printableMagic(const char magic[8])
+{
+    std::string out;
+    for (std::size_t i = 0; i < 8; ++i) {
+        const auto c = static_cast<unsigned char>(magic[i]);
+        if (c >= 0x20 && c < 0x7f && c != '"' && c != '\\') {
+            out += static_cast<char>(c);
+        } else {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+            out += buf;
+        }
+    }
+    return out;
+}
 
 } // namespace
 
@@ -61,10 +81,26 @@ ExecutionTrace
 decodeTraceOrThrow(const std::vector<std::uint8_t> &bytes)
 {
     Decoder dec(bytes);
+    if (bytes.size() < sizeof(kMagic)) {
+        parseFail("trace file: %zu byte(s) is shorter than any "
+                  "wmrace container header",
+                  bytes.size());
+    }
     char magic[sizeof(kMagic)];
     dec.raw(magic, sizeof(magic));
-    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        parseFail("not a wmrace trace file (bad magic)");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        // Name the format we DID recognize, or print the magic we
+        // didn't: serve/batch report malformed uploads precisely
+        // instead of a generic failure.
+        if (std::memcmp(magic, kFullOpMagic,
+                        sizeof(kFullOpMagic)) == 0) {
+            parseFail("trace file: this is a full-op file "
+                      "(WMRFOP01); use the full-op reader");
+        }
+        parseFail("trace file: unrecognized magic \"%s\" (expected "
+                  "WMRTRC01, WMRSEG01 or WMRFOP01)",
+                  printableMagic(magic).c_str());
+    }
 
     ExecutionTrace trace;
     // Sanity-bound the shape BEFORE allocating per-processor state:
@@ -242,7 +278,9 @@ decodeFullOpsOrThrow(const std::vector<std::uint8_t> &bytes)
                 sizeof(magic)))
             parseFail("full-op file: this is a segmented event trace "
                       "(use the trace reader)");
-        parseFail("not a wmrace full-op file (bad magic)");
+        parseFail("full-op file: unrecognized magic \"%s\" (expected "
+                  "WMRFOP01, WMRTRC01 or WMRSEG01)",
+                  printableMagic(magic).c_str());
     }
     const std::uint64_t count = dec.u64();
     // Each op encodes to >= 10 bytes, but 1 byte/op is enough of a

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CTest driver for `wmrace batch --server`: start a server, aggregate
+# a corpus through it, and require the remote batch report to be
+# byte-identical to the same corpus batched locally (the report
+# carries no timing, so the runs compare exactly).
+#
+# Usage: cli_batch_server.sh WMRACE_BIN CORPUS_DIR
+set -u
+
+die() { echo "cli_batch_server: $*" >&2; exit 2; }
+
+[ $# -eq 2 ] || die "usage: cli_batch_server.sh WMRACE_BIN CORPUS_DIR"
+WMRACE=$1
+CORPUS=$2
+[ -x "$WMRACE" ] || die "not executable: $WMRACE"
+[ -d "$CORPUS" ] || die "no corpus dir: $CORPUS"
+
+WORK=$(mktemp -d /tmp/wmrbatchsrv.XXXXXX) || die "mktemp failed"
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        "$WMRACE" submit --server "$ADDR" --shutdown >/dev/null 2>&1
+        wait "$SERVER_PID" 2>/dev/null
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$WMRACE" serve --socket "$WORK/serve.sock" --jobs 2 \
+    > "$WORK/addr.txt" 2> "$WORK/serve.log" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(cat "$WORK/addr.txt" 2>/dev/null)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+        cat "$WORK/serve.log" >&2
+        SERVER_PID=""
+        die "server died during startup"
+    }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || die "server never printed its address"
+
+# `batch` exits 1 when any trace has a data race; both runs must
+# agree on that exit status too.
+"$WMRACE" batch "$CORPUS" --jobs 2 \
+    > "$WORK/local.out" 2> "$WORK/local.err"
+local_status=$?
+"$WMRACE" batch "$CORPUS" --jobs 2 --server "$ADDR" \
+    > "$WORK/remote.out" 2> "$WORK/remote.err"
+remote_status=$?
+
+if [ $local_status -ne $remote_status ]; then
+    echo "cli_batch_server: exit status differs" \
+         "(local $local_status, remote $remote_status)" >&2
+    cat "$WORK/remote.out" >&2
+    exit 1
+fi
+if ! cmp -s "$WORK/local.out" "$WORK/remote.out"; then
+    echo "cli_batch_server: remote batch report differs from local" >&2
+    diff -u "$WORK/local.out" "$WORK/remote.out" >&2
+    exit 1
+fi
+echo "batch --server report is byte-identical to local batch"
+cat "$WORK/remote.out"

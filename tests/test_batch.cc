@@ -163,7 +163,8 @@ TEST(CorruptTrace, BadMagicAndTrailingBytes)
     badMagic[0] ^= 0xff;
     const auto r1 = tryDeserializeTrace(badMagic);
     ASSERT_FALSE(r1.ok());
-    EXPECT_NE(r1.error.find("bad magic"), std::string::npos);
+    EXPECT_NE(r1.error.find("unrecognized magic"),
+              std::string::npos);
 
     auto trailing = bytes;
     trailing.push_back(0);
@@ -271,7 +272,7 @@ TEST(CorruptFullOps, FormatsRejectEachOther)
     const auto fullBytes = serializeFullOps(makeFullOps(17));
     const auto evRes = tryDeserializeTrace(fullBytes);
     ASSERT_FALSE(evRes.ok());
-    EXPECT_NE(evRes.error.find("bad magic"), std::string::npos);
+    EXPECT_NE(evRes.error.find("full-op file"), std::string::npos);
 
     const auto evBytes = makeTraceBytes(17);
     const auto fullRes = tryDeserializeFullOps(evBytes);
@@ -398,7 +399,7 @@ TEST(BatchPipeline, CorruptTracesBecomePerTraceFailures)
             EXPECT_FALSE(tr.error.empty());
         } else if (tr.path.find("y_garbage") != std::string::npos) {
             EXPECT_EQ(tr.status, TraceRunStatus::FormatError);
-            EXPECT_NE(tr.error.find("bad magic"),
+            EXPECT_NE(tr.error.find("unrecognized magic"),
                       std::string::npos);
         } else {
             EXPECT_TRUE(tr.ok()) << tr.path << ": " << tr.error;

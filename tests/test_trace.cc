@@ -247,7 +247,7 @@ TEST(TraceIo, RejectsGarbage)
     std::vector<std::uint8_t> junk{'n', 'o', 't', 'a', 't', 'r',
                                    'c', '!'};
     EXPECT_EXIT(deserializeTrace(junk), ::testing::ExitedWithCode(1),
-                "bad magic");
+                "unrecognized magic");
 }
 
 TEST(TraceIo, RejectsTruncation)
@@ -257,6 +257,71 @@ TEST(TraceIo, RejectsTruncation)
     bytes.resize(bytes.size() / 2);
     EXPECT_EXIT(deserializeTrace(bytes), ::testing::ExitedWithCode(1),
                 "truncated");
+}
+
+// --- Magic sniffing: each container names itself precisely -------
+//
+// tryDeserializeTrace()'s error for a wrong-format or garbage header
+// must say WHICH magic was found (and escape unprintable bytes), so
+// a misrouted upload to `wmrace serve` or a mis-fed batch corpus
+// diagnoses itself from the error string alone.
+
+TEST(TraceIoMagic, ShortInputNamesItsLength)
+{
+    const std::vector<std::uint8_t> tiny{'W', 'M', 'R'};
+    const auto res = tryDeserializeTrace(tiny);
+    EXPECT_EQ(res.status, TraceIoStatus::FormatError);
+    EXPECT_NE(res.error.find("3 byte(s) is shorter than any "
+                             "wmrace container header"),
+              std::string::npos)
+        << res.error;
+}
+
+TEST(TraceIoMagic, FullOpMagicIsCrossReferenced)
+{
+    std::vector<std::uint8_t> bytes{'W', 'M', 'R', 'F',
+                                    'O', 'P', '0', '1'};
+    const auto res = tryDeserializeTrace(bytes);
+    EXPECT_EQ(res.status, TraceIoStatus::FormatError);
+    EXPECT_NE(res.error.find("full-op file (WMRFOP01)"),
+              std::string::npos)
+        << res.error;
+}
+
+TEST(TraceIoMagic, UnrecognizedMagicIsQuoted)
+{
+    std::vector<std::uint8_t> bytes{'N', 'O', 'T', 'A',
+                                    'T', 'R', 'C', '!'};
+    const auto res = tryDeserializeTrace(bytes);
+    EXPECT_EQ(res.status, TraceIoStatus::FormatError);
+    EXPECT_NE(res.error.find("unrecognized magic \"NOTATRC!\""),
+              std::string::npos)
+        << res.error;
+    EXPECT_NE(res.error.find("WMRTRC01, WMRSEG01 or WMRFOP01"),
+              std::string::npos)
+        << res.error;
+}
+
+TEST(TraceIoMagic, UnprintableMagicBytesAreEscaped)
+{
+    std::vector<std::uint8_t> bytes(16, 0x01);
+    const auto res = tryDeserializeTrace(bytes);
+    EXPECT_EQ(res.status, TraceIoStatus::FormatError);
+    EXPECT_NE(res.error.find("\\x01"), std::string::npos)
+        << res.error;
+}
+
+TEST(TraceIoMagic, FullOpReaderCrossReferencesEventMagic)
+{
+    // The reverse direction: event-format bytes fed to the full-op
+    // reader name the event container rather than "bad magic".
+    const auto res = runFig1b();
+    const auto bytes = serializeTrace(buildTrace(res));
+    const auto parsed = tryDeserializeFullOps(bytes);
+    EXPECT_EQ(parsed.status, TraceIoStatus::FormatError);
+    EXPECT_NE(parsed.error.find("event-format trace"),
+              std::string::npos)
+        << parsed.error;
 }
 
 TEST(TraceIo, FullOpFormatIsLargerThanEventFormat)

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Replay the golden-report corpus against a running wmrace server and
+# diff every served report byte for byte against the committed
+# .expected.txt files — the serving twin of the golden_* CTest lane.
+#
+# Usage:
+#   tools/loadgen.sh WMRACE_BIN [GOLDEN_DIR] [--server ADDR]
+#
+# Without --server the script starts its own server on a private unix
+# socket (--jobs 4), replays, and shuts it down; with --server it
+# replays against yours and leaves it running.  Every trace is
+# submitted twice — the second submission must be answered from the
+# result cache and still be byte-identical.  Exits nonzero on the
+# first mismatch.
+set -u
+
+die() { echo "loadgen: $*" >&2; exit 2; }
+
+[ $# -ge 1 ] || die "usage: loadgen.sh WMRACE_BIN [GOLDEN_DIR] [--server ADDR]"
+WMRACE=$1; shift
+[ -x "$WMRACE" ] || die "not executable: $WMRACE"
+
+GOLDEN="$(dirname "$0")/../tests/data/golden"
+ADDR=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --server) ADDR=$2; shift 2 ;;
+        *) GOLDEN=$1; shift ;;
+    esac
+done
+[ -d "$GOLDEN" ] || die "no golden dir: $GOLDEN"
+
+WORK=$(mktemp -d /tmp/wmrloadgen.XXXXXX) || die "mktemp failed"
+SERVER_PID=""
+cleanup() {
+    if [ -n "$SERVER_PID" ]; then
+        "$WMRACE" submit --server "$ADDR" --shutdown >/dev/null 2>&1
+        wait "$SERVER_PID" 2>/dev/null
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ -z "$ADDR" ]; then
+    "$WMRACE" serve --socket "$WORK/serve.sock" --jobs 4 \
+        > "$WORK/addr.txt" 2> "$WORK/serve.log" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        ADDR=$(cat "$WORK/addr.txt" 2>/dev/null)
+        [ -n "$ADDR" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || {
+            cat "$WORK/serve.log" >&2
+            SERVER_PID=""
+            die "server died during startup"
+        }
+        sleep 0.1
+    done
+    [ -n "$ADDR" ] || die "server never printed its address"
+fi
+
+fail=0
+replayed=0
+for trace in "$GOLDEN"/*.trace; do
+    [ -e "$trace" ] || die "no traces in $GOLDEN"
+    base=$(basename "$trace" .trace)
+    expected="$GOLDEN/$base.expected.txt"
+    [ -f "$expected" ] || die "missing $expected"
+
+    salvage=""
+    case "$base" in *damaged*) salvage="--salvage" ;; esac
+
+    for pass in fresh cached; do
+        got="$WORK/$base.$pass.out"
+        "$WMRACE" submit "$trace" --server "$ADDR" $salvage \
+            > "$got" 2> "$WORK/$base.$pass.err"
+        status=$?
+        # submit exits 1 when the report finds a data race — that is
+        # a successful analysis, not a transport failure.
+        if [ $status -ne 0 ] && [ $status -ne 1 ]; then
+            echo "loadgen: FAIL $base ($pass): submit exited $status" >&2
+            cat "$WORK/$base.$pass.err" >&2
+            fail=1
+            continue
+        fi
+        if ! cmp -s "$expected" "$got"; then
+            echo "loadgen: FAIL $base ($pass): served report differs" >&2
+            diff -u "$expected" "$got" | head -40 >&2
+            fail=1
+        fi
+    done
+    replayed=$((replayed + 1))
+done
+
+[ $fail -eq 0 ] && echo "loadgen: $replayed trace(s) served byte-identical (fresh + cached)"
+exit $fail

@@ -13,6 +13,8 @@
  *   wmrace disasm <prog.wm>            print the assembled program
  *   wmrace static <prog.wm>            compile-time lockset analysis
  *   wmrace models                      list memory models/realizations
+ *   wmrace serve [options]             long-lived analysis daemon
+ *   wmrace submit <trace> --server A   analyze via a running server
  *
  * Options of `run`:
  *   --model SC|WO|RCsc|DRF0|DRF1   memory model      (default WO)
@@ -45,6 +47,25 @@
  *                  re-run with the same file skips completed traces
  *   --quarantine FILE  write failed trace paths as a corpus
  *                  manifest (re-feedable to `wmrace batch`)
+ *   --server ADDR  submit every trace to a running `wmrace serve`
+ *                  daemon instead of analyzing locally (--jobs then
+ *                  bounds concurrent submissions); incompatible with
+ *                  --checkpoint and --fail-fast
+ *
+ * Options of `serve` (see docs/SERVE.md): --socket PATH or
+ *   --tcp PORT (0 = kernel-assigned; the bound address is printed
+ *   on stdout), --jobs N (global analysis budget), --workers W,
+ *   --max-queue N, --max-inflight-mb MB, --max-request-mb MB,
+ *   --cache-mb MB, --cache-dir DIR (disk result-cache tier),
+ *   --spool-dir DIR (crash-safe request spool + journal),
+ *   --retry-after-ms MS, --io-timeout-sec S.  SIGTERM/SIGINT drain
+ *   gracefully.
+ *
+ * Options of `submit`: --server ADDR (unix socket path or
+ *   tcp:HOST:PORT), --salvage, --no-cache, --meta (print the
+ *   machine-readable response meta line), --attempts N (retries on
+ *   overload), --status, --shutdown.  Exit codes mirror `check`:
+ *   1 = data race, 2 = bad request, 3 = rejected.
  *
  * Options of `record` (see docs/RUNTIME.md; they must precede the
  * child binary — everything after it belongs to the child):
@@ -95,6 +116,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "common/worker_pool.hh"
 #include "detect/analysis.hh"
 #include "detect/dot_export.hh"
 #include "detect/report.hh"
@@ -107,6 +129,8 @@
 #include "pipeline/batch_runner.hh"
 #include "pipeline/checkpoint.hh"
 #include "prog/assembler.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "staticdet/static_analyzer.hh"
 #include "trace/segmented_io.hh"
 #include "trace/timeline.hh"
@@ -393,30 +417,17 @@ loadRecordedTrace(const std::string &path, bool allowSalvage)
 /**
  * The report header lines stating what the analyzed trace actually
  * is: salvage provenance and recorder-side data loss, so a partial
- * or Drop-mode trace can never masquerade as a complete one.
+ * or Drop-mode trace can never masquerade as a complete one.  The
+ * rendering lives in formatTraceProvenance() (segmented_io.hh),
+ * shared with the serve subsystem so a served report stays
+ * byte-identical to a local one.
  */
 void
 printTraceProvenance(const LoadedTrace &lt)
 {
-    if (!lt.segmented)
-        return;
-    if (lt.salvage.salvaged) {
-        std::printf("SALVAGED trace: %s\n",
-                    lt.salvage.summary().c_str());
-        if (lt.salvage.unresolvedPairings > 0) {
-            std::printf("  %llu release->acquire pairing(s) lost "
-                        "with the dropped tail\n",
-                        static_cast<unsigned long long>(
-                            lt.salvage.unresolvedPairings));
-        }
-    }
-    if (lt.salvage.droppedDataRecords > 0) {
-        std::printf("RECORDER LOSS: %llu data record(s) dropped by "
-                    "the ring-overflow Drop policy; computation "
-                    "events undercount accordingly\n",
-                    static_cast<unsigned long long>(
-                        lt.salvage.droppedDataRecords));
-    }
+    std::printf("%s",
+                formatTraceProvenance(lt.segmented, lt.salvage)
+                    .c_str());
 }
 
 int
@@ -454,6 +465,93 @@ cmdCheck(const Args &args)
     return det.anyDataRace() ? 1 : 0;
 }
 
+/**
+ * `wmrace batch --server ADDR`: ship every corpus trace to a running
+ * `wmrace serve` daemon instead of analyzing locally, and rebuild
+ * the per-trace results from the returned meta blocks — the
+ * aggregate report comes out byte-identical to a local batch because
+ * the meta carries every field the report renders.  --jobs bounds
+ * the CONCURRENT SUBMISSIONS here (the server owns the analysis
+ * thread budget); an Overloaded answer is retried with the server's
+ * backoff hint, so a flooded server throttles the client instead of
+ * failing the batch.
+ */
+BatchResult
+runBatchOverServer(const CorpusScan &corpus,
+                   const serve::ServerAddress &addr, unsigned jobs,
+                   bool salvage)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+
+    BatchResult batch;
+    batch.corpus = corpus;
+    batch.traces.resize(corpus.files.size());
+
+    serve::SubmitOptions sopts;
+    sopts.salvage = salvage;
+    sopts.maxAttempts = 16;
+
+    const unsigned lanes = resolveThreads(jobs);
+    parallelFor(lanes, corpus.files.size(), [&](std::size_t i) {
+        const std::string &path = corpus.files[i];
+        TraceRunResult &rr = batch.traces[i];
+        rr.path = path;
+        const serve::SubmitResult sub =
+            serve::submitTraceFile(addr, path, sopts);
+        if (!sub.ok) {
+            rr.status = TraceRunStatus::IoError;
+            rr.error = sub.error;
+            return;
+        }
+        const serve::Response &resp = sub.response;
+        const serve::ResponseMeta &m = resp.meta;
+        if (!resp.ok()) {
+            rr.status =
+                resp.status == serve::RespStatus::BadRequest
+                    ? TraceRunStatus::FormatError
+                    : TraceRunStatus::IoError;
+            rr.error = m.error.empty()
+                           ? std::string("server answered ") +
+                                 serve::respStatusName(resp.status)
+                           : m.error;
+            return;
+        }
+        rr.status = TraceRunStatus::Ok;
+        rr.fileBytes = m.fileBytes;
+        rr.events = m.events;
+        rr.syncEvents = m.syncEvents;
+        rr.ops = m.ops;
+        rr.races = m.races;
+        rr.dataRaces = m.dataRaces;
+        rr.partitions = m.partitions;
+        rr.firstPartitions = m.firstPartitions;
+        rr.reportedRaces = m.reportedRaces;
+        rr.anyDataRace = m.anyDataRace;
+        rr.wholeExecutionSc = m.wholeExecutionSc;
+        rr.salvaged = m.salvaged;
+        rr.unresolvedPairings = m.unresolvedPairings;
+        rr.droppedDataRecords = m.droppedDataRecords;
+    });
+
+    BatchMetrics &met = batch.metrics;
+    met.jobs = lanes;
+    met.corpusTraces = corpus.files.size();
+    for (const TraceRunResult &rr : batch.traces) {
+        if (rr.ok()) {
+            met.analyzed += 1;
+            met.bytesRead += rr.fileBytes;
+            if (rr.salvaged)
+                met.salvaged += 1;
+        } else {
+            met.failed += 1;
+        }
+    }
+    met.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return batch;
+}
+
 int
 cmdBatch(const Args &args)
 {
@@ -475,7 +573,26 @@ cmdBatch(const Args &args)
             fatal("batch: --checkpoint needs a file path");
     }
 
-    const BatchResult batch = runBatch(corpus, opts);
+    BatchResult remoteBatch;
+    if (args.has("server")) {
+        if (args.has("checkpoint"))
+            fatal("batch: --checkpoint does not combine with "
+                  "--server (the server's --spool-dir is the "
+                  "crash-safety mechanism there)");
+        if (args.has("fail-fast"))
+            fatal("batch: --fail-fast does not combine with "
+                  "--server (submissions run concurrently)");
+        serve::ServerAddress addr;
+        std::string err;
+        if (!serve::parseServerAddress(args.get("server"), addr,
+                                       err))
+            fatal("batch: %s", err.c_str());
+        remoteBatch = runBatchOverServer(corpus, addr, opts.jobs,
+                                         opts.salvage);
+    }
+    const BatchResult batch = args.has("server")
+                                  ? std::move(remoteBatch)
+                                  : runBatch(corpus, opts);
 
     BatchReportOptions ropts;
     ropts.showPerTrace = !args.has("summary");
@@ -888,6 +1005,218 @@ cmdModels()
     return 0;
 }
 
+/**
+ * Parse a strict nonnegative integer option into @p out (untouched
+ * when absent).  @return false after printing an error, mirroring
+ * parseJobs(): a mistyped size must never silently become 0.
+ */
+bool
+parseUintOpt(const Args &args, const char *cmd, const char *key,
+             unsigned long long maxValue, unsigned long long &out)
+{
+    if (!args.has(key))
+        return true;
+    const std::string v = args.get(key);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long n =
+        v.empty() ? 0 : std::strtoull(v.c_str(), &end, 10);
+    if (v.empty() || *end != '\0' || errno == ERANGE ||
+        n > maxValue) {
+        std::fprintf(stderr,
+                     "%s: invalid --%s '%s': expected an integer "
+                     "between 0 and %llu\n",
+                     cmd, key, v.c_str(), maxValue);
+        return false;
+    }
+    out = n;
+    return true;
+}
+
+/** The serving daemon a SIGTERM/SIGINT handler must reach.  One
+ *  server per process; beginShutdown() is async-signal-safe. */
+serve::Server *gServeInstance = nullptr;
+
+void
+serveSignalHandler(int)
+{
+    if (gServeInstance != nullptr)
+        gServeInstance->beginShutdown();
+}
+
+/**
+ * `wmrace serve`: run the long-lived analysis service
+ * (docs/SERVE.md).  Listens on --socket PATH (unix domain) or
+ * --tcp PORT (loopback; 0 = kernel-assigned), prints the bound
+ * address on stdout once ready, and serves until SIGTERM/SIGINT or
+ * a client Shutdown request — then drains queued analyses and
+ * exits 0.
+ */
+int
+cmdServe(const Args &args)
+{
+    const TraceOut traceOut(args);
+    serve::ServeOptions sopts;
+    sopts.socketPath = args.get("socket");
+    if (args.has("tcp")) {
+        unsigned long long port = 0;
+        if (!parseUintOpt(args, "serve", "tcp", 65535, port))
+            return 2;
+        sopts.tcpPort = static_cast<int>(port);
+    }
+    if (sopts.socketPath.empty() && sopts.tcpPort < 0)
+        fatal("serve: listen address required: --socket PATH or "
+              "--tcp PORT (0 = kernel-assigned)");
+    if (!parseJobs(args, "serve", sopts.jobs))
+        return 2;
+
+    unsigned long long v = 0;
+    if (!parseUintOpt(args, "serve", "workers", 4096, v))
+        return 2;
+    sopts.workers = static_cast<unsigned>(v);
+    v = sopts.maxQueue;
+    if (!parseUintOpt(args, "serve", "max-queue", 1u << 20, v))
+        return 2;
+    if (v == 0) {
+        std::fprintf(stderr, "serve: --max-queue must be >= 1 (the "
+                             "queue bound is the admission "
+                             "control)\n");
+        return 2;
+    }
+    sopts.maxQueue = static_cast<std::size_t>(v);
+    v = sopts.maxInflightBytes >> 20;
+    if (!parseUintOpt(args, "serve", "max-inflight-mb", 1u << 20,
+                      v))
+        return 2;
+    sopts.maxInflightBytes = v << 20;
+    v = sopts.maxRequestBytes >> 20;
+    if (!parseUintOpt(args, "serve", "max-request-mb", 1u << 20, v))
+        return 2;
+    sopts.maxRequestBytes = v << 20;
+    v = sopts.cacheBytes >> 20;
+    if (!parseUintOpt(args, "serve", "cache-mb", 1u << 20, v))
+        return 2;
+    sopts.cacheBytes = v << 20;
+    v = sopts.retryAfterMs;
+    if (!parseUintOpt(args, "serve", "retry-after-ms", 3600000, v))
+        return 2;
+    sopts.retryAfterMs = static_cast<std::uint32_t>(v);
+    v = sopts.ioTimeoutSec;
+    if (!parseUintOpt(args, "serve", "io-timeout-sec", 86400, v))
+        return 2;
+    sopts.ioTimeoutSec = static_cast<unsigned>(v);
+    sopts.cacheDir = args.get("cache-dir");
+    sopts.spoolDir = args.get("spool-dir");
+
+    serve::Server server(sopts);
+    gServeInstance = &server;
+    std::signal(SIGTERM, serveSignalHandler);
+    std::signal(SIGINT, serveSignalHandler);
+
+    if (!server.start())
+        fatal("serve: %s", server.lastError().c_str());
+
+    // The bound address goes to STDOUT (scripts read it — with
+    // --tcp 0 the port is kernel-assigned); status chatter goes to
+    // stderr like every other command.
+    std::printf("%s\n", server.boundAddress().c_str());
+    std::fflush(stdout);
+    const serve::ServeStats boot = server.stats();
+    std::fprintf(stderr,
+                 "wmrace serve: listening on %s  (%llu spooled "
+                 "request(s) recovered)\n",
+                 server.boundAddress().c_str(),
+                 static_cast<unsigned long long>(boot.recovered));
+
+    server.waitDrained();
+    gServeInstance = nullptr;
+    const serve::ServeStats s = server.stats();
+    std::fprintf(
+        stderr,
+        "wmrace serve: drained  (%llu request(s), %llu "
+        "analysis(es), %llu overload rejection(s))\n",
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.analyses),
+        static_cast<unsigned long long>(s.overloaded));
+    return 0;
+}
+
+/**
+ * `wmrace submit`: one client round trip against a running
+ * `wmrace serve` daemon.
+ *
+ *   wmrace submit <trace> --server ADDR [--salvage] [--no-cache]
+ *                 [--meta] [--attempts N]
+ *   wmrace submit --server ADDR --status | --shutdown
+ *
+ * The printed report is byte-identical to local `wmrace check`
+ * output, and the exit code matches too (1 = data race found).
+ * --meta prints the one-line machine-readable summary instead.
+ */
+int
+cmdSubmit(const Args &args)
+{
+    const std::string addrText = args.get("server");
+    if (addrText.empty())
+        fatal("submit: --server ADDR required (a unix socket path "
+              "or tcp:HOST:PORT)");
+    serve::ServerAddress addr;
+    std::string err;
+    if (!serve::parseServerAddress(addrText, addr, err))
+        fatal("submit: %s", err.c_str());
+
+    if (args.has("status")) {
+        const serve::SubmitResult r = serve::queryStatus(addr);
+        if (!r.ok)
+            fatal("submit: %s", r.error.c_str());
+        std::printf("%s\n", r.response.report.c_str());
+        return 0;
+    }
+    if (args.has("shutdown")) {
+        const serve::SubmitResult r = serve::requestShutdown(addr);
+        if (!r.ok)
+            fatal("submit: %s", r.error.c_str());
+        std::fprintf(stderr, "submit: server is draining\n");
+        return 0;
+    }
+
+    if (args.positional().empty())
+        fatal("submit: missing trace file");
+    serve::SubmitOptions sopts;
+    sopts.salvage = args.has("salvage");
+    sopts.noCache = args.has("no-cache");
+    unsigned long long attempts = sopts.maxAttempts;
+    if (!parseUintOpt(args, "submit", "attempts", 1000, attempts))
+        return 2;
+    if (attempts == 0) {
+        std::fprintf(stderr,
+                     "submit: --attempts must be >= 1\n");
+        return 2;
+    }
+    sopts.maxAttempts = static_cast<unsigned>(attempts);
+
+    const serve::SubmitResult r = serve::submitTraceFile(
+        addr, args.positional()[0], sopts);
+    if (!r.ok)
+        fatal("submit: %s", r.error.c_str());
+    const serve::Response &resp = r.response;
+    if (!resp.ok()) {
+        std::fprintf(stderr, "submit: server answered %s: %s\n",
+                     serve::respStatusName(resp.status),
+                     resp.meta.error.c_str());
+        // Capacity rejections exit 3 (retryable), bad uploads 2.
+        return resp.status == serve::RespStatus::Overloaded ||
+                       resp.status == serve::RespStatus::Draining
+                   ? 3
+                   : 2;
+    }
+    if (args.has("meta"))
+        std::printf("%s\n", serve::metaJson(resp).c_str());
+    else
+        std::printf("%s", resp.report.c_str());
+    return resp.meta.anyDataRace ? 1 : 0;
+}
+
 void
 usage()
 {
@@ -897,7 +1226,12 @@ usage()
         "races\n"
         "  check <trace.bin>  post-mortem analysis of a trace file\n"
         "  batch <dir|manifest>  analyze a whole trace corpus "
-        "(multi-threaded)\n"
+        "(multi-threaded,\n"
+        "                     or remotely via --server ADDR)\n"
+        "  serve              run the long-lived analysis service "
+        "(unix socket or TCP)\n"
+        "  submit <trace>     analyze one trace on a running "
+        "server\n"
         "  record <bin> [args]  run an annotated program, record + "
         "analyze its trace\n"
         "  gen-trace <out>    write a deterministic synthetic trace "
@@ -926,6 +1260,10 @@ main(int argc, char **argv)
         return cmdCheck(args);
     if (cmd == "batch")
         return cmdBatch(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "submit")
+        return cmdSubmit(args);
     if (cmd == "record")
         return cmdRecord(argc, argv);
     if (cmd == "gen-trace")
