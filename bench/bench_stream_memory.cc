@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Resident-memory curve of the streaming engine (src/stream/): trace
+ * sizes spanning two orders of magnitude are generated through the
+ * bounded-memory writer and stream-analyzed, recording peak resident
+ * events against total events.  The claim under test is the
+ * subsystem's reason to exist: resident state tracks the GC window
+ * plus the racy pin set — a fraction of a percent of the trace — not
+ * the trace itself, so analysis memory stays flat while traces grow
+ * unbounded.  Each size is additionally streamed at a second window
+ * size and the rendered reports compared byte for byte (cross-window
+ * identity; the whole-trace differential lives in tests/
+ * test_stream.cc where trace sizes keep the quadratic reference
+ * engine feasible).
+ *
+ * A machine-readable JSON block follows the table; the committed
+ * baseline is BENCH_stream_memory.json (tools/bench_baselines.sh).
+ * WMR_BENCH_SMOKE=1 shrinks the sizes so the binary doubles as a
+ * fast CTest smoke entry.
+ */
+
+#include "bench_util.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "detect/report.hh"
+#include "stream/stream_analyzer.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace {
+
+using namespace wmr;
+using namespace wmr::benchutil;
+
+/** The proven flat-memory workload shape: uniform accesses over a
+ *  large data span and few sync words, so clocks gossip fast and the
+ *  watermark follows close behind the frontier. */
+SyntheticTraceOptions
+workload(std::uint64_t totalEvents)
+{
+    SyntheticTraceOptions o;
+    o.procs = 4;
+    o.eventsPerProc =
+        static_cast<std::uint32_t>(totalEvents / o.procs);
+    o.memWords = 65536;
+    o.syncWords = 16;
+    o.syncFraction = 0.6;
+    o.hotFraction = 0.0;
+    o.seed = 11;
+    return o;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct Row
+{
+    std::uint64_t events = 0;
+    std::uint64_t fileBytes = 0;
+    double genSeconds = 0;
+    double wallSeconds = 0;
+    std::uint64_t peakResident = 0;
+    std::uint64_t windowsRetired = 0;
+    std::uint64_t races = 0;
+    bool windowsIdentical = false;
+};
+
+std::string
+tracePath(std::uint64_t events)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("bench_stream_" + std::to_string(::getpid()) + "_" +
+             std::to_string(events) + ".seg"))
+        .string();
+}
+
+Row
+runSize(std::uint64_t totalEvents)
+{
+    Row row;
+    row.events = totalEvents;
+    const std::string path = tracePath(totalEvents);
+
+    auto t = std::chrono::steady_clock::now();
+    row.fileBytes =
+        writeSyntheticSegmentedTraceFile(workload(totalEvents), path);
+    row.genSeconds = secondsSince(t);
+    if (row.fileBytes == 0)
+        fatal("bench_stream_memory: cannot write %s", path.c_str());
+
+    StreamOptions opts; // window 4, the CLI default
+    t = std::chrono::steady_clock::now();
+    const StreamResult sr = streamAnalyzeFile(path, opts);
+    row.wallSeconds = secondsSince(t);
+    if (!sr.ok)
+        fatal("bench_stream_memory: %s", sr.error.c_str());
+    row.peakResident = sr.peakResident;
+    row.windowsRetired = sr.windowsRetired;
+    row.races = sr.races;
+
+    StreamOptions wide;
+    wide.windowSegments = 64;
+    const StreamResult sw = streamAnalyzeFile(path, wide);
+    row.windowsIdentical =
+        sw.ok && renderReport(sr.report, nullptr, {}) ==
+                     renderReport(sw.report, nullptr, {});
+
+    std::remove(path.c_str());
+    return row;
+}
+
+void
+reproduce()
+{
+    const std::vector<std::uint64_t> sizes =
+        smokeMode()
+            ? std::vector<std::uint64_t>{40'000, 160'000}
+            : std::vector<std::uint64_t>{100'000, 1'000'000,
+                                         10'000'000};
+
+    section("streaming engine resident memory vs. trace size" +
+            std::string(smokeMode() ? " (smoke mode)" : ""));
+    note("events resident = live GC window + pinned racy events; "
+         "flat target: < 2% of the trace at every size");
+
+    std::printf("  %-12s %12s %10s %10s %12s %10s %10s\n", "events",
+                "file MB", "gen s", "stream s", "peak resident",
+                "resident%", "races");
+    std::vector<Row> rows;
+    bool flat = true;
+    bool identical = true;
+    for (const std::uint64_t n : sizes) {
+        const Row row = runSize(n);
+        const double fraction =
+            100.0 * static_cast<double>(row.peakResident) /
+            static_cast<double>(row.events);
+        std::printf("  %-12llu %12.1f %10.2f %10.2f %12llu %9.3f%% "
+                    "%10llu\n",
+                    static_cast<unsigned long long>(row.events),
+                    static_cast<double>(row.fileBytes) / 1e6,
+                    row.genSeconds, row.wallSeconds,
+                    static_cast<unsigned long long>(row.peakResident),
+                    fraction,
+                    static_cast<unsigned long long>(row.races));
+        if (row.peakResident * 50 >= row.events)
+            flat = false;
+        identical = identical && row.windowsIdentical;
+        rows.push_back(row);
+    }
+    note(flat ? "resident line flat (< 2% of the trace at every "
+                "size)."
+              : "!! RESIDENT LINE NOT FLAT — the watermark GC is "
+                "not retiring (regression).");
+    note(identical
+             ? "reports verified byte-identical across window sizes "
+               "4 and 64 at every size."
+             : "!! WINDOW MISMATCH — report depends on the GC "
+               "window (regression).");
+
+    // Machine-readable block for plotting/regression tooling.
+    std::printf("{\n  \"schema\": \"wmrace-stream-memory\",\n");
+    std::printf("  \"resident_flat\": %s,\n",
+                flat ? "true" : "false");
+    std::printf("  \"windows_identical\": %s,\n",
+                identical ? "true" : "false");
+    std::printf("  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf(
+            "    {\"events\": %llu, \"file_bytes\": %llu, "
+            "\"gen_seconds\": %.3f, \"stream_seconds\": %.3f, "
+            "\"events_per_second\": %.1f, \"peak_resident_events\": "
+            "%llu, \"resident_fraction\": %.6f, \"windows_retired\": "
+            "%llu, \"races\": %llu}%s\n",
+            static_cast<unsigned long long>(r.events),
+            static_cast<unsigned long long>(r.fileBytes),
+            r.genSeconds, r.wallSeconds,
+            static_cast<double>(r.events) / r.wallSeconds,
+            static_cast<unsigned long long>(r.peakResident),
+            static_cast<double>(r.peakResident) /
+                static_cast<double>(r.events),
+            static_cast<unsigned long long>(r.windowsRetired),
+            static_cast<unsigned long long>(r.races),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+}
+
+void
+BM_StreamAnalyze(benchmark::State &state)
+{
+    const auto events =
+        static_cast<std::uint64_t>(state.range(0)) * 1000;
+    const std::string path = tracePath(events);
+    if (writeSyntheticSegmentedTraceFile(workload(events), path) == 0)
+        fatal("bench_stream_memory: cannot write %s", path.c_str());
+    for (auto _ : state) {
+        const StreamResult sr = streamAnalyzeFile(path, {});
+        benchmark::DoNotOptimize(sr.races);
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_StreamAnalyze)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+} // namespace
+
+WMR_BENCH_MAIN(reproduce)

@@ -29,13 +29,24 @@ partitionRaces(const std::vector<DataRace> &races,
         RacePartition part;
         part.component = comp;
         part.races = rs;
-        for (const auto r : rs)
+        part.label = kNoEvent;
+        for (const auto r : rs) {
             part.hasDataRace |= races[r].isDataRace;
-        const auto idx = static_cast<std::uint32_t>(
-            out.partitions.size());
-        for (const auto r : rs)
-            out.partitionOf[r] = idx;
+            part.label = std::min(part.label, races[r].a);
+        }
         out.partitions.push_back(std::move(part));
+    }
+
+    // Order by the canonical label (smallest racy event id).  Labels
+    // are distinct across partitions: an event belongs to exactly one
+    // SCC, so race-endpoint sets of different partitions are disjoint.
+    std::sort(out.partitions.begin(), out.partitions.end(),
+              [](const RacePartition &a, const RacePartition &b) {
+                  return a.label < b.label;
+              });
+    for (std::size_t i = 0; i < out.partitions.size(); ++i) {
+        for (const auto r : out.partitions[i].races)
+            out.partitionOf[r] = static_cast<std::uint32_t>(i);
     }
 
     // First partitions: not preceded (Def. 4.1) by any OTHER

@@ -24,8 +24,19 @@ namespace wmr {
 /** One partition: the races of one racy SCC of G'. */
 struct RacePartition
 {
-    /** G'-SCC id backing this partition. */
+    /** G'-SCC id backing this partition (engine-internal numbering,
+     *  only meaningful against the producing AugmentedGraph). */
     std::uint32_t component = 0;
+
+    /**
+     * Canonical component name: the smallest event id among the
+     * partition's race endpoints.  Unlike the raw SCC id — an
+     * artifact of the traversal order — this label is intrinsic to
+     * the execution, so alternative engines (e.g. the streaming
+     * analyzer) reproduce it exactly.  Reports print this label and
+     * partitions are ordered by it.
+     */
+    std::uint32_t label = 0;
 
     /** Indices into the race vector. */
     std::vector<RaceId> races;
@@ -40,7 +51,7 @@ struct RacePartition
 /** The full partition structure of one analysis. */
 struct RacePartitions
 {
-    /** All partitions, ordered by component id. */
+    /** All partitions, ordered by canonical label. */
     std::vector<RacePartition> partitions;
 
     /** partitionOf[r] = index into partitions for race r. */

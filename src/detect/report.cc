@@ -7,14 +7,6 @@ namespace wmr {
 namespace {
 
 std::string
-addrText(Addr a, const Program *prog)
-{
-    if (prog)
-        return prog->addrName(a);
-    return strformat("[%u]", a);
-}
-
-std::string
 membershipText(ScpMembership m)
 {
     switch (m) {
@@ -25,139 +17,77 @@ membershipText(ScpMembership m)
     return "?";
 }
 
+ReportRaceModel
+buildRaceModel(const DetectionResult &result, RaceId r)
+{
+    const DataRace &race = result.races()[r];
+    ReportRaceModel out;
+    out.a = summarizeEvent(result.trace().event(race.a));
+    out.b = summarizeEvent(result.trace().event(race.b));
+    out.addrs = race.addrs;
+    out.isDataRace = race.isDataRace;
+    out.inScp = result.scp().raceInScp[r];
+    out.maybeInScp = result.scp().raceMaybeInScp[r];
+    return out;
+}
+
 } // namespace
+
+ReportModel
+buildReportModel(const DetectionResult &result)
+{
+    ReportModel m;
+    m.numEvents = result.trace().events().size();
+    m.numSyncEvents = result.trace().numSyncEvents();
+    m.totalOps = result.trace().totalOps();
+    m.numDataRaces = result.numDataRaces();
+    m.anyDataRace = result.anyDataRace();
+    m.wholeExecutionSc = result.scp().wholeExecutionSc;
+    m.scpEndOp = result.scp().scpEndOp;
+    for (RaceId r = 0; r < result.races().size(); ++r)
+        m.races.push_back(buildRaceModel(result, r));
+    const auto &parts = result.partitions();
+    for (const auto &part : parts.partitions) {
+        ReportPartitionModel pm;
+        pm.label = part.label;
+        pm.races = part.races;
+        pm.first = part.first;
+        m.partitions.push_back(std::move(pm));
+    }
+    m.firstPartitions = parts.firstPartitions;
+    return m;
+}
 
 std::string
 describeEvent(const Event &ev, const Program *prog)
 {
-    if (ev.kind == EventKind::Sync) {
-        const char *what = ev.syncOp.kind == OpKind::Write
-                               ? (ev.syncOp.release ? "release-write"
-                                                    : "sync-write")
-                               : (ev.syncOp.acquire ? "acquire-read"
-                                                    : "sync-read");
-        return strformat("E%u P%u %s %s @pc%u", ev.id, ev.proc, what,
-                         addrText(ev.syncOp.addr, prog).c_str(),
-                         ev.syncOp.pc);
-    }
-    std::string reads, writes;
-    std::size_t shown = 0;
-    ev.readSet.forEach([&](std::size_t a) {
-        if (shown++ < 4) {
-            if (!reads.empty())
-                reads += ",";
-            reads += addrText(static_cast<Addr>(a), prog);
-        }
-    });
-    shown = 0;
-    ev.writeSet.forEach([&](std::size_t a) {
-        if (shown++ < 4) {
-            if (!writes.empty())
-                writes += ",";
-            writes += addrText(static_cast<Addr>(a), prog);
-        }
-    });
-    return strformat("E%u P%u computation(%u ops) R{%s} W{%s}", ev.id,
-                     ev.proc, ev.opCount, reads.c_str(),
-                     writes.c_str());
+    return describeEventInfo(summarizeEvent(ev), prog);
 }
 
 std::string
 describeRace(const DetectionResult &result, RaceId r,
              const Program *prog, const ReportOptions &opts)
 {
-    const DataRace &race = result.races()[r];
-    const auto &ea = result.trace().event(race.a);
-    const auto &eb = result.trace().event(race.b);
-    std::string addrs;
-    for (std::size_t i = 0;
-         i < race.addrs.size() && i < opts.maxAddrsPerRace; ++i) {
-        if (i)
-            addrs += ",";
-        addrs += addrText(race.addrs[i], prog);
-    }
-    if (race.addrs.size() > opts.maxAddrsPerRace)
-        addrs += ",...";
-    const char *scp_tag =
-        result.scp().raceInScp[r]
-            ? "SCP"
-            : (result.scp().raceMaybeInScp[r] ? "SCP?" : "non-SCP");
-    return strformat(
-        "race #%u <%s | %s> on {%s} [%s]%s", r,
-        describeEvent(ea, prog).c_str(),
-        describeEvent(eb, prog).c_str(), addrs.c_str(), scp_tag,
-        race.isDataRace ? "" : " (general race, not a data race)");
+    ReportModel m;
+    m.races.resize(r + 1);
+    m.races[r] = buildRaceModel(result, r);
+    return describeRaceModel(m, r, prog, opts);
 }
 
 std::string
 formatReport(const DetectionResult &result, const Program *prog,
              const ReportOptions &opts)
 {
-    std::string out;
-    const auto &scp = result.scp();
-    const auto &parts = result.partitions();
+    const ReportModel m = buildReportModel(result);
+    std::string out = renderReport(m, prog, opts);
 
-    out += "=== wmrace post-mortem data race report ===\n";
-    out += strformat("events: %zu (%u sync), operations: %llu\n",
-                     result.trace().events().size(),
-                     result.trace().numSyncEvents(),
-                     static_cast<unsigned long long>(
-                         result.trace().totalOps()));
-    out += strformat("races: %zu (%zu data races) in %zu partitions\n",
-                     result.races().size(), result.numDataRaces(),
-                     parts.partitions.size());
-
-    if (!result.anyDataRace()) {
-        out += "NO data races detected.\n";
-        out += "By Theorem 4.1 / Condition 3.4(1): this execution was "
-               "sequentially consistent;\nreason about it exactly as "
-               "on a sequentially consistent machine.\n";
-        return out;
-    }
-
-    if (scp.wholeExecutionSc) {
-        out += "execution remained SC end-to-end (no stale reads); "
-               "all races are SCP races.\n";
-    } else {
-        out += strformat(
-            "sequentially consistent prefix: operations [0, %llu)\n",
-            static_cast<unsigned long long>(scp.scpEndOp));
-    }
-
-    out += strformat("FIRST partitions to report: %zu\n",
-                     parts.firstPartitions.size());
-    for (const auto pi : parts.firstPartitions) {
-        const auto &part = parts.partitions[pi];
-        out += strformat("-- first partition (G' component %u), "
-                         "%zu race(s):\n",
-                         part.component, part.races.size());
-        out += "   at least one race below also occurs in a "
-               "sequentially consistent execution (Theorem 4.2)\n";
-        for (const auto r : part.races)
-            out += "   " + describeRace(result, r, prog, opts) + "\n";
-    }
-
-    if (opts.showNonFirst) {
-        for (std::size_t i = 0; i < parts.partitions.size(); ++i) {
-            const auto &part = parts.partitions[i];
-            if (part.first)
-                continue;
-            out += strformat("-- non-first partition (G' component "
-                             "%u), %zu race(s) — affected by earlier "
-                             "races, may be artifacts:\n",
-                             part.component, part.races.size());
-            for (const auto r : part.races)
-                out += "   " + describeRace(result, r, prog, opts) +
-                       "\n";
-        }
-    }
-
-    if (opts.showEvents) {
+    if (m.anyDataRace && opts.showEvents) {
         out += "-- events --\n";
         for (const auto &ev : result.trace().events()) {
             out += strformat(
                 "   %s [%s]\n", describeEvent(ev, prog).c_str(),
-                membershipText(scp.membership(ev.id)).c_str());
+                membershipText(
+                    result.scp().membership(ev.id)).c_str());
         }
     }
     return out;

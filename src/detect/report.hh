@@ -9,6 +9,10 @@
  * sequentially consistent") spelled out.  When the originating
  * Program is supplied, addresses print with their symbolic names and
  * races carry static instruction attribution.
+ *
+ * The rendering itself lives in report_model.hh: this header adapts
+ * the whole-trace DetectionResult onto the engine-neutral ReportModel
+ * so the streaming engine shares the exact same formatter.
  */
 
 #ifndef WMR_DETECT_REPORT_HH
@@ -17,22 +21,13 @@
 #include <string>
 
 #include "detect/analysis.hh"
+#include "detect/report_model.hh"
 #include "prog/program.hh"
 
 namespace wmr {
 
-/** Formatting options. */
-struct ReportOptions
-{
-    /** Also list non-first partitions. */
-    bool showNonFirst = true;
-
-    /** Include per-event detail (op ranges, READ/WRITE sets). */
-    bool showEvents = false;
-
-    /** Maximum addresses printed per race. */
-    std::size_t maxAddrsPerRace = 8;
-};
+/** Build the engine-neutral report model from a detection result. */
+ReportModel buildReportModel(const DetectionResult &result);
 
 /** Render one event as a one-line summary. */
 std::string describeEvent(const Event &ev, const Program *prog);

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Engine-neutral report model.
+ *
+ * The exact bytes of a wmrace race report are a contract: golden
+ * tests, the serve cache, and the streaming differential harness all
+ * byte-compare them.  This header captures everything those bytes
+ * depend on in plain structs with no reference to a particular
+ * analysis engine, plus the single renderer that produces the text.
+ * Both the whole-trace pipeline (detect/analysis) and the streaming
+ * engine (stream/) fill a ReportModel; format identity then holds by
+ * construction.
+ */
+
+#ifndef WMR_DETECT_REPORT_MODEL_HH
+#define WMR_DETECT_REPORT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "detect/race.hh"
+#include "prog/program.hh"
+#include "sim/mem_op.hh"
+#include "trace/event.hh"
+
+namespace wmr {
+
+/** Formatting options. */
+struct ReportOptions
+{
+    /** Also list non-first partitions. */
+    bool showNonFirst = true;
+
+    /** Include per-event detail (op ranges, READ/WRITE sets).
+     *  Whole-trace analysis only: the streaming engine does not keep
+     *  the full event list resident. */
+    bool showEvents = false;
+
+    /** Maximum addresses printed per race. */
+    std::size_t maxAddrsPerRace = 8;
+};
+
+/**
+ * What a report line needs to know about one event.  A computation
+ * event's line prints at most the first four addresses of each of its
+ * READ and WRITE sets, so that is all the model keeps — the streaming
+ * engine can retire the full sets.
+ */
+struct ReportEventInfo
+{
+    EventId id = kNoEvent;
+    ProcId proc = kNoProc;
+    bool isSync = false;
+
+    /** The sync operation (valid when isSync). */
+    MemOp syncOp;
+
+    /** Member-operation count (computation events). */
+    std::uint32_t opCount = 0;
+
+    /** First four READ-set addresses, ascending. */
+    std::vector<Addr> reads;
+
+    /** First four WRITE-set addresses, ascending. */
+    std::vector<Addr> writes;
+};
+
+/** One race, with both endpoint summaries and SCP classification. */
+struct ReportRaceModel
+{
+    ReportEventInfo a;
+    ReportEventInfo b;
+
+    /** Conflict addresses, ascending and deduplicated. */
+    std::vector<Addr> addrs;
+
+    bool isDataRace = true;
+
+    /** SCP classification (scp.raceInScp / raceMaybeInScp). */
+    bool inScp = false;
+    bool maybeInScp = false;
+};
+
+/** One partition as the report shows it. */
+struct ReportPartitionModel
+{
+    /** Canonical label (RacePartition::label). */
+    std::uint32_t label = 0;
+
+    /** Indices into ReportModel::races. */
+    std::vector<RaceId> races;
+
+    bool first = false;
+};
+
+/** Everything the report renderer reads. */
+struct ReportModel
+{
+    std::size_t numEvents = 0;
+    std::uint32_t numSyncEvents = 0;
+    std::uint64_t totalOps = 0;
+
+    std::size_t numDataRaces = 0;
+    bool anyDataRace = false;
+
+    bool wholeExecutionSc = true;
+    std::uint64_t scpEndOp = 0;
+
+    std::vector<ReportRaceModel> races;
+
+    /** In label order; firstPartitions indices follow that order. */
+    std::vector<ReportPartitionModel> partitions;
+    std::vector<std::uint32_t> firstPartitions;
+};
+
+/** Summarize one trace event into its report form. */
+ReportEventInfo summarizeEvent(const Event &ev);
+
+/** Render one event summary as a one-line description. */
+std::string describeEventInfo(const ReportEventInfo &info,
+                              const Program *prog);
+
+/** Render race @p r of @p m as a one-line description. */
+std::string describeRaceModel(const ReportModel &m, RaceId r,
+                              const Program *prog,
+                              const ReportOptions &opts = {});
+
+/**
+ * Render the full report from the model.  Covers everything except
+ * ReportOptions::showEvents (which needs the full event list and is
+ * appended by the whole-trace formatReport wrapper).
+ */
+std::string renderReport(const ReportModel &m, const Program *prog,
+                         const ReportOptions &opts = {});
+
+} // namespace wmr
+
+#endif // WMR_DETECT_REPORT_MODEL_HH

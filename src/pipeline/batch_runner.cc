@@ -12,6 +12,7 @@
 #include "pipeline/checkpoint.hh"
 #include "pipeline/work_queue.hh"
 #include "pipeline/worker_pool.hh"
+#include "stream/stream_analyzer.hh"
 #include "trace/segmented_io.hh"
 #include "trace/trace_io.hh"
 
@@ -36,6 +37,47 @@ struct WorkerTotals
     std::uint64_t candidatePairs = 0;
     std::uint64_t reachQueries = 0;
 };
+
+/**
+ * Stream-analyze one segmented trace (BatchOptions::stream): same
+ * TraceRunResult fields — including the salvage-recovered-nothing
+ * quarantine rule — as the whole-trace path, O(window) memory.
+ */
+void
+streamOneTrace(const std::string &path, const BatchOptions &opts,
+               TraceRunResult &out, StageSeconds &stages)
+{
+    obs::StagedSpan analyzeSpan("batch.analyze", stages.analyze);
+    StreamOptions sopts;
+    sopts.strict = !opts.salvage;
+    sopts.windowSegments = opts.streamWindow;
+    const StreamResult sr = streamAnalyzeFile(path, sopts);
+    if (sr.ok && sr.salvage.salvaged && sr.events == 0) {
+        out.status = TraceRunStatus::FormatError;
+        out.error = "salvage recovered no events (" +
+                    sr.salvage.summary() + ")";
+        return;
+    }
+    if (!sr.ok) {
+        out.status = TraceRunStatus::FormatError;
+        out.error = sr.error;
+        return;
+    }
+    out.salvaged = sr.salvage.salvaged;
+    out.unresolvedPairings = sr.salvage.unresolvedPairings;
+    out.droppedDataRecords = sr.salvage.droppedDataRecords;
+    out.status = TraceRunStatus::Ok;
+    out.events = sr.events;
+    out.syncEvents = sr.syncEvents;
+    out.ops = sr.ops;
+    out.races = sr.races;
+    out.dataRaces = sr.dataRaces;
+    out.partitions = sr.partitions;
+    out.firstPartitions = sr.firstPartitions;
+    out.reportedRaces = sr.reportedRaces;
+    out.anyDataRace = sr.anyDataRace;
+    out.wholeExecutionSc = sr.wholeExecutionSc;
+}
 
 /** Load + parse + analyze one trace file into @p out. */
 void
@@ -73,6 +115,14 @@ analyzeOneTrace(const std::string &path, const BatchOptions &opts,
 
         obs::StagedSpan s("batch.parse", stages.parse);
         if (looksSegmented(bytes.data(), bytes.size())) {
+            if (opts.stream) {
+                // Bounded-memory path: drop the materialized bytes
+                // and stream the file instead.
+                bytes.clear();
+                bytes.shrink_to_fit();
+                streamOneTrace(path, opts, out, stages);
+                return;
+            }
             // Segmented traces go through their own reader (rather
             // than the sniffing tryDeserializeTrace) so the batch can
             // salvage damaged files and surface recorder-side losses

@@ -115,6 +115,18 @@ struct BatchOptions
     bool salvage = false;
 
     /**
+     * Analyze segmented traces with the bounded-memory streaming
+     * engine (src/stream/) instead of materializing them.  Results
+     * are identical; per-trace memory is O(window) instead of
+     * O(trace), so corpora of huge traces fit.  EVENT-format traces
+     * cannot stream and keep the whole-trace path.
+     */
+    bool stream = false;
+
+    /** Streaming GC window, in segments (see StreamOptions). */
+    std::size_t streamWindow = 4;
+
+    /**
      * Append-only resume journal ("" = disabled): completed traces
      * found in it are prefilled, not re-analyzed, and every newly
      * completed trace is journaled as it finishes — so a batch run

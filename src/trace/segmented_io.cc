@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <numeric>
 #include <unordered_map>
 
@@ -61,19 +62,10 @@ putVarint(std::uint8_t *out, std::uint64_t v)
     return n;
 }
 
-/** One event in FILE order, pairing still an ordinal reference. */
-struct FileEvent
-{
-    EventKind kind = EventKind::Computation;
-    ProcId proc = 0;
-    OpId firstOp = kNoOp;
-    OpId lastOp = kNoOp;
-    std::uint32_t opCount = 0;
-    MemOp syncOp;
-    std::uint64_t pairing = 0; // 1 + file ordinal, 0 = unpaired
-    std::vector<Addr> readWords;
-    std::vector<Addr> writeWords;
-};
+/** One event in FILE order, pairing still an ordinal reference
+ *  (the public SegFileEvent — declared in the header so incremental
+ *  consumers share the exact wire semantics). */
+using FileEvent = SegFileEvent;
 
 void
 encodeWordList(wire::Encoder &enc, std::vector<Addr> words)
@@ -178,6 +170,57 @@ struct ScanResult
 };
 
 /**
+ * Parse one CRC-verified segment payload.  DATA events/counters land
+ * in @p seg; a FIN fills @p fin.  Throws wire::ParseFailure on any
+ * problem (including a segment appearing after the FIN).  @return
+ * whether the payload was the FIN.
+ */
+bool
+parseSegmentPayload(const std::uint8_t *payload, std::uint32_t len,
+                    bool finAlready, SegTailSegment &seg,
+                    SegShape &fin)
+{
+    wire::Decoder dec(payload, len);
+    std::uint8_t tag = 0;
+    dec.raw(&tag, 1);
+    if (finAlready)
+        wire::parseFail("segmented trace: segment after FIN");
+    bool isFin = false;
+    if (tag == kSegData) {
+        seg.opsSoFar = dec.u64();
+        seg.droppedSoFar = dec.u64();
+        const std::uint64_t nevents = dec.u64();
+        dec.checkCount(nevents, "segment event");
+        for (std::uint64_t i = 0; i < nevents; ++i)
+            seg.events.push_back(decodeFileEvent(dec));
+    } else if (tag == kSegFin) {
+        const std::uint64_t procs = dec.u64();
+        if (procs >= kNoProc)
+            wire::parseFail("segmented trace: FIN processor "
+                            "count %llu too large",
+                            static_cast<unsigned long long>(procs));
+        const std::uint64_t words = dec.u64();
+        if (words > kMaxWords)
+            wire::parseFail("segmented trace: FIN universe "
+                            "%llu too large",
+                            static_cast<unsigned long long>(words));
+        fin.procs = static_cast<ProcId>(procs);
+        fin.memWords = static_cast<Addr>(words);
+        fin.firstStaleRead = dec.u64();
+        fin.totalOps = dec.u64();
+        fin.droppedRecords = dec.u64();
+        isFin = true;
+    } else {
+        wire::parseFail("segmented trace: unknown segment "
+                        "tag 0x%02x",
+                        tag);
+    }
+    if (!dec.done())
+        wire::parseFail("segmented trace: trailing bytes in segment");
+    return isFin;
+}
+
+/**
  * Scan segments from byte 8 on.  Strict mode throws ParseFailure at
  * the first problem; salvage mode records the damage, discards the
  * tail and returns what verified.
@@ -224,45 +267,15 @@ scanSegments(const std::vector<std::uint8_t> &bytes, bool strict)
         // parse failure means a writer/reader version skew we cannot
         // safely guess past.
         try {
-            wire::Decoder dec(payload, len);
-            std::uint8_t tag = 0;
-            dec.raw(&tag, 1);
-            if (out.finSeen)
-                wire::parseFail("segmented trace: segment after FIN");
-            if (tag == kSegData) {
-                dec.u64(); // opsSoFar (informational)
-                out.droppedSoFar = dec.u64();
-                const std::uint64_t nevents = dec.u64();
-                dec.checkCount(nevents, "segment event");
-                for (std::uint64_t i = 0; i < nevents; ++i)
-                    out.events.push_back(decodeFileEvent(dec));
-            } else if (tag == kSegFin) {
-                const std::uint64_t procs = dec.u64();
-                if (procs >= kNoProc)
-                    wire::parseFail("segmented trace: FIN processor "
-                                    "count %llu too large",
-                                    static_cast<unsigned long long>(
-                                        procs));
-                const std::uint64_t words = dec.u64();
-                if (words > kMaxWords)
-                    wire::parseFail("segmented trace: FIN universe "
-                                    "%llu too large",
-                                    static_cast<unsigned long long>(
-                                        words));
-                out.fin.procs = static_cast<ProcId>(procs);
-                out.fin.memWords = static_cast<Addr>(words);
-                out.fin.firstStaleRead = dec.u64();
-                out.fin.totalOps = dec.u64();
-                out.fin.droppedRecords = dec.u64();
+            SegTailSegment seg;
+            if (parseSegmentPayload(payload, len, out.finSeen, seg,
+                                    out.fin)) {
                 out.finSeen = true;
             } else {
-                wire::parseFail("segmented trace: unknown segment "
-                                "tag 0x%02x",
-                                tag);
+                out.droppedSoFar = seg.droppedSoFar;
+                std::move(seg.events.begin(), seg.events.end(),
+                          std::back_inserter(out.events));
             }
-            if (!dec.done())
-                wire::parseFail(
-                    "segmented trace: trailing bytes in segment");
         } catch (const wire::ParseFailure &pf) {
             if (strict)
                 throw;
@@ -616,15 +629,12 @@ SegmentSpillWriter::addEvent(const SegEvent &ev)
     fe.writeWords = ev.writeWords;
     if (ev.kind == EventKind::Sync) {
         if (ev.pairedToken != 0) {
-            for (const auto &[tok, ord] : tokenMap_) {
-                if (tok == ev.pairedToken) {
-                    fe.pairing = ord + 1;
-                    break;
-                }
-            }
+            const auto it = tokenMap_.find(ev.pairedToken);
+            if (it != tokenMap_.end())
+                fe.pairing = it->second + 1;
         }
         if (ev.releaseToken != 0)
-            tokenMap_.emplace_back(ev.releaseToken, nextOrdinal_);
+            tokenMap_[ev.releaseToken] = nextOrdinal_;
     }
 
     wire::Encoder enc;
@@ -862,6 +872,199 @@ writeSegmentedTraceFile(const ExecutionTrace &trace,
                        static_cast<std::streamsize>(bytes.size())))
         return 0;
     return bytes.size();
+}
+
+// --- SegmentTailReader -------------------------------------------
+
+SegmentTailReader::~SegmentTailReader()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+SegmentTailReader::open(const std::string &path)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+        error_ = "cannot open '" + path + "': " +
+                 std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+TailPollStatus
+SegmentTailReader::fail(std::uint64_t at, const std::string &why)
+{
+    damaged_ = true;
+    damageAt_ = at;
+    damageNote_ = why;
+    return TailPollStatus::Damaged;
+}
+
+TailPollStatus
+SegmentTailReader::poll(std::vector<SegTailSegment> &segs)
+{
+    if (fd_ < 0)
+        return TailPollStatus::Damaged;
+    if (damaged_)
+        return TailPollStatus::Damaged;
+    if (finSeen_ && buf_.empty())
+        return TailPollStatus::Fin;
+
+    // Pull every newly appended byte.  On a regular file read()
+    // returns 0 at the current EOF; a later poll() sees appends.
+    std::uint8_t chunk[1 << 16];
+    for (;;) {
+        const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(seen_, std::string("read failed: ") +
+                                   std::strerror(errno));
+        }
+        if (r == 0)
+            break;
+        buf_.insert(buf_.end(), chunk, chunk + r);
+        seen_ += static_cast<std::uint64_t>(r);
+    }
+
+    // The magic is just a fixed 8-byte prefix frame.
+    std::size_t pos = 0; // into buf_, which starts at offset consumed_
+    if (!magicOk_) {
+        if (consumed_ != 0)
+            return fail(consumed_, "internal: resumed before magic");
+        if (buf_.size() < sizeof(kSegMagic))
+            return TailPollStatus::Waiting;
+        if (std::memcmp(buf_.data(), kSegMagic, sizeof(kSegMagic)) !=
+            0)
+            return fail(0, "not a segmented trace (bad magic)");
+        magicOk_ = true;
+        pos = sizeof(kSegMagic);
+    }
+
+    bool progressed = pos > 0;
+    for (;;) {
+        const std::uint64_t frameStart = consumed_ + pos;
+        const std::size_t avail = buf_.size() - pos;
+        if (avail == 0)
+            break;
+        if (finSeen_)
+            return fail(frameStart,
+                        "segmented trace: segment after FIN");
+        if (avail < 4)
+            break; // mid-length: more may come
+        const std::uint32_t len = readLe32(buf_.data() + pos);
+        if (len == 0 || len > kMaxSegmentBytes) {
+            // No append can make this frame valid.
+            return fail(frameStart, "truncated or oversized segment");
+        }
+        if (len + 8ull > avail)
+            break; // mid-frame: more may come
+        const std::uint8_t *payload = buf_.data() + pos + 4;
+        const std::uint32_t stored = readLe32(payload + len);
+        if (crc32(payload, len) != stored) {
+            // The frame is fully present yet fails its checksum:
+            // a torn/corrupt write, damaged no matter what follows.
+            return fail(frameStart, "segment checksum mismatch");
+        }
+        SegTailSegment seg;
+        try {
+            if (parseSegmentPayload(payload, len, finSeen_, seg,
+                                    fin_)) {
+                finSeen_ = true;
+            } else {
+                droppedSoFar_ = seg.droppedSoFar;
+                events_ += seg.events.size();
+                for (const SegFileEvent &ev : seg.events)
+                    ops_ += ev.opCount;
+                segs.push_back(std::move(seg));
+            }
+        } catch (const wire::ParseFailure &pf) {
+            return fail(frameStart, pf.message);
+        }
+        ++segments_;
+        pos += 4ull + len + 4;
+        progressed = true;
+    }
+
+    // Drop consumed bytes; keep the unconsumed tail buffered.
+    if (pos > 0) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+        consumed_ += pos;
+    }
+    if (finSeen_ && buf_.empty())
+        return TailPollStatus::Fin;
+    return progressed ? TailPollStatus::Progress
+                      : TailPollStatus::Waiting;
+}
+
+bool
+SegmentTailReader::finalize(bool strict)
+{
+    finalized_ = true;
+
+    // No decodable magic: mirror readSegmented's FormatError — both
+    // strict and salvage reject such a file outright.
+    if (!magicOk_) {
+        error_ = damageNote_.empty()
+                     ? "not a segmented trace (bad magic)"
+                     : damageNote_;
+        salvage_.salvaged = true;
+        salvage_.note = error_;
+        return false;
+    }
+
+    // An unconsumed tail at final EOF is damage after all — exactly
+    // what trySalvageTrace would have said about the same bytes.
+    std::uint64_t damageAt = damaged_ ? damageAt_ : consumed_;
+    std::string note = damageNote_;
+    if (!damaged_ && !buf_.empty()) {
+        note = buf_.size() < 4 ? "truncated segment length"
+                               : "truncated or oversized segment";
+    }
+    const bool anyDamage = damaged_ || !buf_.empty();
+
+    salvage_.finSeen = finSeen_;
+    salvage_.segmentsRecovered = segments_;
+    salvage_.segmentsDropped = anyDamage && seen_ > damageAt ? 1 : 0;
+    salvage_.bytesDropped = anyDamage ? seen_ - damageAt : 0;
+    salvage_.eventsRecovered = events_;
+    salvage_.opsRecovered = ops_;
+    salvage_.droppedDataRecords =
+        finSeen_ ? fin_.droppedRecords : droppedSoFar_;
+    salvage_.note = anyDamage ? note : "";
+    salvage_.salvaged = !finSeen_ || salvage_.segmentsDropped > 0 ||
+                        salvage_.bytesDropped > 0;
+    if (salvage_.salvaged && salvage_.note.empty())
+        salvage_.note = "no FIN segment (recording did not shut down "
+                        "cleanly)";
+
+    if (strict) {
+        if (anyDamage) {
+            char buf[512];
+            std::snprintf(buf, sizeof(buf),
+                          "segmented trace: %s (offset %llu); a "
+                          "partial recording can be recovered with "
+                          "salvage",
+                          note.c_str(),
+                          static_cast<unsigned long long>(damageAt));
+            error_ = buf;
+            return false;
+        }
+        if (!finSeen_) {
+            error_ = "segmented trace: missing FIN segment — the "
+                     "recording did not shut down cleanly; a "
+                     "partial recording can be recovered with "
+                     "salvage";
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace wmr

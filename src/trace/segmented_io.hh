@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace_io.hh"
@@ -132,6 +133,172 @@ trySalvageTrace(const std::vector<std::uint8_t> &bytes);
 SegTraceReadResult trySalvageTraceFile(const std::string &path);
 
 /**
+ * One decoded event in FILE order, exactly as framed on the wire:
+ * the pairing field is the ordinal reference (1 + file ordinal of the
+ * paired release, 0 = unpaired) — consumers that process segments
+ * incrementally (the streaming analyzer) resolve it themselves.
+ */
+struct SegFileEvent
+{
+    EventKind kind = EventKind::Computation;
+    ProcId proc = 0;
+    OpId firstOp = kNoOp;
+    OpId lastOp = kNoOp;
+    std::uint32_t opCount = 0;
+    MemOp syncOp;
+    std::uint64_t pairing = 0; // 1 + file ordinal, 0 = unpaired
+    std::vector<Addr> readWords;
+    std::vector<Addr> writeWords;
+};
+
+/** Shape written into the FIN segment. */
+struct SegShape
+{
+    ProcId procs = 0;
+    Addr memWords = 0;
+    OpId firstStaleRead = kNoOp;
+    std::uint64_t totalOps = 0;
+
+    /** Drop-policy data-record losses of the whole recording. */
+    std::uint64_t droppedRecords = 0;
+};
+
+/** One decoded DATA segment, in file order. */
+struct SegTailSegment
+{
+    /** Running counters the writer embeds in every data segment. */
+    std::uint64_t opsSoFar = 0;
+    std::uint64_t droppedSoFar = 0;
+
+    std::vector<SegFileEvent> events;
+};
+
+/** Outcome of one SegmentTailReader::poll(). */
+enum class TailPollStatus : std::uint8_t
+{
+    /** Decoded at least one new segment. */
+    Progress,
+
+    /** No complete new frame yet — the tail is mid-frame or empty.
+     *  On a LIVE file this means "more may come", NOT damage: keep
+     *  polling (or finalize() once the writer is known dead). */
+    Waiting,
+
+    /** The FIN segment was decoded: the recording is complete. */
+    Fin,
+
+    /** Unrecoverable damage (bad magic, zero/oversized length,
+     *  checksum mismatch on a complete frame, payload that fails to
+     *  decode, data after FIN).  No amount of further appending can
+     *  heal it; recovery stops at the last good frame. */
+    Damaged,
+};
+
+/**
+ * Tail-follow segment reader: consume a WMRSEG01 file AS IT IS BEING
+ * APPENDED, resuming from the offset after the last verified frame.
+ *
+ * This is the live sibling of trySalvageTraceFile().  The salvage
+ * reader sees a snapshot and must treat an incomplete tail as a torn
+ * write; the tail reader instead distinguishes the two by liveness:
+ * a mid-frame tail is Waiting while the writer may still append, and
+ * becomes damage only when finalize() declares the stream over.
+ * Damage that appending can never heal — a checksum mismatch on a
+ * fully present frame, an impossible length — is reported as Damaged
+ * immediately, even live.
+ *
+ * Usage:
+ *   SegmentTailReader tail;
+ *   tail.open(path);                 // retry while the file appears
+ *   while (...) {
+ *       switch (tail.poll(segs)) { ... consume segs ... }
+ *   }
+ *   tail.finalize(strict);           // writer exited / EOF is final
+ *
+ * After finalize(), salvage() carries the same accounting a
+ * trySalvageTraceFile() of the final file would produce (except
+ * unresolvedPairings, which only the event consumer can count), and
+ * in strict mode error() carries the same message the strict reader
+ * would raise.
+ */
+class SegmentTailReader
+{
+  public:
+    SegmentTailReader() = default;
+    ~SegmentTailReader();
+
+    SegmentTailReader(const SegmentTailReader &) = delete;
+    SegmentTailReader &operator=(const SegmentTailReader &) = delete;
+
+    /** Open @p path for following. Fails if it cannot be opened. */
+    bool open(const std::string &path);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /**
+     * Read newly appended bytes and decode every complete frame,
+     * appending decoded DATA segments to @p segs.  @return Progress
+     * when ≥1 frame (data or FIN) was consumed, otherwise the
+     * terminal/waiting status.
+     */
+    TailPollStatus poll(std::vector<SegTailSegment> &segs);
+
+    /**
+     * Declare that no more data will arrive (writer exited, or the
+     * file was complete on disk to begin with).  Strict mode fails
+     * (error() set, matching tryReadSegmentedTrace messages) on any
+     * damage, incomplete tail, or missing FIN; tolerant mode folds
+     * the outcome into salvage() exactly as trySalvageTrace would.
+     * @return whether the stream is acceptable under @p strict.
+     */
+    bool finalize(bool strict);
+
+    /** Scan-level salvage accounting (valid after finalize();
+     *  unresolvedPairings is left 0 — the consumer owns it). */
+    const SalvageInfo &salvage() const { return salvage_; }
+
+    bool finSeen() const { return finSeen_; }
+
+    /** FIN shape (valid when finSeen()). */
+    const SegShape &fin() const { return fin_; }
+
+    /** File offset after the last verified frame (resume point). */
+    std::uint64_t offset() const { return consumed_; }
+
+    /** Total file bytes observed so far. */
+    std::uint64_t bytesSeen() const { return seen_; }
+
+    std::uint64_t segmentsRead() const { return segments_; }
+    std::uint64_t eventsRead() const { return events_; }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    TailPollStatus fail(std::uint64_t at, const std::string &why);
+
+    int fd_ = -1;
+    std::uint64_t consumed_ = 0; // offset after last verified frame
+    std::uint64_t seen_ = 0;     // total bytes read from the file
+
+    /** Unconsumed bytes [consumed_, seen_). */
+    std::vector<std::uint8_t> buf_;
+
+    bool magicOk_ = false;
+    bool finSeen_ = false;
+    bool damaged_ = false;
+    bool finalized_ = false;
+    SegShape fin_;
+    std::uint64_t segments_ = 0;
+    std::uint64_t events_ = 0;
+    std::uint64_t ops_ = 0;
+    std::uint64_t droppedSoFar_ = 0;
+    std::uint64_t damageAt_ = 0;
+    std::string damageNote_;
+    SalvageInfo salvage_;
+    std::string error_;
+};
+
+/**
  * One event as the segmented container carries it — word lists
  * instead of universe-sized bitsets, so events can be encoded before
  * the address universe is known (the whole point of spilling).
@@ -155,21 +322,11 @@ struct SegEvent
     /** Sync release: producer-chosen nonzero token later acquires
      *  reference; sync acquire: token of the observed release (0 =
      *  unpaired).  Tokens never reach the wire — the writer resolves
-     *  them to file ordinals. */
+     *  them to file ordinals.  Reusing a token rebinds it to the
+     *  newest release carrying it, so a bounded-memory producer can
+     *  use one token per sync location instead of one per release. */
     std::uint64_t releaseToken = 0;
     std::uint64_t pairedToken = 0;
-};
-
-/** Shape written into the FIN segment. */
-struct SegShape
-{
-    ProcId procs = 0;
-    Addr memWords = 0;
-    OpId firstStaleRead = kNoOp;
-    std::uint64_t totalOps = 0;
-
-    /** Drop-policy data-record losses of the whole recording. */
-    std::uint64_t droppedRecords = 0;
 };
 
 /**
@@ -253,8 +410,9 @@ class SegmentSpillWriter
     std::uint64_t ops_ = 0;
     std::uint64_t dropped_ = 0;
 
-    // Token -> file ordinal of release events (pairing resolution).
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> tokenMap_;
+    // Token -> file ordinal of the newest release carrying it
+    // (pairing resolution, latest wins).
+    std::unordered_map<std::uint64_t, std::uint64_t> tokenMap_;
     std::uint64_t nextOrdinal_ = 0;
 
     std::uint64_t segments_ = 0;

@@ -18,7 +18,9 @@
 #ifndef WMR_WORKLOAD_SYNTHETIC_TRACE_HH
 #define WMR_WORKLOAD_SYNTHETIC_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "trace/execution_trace.hh"
 
@@ -73,6 +75,19 @@ struct SyntheticTraceOptions
  * options: equal options give equal traces.
  */
 ExecutionTrace makeSyntheticTrace(const SyntheticTraceOptions &opts = {});
+
+/**
+ * Generate the trace of @p opts straight into a segmented file
+ * through SegmentSpillWriter, never materializing it: producer
+ * memory is O(syncWords + one segment), so traces can exceed RAM.
+ * Byte-identical to writeSegmentedTraceFile(makeSyntheticTrace(opts))
+ * — same RNG draw order, same framing.  @return bytes written
+ * (0 on I/O failure).
+ */
+std::size_t
+writeSyntheticSegmentedTraceFile(const SyntheticTraceOptions &opts,
+                                 const std::string &path,
+                                 std::size_t eventsPerSegment = 64);
 
 } // namespace wmr
 

@@ -1,10 +1,14 @@
 # Golden-report comparison, run by CTest (see tests/CMakeLists.txt):
 #
 #   cmake -DWMRACE=<tool> -DTRACE=<file> -DEXPECTED=<file>
-#         -DOUT=<file> -DSALVAGE=0|1 -P golden_check.cmake
+#         -DOUT=<file> -DSALVAGE=0|1 [-DSTREAM=0|1]
+#         -P golden_check.cmake
 #
-# Runs `wmrace check [--salvage] TRACE`, captures stdout, and
-# compares it byte for byte with the committed EXPECTED report.  Any
+# Runs `wmrace check [--salvage] [--stream] TRACE`, captures stdout,
+# and compares it byte for byte with the committed EXPECTED report.
+# STREAM=1 routes the same trace through the bounded-memory streaming
+# engine, which must render the identical bytes the whole-trace
+# pipeline blessed.  Any
 # drift — a reworded line, a changed count, a reordered partition —
 # fails the test; intentional changes are re-blessed with
 # tests/data/golden/regen.sh.
@@ -18,6 +22,9 @@ endforeach()
 set(args check ${TRACE})
 if(SALVAGE)
     list(APPEND args --salvage)
+endif()
+if(STREAM)
+    list(APPEND args --stream)
 endif()
 
 execute_process(COMMAND ${WMRACE} ${args}

@@ -29,7 +29,7 @@
  *   --onthefly                     also run the on-the-fly detector
  *
  * Options of `check`: --dot FILE, --events, --salvage, --jobs N,
- *   --stats.
+ *   --stats, --stream [--window N] (see below).
  * Options of `explore`: --max-execs N (default 100000).
  *
  * Options of `batch` (see docs/BATCH.md):
@@ -47,6 +47,10 @@
  *                  re-run with the same file skips completed traces
  *   --quarantine FILE  write failed trace paths as a corpus
  *                  manifest (re-feedable to `wmrace batch`)
+ *   --stream [--window N]  analyze segmented traces with the
+ *                  bounded-memory streaming engine (docs/STREAMING.md);
+ *                  identical results, O(window) memory per trace;
+ *                  incompatible with --server
  *   --server ADDR  submit every trace to a running `wmrace serve`
  *                  daemon instead of analyzing locally (--jobs then
  *                  bounds concurrent submissions); incompatible with
@@ -75,6 +79,12 @@
  *                  timed-out; the partial trace is salvaged)
  *   --retries N    re-run an abnormally terminated child up to N
  *                  extra times with backoff before salvaging
+ *   --live         analyze the trace WHILE the child runs: a
+ *                  follower thread streams sealed segments into the
+ *                  bounded-memory engine (docs/STREAMING.md), so the
+ *                  report lands moments after exit and the trace
+ *                  never has to fit in memory; incompatible with
+ *                  --retries and --no-check
  * The child is launched with WMR_RT_TRACE set, so a program
  * annotated with rt/annotate.hh records itself; crash-resilient
  * segmented spilling is on by default (WMR_RT_SPILL to tune), so a
@@ -83,14 +93,22 @@
  *
  * Options of `check`: --dot FILE, --events, --salvage (recover the
  * longest valid prefix of a damaged segmented trace), --jobs N
- * (analysis threads; the report is byte-identical at every N), and
- * --stats (per-stage timing to stderr).
+ * (analysis threads; the report is byte-identical at every N),
+ * --stats (per-stage timing to stderr), and --stream [--window N]:
+ * analyze a segmented trace with the bounded-memory streaming
+ * engine (src/stream/, docs/STREAMING.md) — the report is
+ * byte-identical to the whole-trace path, memory is O(window)
+ * instead of O(trace), so traces larger than RAM check fine.
+ * --stream composes with --salvage and --stats but not with the
+ * whole-trace-only --events/--dot/--jobs.
  *
  * Options of `gen-trace` (see SyntheticTraceOptions): --procs N,
  *   --events N (per processor), --words N, --sync-words N, --seed N,
  *   --sync-fraction X, --hot-fraction X, --segmented (WMRSEG01
- *   container), --truncate N (keep only the first N bytes — a
- *   damaged-file fixture for --salvage testing).
+ *   container; generated straight through the segment spill writer,
+ *   so writer memory stays bounded at any --events), --truncate N
+ *   (keep only the first N bytes — a damaged-file fixture for
+ *   --salvage testing).
  *
  * `check`, `batch` and `record` also take `--trace-out FILE`: write
  * a Chrome trace_event JSON timeline of the run (spans + counters;
@@ -99,6 +117,7 @@
  * same without CLI support (WMR_OBS=1 | chrome:FILE | jsonl:FILE).
  */
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -108,6 +127,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -132,6 +152,7 @@
 #include "serve/client.hh"
 #include "serve/server.hh"
 #include "staticdet/static_analyzer.hh"
+#include "stream/stream_analyzer.hh"
 #include "trace/segmented_io.hh"
 #include "trace/timeline.hh"
 #include "trace/trace_io.hh"
@@ -225,6 +246,33 @@ parseJobs(const Args &args, const char *cmd, unsigned &jobs)
         return false;
     }
     jobs = static_cast<unsigned>(n);
+    return true;
+}
+
+/**
+ * Parse a strict `--window` value (segments per streaming GC window)
+ * into @p window.  Same philosophy as parseJobs: a typo must not
+ * silently become some other window size.
+ */
+bool
+parseWindow(const Args &args, const char *cmd, std::size_t &window)
+{
+    if (!args.has("window"))
+        return true;
+    const std::string v = args.get("window");
+    char *end = nullptr;
+    errno = 0;
+    const long long n =
+        v.empty() ? -1 : std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || *end != '\0' || errno == ERANGE || n < 1 ||
+        n > 1000000) {
+        std::fprintf(stderr,
+                     "%s: invalid --window '%s': expected an integer "
+                     "between 1 and 1000000\n",
+                     cmd, v.c_str());
+        return false;
+    }
+    window = static_cast<std::size_t>(n);
     return true;
 }
 
@@ -430,12 +478,59 @@ printTraceProvenance(const LoadedTrace &lt)
                     .c_str());
 }
 
+/**
+ * `wmrace check --stream`: the bounded-memory engine (src/stream/).
+ * Stdout — provenance, report, exit code — is byte-identical to the
+ * whole-trace path on the same file; only the memory profile
+ * differs.  The whole-trace-only extras (--events, --dot, --jobs)
+ * need the materialized event list / hb graph and are rejected.
+ */
+int
+cmdCheckStream(const Args &args)
+{
+    if (args.has("events") || args.has("dot") || args.has("jobs"))
+        fatal("check: --stream keeps no whole-trace state; --events, "
+              "--dot and --jobs do not apply");
+    const std::string &path = args.positional()[0];
+    if (!fileLooksSegmented(path))
+        fatal("check: --stream requires a segmented trace "
+              "(WMRSEG01); re-record with the segmented writer or "
+              "run without --stream");
+    StreamOptions sopts;
+    sopts.strict = !args.has("salvage");
+    if (!parseWindow(args, "check", sopts.windowSegments))
+        return 2;
+    const StreamResult sr = streamAnalyzeFile(path, sopts);
+    if (!sr.ok)
+        fatal("%s%s", sr.error.c_str(),
+              !args.has("salvage")
+                  ? "  (re-run with --salvage to recover the valid "
+                    "prefix)"
+                  : "");
+    std::printf("%s",
+                formatTraceProvenance(true, sr.salvage).c_str());
+    std::printf("%s",
+                renderReport(sr.report, nullptr, ReportOptions{})
+                    .c_str());
+    if (args.has("stats"))
+        std::fprintf(
+            stderr,
+            "stream: %llu segments, peak resident %llu events, "
+            "%llu windows retired\n",
+            static_cast<unsigned long long>(sr.segments),
+            static_cast<unsigned long long>(sr.peakResident),
+            static_cast<unsigned long long>(sr.windowsRetired));
+    return sr.anyDataRace ? 1 : 0;
+}
+
 int
 cmdCheck(const Args &args)
 {
     if (args.positional().empty())
         fatal("check: missing trace file");
     const TraceOut traceOut(args);
+    if (args.has("stream"))
+        return cmdCheckStream(args);
     const LoadedTrace lt = loadRecordedTrace(args.positional()[0],
                                              args.has("salvage"));
     if (!lt.ok)
@@ -567,6 +662,12 @@ cmdBatch(const Args &args)
         return 2;
     opts.failFast = args.has("fail-fast");
     opts.salvage = args.has("salvage");
+    opts.stream = args.has("stream");
+    if (!parseWindow(args, "batch", opts.streamWindow))
+        return 2;
+    if (args.has("stream") && args.has("server"))
+        fatal("batch: --stream does not combine with --server (the "
+              "server analyzes with its own engine)");
     if (args.has("checkpoint")) {
         opts.checkpointPath = args.get("checkpoint");
         if (opts.checkpointPath.empty())
@@ -773,6 +874,7 @@ cmdRecord(int argc, char **argv)
     std::string out;
     std::string traceOutPath;
     bool check = true;
+    bool live = false;
     int timeoutSec = 0;
     int retries = 0;
     int i = 2;
@@ -784,6 +886,8 @@ cmdRecord(int argc, char **argv)
             traceOutPath = argv[++i];
         } else if (a == "--no-check") {
             check = false;
+        } else if (a == "--live") {
+            live = true;
         } else if (a == "--timeout" && i + 1 < argc) {
             timeoutSec =
                 static_cast<int>(std::strtol(argv[++i], nullptr, 10));
@@ -805,6 +909,13 @@ cmdRecord(int argc, char **argv)
     }
     if (i >= argc)
         fatal("record: missing child binary to run");
+    if (live && retries > 0)
+        fatal("record: --live cannot retry — the live analyzer has "
+              "already consumed the first attempt's trace; drop "
+              "--retries");
+    if (live && !check)
+        fatal("record: --live IS the check; drop --no-check or "
+              "--live");
     const TraceOut traceOut(traceOutPath);
     const std::string child = argv[i];
     if (out.empty()) {
@@ -813,6 +924,57 @@ cmdRecord(int argc, char **argv)
                    ? child
                    : child.substr(slash + 1)) +
               ".trace";
+    }
+
+    // --live: a feeder thread tails the spill file and streams
+    // segments into the analyzer while the child runs.  It only
+    // FEEDS — finalize()/finish() wait for the child outcome, which
+    // decides the strictness of the read (clean exit = strict,
+    // abnormal = salvage tolerance), exactly like the non-live read
+    // below.
+    std::unique_ptr<SegmentTailReader> tail;
+    std::unique_ptr<StreamAnalyzer> liveAn;
+    std::atomic<bool> childAlive{true};
+    std::thread feeder;
+    if (live) {
+        // Never follow a stale file from a previous recording: the
+        // child recreates it, but possibly after the first poll.
+        ::unlink(out.c_str());
+        tail = std::make_unique<SegmentTailReader>();
+        liveAn = std::make_unique<StreamAnalyzer>(StreamOptions{});
+        feeder = std::thread([&] {
+            const auto nap = [] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            };
+            while (!tail->open(out)) {
+                if (!childAlive.load()) {
+                    if (!tail->open(out))
+                        return;
+                    break;
+                }
+                nap();
+            }
+            std::vector<SegTailSegment> segs;
+            for (;;) {
+                // Sample liveness BEFORE polling: anything written
+                // before the child died reaches this or a later
+                // poll.
+                const bool wasAlive = childAlive.load();
+                segs.clear();
+                const TailPollStatus st = tail->poll(segs);
+                for (const SegTailSegment &seg : segs)
+                    liveAn->addSegment(seg);
+                if (st == TailPollStatus::Fin ||
+                    st == TailPollStatus::Damaged)
+                    return;
+                if (st == TailPollStatus::Waiting) {
+                    if (!wasAlive)
+                        return;
+                    nap();
+                }
+            }
+        });
     }
 
     ChildOutcome oc;
@@ -836,6 +998,43 @@ cmdRecord(int argc, char **argv)
     }
 
     std::printf("recorded '%s' -> %s\n", child.c_str(), out.c_str());
+
+    if (live) {
+        childAlive.store(false);
+        feeder.join();
+        const bool strict = !oc.abnormal();
+        if (!tail->isOpen()) {
+            std::fprintf(stderr,
+                         "record: no analyzable trace: %s\n",
+                         tail->error().empty()
+                             ? "the child never created the trace "
+                               "file"
+                             : tail->error().c_str());
+            return 3;
+        }
+        if (!tail->finalize(strict)) {
+            std::fprintf(stderr,
+                         "record: no analyzable trace: %s\n",
+                         tail->error().c_str());
+            return 3;
+        }
+        liveAn->setStrict(strict);
+        const StreamResult sr = liveAn->finish(
+            tail->finSeen(), tail->fin(), tail->salvage());
+        if (!sr.ok) {
+            std::fprintf(stderr,
+                         "record: no analyzable trace: %s\n",
+                         sr.error.c_str());
+            return 3;
+        }
+        std::printf("%s",
+                    formatTraceProvenance(true, sr.salvage).c_str());
+        std::printf("%s",
+                    renderReport(sr.report, nullptr, ReportOptions{})
+                        .c_str());
+        return sr.anyDataRace ? 1 : 0;
+    }
+
     if (!check) {
         // --no-check keeps whatever trace the child left, even after
         // an abnormal exit; 0 only when the recording is complete.
@@ -896,11 +1095,24 @@ cmdGenTrace(const Args &args)
         fatal("gen-trace: --procs, --events and --words must be "
               "positive");
 
-    const ExecutionTrace trace = makeSyntheticTrace(opts);
-    const std::size_t bytes =
-        args.has("segmented")
-            ? writeSegmentedTraceFile(trace, path)
-            : writeTraceFile(trace, path);
+    // Segmented output streams through the spill writer — writer
+    // memory stays O(segment), so --events can exceed RAM.  The file
+    // is byte-identical to serializing makeSyntheticTrace().  The
+    // EVENT container needs the whole trace up front and keeps the
+    // materializing path.
+    std::size_t bytes = 0;
+    std::size_t numEvents = 0;
+    if (args.has("segmented")) {
+        bytes = writeSyntheticSegmentedTraceFile(opts, path);
+        if (bytes == 0)
+            fatal("gen-trace: cannot write '%s'", path.c_str());
+        numEvents = static_cast<std::size_t>(opts.procs) *
+                    opts.eventsPerProc;
+    } else {
+        const ExecutionTrace trace = makeSyntheticTrace(opts);
+        bytes = writeTraceFile(trace, path);
+        numEvents = trace.events().size();
+    }
 
     std::size_t kept = bytes;
     if (args.has("truncate")) {
@@ -916,7 +1128,7 @@ cmdGenTrace(const Args &args)
         kept = static_cast<std::size_t>(want);
     }
     std::printf("wrote %zu events (%zu bytes%s) to %s\n",
-                trace.events().size(), kept,
+                numEvents, kept,
                 kept != bytes ? ", truncated" : "", path.c_str());
     return 0;
 }
@@ -1225,6 +1437,8 @@ usage()
         "  run <prog.wm>      simulate on a weak model and detect "
         "races\n"
         "  check <trace.bin>  post-mortem analysis of a trace file\n"
+        "                     (--stream: bounded-memory streaming "
+        "engine)\n"
         "  batch <dir|manifest>  analyze a whole trace corpus "
         "(multi-threaded,\n"
         "                     or remotely via --server ADDR)\n"
