@@ -1,0 +1,420 @@
+#include "fault/fault.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace wmr::fault {
+
+namespace {
+
+enum class Trigger : std::uint8_t {
+    Always, ///< every hit
+    Once,   ///< hit 1 only
+    Nth,    ///< hit == arg
+    After,  ///< hit > arg
+    Prob,   ///< seeded coin per hit
+};
+
+struct Site
+{
+    std::string name;
+    Trigger trigger = Trigger::Always;
+    std::uint64_t arg = 0; ///< Nth/After threshold
+    double prob = 0.0;     ///< Prob threshold in [0,1]
+    bool hasParam = false;
+    std::uint64_t param = 0;
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+    obs::Counter cHits;  ///< `fault.<site>.hits`
+    obs::Counter cFired; ///< `fault.<site>`
+};
+
+struct Registry
+{
+    // Sites are immutable after (re)configure; only the per-site
+    // atomics mutate per hit.  configure() swaps the whole vector
+    // under the mutex; readers go through lookup() which also takes
+    // it — sites are few and the call sites are I/O boundaries, so
+    // the lock is noise there (and the WMR_FAULT-unset fast path
+    // never reaches it).
+    std::mutex mu;
+    std::vector<Site *> sites;
+    std::uint64_t seed = 0;
+};
+
+Registry &
+registry()
+{
+    // Immortal (leaked) on purpose, like the obs registry's name
+    // copies: at() is hit as late as the tracer's atexit-time spill
+    // sealing, and a function-local static would be destroyed first
+    // (its __cxa_atexit registration — our first hit, on the drain
+    // thread — lands AFTER the tracer registers its stop hook, so
+    // its destructor runs BEFORE the tracer's final writes).
+    static Registry *r = new Registry;
+    return *r;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+strHash64(const std::string &s)
+{
+    // FNV-1a, folded through splitmix64 for avalanche.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return splitmix64(h);
+}
+
+/** The deterministic coin: keyed on seed, site and hit ordinal. */
+bool
+coin(std::uint64_t seedv, std::uint64_t siteHash,
+     std::uint64_t hit, double p)
+{
+    const std::uint64_t r =
+        splitmix64(seedv ^ siteHash ^ (hit * 0x9e3779b97f4a7c15ull));
+    // Top 53 bits -> [0,1).
+    const double u =
+        static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+}
+
+bool
+parseU64Field(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end == nullptr || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** Parse one `site[@spec]` entry into a fresh Site. @return nullptr
+ *  with @p error set on a grammar violation. */
+Site *
+parseEntry(const std::string &entry, std::string &error)
+{
+    const std::size_t at = entry.find('@');
+    const std::string name = entry.substr(0, at);
+    if (name.empty()) {
+        error = "fault entry with an empty site name";
+        return nullptr;
+    }
+    auto site = new Site;
+    site->name = name;
+    if (at == std::string::npos)
+        return site;
+
+    const std::string spec = entry.substr(at + 1);
+    std::size_t start = 0;
+    bool sawTrigger = false;
+    for (;;) {
+        const std::size_t colon = spec.find(':', start);
+        const std::string field =
+            colon == std::string::npos
+                ? spec.substr(start)
+                : spec.substr(start, colon - start);
+        if (field.empty()) {
+            error = "fault site '" + name + "': empty spec field";
+            delete site;
+            return nullptr;
+        }
+        std::uint64_t u = 0;
+        if (field == "once") {
+            site->trigger = Trigger::Once;
+            sawTrigger = true;
+        } else if (field[0] == 'p' &&
+                   (field.size() > 1 &&
+                    (std::isdigit(
+                         static_cast<unsigned char>(field[1])) ||
+                     field[1] == '.'))) {
+            char *end = nullptr;
+            const double p = std::strtod(field.c_str() + 1, &end);
+            if (end == nullptr || *end != '\0' || p < 0.0 ||
+                p > 1.0) {
+                error = "fault site '" + name +
+                        "': probability '" + field +
+                        "' is not p<float in [0,1]>";
+                delete site;
+                return nullptr;
+            }
+            site->trigger = Trigger::Prob;
+            site->prob = p;
+            sawTrigger = true;
+        } else if (field[0] == 'n' && field.size() > 1 &&
+                   parseU64Field(field.substr(1), u)) {
+            if (u == 0) {
+                error = "fault site '" + name +
+                        "': n0 names no hit (hits are 1-based)";
+                delete site;
+                return nullptr;
+            }
+            site->trigger = Trigger::Nth;
+            site->arg = u;
+            sawTrigger = true;
+        } else if (field.rfind("after", 0) == 0 &&
+                   parseU64Field(field.substr(5), u)) {
+            site->trigger = Trigger::After;
+            site->arg = u;
+            sawTrigger = true;
+        } else if (parseU64Field(field, u)) {
+            site->hasParam = true;
+            site->param = u;
+        } else {
+            error = "fault site '" + name +
+                    "': unrecognized spec field '" + field + "'";
+            delete site;
+            return nullptr;
+        }
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    (void)sawTrigger; // a param-only spec keeps Trigger::Always
+    return site;
+}
+
+/** Replace the registry's sites. Caller holds no lock. */
+bool
+installSpec(const std::string &spec, std::uint64_t seedv,
+            std::string *error)
+{
+    std::vector<Site *> parsed;
+    std::size_t start = 0;
+    bool ok = true;
+    std::string err;
+    if (!spec.empty()) {
+        for (;;) {
+            const std::size_t comma = spec.find(',', start);
+            const std::string entry =
+                comma == std::string::npos
+                    ? spec.substr(start)
+                    : spec.substr(start, comma - start);
+            if (!entry.empty()) {
+                Site *s = parseEntry(entry, err);
+                if (s == nullptr) {
+                    ok = false;
+                    break;
+                }
+                s->cHits = obs::counter(
+                    ("fault." + s->name + ".hits").c_str());
+                s->cFired =
+                    obs::counter(("fault." + s->name).c_str());
+                parsed.push_back(s);
+            } else if (!spec.empty()) {
+                err = "empty fault entry (stray comma)";
+                ok = false;
+                break;
+            }
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+    }
+
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (!ok) {
+        for (Site *s : parsed)
+            delete s;
+        // Leave the registry DISABLED on a bad spec: a chaos run
+        // must fail loudly rather than soak fault-free.
+        for (Site *s : reg.sites)
+            delete s;
+        reg.sites.clear();
+        detail::gEnabled.store(false, std::memory_order_release);
+        if (error != nullptr)
+            *error = err;
+        return false;
+    }
+    for (Site *s : reg.sites)
+        delete s;
+    reg.sites = std::move(parsed);
+    reg.seed = seedv;
+    detail::gEnabled.store(!reg.sites.empty(),
+                           std::memory_order_release);
+    return true;
+}
+
+std::once_flag gInitOnce;
+
+void
+initFromEnv()
+{
+    const char *spec = std::getenv("WMR_FAULT");
+    if (spec == nullptr || *spec == '\0')
+        return;
+    std::uint64_t seedv = 0;
+    if (const char *s = std::getenv("WMR_FAULT_SEED")) {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long v = std::strtoull(s, &end, 10);
+        if (errno != ERANGE && end != nullptr && *end == '\0')
+            seedv = v;
+        else
+            warn("WMR_FAULT_SEED '%s' is not a u64; using 0", s);
+    }
+    std::string err;
+    if (!installSpec(spec, seedv, &err))
+        warn("WMR_FAULT rejected: %s (fault injection disabled)",
+             err.c_str());
+}
+
+Site *
+findSite(const char *name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (Site *s : reg.sites)
+        if (s->name == name)
+            return s;
+    return nullptr;
+}
+
+} // namespace
+
+namespace detail {
+
+// Armed at load time by the mere PRESENCE of WMR_FAULT so the inline
+// at() fast path (a single relaxed load, no init hook) ever reaches
+// atSlow(), which lazily parses the spec on the first hit.  Without
+// this, env-driven injection only worked in processes that happened
+// to call configure()/configured() first — i.e. the unit tests, but
+// never the CLI.  A spec that parses to no sites (or fails to parse)
+// drops the flag back to false on that first hit.
+std::atomic<bool> gEnabled{[] {
+    const char *s = std::getenv("WMR_FAULT");
+    return s != nullptr && *s != '\0';
+}()};
+
+void
+ensureInit()
+{
+    std::call_once(gInitOnce, initFromEnv);
+}
+
+bool
+atSlow(const char *site, std::uint64_t *param)
+{
+    ensureInit();
+    Site *s = findSite(site);
+    if (s == nullptr)
+        return false;
+    if (param != nullptr && s->hasParam)
+        *param = s->param;
+    const std::uint64_t hit =
+        s->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    s->cHits.inc();
+    bool fire = false;
+    switch (s->trigger) {
+      case Trigger::Always:
+        fire = true;
+        break;
+      case Trigger::Once:
+        fire = hit == 1;
+        break;
+      case Trigger::Nth:
+        fire = hit == s->arg;
+        break;
+      case Trigger::After:
+        fire = hit > s->arg;
+        break;
+      case Trigger::Prob:
+        fire = coin(registry().seed, strHash64(s->name), hit,
+                    s->prob);
+        break;
+    }
+    if (fire) {
+        s->fired.fetch_add(1, std::memory_order_relaxed);
+        s->cFired.inc();
+    }
+    return fire;
+}
+
+} // namespace detail
+
+bool
+configured(const char *site)
+{
+    detail::ensureInit();
+    if (!detail::gEnabled.load(std::memory_order_acquire))
+        return false;
+    return findSite(site) != nullptr;
+}
+
+std::uint64_t
+paramOr(const char *site, std::uint64_t def)
+{
+    detail::ensureInit();
+    if (!detail::gEnabled.load(std::memory_order_acquire))
+        return def;
+    Site *s = findSite(site);
+    return s != nullptr && s->hasParam ? s->param : def;
+}
+
+bool
+configure(const std::string &spec, std::uint64_t seedv,
+          std::string *error)
+{
+    // Pre-empt the env parse so a test's configure() is not raced by
+    // a concurrent lazy init.
+    std::call_once(gInitOnce, [] {});
+    return installSpec(spec, seedv, error);
+}
+
+std::uint64_t
+hits(const char *site)
+{
+    Site *s = findSite(site);
+    return s != nullptr
+               ? s->hits.load(std::memory_order_relaxed)
+               : 0;
+}
+
+std::uint64_t
+fired(const char *site)
+{
+    Site *s = findSite(site);
+    return s != nullptr
+               ? s->fired.load(std::memory_order_relaxed)
+               : 0;
+}
+
+void
+noteFired(const char *site)
+{
+    obs::counter((std::string("fault.") + site).c_str()).inc();
+}
+
+std::uint64_t
+seed()
+{
+    detail::ensureInit();
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    return reg.seed;
+}
+
+} // namespace wmr::fault

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Process-wide, env-driven fault-injection registry — the unified
+ * successor of the tracer-local `WMR_RT_FAULT` hook (PR 3), now
+ * threaded through every I/O and network boundary (trace container
+ * writes/reads, the serve daemon, the stream tail reader, checkpoint
+ * journal appends).  Production builds pay one relaxed atomic load
+ * per site when `WMR_FAULT` is unset.
+ *
+ * Configuration:
+ *
+ *   WMR_FAULT      = entry (',' entry)*
+ *   entry          = site [ '@' spec ]
+ *   spec           = field (':' field)*
+ *   field          = 'p' FLOAT        fire each hit with probability
+ *                                     FLOAT in [0,1] (seeded, see
+ *                                     WMR_FAULT_SEED)
+ *                  | 'n' UINT         fire exactly on the UINTth hit
+ *                                     (1-based)
+ *                  | 'after' UINT     fire on every hit past the
+ *                                     first UINT
+ *                  | 'once'           fire on the first hit only
+ *                  | UINT             site-interpreted parameter
+ *                                     (sleep seconds, storm length,
+ *                                     byte index, ...)
+ *   WMR_FAULT_SEED = u64 decimal (default 0)
+ *
+ * A site with no trigger field fires on EVERY hit.  Examples:
+ *
+ *   WMR_FAULT=serve.accept.fail@p0.25
+ *   WMR_FAULT=trace.seg.write.enospc@n3
+ *   WMR_FAULT=serve.io.eintr@after2:5,stream.tail.stall@n1
+ *   WMR_FAULT=rt.slow-child@30          (legacy tracer site: param)
+ *
+ * Determinism: the probability trigger draws from a counter-based
+ * PRNG keyed on (seed, site-name hash, hit ordinal) — the same seed
+ * and the same per-site hit sequence replay the same schedule, with
+ * no cross-site or cross-thread interference.  That is what lets
+ * tools/chaos.sh re-run a failing soak schedule exactly.
+ *
+ * Observability: every fire bumps the obs counter `fault.<site>`
+ * and every evaluation bumps `fault.<site>.hits`, so a chaos run's
+ * `--obs` snapshot shows which faults actually landed.
+ *
+ * The legacy `WMR_RT_FAULT=<name>[@N]` tracer faults are aliased as
+ * `rt.<name>@N` sites (see rt/annotate.cc); the old variable keeps
+ * working and wins when both are set.
+ */
+
+#ifndef WMR_FAULT_FAULT_HH
+#define WMR_FAULT_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace wmr::fault {
+
+namespace detail {
+
+/** True iff any site is configured (lazy-parsed from WMR_FAULT). */
+extern std::atomic<bool> gEnabled;
+
+/** Parse WMR_FAULT/WMR_FAULT_SEED once (thread-safe, idempotent). */
+void ensureInit();
+
+bool atSlow(const char *site, std::uint64_t *param);
+
+} // namespace detail
+
+/**
+ * Count one hit of @p site and decide whether its configured fault
+ * schedule fires on this hit.  Unconfigured sites — and processes
+ * with no WMR_FAULT at all — return false; the latter costs a single
+ * relaxed load.  Thread-safe.
+ *
+ * When @p param is non-null and the site carries a bare-integer
+ * parameter field, the parameter is stored through it (otherwise 0).
+ */
+inline bool
+at(const char *site, std::uint64_t *param = nullptr)
+{
+    if (param != nullptr)
+        *param = 0;
+    if (!detail::gEnabled.load(std::memory_order_acquire))
+        return false;
+    return detail::atSlow(site, param);
+}
+
+/** @return whether @p site appears in WMR_FAULT (no hit counted). */
+bool configured(const char *site);
+
+/** @return @p site's configured integer parameter, or @p def when
+ *  the site is absent or carries none.  No hit is counted. */
+std::uint64_t paramOr(const char *site, std::uint64_t def);
+
+/**
+ * (Re)configure the registry from @p spec and @p seed, replacing any
+ * prior (or env-derived) configuration — the test hook.  An empty
+ * @p spec disables injection.  @return false with *@p error set on a
+ * grammar violation (the registry is then left disabled: a chaos
+ * harness must know its schedule was refused, not silently run
+ * fault-free).
+ */
+bool configure(const std::string &spec, std::uint64_t seed,
+               std::string *error = nullptr);
+
+/** Hits counted against @p site so far (0 when unconfigured). */
+std::uint64_t hits(const char *site);
+
+/** Times @p site actually fired so far (0 when unconfigured). */
+std::uint64_t fired(const char *site);
+
+/**
+ * Record that a fault managed OUTSIDE the registry fired at @p site
+ * — bumps the `fault.<site>` obs counter only.  Used by the legacy
+ * tracer faults, whose crash machinery predates the registry but
+ * whose firings should still show up in the unified accounting.
+ */
+void noteFired(const char *site);
+
+/** The active seed (WMR_FAULT_SEED or the configure() value). */
+std::uint64_t seed();
+
+} // namespace wmr::fault
+
+#endif // WMR_FAULT_FAULT_HH

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/string_util.hh"
+#include "fault/fault.hh"
 
 namespace wmr {
 
@@ -267,6 +268,15 @@ CheckpointWriter::append(const TraceRunResult &r)
         return false;
     }
     const std::string line = checkpointLine(r) + "\n";
+    // Fault injection: a failed journal append (disk full under the
+    // checkpoint).  Callers must treat it as a counted degradation —
+    // the batch continues, it just loses resume coverage.
+    if (fault::at("pipeline.checkpoint.fail")) {
+        errno = ENOSPC;
+        error_ = std::string("checkpoint write failed: ") +
+                 std::strerror(errno);
+        return false;
+    }
     // One fwrite per line + an immediate flush: the line reaches the
     // OS before the next trace starts, so a SIGKILL costs at most
     // the line being written right now (and the loader skips a torn

@@ -105,8 +105,30 @@ configFromEnv(TracerConfig &cfg)
             }
         }
     }
-    if (const char *fault = std::getenv("WMR_RT_FAULT"))
+    if (const char *fault = std::getenv("WMR_RT_FAULT")) {
+        // The legacy variable wins when both are set.
         cfg.faultSpec = fault;
+    } else if (const char *unified = std::getenv("WMR_FAULT")) {
+        // Unified form (docs/FAULTS.md): the tracer's sites live
+        // under the "rt." prefix — WMR_FAULT=rt.slow-child@30 is
+        // WMR_RT_FAULT=slow-child@30.  Scan the comma-separated list
+        // for the first rt.* entry and strip the prefix; everything
+        // else belongs to other subsystems' sites.
+        std::string spec(unified);
+        std::size_t start = 0;
+        while (start <= spec.size()) {
+            std::size_t comma = spec.find(',', start);
+            if (comma == std::string::npos)
+                comma = spec.size();
+            const std::string entry =
+                spec.substr(start, comma - start);
+            if (entry.rfind("rt.", 0) == 0) {
+                cfg.faultSpec = entry.substr(3);
+                break;
+            }
+            start = comma + 1;
+        }
+    }
     return true;
 }
 

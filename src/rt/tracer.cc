@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "onthefly/epoch_detector.hh"
 #include "onthefly/vc_detector.hh"
@@ -523,6 +524,7 @@ Tracer::maybeSealSpill(bool force)
         return;
     if (fault_ == Fault::CrashMidSegment &&
         spill_->segmentsWritten() >= faultParam_) {
+        fault::noteFired("rt.crash-mid-segment");
         spill_->writeTornFrame();
         ::_exit(86);
     }
@@ -583,6 +585,7 @@ Tracer::maybeFaultInDrain()
     if (fault_ == Fault::CrashInDrain &&
         drainStats_.drainedRecords >= faultParam_) {
         fault_ = Fault::None; // don't re-fire from the handler path
+        fault::noteFired("rt.crash-in-drain");
         ::raise(SIGSEGV);
     }
 }
@@ -624,6 +627,7 @@ Tracer::stop()
         // Wedged-shutdown fault: everything already drained has been
         // sealed to disk by the idle spill, so a supervisor killing
         // us now still finds a salvageable trace.
+        fault::noteFired("rt.slow-child");
         std::this_thread::sleep_for(
             std::chrono::seconds(faultParam_));
     }

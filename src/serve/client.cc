@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "common/string_util.hh"
+#include "fault/fault.hh"
 #include "serve/io_util.hh"
 
 namespace wmr::serve {
@@ -77,8 +78,16 @@ connectToServer(const ServerAddress &addr, std::string &error)
             error = std::string("socket: ") + std::strerror(errno);
             return -1;
         }
-        if (::connect(fd, reinterpret_cast<const sockaddr *>(&sa),
-                      sizeof(sa)) != 0) {
+        // EINTR on a unix-domain connect is retryable: the kernel
+        // either completed nothing or everything, and a re-connect
+        // on an already-connected socket returns EISCONN — success.
+        int rc;
+        do {
+            rc = ::connect(fd,
+                           reinterpret_cast<const sockaddr *>(&sa),
+                           sizeof(sa));
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0 && errno != EISCONN) {
             error = strformat("connect %s: %s",
                               addr.socketPath.c_str(),
                               std::strerror(errno));
@@ -107,7 +116,11 @@ connectToServer(const ServerAddress &addr, std::string &error)
                       ai->ai_protocol);
         if (fd < 0)
             continue;
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+        int rc;
+        do {
+            rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+        } while (rc != 0 && errno == EINTR);
+        if (rc == 0 || errno == EISCONN)
             break;
         ::close(fd);
         fd = -1;
@@ -130,7 +143,32 @@ roundTrip(const ServerAddress &addr, const Request &req)
     if (fd < 0)
         return out;
     const std::vector<std::uint8_t> frame = encodeRequestFrame(req);
-    if (!writeAll(fd, frame.data(), frame.size())) {
+
+    // Fault injection, hostile-client edition.  slowloris trickles
+    // the request one byte per param ms (default 10) — the SERVER's
+    // per-connection deadline must cut it off; truncate stops after
+    // half the frame and shuts down the write side — the server
+    // must answer with a typed error or close, never hang.
+    std::uint64_t dripMs = 0;
+    if (fault::at("serve.client.slowloris", &dripMs)) {
+        if (dripMs == 0)
+            dripMs = 10;
+        bool sent = true;
+        for (std::size_t i = 0; i < frame.size() && sent; ++i) {
+            sent = writeAll(fd, frame.data() + i, 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(dripMs));
+        }
+        if (!sent) {
+            out.error = "send failed: server closed the "
+                        "connection (deadline)";
+            ::close(fd);
+            return out;
+        }
+    } else if (fault::at("serve.client.truncate")) {
+        (void)writeAll(fd, frame.data(), frame.size() / 2);
+        ::shutdown(fd, SHUT_WR);
+    } else if (!writeAll(fd, frame.data(), frame.size())) {
         out.error = std::string("send failed: ") +
                     std::strerror(errno);
         ::close(fd);

@@ -2,19 +2,30 @@
  * @file
  * Tiny whole-file I/O helpers shared by the serve subsystem's disk
  * paths (result-cache persistence, request spooling).  Both write
- * sides go through writeFileAtomic() — temp-then-rename — so a crash
- * mid-write leaves either the old file or none, never a torn one;
- * readers additionally CRC-frame their payloads and treat damage as
- * absence.
+ * sides go through writeFileAtomic() — temp, write, fsync, rename,
+ * directory fsync — so a crash at ANY point leaves either the old
+ * file or the complete new one, never a torn or empty entry (the
+ * rename alone is not enough: without the fsyncs a power cut can
+ * publish a zero-length file).  Readers additionally CRC-frame their
+ * payloads and treat damage as absence.
+ *
+ * All loops retry EINTR and handle partial transfers, matching the
+ * conventions of trace/segmented_io.cc's writeFrame().
  */
 
 #ifndef WMR_SERVE_IO_UTIL_HH
 #define WMR_SERVE_IO_UTIL_HH
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/obs.hh"
 
 namespace wmr::serve {
 
@@ -24,46 +35,122 @@ inline bool
 readWholeFile(const std::string &path,
               std::vector<std::uint8_t> &out)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rbe");
-    if (f == nullptr)
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
         return false;
     out.clear();
     std::uint8_t buf[1 << 16];
     for (;;) {
-        const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
-        out.insert(out.end(), buf, buf + n);
-        if (n < sizeof(buf))
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
             break;
+        out.insert(out.end(), buf, buf + n);
     }
-    const bool ok = std::ferror(f) == 0;
-    std::fclose(f);
-    return ok;
+    ::close(fd);
+    return true;
 }
 
-/** Write @p bytes to @p path via a ".tmp" sibling and rename(2), so
- *  the destination is never observable half-written. */
+/** Write all @p n bytes to @p fd, retrying EINTR and partial
+ *  writes. @return false on any other error (errno holds why). */
+inline bool
+writeFullFd(int fd, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t w = ::write(fd, p + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** How an atomic file write ended. */
+enum class AtomicWriteStatus : std::uint8_t {
+    Ok,
+    NoSpace, ///< ENOSPC/EDQUOT — a countable, expected degradation
+    Error,   ///< anything else
+};
+
+/**
+ * Write @p bytes to @p path via a ".tmp" sibling: write, fsync the
+ * temp file, rename(2) over the destination, then fsync the parent
+ * directory so the rename itself is durable.  The destination is
+ * never observable half-written, and after a crash it is never the
+ * pre-fsync empty file either.
+ *
+ * Disk-full (ENOSPC/EDQUOT) comes back as NoSpace and bumps the
+ * `serve.disk.enospc` counter — callers treat it as a non-fatal
+ * cache/spool degradation, not an error to die on.
+ */
+inline AtomicWriteStatus
+writeFileAtomicStatus(const std::string &path,
+                      const std::vector<std::uint8_t> &bytes)
+{
+    const auto classify = [] {
+        if (errno == ENOSPC || errno == EDQUOT) {
+            obs::counter("serve.disk.enospc").inc();
+            return AtomicWriteStatus::NoSpace;
+        }
+        return AtomicWriteStatus::Error;
+    };
+
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return classify();
+    if (!writeFullFd(fd, bytes.data(), bytes.size()) ||
+        ::fsync(fd) != 0) {
+        const AtomicWriteStatus st = classify();
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return st;
+    }
+    if (::close(fd) != 0) {
+        const AtomicWriteStatus st = classify();
+        ::unlink(tmp.c_str());
+        return st;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const AtomicWriteStatus st = classify();
+        ::unlink(tmp.c_str());
+        return st;
+    }
+
+    // Make the rename durable: fsync the directory entry.  Failure
+    // here is not a torn file (the rename is complete in the page
+    // cache) — degrade silently rather than unlinking good data.
+    const std::size_t slash = path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int dfd =
+        ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
+    }
+    return AtomicWriteStatus::Ok;
+}
+
+/** Boolean convenience wrapper over writeFileAtomicStatus(). */
 inline bool
 writeFileAtomic(const std::string &path,
                 const std::vector<std::uint8_t> &bytes)
 {
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wbe");
-    if (f == nullptr)
-        return false;
-    const bool wrote =
-        bytes.empty() ||
-        std::fwrite(bytes.data(), 1, bytes.size(), f) ==
-            bytes.size();
-    const bool closed = std::fclose(f) == 0;
-    if (!wrote || !closed) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return writeFileAtomicStatus(path, bytes) ==
+           AtomicWriteStatus::Ok;
 }
 
 } // namespace wmr::serve

@@ -1,12 +1,14 @@
 #include "serve/protocol.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/string_util.hh"
+#include "fault/fault.hh"
 #include "pipeline/aggregate_report.hh"
 #include "trace/wire_codec.hh"
 
@@ -57,15 +59,45 @@ getU64(const std::uint8_t *p)
     return v;
 }
 
-/** Read exactly @p n bytes; false on EOF/error (sets @p eof). */
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Read exactly @p n bytes; false on EOF/error (sets @p eof).  When
+ * @p deadline is nonzero, the WHOLE transfer must finish before it —
+ * the slow-loris defense: SO_RCVTIMEO bounds each recv(), this
+ * bounds their sum, so a client trickling one byte per timeout can
+ * never hold a worker past the deadline.
+ */
 bool
-readFull(int fd, void *out, std::size_t n, bool &eof)
+readFull(int fd, void *out, std::size_t n, bool &eof,
+         Clock::time_point deadline = {})
 {
     auto *p = static_cast<std::uint8_t *>(out);
     std::size_t got = 0;
     eof = false;
+
+    // Fault injection: an EINTR storm (param spurious interrupts,
+    // default 3) exercises the retry, a short-read schedule caps
+    // recv() at one byte to drive the reassembly loop.
+    std::uint64_t storm = 0;
+    if (fault::at("serve.io.eintr", &storm) && storm == 0)
+        storm = 3;
+    const bool shortReads = fault::at("serve.read.short");
+
     while (got < n) {
-        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (deadline != Clock::time_point{} &&
+            Clock::now() >= deadline) {
+            errno = ETIMEDOUT;
+            return false;
+        }
+        ssize_t r;
+        if (storm > 0) {
+            --storm;
+            errno = EINTR;
+            r = -1;
+        } else {
+            r = ::recv(fd, p + got, shortReads ? 1 : n - got, 0);
+        }
         if (r == 0) {
             eof = true;
             return false;
@@ -194,11 +226,15 @@ encodeResponseFrame(const Response &resp)
 
 FrameReadStatus
 readRequest(int fd, std::uint64_t maxBodyBytes, Request &out,
-            std::string &error)
+            std::string &error, std::uint32_t deadlineMs)
 {
+    const Clock::time_point deadline =
+        deadlineMs != 0
+            ? Clock::now() + std::chrono::milliseconds(deadlineMs)
+            : Clock::time_point{};
     std::uint8_t header[24];
     bool eof = false;
-    if (!readFull(fd, header, sizeof(header), eof)) {
+    if (!readFull(fd, header, sizeof(header), eof, deadline)) {
         error = eof ? "connection closed before a full request "
                       "header"
                     : std::string("request read failed: ") +
@@ -227,7 +263,7 @@ readRequest(int fd, std::uint64_t maxBodyBytes, Request &out,
     }
     out.body.resize(bodyLen);
     if (bodyLen > 0 &&
-        !readFull(fd, out.body.data(), bodyLen, eof)) {
+        !readFull(fd, out.body.data(), bodyLen, eof, deadline)) {
         error = eof ? "connection closed mid-body"
                     : std::string("request body read failed: ") +
                           std::strerror(errno);
@@ -332,11 +368,23 @@ decodeResponseFrame(const std::uint8_t *data, std::size_t n,
 bool
 writeAll(int fd, const void *data, std::size_t n)
 {
+    // Same EINTR-storm site as the read side: a hit storms this
+    // call's send() loop with param spurious interrupts (default 3).
+    std::uint64_t storm = 0;
+    if (fault::at("serve.io.eintr", &storm) && storm == 0)
+        storm = 3;
+
     const auto *p = static_cast<const std::uint8_t *>(data);
     std::size_t sent = 0;
     while (sent < n) {
-        const ssize_t r =
-            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        ssize_t r;
+        if (storm > 0) {
+            --storm;
+            errno = EINTR;
+            r = -1;
+        } else {
+            r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        }
         if (r < 0) {
             if (errno == EINTR)
                 continue;

@@ -138,10 +138,14 @@ std::vector<std::uint8_t> encodeResponseFrame(const Response &resp);
 /**
  * Read one request frame from @p fd (blocking).  @p maxBodyBytes
  * rejects an oversized announced body BEFORE reading it, so a rogue
- * upload costs a header read, not memory.
+ * upload costs a header read, not memory.  A nonzero @p deadlineMs
+ * bounds the TOTAL transfer time — the per-recv SO_RCVTIMEO bounds
+ * each syscall, this bounds their sum, so a slow-loris client
+ * trickling bytes can never wedge a worker (IoError/ETIMEDOUT).
  */
 FrameReadStatus readRequest(int fd, std::uint64_t maxBodyBytes,
-                            Request &out, std::string &error);
+                            Request &out, std::string &error,
+                            std::uint32_t deadlineMs = 0);
 
 /** Read one response frame from @p fd (blocking). */
 FrameReadStatus readResponse(int fd, Response &out,

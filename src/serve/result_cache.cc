@@ -9,6 +9,8 @@
 #include "common/hash64.hh"
 #include "common/logging.hh"
 #include "common/string_util.hh"
+#include "fault/fault.hh"
+#include "obs/obs.hh"
 #include "serve/io_util.hh"
 
 namespace fs = std::filesystem;
@@ -166,10 +168,22 @@ ResultCache::persistToDisk(const CacheKey &key,
     for (int i = 0; i < 4; ++i)
         bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
     bytes.insert(bytes.end(), frame.begin(), frame.end());
+    // Fault injection: a torn disk-tier write — the entry loses its
+    // tail after the CRC was stamped, modelling a lost page behind a
+    // completed rename.  The read side's CRC must turn it into a
+    // counted miss (stats_.diskErrors), never a served wrong report.
+    if (fault::at("serve.cache.torn") && bytes.size() > 16)
+        bytes.resize(bytes.size() / 2);
     const std::string path =
         persistDir_ + "/" + entryFileName(key);
-    if (!writeFileAtomic(path, bytes))
-        warn("result cache: cannot persist %s", path.c_str());
+    const AtomicWriteStatus st = writeFileAtomicStatus(path, bytes);
+    if (st != AtomicWriteStatus::Ok) {
+        // Counted, non-fatal: the memory tier still has the entry;
+        // only persistence across restarts is lost.
+        obs::counter("serve.cache.disk_write_fail").inc();
+        if (st != AtomicWriteStatus::NoSpace)
+            warn("result cache: cannot persist %s", path.c_str());
+    }
 }
 
 bool

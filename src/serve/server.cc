@@ -17,6 +17,7 @@
 
 #include "common/hash64.hh"
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "common/string_util.hh"
 #include "common/worker_pool.hh"
 #include "detect/analysis.hh"
@@ -510,6 +511,15 @@ Server::respondAndClose(int fd, const Response &resp)
 {
     const std::vector<std::uint8_t> frame =
         encodeResponseFrame(resp);
+    // Fault injection: a truncated response — half the frame, then
+    // close.  The CLIENT must turn this into a typed transport
+    // error (readResponse sees EOF mid-frame), never a hang or a
+    // partial report passed off as complete.
+    if (fault::at("serve.resp.truncate")) {
+        (void)writeAll(fd, frame.data(), frame.size() / 2);
+        ::close(fd);
+        return;
+    }
     (void)writeAll(fd, frame.data(), frame.size());
     ::close(fd);
 }
@@ -526,8 +536,20 @@ Server::spoolRequest(const Job &job)
                   hash64Hex(job.key.hash).c_str(),
                   static_cast<unsigned long long>(job.key.bytes),
                   job.key.flags);
-    if (!writeFileAtomic(path, job.body)) {
-        warn("serve: cannot spool request to %s", path.c_str());
+    // A spool-dir write failure (real or injected ENOSPC) is a
+    // counted degradation, not an error: the request is still
+    // analyzed and answered, it just loses crash-recovery coverage.
+    AtomicWriteStatus st = AtomicWriteStatus::Ok;
+    if (fault::at("serve.spool.enospc")) {
+        obs::counter("serve.disk.enospc").inc();
+        st = AtomicWriteStatus::NoSpace;
+    } else {
+        st = writeFileAtomicStatus(path, job.body);
+    }
+    if (st != AtomicWriteStatus::Ok) {
+        obs::counter("serve.spool.degraded").inc();
+        if (st != AtomicWriteStatus::NoSpace)
+            warn("serve: cannot spool request to %s", path.c_str());
         return "";
     }
     return path;
@@ -621,10 +643,28 @@ Server::handleConnection(int fd)
 
     Request req;
     std::string err;
+    // The io timeout doubles as the TOTAL per-request read deadline
+    // (x4 for a margin over per-recv stalls): a slow-loris client
+    // that keeps each recv() just under SO_RCVTIMEO still cannot
+    // hold the accept loop past the deadline.
+    const std::uint32_t deadlineMs =
+        opts_.ioTimeoutSec > 0
+            ? static_cast<std::uint32_t>(opts_.ioTimeoutSec) * 4000u
+            : 0;
     const FrameReadStatus rs =
-        readRequest(fd, opts_.maxRequestBytes, req, err);
+        readRequest(fd, opts_.maxRequestBytes, req, err, deadlineMs);
     if (rs == FrameReadStatus::Eof ||
         rs == FrameReadStatus::IoError) {
+        if (errno == ETIMEDOUT || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+            obs::counter("serve.read_timeout").inc();
+        ::close(fd);
+        return;
+    }
+    // Fault injection: drop the connection after a full request —
+    // the client sees a reset mid-frame and must surface a typed
+    // transport error, never a hang.
+    if (fault::at("serve.conn.reset")) {
         ::close(fd);
         return;
     }
@@ -683,10 +723,19 @@ Server::acceptLoop()
         if (fds[0].revents & POLLIN) {
             const int fd = ::accept4(listenFd_, nullptr, nullptr,
                                      SOCK_CLOEXEC);
-            if (fd >= 0)
+            if (fd >= 0) {
+                // Fault injection: accept "failure" — the accepted
+                // connection is dropped on the floor (as an fd-
+                // exhausted server would).  The loop must keep
+                // serving; the client sees a reset and retries.
+                if (fault::at("serve.accept.fail")) {
+                    ::close(fd);
+                    continue;
+                }
                 handleConnection(fd);
-            else if (errno != EINTR && errno != ECONNABORTED)
+            } else if (errno != EINTR && errno != ECONNABORTED) {
                 warn("serve: accept: %s", std::strerror(errno));
+            }
         }
         if (draining_.load(std::memory_order_relaxed))
             break;
@@ -739,10 +788,14 @@ Server::serveJob(Job &job, unsigned analysisThreads)
     }
 
     // Journal BEFORE unlinking the spool entry: a crash between the
-    // two re-analyzes at worst one already-finished request.
+    // two re-analyzes at worst one already-finished request.  A
+    // failed append degrades the same way: the spool entry is still
+    // unlinked (the response IS being sent), we merely lose the
+    // crash-dedup for this one request — counted, not fatal.
     if (!job.spoolPath.empty() && journal_) {
         out.rr.path = job.spoolPath;
-        journal_->append(out.rr);
+        if (!journal_->append(out.rr))
+            obs::counter("serve.journal.degraded").inc();
         ::unlink(job.spoolPath.c_str());
     }
 

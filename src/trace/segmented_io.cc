@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/crc32.hh"
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "trace/wire_codec.hh"
 
@@ -466,6 +467,18 @@ loadFile(const std::string &path, std::vector<std::uint8_t> &bytes,
         error = "cannot read '" + path + "'";
         return false;
     }
+    // Fault injection on the read boundary: a short read drops the
+    // file's tail (param = bytes to drop), a bit-flip corrupts one
+    // byte (param = byte offset).  Both land AFTER a successful read,
+    // modelling storage rot rather than syscall failure — the frame
+    // CRCs must turn either into typed damage, never a wrong report.
+    std::uint64_t p = 0;
+    if (fault::at("trace.read.short", &p) && !bytes.empty()) {
+        const std::size_t drop = std::max<std::uint64_t>(p, 1);
+        bytes.resize(bytes.size() > drop ? bytes.size() - drop : 0);
+    }
+    if (fault::at("trace.read.bitflip", &p) && !bytes.empty())
+        bytes[p % bytes.size()] ^= 0x01;
     return true;
 }
 
@@ -655,7 +668,8 @@ bool
 SegmentSpillWriter::writeFrame(const std::uint8_t *hdr,
                                std::size_t hdrLen,
                                const std::uint8_t *body,
-                               std::size_t bodyLen, bool fsyncAfter)
+                               std::size_t bodyLen, bool fsyncAfter,
+                               bool faults)
 {
     if (fd_ < 0)
         return false;
@@ -670,13 +684,37 @@ SegmentSpillWriter::writeFrame(const std::uint8_t *hdr,
     putLe32(lenBuf, static_cast<std::uint32_t>(hdrLen + bodyLen));
     putLe32(crcBuf, crc);
 
+    // Fault injection on the write boundary.  The ENOSPC site fails
+    // the whole frame (the recorder's drain path must degrade, not
+    // crash); the EINTR site storms the loop with param spurious
+    // interrupts (default 3) so the retry really runs; the short
+    // site caps every write at one byte, forcing the partial-
+    // transfer accounting through its paces.
+    std::uint64_t p = 0;
+    if (faults && fault::at("trace.seg.write.enospc", &p)) {
+        errno = ENOSPC;
+        return fail("segment write failed");
+    }
+    std::uint64_t stormLeft = 0;
+    if (faults && fault::at("trace.seg.write.eintr", &p))
+        stormLeft = p != 0 ? p : 3;
+    const bool shortWrites =
+        faults && fault::at("trace.seg.write.short");
+
     const std::uint8_t *parts[4] = {lenBuf, hdr, body, crcBuf};
     const std::size_t partLens[4] = {4, hdrLen, bodyLen, 4};
     for (int i = 0; i < 4; ++i) {
         std::size_t done = 0;
         while (done < partLens[i]) {
-            const ssize_t w =
-                ::write(fd_, parts[i] + done, partLens[i] - done);
+            ssize_t w;
+            if (stormLeft > 0) {
+                --stormLeft;
+                errno = EINTR;
+                w = -1;
+            } else {
+                w = ::write(fd_, parts[i] + done,
+                            shortWrites ? 1 : partLens[i] - done);
+            }
             if (w < 0) {
                 if (errno == EINTR)
                     continue;
@@ -730,7 +768,7 @@ SegmentSpillWriter::crashSeal()
         h += putVarint(hdr + h, dropped_);
         h += putVarint(hdr + h, pendingEvents_);
         if (!writeFrame(hdr, h, pending_.data(), pending_.size(),
-                        /*fsyncAfter=*/false))
+                        /*fsyncAfter=*/false, /*faults=*/false))
             return false;
         pendingEvents_ = 0;
     }
@@ -915,6 +953,16 @@ SegmentTailReader::poll(std::vector<SegTailSegment> &segs)
     if (finSeen_ && buf_.empty())
         return TailPollStatus::Fin;
 
+    // Fault injection on the tail: a stalled tail reports Waiting
+    // without touching the file (the consumer's liveness handling —
+    // keep polling, then finalize — must absorb it), and the damage
+    // site corrupts one byte of freshly appended data, modelling a
+    // segment sealed to disk and then rotted under the reader.
+    if (fault::at("stream.tail.stall"))
+        return TailPollStatus::Waiting;
+    const bool damageAppend = fault::at("stream.tail.damage");
+    const std::size_t bufBefore = buf_.size();
+
     // Pull every newly appended byte.  On a regular file read()
     // returns 0 at the current EOF; a later poll() sees appends.
     std::uint8_t chunk[1 << 16];
@@ -931,6 +979,8 @@ SegmentTailReader::poll(std::vector<SegTailSegment> &segs)
         buf_.insert(buf_.end(), chunk, chunk + r);
         seen_ += static_cast<std::uint64_t>(r);
     }
+    if (damageAppend && buf_.size() > bufBefore)
+        buf_.back() ^= 0x01;
 
     // The magic is just a fixed 8-byte prefix frame.
     std::size_t pos = 0; // into buf_, which starts at offset consumed_

@@ -394,9 +394,11 @@ class SegmentSpillWriter
     std::uint64_t bytesWritten() const { return bytes_; }
 
   private:
+    /** @p faults=false is the crash-handler path: fault::at() takes
+     *  locks and must never run in async-signal context. */
     bool writeFrame(const std::uint8_t *hdr, std::size_t hdrLen,
                     const std::uint8_t *body, std::size_t bodyLen,
-                    bool fsyncAfter);
+                    bool fsyncAfter, bool faults = true);
     bool fail(const std::string &why);
 
     int fd_ = -1;

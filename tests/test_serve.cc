@@ -29,9 +29,12 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "common/hash64.hh"
+#include "fault/fault.hh"
+#include "obs/obs.hh"
 #include "common/string_util.hh"
 #include "detect/analysis.hh"
 #include "detect/report.hh"
@@ -762,4 +765,320 @@ TEST(ServeClient, ParseServerAddressRejectsBadTcpForms)
     EXPECT_FALSE(parseServerAddress("tcp:host:0", a, error));
     EXPECT_FALSE(parseServerAddress("tcp:host:65536", a, error));
     EXPECT_FALSE(parseServerAddress("tcp:host:port", a, error));
+}
+
+// ---------------------------------------------------------------
+// Client retry schedule (`wmrace submit` under admission rejection)
+// ---------------------------------------------------------------
+
+namespace {
+
+/** A scripted fake server: answers each accepted connection with the
+ *  next canned response, recording accept times — the deterministic
+ *  counterpart of a flooded real server, for pinning down the
+ *  client's bounded-retry schedule. */
+struct ScriptedServer
+{
+    TempDir dir;
+    ServerAddress addr;
+    int listenFd = -1;
+    std::thread th;
+    std::vector<std::chrono::steady_clock::time_point> accepts;
+
+    explicit ScriptedServer(std::vector<Response> script)
+    {
+        addr.socketPath = dir.path + "/scripted.sock";
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        EXPECT_GE(listenFd, 0);
+        sockaddr_un sa{};
+        sa.sun_family = AF_UNIX;
+        std::memcpy(sa.sun_path, addr.socketPath.c_str(),
+                    addr.socketPath.size() + 1);
+        EXPECT_EQ(::bind(listenFd,
+                         reinterpret_cast<sockaddr *>(&sa),
+                         sizeof(sa)),
+                  0);
+        EXPECT_EQ(::listen(listenFd, 8), 0);
+        th = std::thread([this, script = std::move(script)] {
+            for (const Response &resp : script) {
+                const int fd = ::accept(listenFd, nullptr, nullptr);
+                if (fd < 0)
+                    break;
+                accepts.push_back(
+                    std::chrono::steady_clock::now());
+                Request req;
+                std::string err;
+                (void)readRequest(fd, 1ull << 30, req, err);
+                const std::vector<std::uint8_t> frame =
+                    encodeResponseFrame(resp);
+                (void)writeAll(fd, frame.data(), frame.size());
+                ::close(fd);
+            }
+        });
+    }
+
+    /** Wait for the whole script to be consumed. */
+    void
+    finish()
+    {
+        if (th.joinable())
+            th.join();
+    }
+
+    ~ScriptedServer()
+    {
+        finish();
+        if (listenFd >= 0)
+            ::close(listenFd);
+    }
+
+    /** Milliseconds between accepted connections @p i and @p i+1. */
+    long
+    gapMs(std::size_t i) const
+    {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   accepts[i + 1] - accepts[i])
+            .count();
+    }
+};
+
+Response
+overloadedResp(std::uint32_t retryAfterMs)
+{
+    Response r;
+    r.status = RespStatus::Overloaded;
+    r.retryAfterMs = retryAfterMs;
+    r.meta.error = "queue full";
+    return r;
+}
+
+Response
+okResp()
+{
+    Response r;
+    r.status = RespStatus::Ok;
+    r.report = "scripted ok\n";
+    return r;
+}
+
+} // namespace
+
+TEST(ServeRetry, BoundedScheduleStopsAtMaxAttempts)
+{
+    ScriptedServer srv({overloadedResp(20), overloadedResp(20),
+                        overloadedResp(20)});
+    SubmitOptions opts;
+    opts.maxAttempts = 3;
+    opts.retryAfterMs = 5; // the server hint must win over this
+    SubmitResult res =
+        submitTraceBytes(srv.addr, makeTraceBytes(81), opts);
+    srv.finish();
+
+    // Exactly maxAttempts round trips, then the rejection surfaces.
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.response.status, RespStatus::Overloaded);
+    ASSERT_EQ(srv.accepts.size(), 3u);
+
+    // The server's 20ms retry-after hint paced both retries (5ms
+    // would be too fast; allow scheduler slop downward to 15ms).
+    EXPECT_GE(srv.gapMs(0), 15);
+    EXPECT_GE(srv.gapMs(1), 15);
+}
+
+TEST(ServeRetry, HintHonoredThenEventualOkReturned)
+{
+    ScriptedServer srv({overloadedResp(40), okResp()});
+    SubmitOptions opts;
+    opts.maxAttempts = 4;
+    opts.retryAfterMs = 5;
+    SubmitResult res =
+        submitTraceBytes(srv.addr, makeTraceBytes(82), opts);
+    srv.finish();
+
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.response.status, RespStatus::Ok);
+    EXPECT_EQ(res.response.report, "scripted ok\n");
+    ASSERT_EQ(srv.accepts.size(), 2u); // no retries after success
+    EXPECT_GE(srv.gapMs(0), 35);
+}
+
+TEST(ServeRetry, ZeroHintFallsBackToClientDefaultAndDrainingRetries)
+{
+    // Draining is retryable too; a zero hint means "use the
+    // client-side default pause".
+    ScriptedServer srv({[] {
+                            Response r;
+                            r.status = RespStatus::Draining;
+                            r.retryAfterMs = 0;
+                            r.meta.error = "draining";
+                            return r;
+                        }(),
+                        okResp()});
+    SubmitOptions opts;
+    opts.maxAttempts = 4;
+    opts.retryAfterMs = 30;
+    SubmitResult res =
+        submitTraceBytes(srv.addr, makeTraceBytes(83), opts);
+    srv.finish();
+
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.response.status, RespStatus::Ok);
+    ASSERT_EQ(srv.accepts.size(), 2u);
+    EXPECT_GE(srv.gapMs(0), 25);
+}
+
+// ---------------------------------------------------------------
+// Fault-injection hardening: every injected failure must degrade
+// into a typed error or counted fallback — never a crash or hang.
+// ---------------------------------------------------------------
+
+namespace {
+
+/** Scoped schedule: configures on entry, disables on exit so no
+ *  schedule leaks into later tests. */
+struct FaultSchedule
+{
+    explicit FaultSchedule(const std::string &spec,
+                           std::uint64_t seed = 0)
+    {
+        EXPECT_TRUE(fault::configure(spec, seed));
+    }
+
+    ~FaultSchedule() { fault::configure("", 0); }
+};
+
+} // namespace
+
+TEST(ServeFault, SlowRequestIsCutOffByTheTransferDeadline)
+{
+    // A client trickling one byte at a time must be disconnected by
+    // the TOTAL-transfer deadline even though each recv makes
+    // progress (SO_RCVTIMEO alone never fires).
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::atomic<bool> stop{false};
+    std::thread dripper([&] {
+        Request req;
+        req.body.assign(4096, 0x5a);
+        const std::vector<std::uint8_t> frame =
+            encodeRequestFrame(req);
+        for (std::size_t i = 0; i < frame.size() && !stop; ++i) {
+            if (!writeAll(sv[1], frame.data() + i, 1))
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        }
+    });
+
+    Request out;
+    std::string error;
+    const auto t0 = std::chrono::steady_clock::now();
+    const FrameReadStatus rs =
+        readRequest(sv[0], 1ull << 20, out, error, /*deadlineMs=*/
+                    150);
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(rs, FrameReadStatus::IoError);
+    EXPECT_FALSE(error.empty());
+    EXPECT_LT(elapsed, 5000); // cut off, not wedged
+    stop = true;
+    ::close(sv[0]);
+    ::close(sv[1]);
+    dripper.join();
+}
+
+TEST(ServeFault, ConnectionResetAfterRequestIsTypedClientError)
+{
+    RunningServer rs;
+    {
+        FaultSchedule sched("serve.conn.reset@n1");
+        SubmitOptions once;
+        once.maxAttempts = 1;
+        SubmitResult res = submitTraceBytes(
+            rs.addr, makeTraceBytes(91), once);
+        EXPECT_FALSE(res.ok);
+        EXPECT_FALSE(res.error.empty());
+    }
+    // The server survived: the next submission analyzes normally.
+    SubmitResult again =
+        submitTraceBytes(rs.addr, makeTraceBytes(91));
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.response.status, RespStatus::Ok);
+}
+
+TEST(ServeFault, TruncatedResponseIsTypedClientError)
+{
+    RunningServer rs;
+    {
+        FaultSchedule sched("serve.resp.truncate@n1");
+        SubmitResult res =
+            submitTraceBytes(rs.addr, makeTraceBytes(92));
+        EXPECT_FALSE(res.ok);
+        EXPECT_FALSE(res.error.empty());
+    }
+    SubmitResult again =
+        submitTraceBytes(rs.addr, makeTraceBytes(92));
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.response.status, RespStatus::Ok);
+}
+
+TEST(ServeFault, RefusedAcceptIsTypedClientErrorNotServerDeath)
+{
+    RunningServer rs;
+    {
+        FaultSchedule sched("serve.accept.fail@n1");
+        SubmitOptions once;
+        once.maxAttempts = 1;
+        SubmitResult res = submitTraceBytes(
+            rs.addr, makeTraceBytes(93), once);
+        EXPECT_FALSE(res.ok);
+    }
+    SubmitResult again =
+        submitTraceBytes(rs.addr, makeTraceBytes(93));
+    ASSERT_TRUE(again.ok) << again.error;
+    EXPECT_EQ(again.response.status, RespStatus::Ok);
+}
+
+TEST(ServeFault, SpoolEnospcDegradesToUnspooledAnalysis)
+{
+    TempDir spool;
+    RunningServer rs([&](ServeOptions &o) {
+        o.spoolDir = spool.path;
+    });
+    const std::uint64_t degraded0 =
+        obs::counter("serve.spool.degraded").value();
+    {
+        FaultSchedule sched("serve.spool.enospc");
+        const std::vector<std::uint8_t> bytes = makeTraceBytes(94);
+        SubmitResult res = submitTraceBytes(rs.addr, bytes);
+        // Losing the spool loses crash recovery, NOT the analysis.
+        ASSERT_TRUE(res.ok) << res.error;
+        EXPECT_EQ(res.response.status, RespStatus::Ok);
+        EXPECT_EQ(res.response.report, localCheckReport(bytes));
+    }
+    EXPECT_GT(obs::counter("serve.spool.degraded").value(),
+              degraded0);
+    EXPECT_GT(obs::counter("serve.disk.enospc").value(), 0u);
+}
+
+TEST(ServeFault, TornCacheDiskWriteDegradesToMissNotWrongReport)
+{
+    TempDir dir;
+    ResultCache cache(1 << 20, dir.path);
+    const CacheKey k{0x1234, 24, 0};
+    CachedResult v;
+    v.report = "torn-write victim report\n";
+    {
+        FaultSchedule sched("serve.cache.torn");
+        cache.put(k, v);
+    }
+    // Memory still has it...
+    CachedResult out;
+    ASSERT_TRUE(cache.get(k, out));
+    // ...but the disk tier's CRC catches the torn entry: miss.
+    cache.dropMemoryForTest();
+    EXPECT_FALSE(cache.get(k, out));
+    EXPECT_GE(cache.stats().diskErrors, 1u);
 }
