@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Throughput of the detector-engine family (src/engines/): events/s
+ * of each chain engine — hb1 (the wrapped canonical pipeline), shb
+ * and wcp (the single-pass clock engines) — and of the full family
+ * run that feeds all three from ONE pass of the stream, over
+ * synthetic traces of two conflict densities.  Every family run's
+ * containment summary is re-checked here: a nonzero violation count
+ * turns the reproduction table into a failure marker the smoke
+ * CTest entry greps for.
+ *
+ * A machine-readable JSON block follows the table; the committed
+ * baseline is BENCH_detector_family.json (tools/bench_baselines.sh).
+ * WMR_BENCH_SMOKE=1 shrinks the traces so the binary doubles as a
+ * fast CTest smoke entry.
+ */
+
+#include "bench_util.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engines/family.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace {
+
+using namespace wmr;
+using namespace wmr::benchutil;
+
+SyntheticTraceOptions
+workload(std::uint64_t totalEvents, bool dense, std::uint64_t seed)
+{
+    SyntheticTraceOptions o;
+    o.procs = 4;
+    o.eventsPerProc =
+        static_cast<std::uint32_t>(totalEvents / o.procs);
+    o.memWords = 4096;
+    o.syncWords = 16;
+    o.syncFraction = 0.2;
+    // "dense" raises cross-processor conflicts but spreads them over
+    // a wide hot set: the race count stays linear-ish in the trace,
+    // so hb1's partitioning (superlinear in races) stays feasible at
+    // baseline sizes.
+    o.hotFraction = dense ? 0.25 : 0.0;
+    o.hotWords = 128;
+    o.seed = seed;
+    return o;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct Row
+{
+    std::string shape;
+    std::string engine;
+    std::uint64_t events = 0;
+    double seconds = 0;
+    std::uint64_t races = 0;
+    std::size_t violations = 0;
+};
+
+Row
+runSelection(const ExecutionTrace &trace, const char *shape,
+             const char *engine)
+{
+    const auto kinds = engines::parseEngineSelection(engine);
+    if (!kinds)
+        fatal("bench_detector_family: unknown engine %s", engine);
+    engines::EngineFamilyOptions fopts;
+    fopts.kinds = *kinds;
+    fopts.threads = 1;
+
+    const auto t = std::chrono::steady_clock::now();
+    const engines::EngineFamilyResult fam =
+        engines::runEngineFamily(trace, fopts);
+    Row row;
+    row.shape = shape;
+    row.engine = engine;
+    row.events = trace.events().size();
+    row.seconds = secondsSince(t);
+    for (const auto &v : fam.verdicts) {
+        if (!v.opLevel)
+            row.races += v.races.size();
+    }
+    row.violations = fam.containment.violations;
+    return row;
+}
+
+void
+reproduce()
+{
+    const std::uint64_t totalEvents =
+        smokeMode() ? 8'000 : 100'000;
+
+    section("detector-family throughput (events/s per engine)" +
+            std::string(smokeMode() ? " (smoke mode)" : ""));
+    note("'all' runs hb1+shb+wcp from ONE pass of the stream and "
+         "cross-checks the containment chain.");
+
+    std::printf("  %-8s %-6s %10s %10s %12s %10s\n", "shape",
+                "engine", "events", "seconds", "events/s",
+                "races");
+    std::vector<Row> rows;
+    std::size_t violations = 0;
+    for (const bool dense : {false, true}) {
+        const char *shape = dense ? "dense" : "sparse";
+        const ExecutionTrace trace = makeSyntheticTrace(
+            workload(totalEvents, dense, dense ? 23 : 17));
+        for (const char *engine : {"hb1", "shb", "wcp", "all"}) {
+            const Row row = runSelection(trace, shape, engine);
+            std::printf("  %-8s %-6s %10llu %10.3f %12.0f %10llu\n",
+                        row.shape.c_str(), row.engine.c_str(),
+                        static_cast<unsigned long long>(row.events),
+                        row.seconds,
+                        static_cast<double>(row.events) /
+                            row.seconds,
+                        static_cast<unsigned long long>(row.races));
+            violations += row.violations;
+            rows.push_back(row);
+        }
+    }
+    note(violations == 0
+             ? "containment chain verified: 0 violations across "
+               "every family run."
+             : "!! CONTAINMENT VIOLATION — an engine disagrees "
+               "with the chain (regression).");
+
+    // Machine-readable block for plotting/regression tooling.
+    std::printf("{\n  \"schema\": \"wmrace-detector-family\",\n");
+    std::printf("  \"containment_violations\": %llu,\n",
+                static_cast<unsigned long long>(violations));
+    std::printf("  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf(
+            "    {\"shape\": \"%s\", \"engine\": \"%s\", "
+            "\"events\": %llu, \"seconds\": %.4f, "
+            "\"events_per_second\": %.1f, \"races\": %llu}%s\n",
+            r.shape.c_str(), r.engine.c_str(),
+            static_cast<unsigned long long>(r.events), r.seconds,
+            static_cast<double>(r.events) / r.seconds,
+            static_cast<unsigned long long>(r.races),
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+}
+
+void
+BM_EngineFamily(benchmark::State &state)
+{
+    const char *engines[] = {"hb1", "shb", "wcp", "all"};
+    const char *engine = engines[state.range(0)];
+    const ExecutionTrace trace =
+        makeSyntheticTrace(workload(20'000, true, 23));
+    const auto kinds = wmr::engines::parseEngineSelection(engine);
+    wmr::engines::EngineFamilyOptions fopts;
+    fopts.kinds = *kinds;
+    fopts.threads = 1;
+    for (auto _ : state) {
+        const auto fam = wmr::engines::runEngineFamily(trace, fopts);
+        benchmark::DoNotOptimize(fam.anyDataRace);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.events().size()));
+    state.SetLabel(engine);
+}
+BENCHMARK(BM_EngineFamily)->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+} // namespace
+
+WMR_BENCH_MAIN(reproduce)

@@ -1,0 +1,78 @@
+#include "engines/engine.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace wmr::engines {
+
+const char *
+engineName(EngineKind kind)
+{
+    switch (kind) {
+    case EngineKind::Hb1:
+        return "hb1";
+    case EngineKind::Shb:
+        return "shb";
+    case EngineKind::Wcp:
+        return "wcp";
+    case EngineKind::Vc:
+        return "vc";
+    case EngineKind::Epoch:
+        return "epoch";
+    case EngineKind::Lockset:
+        return "lockset";
+    }
+    return "?";
+}
+
+std::optional<std::vector<EngineKind>>
+parseEngineSelection(std::string_view name)
+{
+    if (name == "all")
+        return std::vector<EngineKind>{
+            EngineKind::Hb1, EngineKind::Shb, EngineKind::Wcp};
+    if (name == "hb1")
+        return std::vector<EngineKind>{EngineKind::Hb1};
+    if (name == "shb")
+        return std::vector<EngineKind>{EngineKind::Shb};
+    if (name == "wcp")
+        return std::vector<EngineKind>{EngineKind::Wcp};
+    if (name == "vc")
+        return std::vector<EngineKind>{EngineKind::Vc};
+    if (name == "epoch")
+        return std::vector<EngineKind>{EngineKind::Epoch};
+    if (name == "lockset")
+        return std::vector<EngineKind>{EngineKind::Lockset};
+    return std::nullopt;
+}
+
+const char *
+engineSelectionHelp()
+{
+    return "hb1|shb|wcp|vc|epoch|lockset|all";
+}
+
+std::vector<std::pair<Addr, std::uint32_t>>
+firstRacePerVariable(const std::vector<EngineRace> &races)
+{
+    std::unordered_map<Addr, std::uint32_t> first;
+    for (std::uint32_t i = 0; i < races.size(); ++i) {
+        const EngineRace &r = races[i];
+        for (const Addr a : r.addrs) {
+            const auto [it, fresh] = first.emplace(a, i);
+            if (fresh)
+                continue;
+            const EngineRace &cur = races[it->second];
+            if (std::make_pair(r.b, r.a) <
+                std::make_pair(cur.b, cur.a))
+                it->second = i;
+        }
+    }
+    std::vector<std::pair<Addr, std::uint32_t>> out(first.begin(),
+                                                    first.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace wmr::engines

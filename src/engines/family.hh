@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The detector family: run several engines over ONE pass of the
+ * Section-4.1 event stream, cross-check their verdicts, and render
+ * the per-engine report with a machine-readable agreement summary.
+ *
+ * The containment chain reported(hb1) ⊆ races(shb) ⊆ races(wcp)
+ * holds by construction (see engine.hh); the family VERIFIES it on
+ * every run and reports violations — a violation means an engine
+ * implementation bug, and the differential harness fails on any.
+ */
+
+#ifndef WMR_ENGINES_FAMILY_HH
+#define WMR_ENGINES_FAMILY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engines/engine.hh"
+#include "trace/execution_trace.hh"
+
+namespace wmr::engines {
+
+/** Options of one family run. */
+struct EngineFamilyOptions
+{
+    /** Engines to run, in canonical order. */
+    std::vector<EngineKind> kinds;
+
+    /** Analysis worker budget of the hb1 engine (0 = hardware
+     *  concurrency).  Verdicts are identical at every value. */
+    unsigned threads = 1;
+};
+
+/** Outcome of the pairwise containment checks. */
+struct ContainmentSummary
+{
+    /** Whether the full hb1+shb+wcp chain ran (else fields below
+     *  only cover the pairs that did). */
+    bool checkedReportedInShb = false;
+    bool checkedShbMatchesHb1 = false;
+    bool checkedShbInWcp = false;
+
+    bool reportedInShb = true; ///< reported(hb1) ⊆ races(shb)
+    bool shbMatchesHb1 = true; ///< races(shb) == races(hb1) exactly
+    bool shbInWcp = true;      ///< races(shb) ⊆ races(wcp)
+
+    /** Total containment/agreement violations (0 on a correct
+     *  build; any nonzero fails the differential harness). */
+    std::size_t violations = 0;
+
+    /** First few violations, for the report (deterministic). */
+    std::vector<std::string> notes;
+};
+
+/** Everything one family run produced. */
+struct EngineFamilyResult
+{
+    EngineTraceInfo info;
+    std::vector<EngineVerdict> verdicts;
+    ContainmentSummary containment;
+
+    /** Whether any selected engine reported a data race (drives the
+     *  CLI exit code, like DetectionResult::anyDataRace). */
+    bool anyDataRace = false;
+
+    /** hb1's canonical `wmrace check` report (only when hb1 ran). */
+    std::string hb1CanonicalReport;
+
+    const EngineVerdict *verdict(const char *name) const;
+};
+
+/** Instantiate one engine. */
+std::unique_ptr<DetectorEngine> makeEngine(EngineKind kind,
+                                           unsigned threads);
+
+/** Run the selected engines over @p trace in one stream pass. */
+EngineFamilyResult runEngineFamily(const ExecutionTrace &trace,
+                                   const EngineFamilyOptions &opts);
+
+/**
+ * Render the family report: the shared header, one verdict block
+ * per engine, and (when at least two chain engines ran) the
+ * containment block with the one-line JSON agreement summary
+ * (schema "wmrace-engine-agreement").  Byte-stable: the golden
+ * corpus diffs this output.
+ */
+std::string formatFamilyReport(const EngineFamilyResult &r);
+
+/** The JSON agreement line alone (also embedded in the report). */
+std::string familyAgreementJson(const EngineFamilyResult &r);
+
+} // namespace wmr::engines
+
+#endif // WMR_ENGINES_FAMILY_HH

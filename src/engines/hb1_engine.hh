@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The canonical hb1 method behind the DetectorEngine interface.
+ *
+ * Wraps the whole-trace Section-4 pipeline (detect/analysis.hh):
+ * the engine buffers the event stream back into an ExecutionTrace
+ * and runs analyzeTrace() at finish().  It is the family's baseline
+ * — races are the full hb1-unordered set and the REPORTED subset is
+ * the Def. 4.1 first partitions, exactly what `wmrace check`
+ * prints.  The verdict also carries the rendered canonical report,
+ * which the differential harness byte-compares against the direct
+ * pipeline to prove the refactor changed nothing.
+ */
+
+#ifndef WMR_ENGINES_HB1_ENGINE_HH
+#define WMR_ENGINES_HB1_ENGINE_HH
+
+#include "engines/engine.hh"
+#include "trace/execution_trace.hh"
+
+namespace wmr::engines {
+
+/** hb1 + first-partition reporting, as an engine. */
+class Hb1Engine : public DetectorEngine
+{
+  public:
+    explicit Hb1Engine(unsigned threads = 1)
+        : threads_(threads)
+    {
+    }
+
+    const char *name() const override { return "hb1"; }
+
+    void begin(const EngineTraceInfo &info) override;
+    void feed(const Event &ev) override;
+    EngineVerdict finish() override;
+
+    /** The canonical `wmrace check` report of the analyzed stream
+     *  (valid after finish()). */
+    const std::string &canonicalReport() const { return report_; }
+
+  private:
+    unsigned threads_ = 1;
+    ExecutionTrace trace_;
+    std::string report_;
+};
+
+} // namespace wmr::engines
+
+#endif // WMR_ENGINES_HB1_ENGINE_HH

@@ -1,0 +1,112 @@
+#include "engines/otf_engine.hh"
+
+#include "obs/obs.hh"
+#include "onthefly/epoch_detector.hh"
+#include "onthefly/lockset_detector.hh"
+#include "onthefly/vc_detector.hh"
+
+namespace wmr::engines {
+
+const char *
+OtfEngine::name() const
+{
+    switch (kind_) {
+    case OtfKind::Vc:
+        return "vc";
+    case OtfKind::Epoch:
+        return "epoch";
+    case OtfKind::Lockset:
+        return "lockset";
+    }
+    return "otf";
+}
+
+void
+OtfEngine::begin(const EngineTraceInfo &info)
+{
+    const ProcId procs = info.procs ? info.procs : 1;
+    switch (kind_) {
+    case OtfKind::Vc:
+        det_ = std::make_unique<VcDetector>(procs, info.memWords);
+        break;
+    case OtfKind::Epoch:
+        det_ = std::make_unique<EpochDetector>(procs,
+                                               info.memWords);
+        break;
+    case OtfKind::Lockset:
+        det_ = std::make_unique<LocksetDetector>(procs,
+                                                 info.memWords);
+        break;
+    }
+}
+
+void
+OtfEngine::feed(const Event &ev)
+{
+    static obs::Counter synthOps =
+        obs::counter("engine.otf.synth_ops");
+    if (!det_)
+        return;
+
+    if (ev.kind == EventKind::Sync) {
+        det_->onOp(ev.syncOp);
+        synthOps.inc();
+        return;
+    }
+
+    // Re-synthesize one representative op per accessed word.  The
+    // op ids stay inside the event's [firstOp, lastOp] range so the
+    // detectors' attribution remains roughly chronological.
+    MemOp op;
+    op.proc = ev.proc;
+    op.sync = false;
+    op.acquire = false;
+    op.release = false;
+    op.id = ev.firstOp;
+    ev.readSet.forEach([&](std::size_t a) {
+        op.kind = OpKind::Read;
+        op.addr = static_cast<Addr>(a);
+        op.pc = static_cast<std::uint32_t>(a);
+        det_->onOp(op);
+        synthOps.inc();
+    });
+    op.id = ev.lastOp;
+    ev.writeSet.forEach([&](std::size_t a) {
+        op.kind = OpKind::Write;
+        op.addr = static_cast<Addr>(a);
+        op.pc = static_cast<std::uint32_t>(a);
+        det_->onOp(op);
+        synthOps.inc();
+    });
+}
+
+EngineVerdict
+OtfEngine::finish()
+{
+    EngineVerdict v;
+    v.engine = name();
+    switch (kind_) {
+    case OtfKind::Vc:
+        v.semantics = "on-the-fly vector clocks (op-level, "
+                      "last-access metadata); approximation";
+        break;
+    case OtfKind::Epoch:
+        v.semantics = "on-the-fly FastTrack epochs (op-level, "
+                      "adaptive); approximation";
+        break;
+    case OtfKind::Lockset:
+        v.semantics = "on-the-fly Eraser lockset discipline "
+                      "(op-level); approximation";
+        break;
+    }
+    v.opLevel = true;
+    if (det_) {
+        v.opRacesReported = det_->races().size();
+        v.opRacesDistinct = det_->distinctRaces().size();
+        v.anyDataRace = v.opRacesReported != 0;
+        v.numDataRaces = v.opRacesDistinct;
+    }
+    return v;
+}
+
+} // namespace wmr::engines

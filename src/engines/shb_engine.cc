@@ -1,0 +1,86 @@
+#include "engines/shb_engine.hh"
+
+#include <algorithm>
+
+#include "obs/obs.hh"
+
+namespace wmr::engines {
+
+void
+ShbEngine::begin(const EngineTraceInfo &info)
+{
+    procs_ = info.procs;
+    clock_.assign(procs_, VectorClock(procs_));
+    epochs_.assign(procs_, 0);
+}
+
+void
+ShbEngine::feed(const Event &ev)
+{
+    static obs::Counter events = obs::counter("engine.shb.events");
+    static obs::Counter joins = obs::counter("engine.shb.joins");
+    events.inc();
+    ++eventsSeen_;
+
+    const ProcId p = ev.proc;
+    if (p >= procs_) { // defensive vs. malformed shape info
+        procs_ = p + 1;
+        clock_.resize(procs_);
+        epochs_.resize(procs_, 0);
+    }
+
+    const std::uint64_t epoch = ++epochs_[p];
+    VectorClock &c = clock_[p];
+    c.set(p, epoch);
+
+    const bool isSync = ev.kind == EventKind::Sync;
+    if (isSync && ev.pairedRelease != kNoEvent) {
+        const auto it = syncSnap_.find(ev.pairedRelease);
+        if (it != syncSnap_.end()) {
+            c.join(it->second);
+            joins.inc();
+        }
+    }
+
+    detail::eventAccesses(ev, writes_, reads_);
+    detail::testAndRecord(hist_, ev.id, p, epoch, isSync, c,
+                          writes_, reads_, table_);
+
+    // Last-write clocks: carried per variable (NOT joined into
+    // readers — see the header comment).
+    for (const Addr a : writes_)
+        lastWrite_[a] = c;
+
+    if (isSync)
+        syncSnap_.emplace(ev.id, c);
+}
+
+const char *
+ShbEngine::semanticsLine()
+{
+    return "hb1-order vector clocks, per-variable last-write "
+           "clocks; sound beyond the first race";
+}
+
+EngineVerdict
+ShbEngine::finish()
+{
+    static obs::Counter racesCtr = obs::counter("engine.shb.races");
+
+    EngineVerdict v;
+    v.engine = name();
+    v.semantics = semanticsLine();
+    v.races = table_.canonical();
+    racesCtr.add(v.races.size());
+
+    for (std::uint32_t i = 0; i < v.races.size(); ++i) {
+        if (v.races[i].isDataRace)
+            ++v.numDataRaces;
+        v.reported.push_back(i); // SHB reports everything
+    }
+    v.anyDataRace = v.numDataRaces != 0;
+    v.firstRacePerVar = firstRacePerVariable(v.races);
+    return v;
+}
+
+} // namespace wmr::engines

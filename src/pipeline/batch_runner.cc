@@ -162,6 +162,18 @@ analyzeOneTrace(const std::string &path, const BatchOptions &opts,
     }
 
     obs::StagedSpan analyzeSpan("batch.analyze", stages.analyze);
+    if (!opts.engineKinds.empty()) {
+        // `batch --engine`: the detector family replaces the
+        // canonical pipeline; counts per fillFromEngineFamily().
+        engines::EngineFamilyOptions fopts;
+        fopts.kinds = opts.engineKinds;
+        fopts.threads = opts.analysis.threads;
+        const engines::EngineFamilyResult fam =
+            engines::runEngineFamily(trace, fopts);
+        out.status = TraceRunStatus::Ok;
+        fillFromEngineFamily(fam, out);
+        return;
+    }
     const DetectionResult det =
         analyzeTrace(std::move(trace), opts.analysis);
     const AnalysisStats &as = det.stats();
@@ -203,6 +215,37 @@ traceRunStatusName(TraceRunStatus status)
         return "skipped";
     }
     return "unknown";
+}
+
+void
+fillFromEngineFamily(const engines::EngineFamilyResult &fam,
+                     TraceRunResult &out)
+{
+    out.events = fam.info.numEvents;
+    out.syncEvents = fam.info.numSyncEvents;
+    out.ops = fam.info.totalOps;
+
+    // The weakest chain engine that ran holds the superset race set
+    // (containment chain), so its counts are "everything predicted".
+    const engines::EngineVerdict *primary = nullptr;
+    for (const engines::EngineVerdict &v : fam.verdicts) {
+        if (!v.opLevel)
+            primary = &v;
+    }
+    if (primary != nullptr) {
+        out.races = primary->races.size();
+        out.dataRaces = primary->numDataRaces;
+    }
+    if (const engines::EngineVerdict *hb1 = fam.verdict("hb1")) {
+        out.partitions = hb1->partitions;
+        out.firstPartitions = hb1->firstPartitions;
+        out.reportedRaces = hb1->reported.size();
+    }
+    out.anyDataRace = fam.anyDataRace;
+    // Same rule the SCP stage applies (scp.cc): the whole execution
+    // is sequentially consistent iff no read ever returned a stale
+    // value.
+    out.wholeExecutionSc = fam.info.firstStaleRead == kNoOp;
 }
 
 bool

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "detect/analysis.hh"
+#include "engines/family.hh"
 #include "pipeline/metrics.hh"
 #include "pipeline/trace_corpus.hh"
 
@@ -136,6 +137,15 @@ struct BatchOptions
 
     /** Detector options applied to every trace. */
     AnalysisOptions analysis;
+
+    /**
+     * Detector-engine selection (`batch --engine`): empty keeps the
+     * canonical hb1 path; otherwise every trace runs the engine
+     * family (engines/family.hh) and the per-trace counts come from
+     * fillFromEngineFamily().  Chain engines only (hb1/shb/wcp);
+     * incompatible with stream (wcp needs whole-trace state).
+     */
+    std::vector<engines::EngineKind> engineKinds;
 };
 
 /** Everything one batch run produced. */
@@ -163,6 +173,19 @@ struct BatchResult
  */
 BatchResult runBatch(const CorpusScan &corpus,
                      const BatchOptions &opts = {});
+
+/**
+ * Fill @p out's summary counts from a detector-family run — the
+ * `--engine` twin of the analyzeTrace() copy.  races/dataRaces come
+ * from the weakest chain engine that ran (the superset under the
+ * containment chain, so "races" reads as "everything any selected
+ * engine predicts"); the partition fields come from hb1 when it ran
+ * and stay 0 otherwise; anyDataRace is the family OR.  Shared with
+ * the serve subsystem so a served `--engine` meta block equals a
+ * local batch's field for field.
+ */
+void fillFromEngineFamily(const engines::EngineFamilyResult &fam,
+                          TraceRunResult &out);
 
 } // namespace wmr
 

@@ -192,6 +192,17 @@ submitTraceBytes(const ServerAddress &addr,
     req.command = Command::Analyze;
     req.flags = (opts.salvage ? kReqSalvage : 0u) |
                 (opts.noCache ? kReqNoCache : 0u);
+    if (!opts.engine.empty()) {
+        const std::uint32_t wire = engineWireId(opts.engine);
+        if (wire == 0) {
+            SubmitResult out;
+            out.error = strformat(
+                "unknown engine '%s' (valid: hb1|shb|wcp|all)",
+                opts.engine.c_str());
+            return out;
+        }
+        req.flags |= wire << kReqEngineShift;
+    }
     req.body = bytes;
 
     const unsigned attempts = std::max(1u, opts.maxAttempts);

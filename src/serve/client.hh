@@ -54,6 +54,12 @@ struct SubmitOptions
     bool salvage = false; ///< ask the server to salvage damage
     bool noCache = false; ///< bypass the server's result cache
 
+    /** Detector-engine selection ("hb1", "shb", "wcp", "all");
+     *  empty = the server's canonical hb1 path.  An unknown name
+     *  fails the submission client-side (typed error, no frame
+     *  sent).  See docs/DETECTORS.md. */
+    std::string engine;
+
     /** Total attempts when the server answers Overloaded/Draining
      *  (1 = no retry).  Each retry sleeps the server's retry hint
      *  (or retryAfterMs when the hint is 0). */

@@ -176,6 +176,33 @@ decodeMetaOrThrow(const std::uint8_t *data, std::size_t n)
 } // namespace
 
 const char *
+engineWireName(std::uint32_t wire)
+{
+    switch (wire) {
+      case 1:
+        return "hb1";
+      case 2:
+        return "shb";
+      case 3:
+        return "wcp";
+      case 4:
+        return "all";
+      default:
+        return nullptr;
+    }
+}
+
+std::uint32_t
+engineWireId(const std::string &name)
+{
+    for (std::uint32_t id = 1; id <= kWireEngineMax; ++id) {
+        if (name == engineWireName(id))
+            return id;
+    }
+    return 0;
+}
+
+const char *
 respStatusName(RespStatus status)
 {
     switch (status) {
@@ -252,6 +279,16 @@ readRequest(int fd, std::uint64_t maxBodyBytes, Request &out,
     }
     out.command = static_cast<Command>(cmd);
     out.flags = getU32(header + 12);
+    // Validate the engine selector nibble HERE, before any body
+    // bytes: an unknown engine must be a typed protocol error (the
+    // fuzz corpus asserts this), never a crash or a silent default.
+    const std::uint32_t engine = requestEngineWire(out.flags);
+    if (engine > kWireEngineMax) {
+        error = strformat("unknown engine selector %u in request "
+                          "flags (valid: 0..%u)",
+                          engine, kWireEngineMax);
+        return FrameReadStatus::Malformed;
+    }
     const std::uint64_t bodyLen = getU64(header + 16);
     if (bodyLen > maxBodyBytes) {
         error = strformat("request body %llu bytes exceeds the "

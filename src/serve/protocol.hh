@@ -50,6 +50,34 @@ enum class Command : std::uint32_t {
 constexpr std::uint32_t kReqSalvage = 1u << 0; ///< damaged upload ok
 constexpr std::uint32_t kReqNoCache = 1u << 1; ///< bypass the cache
 
+/**
+ * Engine selector (request flag bits 8..11): which detector engine
+ * family analyzes the upload (docs/DETECTORS.md).  0 keeps the
+ * canonical hb1 `wmrace check` path; 1..4 select hb1 / shb / wcp /
+ * all and make the response report a detector family report.
+ * readRequest() validates the field, so an out-of-range selector is
+ * a Malformed frame with a typed error — never an undefined engine.
+ */
+constexpr std::uint32_t kReqEngineShift = 8;
+constexpr std::uint32_t kReqEngineMask = 0xFu << kReqEngineShift;
+constexpr std::uint32_t kWireEngineDefault = 0;
+constexpr std::uint32_t kWireEngineMax = 4; ///< largest valid id
+
+/** @return the engine selector field of request @p flags. */
+constexpr std::uint32_t
+requestEngineWire(std::uint32_t flags)
+{
+    return (flags & kReqEngineMask) >> kReqEngineShift;
+}
+
+/** @return the `--engine` name of wire id @p wire (1..4), or
+ *  nullptr for 0/default and out-of-range ids. */
+const char *engineWireName(std::uint32_t wire);
+
+/** @return the wire id of `--engine` name @p name ("hb1", "shb",
+ *  "wcp", "all"), or 0 when unknown (callers reject that). */
+std::uint32_t engineWireId(const std::string &name);
+
 /** How the server answered. */
 enum class RespStatus : std::uint32_t {
     Ok = 0,

@@ -36,7 +36,10 @@ constexpr std::uint64_t kEntryOverheadBytes = 256;
 std::uint32_t
 cacheRelevantFlags(std::uint32_t requestFlags)
 {
-    return requestFlags & kReqSalvage;
+    // Salvage changes what gets analyzed; the engine selector
+    // changes what report the same bytes produce.  Both must be part
+    // of the key or a family report could answer an hb1 request.
+    return requestFlags & (kReqSalvage | kReqEngineMask);
 }
 
 ResultCache::ResultCache(std::uint64_t byteBudget,

@@ -22,7 +22,9 @@
 #include "common/worker_pool.hh"
 #include "detect/analysis.hh"
 #include "detect/report.hh"
+#include "engines/family.hh"
 #include "obs/obs.hh"
+#include "pipeline/batch_runner.hh"
 #include "pipeline/checkpoint.hh"
 #include "serve/io_util.hh"
 #include "trace/segmented_io.hh"
@@ -50,11 +52,15 @@ struct UploadOutcome
  * (either container, optionally salvaging) and analyze an in-memory
  * upload.  The report is provenance + formatReport with default
  * options — EXACTLY what `wmrace check` (no --events) prints, which
- * is the byte-identity contract the golden replay diffs.
+ * is the byte-identity contract the golden replay diffs.  A nonzero
+ * @p engineWire (validated by readRequest) switches to the detector
+ * family: the report becomes provenance + the family report, byte-
+ * identical to local `wmrace check --engine NAME`.
  */
 UploadOutcome
 analyzeUpload(const std::vector<std::uint8_t> &bytes, bool salvage,
-              unsigned threads)
+              unsigned threads,
+              std::uint32_t engineWire = kWireEngineDefault)
 {
     UploadOutcome out;
     out.rr.fileBytes = bytes.size();
@@ -106,6 +112,24 @@ analyzeUpload(const std::vector<std::uint8_t> &bytes, bool salvage,
     }
 
     obs::Span analyzeSpan("serve.analyze");
+    // engineWireName is null for 0/default AND for out-of-range ids
+    // (possible only via a mangled spool file name — live requests
+    // are validated by readRequest); both take the canonical path.
+    if (const char *name = engineWireName(engineWire)) {
+        const auto kinds = engines::parseEngineSelection(name);
+        wmr_assert(kinds.has_value());
+        engines::EngineFamilyOptions fopts;
+        fopts.kinds = *kinds;
+        fopts.threads = threads;
+        const engines::EngineFamilyResult fam =
+            engines::runEngineFamily(trace, fopts);
+        out.rr.status = TraceRunStatus::Ok;
+        fillFromEngineFamily(fam, out.rr);
+        out.report = formatTraceProvenance(segmented, salvageInfo) +
+                     engines::formatFamilyReport(fam);
+        out.ok = true;
+        return out;
+    }
     AnalysisOptions aopts;
     aopts.threads = threads;
     const DetectionResult det = analyzeTrace(std::move(trace), aopts);
@@ -357,7 +381,8 @@ Server::recoverSpool()
             flagsFromSpoolName(de.path().filename().string());
         // Never trust the name for the content address: rehash.
         UploadOutcome out = analyzeUpload(
-            bytes, (flags & kReqSalvage) != 0, bootThreads);
+            bytes, (flags & kReqSalvage) != 0, bootThreads,
+            requestEngineWire(flags));
         if (out.ok) {
             CacheKey key{contentHash64(bytes.data(), bytes.size()),
                          bytes.size(), cacheRelevantFlags(flags)};
@@ -765,7 +790,8 @@ Server::serveJob(Job &job, unsigned analysisThreads)
 
     const bool salvage = (job.reqFlags & kReqSalvage) != 0;
     UploadOutcome out =
-        analyzeUpload(job.body, salvage, analysisThreads);
+        analyzeUpload(job.body, salvage, analysisThreads,
+                      requestEngineWire(job.reqFlags));
 
     Response resp;
     if (out.ok) {

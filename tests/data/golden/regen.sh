@@ -72,4 +72,17 @@ check_to synth_seg.expected.txt synth_seg.trace
 check_to synth_seg_damaged.expected.txt synth_seg_damaged.trace \
     --salvage
 
+# --- detector-family reports: `check --engine all` on every -------
+# fixture (per-engine verdict blocks + containment summary), blessed
+# as <base>.engines.expected.txt and diffed by golden_engines_*.
+for trace in *.trace; do
+    base=${trace%.trace}
+    extra=
+    case $base in
+    *damaged*) extra=--salvage ;;
+    esac
+    check_to "$base.engines.expected.txt" "$trace" \
+        --engine all $extra
+done
+
 echo "golden corpus regenerated; review: git diff tests/data/golden"

@@ -1,14 +1,17 @@
 # Golden-report comparison, run by CTest (see tests/CMakeLists.txt):
 #
 #   cmake -DWMRACE=<tool> -DTRACE=<file> -DEXPECTED=<file>
-#         -DOUT=<file> -DSALVAGE=0|1 [-DSTREAM=0|1]
+#         -DOUT=<file> -DSALVAGE=0|1 [-DSTREAM=0|1] [-DENGINE=<sel>]
 #         -P golden_check.cmake
 #
-# Runs `wmrace check [--salvage] [--stream] TRACE`, captures stdout,
+# Runs `wmrace check [--salvage] [--stream] [--engine SEL] TRACE`,
+# captures stdout,
 # and compares it byte for byte with the committed EXPECTED report.
 # STREAM=1 routes the same trace through the bounded-memory streaming
 # engine, which must render the identical bytes the whole-trace
-# pipeline blessed.  Any
+# pipeline blessed.  ENGINE selects a detector-family report
+# (per-engine verdict blocks + containment summary) instead of the
+# canonical hb1 report.  Any
 # drift — a reworded line, a changed count, a reordered partition —
 # fails the test; intentional changes are re-blessed with
 # tests/data/golden/regen.sh.
@@ -25,6 +28,9 @@ if(SALVAGE)
 endif()
 if(STREAM)
     list(APPEND args --stream)
+endif()
+if(DEFINED ENGINE)
+    list(APPEND args --engine ${ENGINE})
 endif()
 
 execute_process(COMMAND ${WMRACE} ${args}

@@ -13,15 +13,23 @@
  *    exhaustive SC enumeration (for lock-free programs).
  *  - Reporting only first partitions never reports MORE than the
  *    naive method (and the naive set contains the reported set).
+ *  - EngineFamily.*: the detector-family containment chain
+ *    reported(hb1) ⊆ races(shb) == races(hb1) ⊆ races(wcp) holds
+ *    with zero violations over a seeded generator sweep, and the
+ *    rendered family report is byte-identical at --jobs 1/2/8 and
+ *    with observability on or off.
  */
 
 #include <gtest/gtest.h>
 
 #include "detect/analysis.hh"
+#include "engines/family.hh"
 #include "mc/explorer.hh"
 #include "mc/scp_witness.hh"
+#include "obs/obs.hh"
 #include "workload/random_gen.hh"
 #include "workload/scenarios.hh"
+#include "workload/synthetic_trace.hh"
 
 namespace wmr {
 namespace {
@@ -256,6 +264,76 @@ TEST(Reporting, AnalysisIsDeterministic)
     }
     EXPECT_EQ(a.partitions().firstPartitions,
               b.partitions().firstPartitions);
+}
+
+engines::EngineFamilyResult
+runFamilyAll(const ExecutionTrace &trace, unsigned threads)
+{
+    const auto kinds = engines::parseEngineSelection("all");
+    EXPECT_TRUE(kinds.has_value());
+    engines::EngineFamilyOptions fopts;
+    fopts.kinds = *kinds;
+    fopts.threads = threads;
+    return engines::runEngineFamily(trace, fopts);
+}
+
+TEST(EngineFamily, ContainmentHoldsOverGeneratorSweep)
+{
+    for (std::uint64_t seed = 0; seed < 24; ++seed) {
+        ExecutionTrace trace;
+        if (seed % 2 == 0) {
+            SyntheticTraceOptions opts;
+            opts.procs = 2 + static_cast<ProcId>(seed % 4);
+            opts.eventsPerProc = 40;
+            opts.syncFraction = 0.25;
+            opts.hotFraction = 0.5;
+            opts.seed = seed;
+            trace = makeSyntheticTrace(opts);
+        } else {
+            const Program p = seed % 4 == 1
+                                  ? randomRacyProgram(seed)
+                                  : randomRaceFreeProgram(seed);
+            ExecOptions opts;
+            opts.model = ModelKind::WO;
+            opts.seed = seed;
+            trace = buildTrace(runProgram(p, opts),
+                               {.keepMemberOps = true});
+        }
+        const engines::EngineFamilyResult fam =
+            runFamilyAll(trace, 1);
+        EXPECT_TRUE(fam.containment.checkedReportedInShb) << seed;
+        EXPECT_TRUE(fam.containment.checkedShbMatchesHb1) << seed;
+        EXPECT_TRUE(fam.containment.checkedShbInWcp) << seed;
+        EXPECT_EQ(fam.containment.violations, 0u) << seed;
+    }
+}
+
+TEST(EngineFamily, ReportIsDeterministicAcrossJobsAndObs)
+{
+    SyntheticTraceOptions opts;
+    opts.procs = 4;
+    opts.eventsPerProc = 80;
+    opts.syncFraction = 0.3;
+    opts.hotFraction = 0.6;
+    opts.seed = 77;
+    const ExecutionTrace trace = makeSyntheticTrace(opts);
+
+    const std::string base =
+        engines::formatFamilyReport(runFamilyAll(trace, 1));
+    for (const unsigned threads : {2u, 8u}) {
+        EXPECT_EQ(engines::formatFamilyReport(
+                      runFamilyAll(trace, threads)),
+                  base)
+            << "threads=" << threads;
+    }
+
+    // The observability layer is instrumented into the engines'
+    // hot paths; toggling it must not perturb one output byte.
+    obs::setEnabled(false);
+    const std::string obsOff =
+        engines::formatFamilyReport(runFamilyAll(trace, 2));
+    obs::setEnabled(true);
+    EXPECT_EQ(obsOff, base);
 }
 
 } // namespace

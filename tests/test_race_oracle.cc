@@ -17,19 +17,37 @@
  *                       exactly the conflict addresses;
  *  - PartitionOracle.*: partition membership equals mutual G'-closure
  *                       reachability and first flags equal Def. 4.1
- *                       computed by brute force.
+ *                       computed by brute force;
+ *  - EngineOracle.*:    the single-pass clock engines (src/engines)
+ *                       equal their declarative closures — SHB's race
+ *                       set is exactly the hb1-unordered conflicting
+ *                       pairs, WCP's is the unordered set of the
+ *                       closure of po plus conditional release edges
+ *                       (release → first region access conflicting
+ *                       with the releaser's region footprint), and
+ *                       the containment races(shb) ⊆ races(wcp)
+ *                       holds oracle-side too — over the figure
+ *                       programs, the shared trace spread, and 200+
+ *                       seeded random small traces.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "detect/analysis.hh"
+#include "engines/clock_hist.hh"
+#include "engines/family.hh"
 #include "hb/hb_graph.hh"
 #include "hb/reachability.hh"
 #include "sim/executor.hh"
 #include "trace/event.hh"
+#include "workload/patterns.hh"
 #include "workload/random_gen.hh"
 #include "workload/synthetic_trace.hh"
 
@@ -286,6 +304,271 @@ TEST(PartitionOracle, MembershipAndFirstFlagsMatchBruteForce)
             EXPECT_EQ(parts.firstPartitions, flagged);
         }
     }
+}
+
+// ---------------------------------------------------------------
+// EngineOracle
+// ---------------------------------------------------------------
+
+/** Run one chain engine over @p trace via the family runner. */
+engines::EngineVerdict
+runChainEngine(const ExecutionTrace &trace, const char *name)
+{
+    const auto kinds = engines::parseEngineSelection(name);
+    EXPECT_TRUE(kinds.has_value()) << name;
+    engines::EngineFamilyOptions fopts;
+    fopts.kinds = *kinds;
+    fopts.threads = 1;
+    const engines::EngineFamilyResult fam =
+        engines::runEngineFamily(trace, fopts);
+    EXPECT_EQ(fam.verdicts.size(), 1u) << name;
+    return fam.verdicts.front();
+}
+
+void
+expectSameEngineRaces(const std::vector<engines::EngineRace> &got,
+                      const std::vector<DataRace> &want,
+                      const char *what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].a, want[i].a) << what << " race " << i;
+        EXPECT_EQ(got[i].b, want[i].b) << what << " race " << i;
+        EXPECT_EQ(got[i].addrs, want[i].addrs)
+            << what << " race " << i;
+        EXPECT_EQ(got[i].isDataRace, want[i].isDataRace)
+            << what << " race " << i;
+    }
+}
+
+/**
+ * Brute-force WCP closure oracle.  Build the declarative WCP edge
+ * set — po plus, for each paired release→acquire whose pending join
+ * the acquirer's region consumes, one edge from the release to the
+ * FIRST computation event after the acquire conflicting with the
+ * release's closed-region footprint — then DFS-close it and
+ * enumerate the conflicting unordered pairs exactly like
+ * bruteRaces() (sync-sync pairs excluded).  O(n^2), no clocks: the
+ * engine's one-directional clock test is what this validates.
+ */
+std::vector<DataRace>
+bruteWcpRaces(const TraceUnderTest &t)
+{
+    const auto &events = t.trace.events();
+    const std::size_t n = events.size();
+    AdjList adj(n);
+
+    struct Footprint
+    {
+        std::unordered_set<Addr> reads, writes;
+    };
+    struct PerProc
+    {
+        EventId last = kNoEvent;   ///< latest event, for po edges
+        Footprint region;          ///< accesses since last sync
+        bool pending = false;      ///< armed release join
+        EventId pendingRel = kNoEvent;
+    };
+    std::unordered_map<ProcId, PerProc> procs;
+    std::unordered_map<EventId, Footprint> relSnap;
+
+    std::vector<Addr> writes, reads;
+    for (EventId id = 0; id < n; ++id) {
+        const Event &ev = events[id];
+        PerProc &ps = procs[ev.proc];
+        if (ps.last != kNoEvent)
+            adj[ps.last].push_back(id);
+        ps.last = id;
+
+        engines::detail::eventAccesses(ev, writes, reads);
+        const bool isSync = ev.kind == EventKind::Sync;
+
+        if (!isSync && ps.pending) {
+            const Footprint &rel = relSnap.at(ps.pendingRel);
+            bool conflict = false;
+            for (const Addr a : writes) {
+                if (rel.writes.count(a) || rel.reads.count(a))
+                    conflict = true;
+            }
+            for (const Addr a : reads) {
+                if (rel.writes.count(a))
+                    conflict = true;
+            }
+            if (conflict) {
+                adj[ps.pendingRel].push_back(id);
+                ps.pending = false;
+            }
+        }
+
+        if (isSync) {
+            relSnap.emplace(id, std::move(ps.region));
+            ps.region = Footprint{};
+            ps.pending = false;
+            if (ev.pairedRelease != kNoEvent &&
+                relSnap.count(ev.pairedRelease)) {
+                ps.pending = true;
+                ps.pendingRel = ev.pairedRelease;
+            }
+        } else {
+            for (const Addr a : writes)
+                ps.region.writes.insert(a);
+            for (const Addr a : reads)
+                ps.region.reads.insert(a);
+        }
+    }
+
+    const auto closure = bruteClosure(adj);
+    std::vector<DataRace> out;
+    for (EventId a = 0; a < n; ++a) {
+        for (EventId b = a + 1; b < n; ++b) {
+            if (events[a].kind == EventKind::Sync &&
+                events[b].kind == EventKind::Sync)
+                continue;
+            if (!eventsConflict(events[a], events[b]))
+                continue;
+            if (closure[a][b] || closure[b][a])
+                continue;
+            DataRace r;
+            r.a = a;
+            r.b = b;
+            r.addrs = conflictAddrs(events[a], events[b]);
+            std::sort(r.addrs.begin(), r.addrs.end());
+            r.isDataRace = true;
+            out.push_back(std::move(r));
+        }
+    }
+    return out;
+}
+
+/** Brute per-variable first race: for each address, the race whose
+ *  later endpoint completes earliest (minimal (b, a)). */
+std::vector<std::pair<Addr, std::uint32_t>>
+bruteFirstRacePerVar(const std::vector<engines::EngineRace> &races)
+{
+    std::vector<std::pair<Addr, std::uint32_t>> out;
+    std::unordered_set<Addr> addrs;
+    for (const auto &r : races)
+        for (const Addr a : r.addrs)
+            addrs.insert(a);
+    for (const Addr a : addrs) {
+        std::uint32_t best = 0;
+        bool have = false;
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(races.size()); ++i) {
+            const auto &r = races[i];
+            if (std::find(r.addrs.begin(), r.addrs.end(), a) ==
+                r.addrs.end())
+                continue;
+            if (!have ||
+                std::make_pair(r.b, r.a) <
+                    std::make_pair(races[best].b, races[best].a)) {
+                best = i;
+                have = true;
+            }
+        }
+        out.emplace_back(a, best);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** One full engine-vs-oracle check of @p trace. */
+void
+checkEnginesAgainstOracles(ExecutionTrace trace, const char *what)
+{
+    const TraceUnderTest t(std::move(trace));
+
+    // SHB order IS hb1: its race set must equal the brute
+    // hb1-unordered conflicting pairs, bit for bit.
+    const engines::EngineVerdict shb =
+        runChainEngine(t.trace, "shb");
+    const auto shbWant = bruteRaces(t, false);
+    expectSameEngineRaces(shb.races, shbWant, what);
+    EXPECT_EQ(shb.firstRacePerVar, bruteFirstRacePerVar(shb.races))
+        << what;
+
+    // WCP equals its declarative conditional-release closure.
+    const engines::EngineVerdict wcp =
+        runChainEngine(t.trace, "wcp");
+    const auto wcpWant = bruteWcpRaces(t);
+    expectSameEngineRaces(wcp.races, wcpWant, what);
+
+    // Containment holds between the ORACLES too — the WCP edge set
+    // is a subset of hb1's, so every hb1-unordered pair stays
+    // wcp-unordered.
+    std::unordered_set<std::uint64_t> wcpPairs;
+    for (const auto &r : wcpWant)
+        wcpPairs.insert((static_cast<std::uint64_t>(r.a) << 32) |
+                        r.b);
+    for (const auto &r : shbWant) {
+        EXPECT_TRUE(wcpPairs.count(
+            (static_cast<std::uint64_t>(r.a) << 32) | r.b))
+            << what << ": shb race (" << r.a << ", " << r.b
+            << ") missing from wcp oracle";
+    }
+}
+
+TEST(EngineOracle, ChainEnginesMatchBruteForceOnTraceSpread)
+{
+    for (auto &trace : oracleTraces())
+        checkEnginesAgainstOracles(std::move(trace), "spread");
+}
+
+TEST(EngineOracle, ChainEnginesMatchBruteForceOnFigurePrograms)
+{
+    const std::pair<const char *, Program> programs[] = {
+        {"figure1a", figure1a()},
+        {"figure1b", figure1b()},
+        {"figure2Queue", figure2Queue()},
+    };
+    for (const auto &[label, prog] : programs) {
+        for (const ModelKind model : kAllModels) {
+            ExecOptions opts;
+            opts.model = model;
+            opts.seed = 7;
+            checkEnginesAgainstOracles(
+                buildTrace(runProgram(prog, opts),
+                           {.keepMemberOps = true}),
+                label);
+        }
+    }
+}
+
+TEST(EngineOracle, ChainEnginesMatchBruteForceOnRandomSmallTraces)
+{
+    // 200+ seeded small traces: synthetic shapes (dense sync
+    // pairing so the conditional WCP join actually fires) plus
+    // weak-model program runs.
+    std::size_t checked = 0;
+    for (std::uint64_t seed = 100; seed < 240; ++seed) {
+        SyntheticTraceOptions opts;
+        opts.procs = 2 + static_cast<ProcId>(seed % 3);
+        opts.eventsPerProc = 12 + static_cast<std::uint32_t>(
+                                      seed % 13);
+        opts.memWords = 16;
+        opts.syncWords = 4;
+        opts.syncFraction = 0.3;
+        opts.hotFraction = 0.7;
+        opts.hotWords = 4;
+        opts.seed = seed;
+        checkEnginesAgainstOracles(makeSyntheticTrace(opts),
+                                   "synthetic");
+        ++checked;
+    }
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const Program prog = seed % 2 == 0
+                                 ? randomRacyProgram(seed)
+                                 : randomRaceFreeProgram(seed);
+        ExecOptions opts;
+        opts.model = ModelKind::WO;
+        opts.seed = seed;
+        checkEnginesAgainstOracles(
+            buildTrace(runProgram(prog, opts),
+                       {.keepMemberOps = true}),
+            "random-program");
+        ++checked;
+    }
+    EXPECT_GE(checked, 200u);
 }
 
 } // namespace

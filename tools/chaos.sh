@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Chaos soak harness: replay the golden corpus through the four
-# analysis paths (serve/submit, check --stream, batch, record) under
+# Chaos soak harness: replay the golden corpus through the five
+# analysis paths (serve/submit, check --stream, batch, record, and
+# the detector family via check --engine all) under
 # seeded random fault schedules (docs/FAULTS.md) and check the one
 # invariant on every run:
 #
@@ -83,6 +84,13 @@ BATCH_POOL=(
     "trace.read.short|damage"
     "trace.read.bitflip|damage"
 )
+# The detector family (`check --engine all`) loads through the same
+# whole-file readers batch uses; its blessed reports are the
+# *.engines.expected.txt twins.
+ENGINE_POOL=(
+    "trace.read.short|damage"
+    "trace.read.bitflip|damage"
+)
 RECORD_POOL=(
     "trace.seg.write.eintr|benign"
     "trace.seg.write.short|benign"
@@ -134,7 +142,8 @@ buildSchedule() {
 }
 
 FAILS=0
-declare -A MODE_RUNS=([serve]=0 [stream]=0 [batch]=0 [record]=0)
+declare -A MODE_RUNS=([serve]=0 [stream]=0 [batch]=0 [record]=0
+                      [engine]=0)
 
 fail() { # fail RUN MODE MSG [LOGFILE...]
     local run=$1 mode=$2 msg=$3; shift 3
@@ -310,15 +319,47 @@ runRecord() {
     rm -f "$WORK/rec.$run."*
 }
 
+runEngine() {
+    local run=$1 t base salvage got status
+    t=${TRACES[$(rand ${#TRACES[@]})]}
+    base=$(basename "$t" .trace)
+    salvage=""
+    case "$base" in *damaged*) salvage="--salvage" ;; esac
+    got="$WORK/engine.$run.out"
+    WMR_FAULT="$SCHED" WMR_FAULT_SEED=$RUNSEED \
+        timeout 30 "$WMRACE" check "$t" --engine all $salvage \
+        > "$got" 2> "$WORK/engine.$run.err"
+    status=$?
+    if crashed "$status"; then
+        fail "$run" engine "check --engine all $base: status $status (hang/signal)" \
+            "$WORK/engine.$run.err"
+    elif [ $status -gt 1 ] ||
+         { [ $status -le 1 ] && typedError "$got" "$WORK/engine.$run.err"; }; then
+        [ "$CLASS" = "benign" ] &&
+            fail "$run" engine "check --engine all $base: typed error under a benign-only schedule" \
+                "$WORK/engine.$run.err"
+    elif ! cmp -s "$GOLDEN/$base.engines.expected.txt" "$got"; then
+        # a damaged read may shrink to a salvage-marked prefix, but
+        # the containment summary must never report a violation
+        if [ "$CLASS" = "benign" ] || ! grep -q "^SALVAGED trace:" "$got"; then
+            fail "$run" engine "check --engine all $base: report differs, not salvage-marked" "$got"
+        elif grep -q '"violations":[1-9]' "$got"; then
+            fail "$run" engine "check --engine all $base: containment violation under faults" "$got"
+        fi
+    fi
+    rm -f "$got" "$WORK/engine.$run.err"
+}
+
 echo "chaos: $RUNS run(s), master seed $SEED$( [ $SMOKE -eq 1 ] && echo ' (smoke)')"
 for (( run = 0; run < RUNS; run++ )); do
     RUNSEED=$(( (SEED + run * 2654435761) & 0x7FFFFFFFFFFFFFFF ))
     srand "$RUNSEED"
-    case "$(rand 4)" in
+    case "$(rand 5)" in
         0) MODE=serve ;;
         1) MODE=stream ;;
         2) MODE=batch ;;
         3) MODE=record ;;
+        4) MODE=engine ;;
     esac
     [ "$MODE" = record ] && [ -z "$DEMO" ] && MODE=batch
     case "$MODE" in
@@ -326,10 +367,12 @@ for (( run = 0; run < RUNS; run++ )); do
         stream) buildSchedule STREAM_POOL; runStream "$run" ;;
         batch)  buildSchedule BATCH_POOL;  runBatch "$run" ;;
         record) buildSchedule RECORD_POOL; runRecord "$run" ;;
+        engine) buildSchedule ENGINE_POOL; runEngine "$run" ;;
     esac
     MODE_RUNS[$MODE]=$(( MODE_RUNS[$MODE] + 1 ))
 done
 
 echo "chaos: $RUNS run(s) (serve=${MODE_RUNS[serve]} stream=${MODE_RUNS[stream]}" \
-     "batch=${MODE_RUNS[batch]} record=${MODE_RUNS[record]}), $FAILS failure(s)"
+     "batch=${MODE_RUNS[batch]} record=${MODE_RUNS[record]}" \
+     "engine=${MODE_RUNS[engine]}), $FAILS failure(s)"
 [ $FAILS -eq 0 ]

@@ -29,7 +29,14 @@
  *   --onthefly                     also run the on-the-fly detector
  *
  * Options of `check`: --dot FILE, --events, --salvage, --jobs N,
- *   --stats, --stream [--window N] (see below).
+ *   --stats, --stream [--window N] (see below), and
+ *   --engine hb1|shb|wcp|vc|epoch|lockset|all: run the selected
+ *   detector engine(s) over one pass of the event stream and print
+ *   the detector family report with per-engine verdict blocks and
+ *   the machine-readable containment/agreement summary
+ *   (docs/DETECTORS.md).  Under --stream only `--engine shb` is
+ *   supported (its race set is exactly what the streaming engine
+ *   enumerates); the others need whole-trace state.
  * Options of `explore`: --max-execs N (default 100000).
  *
  * Options of `batch` (see docs/BATCH.md):
@@ -55,6 +62,12 @@
  *                  daemon instead of analyzing locally (--jobs then
  *                  bounds concurrent submissions); incompatible with
  *                  --checkpoint and --fail-fast
+ *   --engine hb1|shb|wcp|all  analyze every trace with the detector
+ *                  family instead of the canonical hb1 pipeline
+ *                  (docs/DETECTORS.md); per-trace counts then come
+ *                  from the weakest (superset) engine that ran;
+ *                  forwarded to the server under --server;
+ *                  incompatible with --stream
  *
  * Options of `serve` (see docs/SERVE.md): --socket PATH or
  *   --tcp PORT (0 = kernel-assigned; the bound address is printed
@@ -68,8 +81,10 @@
  * Options of `submit`: --server ADDR (unix socket path or
  *   tcp:HOST:PORT), --salvage, --no-cache, --meta (print the
  *   machine-readable response meta line), --attempts N (retries on
- *   overload), --status, --shutdown.  Exit codes mirror `check`:
- *   1 = data race, 2 = bad request, 3 = rejected.
+ *   overload), --engine hb1|shb|wcp|all (server-side detector
+ *   family analysis; the printed report is byte-identical to local
+ *   `wmrace check --engine`), --status, --shutdown.  Exit codes
+ *   mirror `check`: 1 = data race, 2 = bad request, 3 = rejected.
  *
  * Options of `record` (see docs/RUNTIME.md; they must precede the
  * child binary — everything after it belongs to the child):
@@ -128,6 +143,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -140,6 +156,8 @@
 #include "detect/analysis.hh"
 #include "detect/dot_export.hh"
 #include "detect/report.hh"
+#include "engines/family.hh"
+#include "engines/shb_engine.hh"
 #include "obs/export.hh"
 #include "obs/obs.hh"
 #include "sim/exec_stats.hh"
@@ -273,6 +291,30 @@ parseWindow(const Args &args, const char *cmd, std::size_t &window)
         return false;
     }
     window = static_cast<std::size_t>(n);
+    return true;
+}
+
+/**
+ * Parse a strict `--engine` value into @p kinds (left empty when the
+ * flag is absent).  Same philosophy as parseJobs: an unknown engine
+ * name is a typed error (the caller exits 2), never a crash or a
+ * silent fallback to hb1.
+ */
+bool
+parseEngine(const Args &args, const char *cmd,
+            std::optional<std::vector<engines::EngineKind>> &kinds)
+{
+    if (!args.has("engine"))
+        return true;
+    const std::string v = args.get("engine");
+    auto parsed = engines::parseEngineSelection(v);
+    if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "%s: unknown --engine '%s': expected %s\n", cmd,
+                     v.c_str(), engines::engineSelectionHelp());
+        return false;
+    }
+    kinds = std::move(parsed);
     return true;
 }
 
@@ -485,12 +527,64 @@ printTraceProvenance(const LoadedTrace &lt)
  * differs.  The whole-trace-only extras (--events, --dot, --jobs)
  * need the materialized event list / hb graph and are rejected.
  */
+/**
+ * Synthesize the SHB verdict block from a finished streaming
+ * analysis.  SHB's race set equals the full hb1-unordered set — the
+ * exact set the streaming engine enumerates — so `check --stream
+ * --engine shb` prints byte-identically to the whole-trace
+ * `check --engine shb` on the same file.  wcp (lock-region history)
+ * and hb1 (partition structure) need whole-trace state the
+ * bounded-memory window retires, so they stay whole-trace-only.
+ */
+engines::EngineFamilyResult
+shbFamilyFromStream(const StreamResult &sr)
+{
+    engines::EngineFamilyResult fam;
+    fam.info.numEvents = sr.events;
+    fam.info.numSyncEvents =
+        static_cast<std::uint32_t>(sr.syncEvents);
+    fam.info.totalOps = sr.ops;
+
+    engines::EngineVerdict v;
+    v.engine = "shb";
+    v.semantics = engines::ShbEngine::semanticsLine();
+    v.races.reserve(sr.report.races.size());
+    for (const ReportRaceModel &r : sr.report.races) {
+        engines::EngineRace er;
+        er.a = r.a.id;
+        er.b = r.b.id;
+        er.addrs = r.addrs;
+        er.isDataRace = r.isDataRace;
+        v.races.push_back(std::move(er));
+    }
+    for (std::uint32_t i = 0; i < v.races.size(); ++i) {
+        if (v.races[i].isDataRace)
+            ++v.numDataRaces;
+        v.reported.push_back(i);
+    }
+    v.anyDataRace = v.numDataRaces != 0;
+    v.firstRacePerVar = engines::firstRacePerVariable(v.races);
+
+    fam.anyDataRace = v.anyDataRace;
+    fam.verdicts.push_back(std::move(v));
+    return fam;
+}
+
 int
 cmdCheckStream(const Args &args)
 {
     if (args.has("events") || args.has("dot") || args.has("jobs"))
         fatal("check: --stream keeps no whole-trace state; --events, "
               "--dot and --jobs do not apply");
+    std::optional<std::vector<engines::EngineKind>> engineKinds;
+    if (!parseEngine(args, "check", engineKinds))
+        return 2;
+    if (engineKinds.has_value() &&
+        (engineKinds->size() != 1 ||
+         engineKinds->front() != engines::EngineKind::Shb))
+        fatal("check: --stream supports --engine shb only (the "
+              "other engines need whole-trace state the "
+              "bounded-memory window retires; run without --stream)");
     const std::string &path = args.positional()[0];
     if (!fileLooksSegmented(path))
         fatal("check: --stream requires a segmented trace "
@@ -509,9 +603,16 @@ cmdCheckStream(const Args &args)
                   : "");
     std::printf("%s",
                 formatTraceProvenance(true, sr.salvage).c_str());
-    std::printf("%s",
-                renderReport(sr.report, nullptr, ReportOptions{})
-                    .c_str());
+    if (engineKinds.has_value()) {
+        // Same data-race set, so the exit code below still applies.
+        std::printf("%s", engines::formatFamilyReport(
+                              shbFamilyFromStream(sr))
+                              .c_str());
+    } else {
+        std::printf("%s",
+                    renderReport(sr.report, nullptr, ReportOptions{})
+                        .c_str());
+    }
     if (args.has("stats"))
         std::fprintf(
             stderr,
@@ -543,6 +644,23 @@ cmdCheck(const Args &args)
     AnalysisOptions aopts;
     if (!parseJobs(args, "check", aopts.threads))
         return 2;
+    std::optional<std::vector<engines::EngineKind>> engineKinds;
+    if (!parseEngine(args, "check", engineKinds))
+        return 2;
+    if (engineKinds.has_value()) {
+        if (args.has("events") || args.has("dot"))
+            fatal("check: --engine prints the detector family "
+                  "report; --events and --dot apply only to the "
+                  "default hb1 path");
+        engines::EngineFamilyOptions fopts;
+        fopts.kinds = *engineKinds;
+        fopts.threads = aopts.threads;
+        const engines::EngineFamilyResult fam =
+            engines::runEngineFamily(lt.trace, fopts);
+        std::printf("%s",
+                    engines::formatFamilyReport(fam).c_str());
+        return fam.anyDataRace ? 1 : 0;
+    }
     const DetectionResult det = analyzeTrace(lt.trace, aopts);
     ReportOptions ropts;
     ropts.showEvents = args.has("events");
@@ -574,7 +692,7 @@ cmdCheck(const Args &args)
 BatchResult
 runBatchOverServer(const CorpusScan &corpus,
                    const serve::ServerAddress &addr, unsigned jobs,
-                   bool salvage)
+                   bool salvage, const std::string &engine)
 {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point start = Clock::now();
@@ -585,6 +703,7 @@ runBatchOverServer(const CorpusScan &corpus,
 
     serve::SubmitOptions sopts;
     sopts.salvage = salvage;
+    sopts.engine = engine;
     sopts.maxAttempts = 16;
 
     const unsigned lanes = resolveThreads(jobs);
@@ -668,6 +787,24 @@ cmdBatch(const Args &args)
     if (args.has("stream") && args.has("server"))
         fatal("batch: --stream does not combine with --server (the "
               "server analyzes with its own engine)");
+    std::optional<std::vector<engines::EngineKind>> engineKinds;
+    if (!parseEngine(args, "batch", engineKinds))
+        return 2;
+    if (engineKinds.has_value()) {
+        if (args.has("stream"))
+            fatal("batch: --engine does not combine with --stream "
+                  "(only shb is stream-derivable; use `wmrace check "
+                  "--stream --engine shb` per trace)");
+        for (const engines::EngineKind k : *engineKinds) {
+            if (k != engines::EngineKind::Hb1 &&
+                k != engines::EngineKind::Shb &&
+                k != engines::EngineKind::Wcp)
+                fatal("batch: --engine supports the containment "
+                      "chain only (hb1|shb|wcp|all); the op-level "
+                      "adapters are `check`-only");
+        }
+        opts.engineKinds = *engineKinds;
+    }
     if (args.has("checkpoint")) {
         opts.checkpointPath = args.get("checkpoint");
         if (opts.checkpointPath.empty())
@@ -689,7 +826,8 @@ cmdBatch(const Args &args)
                                        err))
             fatal("batch: %s", err.c_str());
         remoteBatch = runBatchOverServer(corpus, addr, opts.jobs,
-                                         opts.salvage);
+                                         opts.salvage,
+                                         args.get("engine"));
     }
     const BatchResult batch = args.has("server")
                                   ? std::move(remoteBatch)
@@ -1397,6 +1535,16 @@ cmdSubmit(const Args &args)
     serve::SubmitOptions sopts;
     sopts.salvage = args.has("salvage");
     sopts.noCache = args.has("no-cache");
+    if (args.has("engine")) {
+        sopts.engine = args.get("engine");
+        if (serve::engineWireId(sopts.engine) == 0) {
+            std::fprintf(stderr,
+                         "submit: unknown --engine '%s': expected "
+                         "hb1|shb|wcp|all\n",
+                         sopts.engine.c_str());
+            return 2;
+        }
+    }
     unsigned long long attempts = sopts.maxAttempts;
     if (!parseUintOpt(args, "submit", "attempts", 1000, attempts))
         return 2;
@@ -1438,7 +1586,9 @@ usage()
         "races\n"
         "  check <trace.bin>  post-mortem analysis of a trace file\n"
         "                     (--stream: bounded-memory streaming "
-        "engine)\n"
+        "engine;\n"
+        "                     --engine hb1|shb|wcp|all: detector "
+        "family report)\n"
         "  batch <dir|manifest>  analyze a whole trace corpus "
         "(multi-threaded,\n"
         "                     or remotely via --server ADDR)\n"
