@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The model matrix: simulator throughput across all seven memory
+ * models and the cost of inline robustness checking.
+ *
+ * Two claims are measured:
+ *
+ *  - simulation speed is model-independent to first order — the
+ *    store-buffer policies (FIFO TSO drain, per-location PSO
+ *    buffers, sfence epochs) add bookkeeping, not asymptotics;
+ *  - the robustness check (linear graph build + one topological
+ *    sort per execution) is cheap enough to run inline with
+ *    detection — its overhead is reported as a fraction of raw
+ *    simulation time.
+ *
+ * A sanity column reruns the dekker shape fully lazy on each model:
+ * SC must show zero robustness violations and every weak model at
+ * least one, or the table prints ROBUSTNESS MISMATCH (the smoke
+ * entry's FAIL regex).  Committed baseline is BENCH_model_matrix.json
+ * (tools/bench_baselines.sh).
+ */
+
+#include "bench_util.hh"
+
+#include <chrono>
+#include <iterator>
+#include <vector>
+
+#include "detect/robustness.hh"
+#include "workload/patterns.hh"
+#include "workload/random_gen.hh"
+
+namespace {
+
+using namespace wmr;
+using namespace wmr::benchutil;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct Row
+{
+    std::string model;
+    std::uint64_t events = 0;
+    double simSeconds = 0;
+    double robustSeconds = 0;
+    std::size_t dekkerViolations = 0;
+};
+
+Row
+runModel(ModelKind model, std::uint64_t executions)
+{
+    Row row;
+    row.model = std::string(modelName(model));
+
+    // The measured workload: seeded medium racy programs, the same
+    // family the detection benches sweep.
+    std::vector<ExecutionResult> results;
+    results.reserve(executions);
+    const auto tSim = std::chrono::steady_clock::now();
+    for (std::uint64_t seed = 0; seed < executions; ++seed) {
+        const Program p = randomRacyProgram(seed % 10);
+        ExecOptions opts;
+        opts.model = model;
+        opts.seed = seed;
+        opts.drainLaziness = 0.9;
+        results.push_back(runProgram(p, opts));
+    }
+    row.simSeconds = secondsSince(tSim);
+    for (const auto &res : results)
+        row.events += res.ops.size();
+
+    const auto tRob = std::chrono::steady_clock::now();
+    for (const auto &res : results)
+        benchmark::DoNotOptimize(checkRobustness(res).robust);
+    row.robustSeconds = secondsSince(tRob);
+
+    // Sanity: dekker fully lazy — SC robust, weak models not.
+    const Program dekker = dekkerDataFlags();
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        ExecOptions opts;
+        opts.model = model;
+        opts.seed = seed;
+        opts.drainLaziness = 1.0;
+        if (!checkRobustness(runProgram(dekker, opts)).robust)
+            ++row.dekkerViolations;
+    }
+    return row;
+}
+
+void
+reproduce()
+{
+    const std::uint64_t executions = smokeMode() ? 60 : 2'000;
+
+    section("simulator throughput × robustness overhead, all seven "
+            "models" +
+            std::string(smokeMode() ? " (smoke mode)" : ""));
+    note("events/s = simulated memory operations per second; "
+         "robustness overhead is the");
+    note("inline SC-equivalence check as a fraction of raw "
+         "simulation time.");
+
+    std::printf("  %-6s %10s %10s %12s %12s %14s %10s\n", "model",
+                "events", "sim s", "events/s", "robust s",
+                "overhead", "dekker!SC");
+    std::vector<Row> rows;
+    bool mismatch = false;
+    for (const ModelKind model : kAllModels) {
+        const Row row = runModel(model, executions);
+        std::printf(
+            "  %-6s %10llu %10.3f %12.0f %12.3f %13.1f%% %10zu\n",
+            row.model.c_str(),
+            static_cast<unsigned long long>(row.events),
+            row.simSeconds,
+            static_cast<double>(row.events) / row.simSeconds,
+            row.robustSeconds,
+            100.0 * row.robustSeconds / row.simSeconds,
+            row.dekkerViolations);
+        const bool bad = model == ModelKind::SC
+                             ? row.dekkerViolations != 0
+                             : row.dekkerViolations == 0;
+        mismatch = mismatch || bad;
+        rows.push_back(row);
+    }
+    note(mismatch
+             ? "!! ROBUSTNESS MISMATCH — SC flagged non-robust or "
+               "a weak model showed none (regression)."
+             : "robustness sanity verified: SC always robust, every "
+               "weak model violates on dekker.");
+
+    // Machine-readable block for plotting/regression tooling.
+    std::printf("{\n  \"schema\": \"wmrace-model-matrix\",\n");
+    std::printf("  \"executions_per_model\": %llu,\n",
+                static_cast<unsigned long long>(executions));
+    std::printf("  \"robustness_mismatches\": %d,\n",
+                mismatch ? 1 : 0);
+    std::printf("  \"results\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf(
+            "    {\"model\": \"%s\", \"events\": %llu, "
+            "\"sim_seconds\": %.4f, \"events_per_second\": %.1f, "
+            "\"robustness_seconds\": %.4f, "
+            "\"robustness_overhead_pct\": %.1f, "
+            "\"dekker_violations\": %zu}%s\n",
+            r.model.c_str(),
+            static_cast<unsigned long long>(r.events), r.simSeconds,
+            static_cast<double>(r.events) / r.simSeconds,
+            r.robustSeconds,
+            100.0 * r.robustSeconds / r.simSeconds,
+            r.dekkerViolations, i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+}
+
+void
+BM_RunModel(benchmark::State &state)
+{
+    const auto model = static_cast<ModelKind>(state.range(0));
+    const Program p = randomRacyProgram(3);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        ExecOptions opts;
+        opts.model = model;
+        opts.seed = ++seed;
+        opts.drainLaziness = 0.9;
+        benchmark::DoNotOptimize(runProgram(p, opts).ops.size());
+    }
+}
+BENCHMARK(BM_RunModel)
+    ->DenseRange(0, static_cast<int>(std::size(kAllModels)) - 1)
+    ->ArgName("model");
+
+void
+BM_CheckRobustness(benchmark::State &state)
+{
+    const Program p = dekkerDataFlags();
+    ExecOptions opts;
+    opts.model = ModelKind::PSO;
+    opts.seed = 3;
+    opts.drainLaziness = 1.0;
+    const auto res = runProgram(p, opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checkRobustness(res).robust);
+}
+BENCHMARK(BM_CheckRobustness);
+
+} // namespace
+
+WMR_BENCH_MAIN(reproduce)

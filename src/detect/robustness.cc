@@ -1,0 +1,307 @@
+#include "detect/robustness.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "obs/obs.hh"
+
+namespace wmr {
+
+namespace {
+
+using EdgeKind = RobustnessEdge::Kind;
+
+/**
+ * The constraint graph po u rf u co u fr over the ops with
+ * id <= limit.  co/fr are rebuilt from the visibility witness
+ * restricted to the prefix, so a prefix graph is exactly the graph
+ * of the truncated execution (cyclicity is monotone in the prefix:
+ * po/rf edges persist and co/fr chain refinements only add
+ * reachability, which is what makes the first-violation binary
+ * search below sound).
+ */
+struct Graph
+{
+    std::size_t n = 0;
+    std::vector<std::vector<RobustnessEdge>> out;
+    std::size_t edges = 0;
+
+    void
+    add(OpId from, OpId to, EdgeKind kind)
+    {
+        if (from == to)
+            return;
+        out[from].push_back({from, to, kind});
+        ++edges;
+    }
+};
+
+Graph
+buildGraph(const std::vector<MemOp> &ops,
+           const std::vector<OpId> &visibility, OpId limit)
+{
+    Graph g;
+    g.n = static_cast<std::size_t>(limit) + 1;
+    g.out.resize(g.n);
+
+    // po: chain each processor's ops in issue order.
+    std::vector<OpId> lastOfProc;
+    for (OpId id = 0; id < g.n; ++id) {
+        const MemOp &op = ops[id];
+        if (op.proc >= lastOfProc.size())
+            lastOfProc.resize(op.proc + 1, kNoOp);
+        if (lastOfProc[op.proc] != kNoOp)
+            g.add(lastOfProc[op.proc], id, EdgeKind::Po);
+        lastOfProc[op.proc] = id;
+
+        // rf: the observed write precedes the read.
+        if (op.kind == OpKind::Read && op.observedWrite != kNoOp)
+            g.add(op.observedWrite, id, EdgeKind::Rf);
+    }
+
+    // co: chain the visibility witness per address, restricted to
+    // the prefix; writes the witness missed (possible only on
+    // truncated streams) are appended in issue order.
+    std::vector<bool> witnessed(g.n, false);
+    std::vector<OpId> vis;
+    vis.reserve(g.n);
+    for (const OpId id : visibility) {
+        if (id < g.n && !witnessed[id]) {
+            witnessed[id] = true;
+            vis.push_back(id);
+        }
+    }
+    for (OpId id = 0; id < g.n; ++id) {
+        if (ops[id].kind == OpKind::Write && !witnessed[id])
+            vis.push_back(id);
+    }
+
+    // coSucc[w]: the next write to w's address in co order.
+    std::vector<OpId> coSucc(g.n, kNoOp);
+    std::vector<OpId> lastOfAddr;   // last co write per address
+    std::vector<OpId> firstOfAddr;  // first co write per address
+    const auto addrSlot = [&](Addr a) -> std::size_t {
+        if (a >= lastOfAddr.size()) {
+            lastOfAddr.resize(a + 1, kNoOp);
+            firstOfAddr.resize(a + 1, kNoOp);
+        }
+        return a;
+    };
+    for (const OpId id : vis) {
+        const std::size_t a = addrSlot(ops[id].addr);
+        if (lastOfAddr[a] != kNoOp) {
+            g.add(lastOfAddr[a], id, EdgeKind::Co);
+            coSucc[lastOfAddr[a]] = id;
+        } else {
+            firstOfAddr[a] = id;
+        }
+        lastOfAddr[a] = id;
+    }
+
+    // fr: a read precedes the write that co-overwrites what it saw.
+    for (OpId id = 0; id < g.n; ++id) {
+        const MemOp &op = ops[id];
+        if (op.kind != OpKind::Read)
+            continue;
+        OpId succ = kNoOp;
+        if (op.observedWrite == kNoOp) {
+            // Initial value: every co write to the address overwrites.
+            if (op.addr < firstOfAddr.size())
+                succ = firstOfAddr[op.addr];
+        } else if (op.observedWrite < g.n) {
+            succ = coSucc[op.observedWrite];
+        }
+        if (succ != kNoOp)
+            g.add(id, succ, EdgeKind::Fr);
+    }
+    return g;
+}
+
+/** Kahn's algorithm: @return whether @p g is acyclic. */
+bool
+acyclic(const Graph &g)
+{
+    std::vector<std::uint32_t> indeg(g.n, 0);
+    for (const auto &adj : g.out) {
+        for (const auto &e : adj)
+            ++indeg[e.to];
+    }
+    std::vector<OpId> work;
+    work.reserve(g.n);
+    for (OpId id = 0; id < g.n; ++id) {
+        if (indeg[id] == 0)
+            work.push_back(id);
+    }
+    std::size_t seen = 0;
+    while (!work.empty()) {
+        const OpId id = work.back();
+        work.pop_back();
+        ++seen;
+        for (const auto &e : g.out[id]) {
+            if (--indeg[e.to] == 0)
+                work.push_back(e.to);
+        }
+    }
+    return seen == g.n;
+}
+
+/** Extract one cycle from a graph known to be cyclic. */
+std::vector<RobustnessEdge>
+findCycle(const Graph &g)
+{
+    enum : std::uint8_t { White, Grey, Black };
+    std::vector<std::uint8_t> color(g.n, White);
+    // DFS stack: node plus index of the next out-edge to try.
+    std::vector<std::pair<OpId, std::size_t>> stack;
+
+    for (OpId root = 0; root < g.n; ++root) {
+        if (color[root] != White)
+            continue;
+        stack.push_back({root, 0});
+        color[root] = Grey;
+        while (!stack.empty()) {
+            auto &[id, next] = stack.back();
+            if (next < g.out[id].size()) {
+                const RobustnessEdge &e = g.out[id][next++];
+                if (color[e.to] == Grey) {
+                    // Back edge: the grey stack from e.to to id plus
+                    // this edge is the cycle.
+                    std::vector<RobustnessEdge> cycle;
+                    std::size_t start = 0;
+                    for (std::size_t i = 0; i < stack.size(); ++i) {
+                        if (stack[i].first == e.to)
+                            start = i;
+                    }
+                    for (std::size_t i = start + 1; i < stack.size();
+                         ++i) {
+                        const OpId from = stack[i - 1].first;
+                        for (const auto &edge : g.out[from]) {
+                            if (edge.to == stack[i].first) {
+                                cycle.push_back(edge);
+                                break;
+                            }
+                        }
+                    }
+                    cycle.push_back(e);
+                    return cycle;
+                }
+                if (color[e.to] == White) {
+                    color[e.to] = Grey;
+                    stack.push_back({e.to, 0});
+                }
+            } else {
+                color[id] = Black;
+                stack.pop_back();
+            }
+        }
+    }
+    panic("findCycle: graph is acyclic");
+}
+
+} // namespace
+
+std::string_view
+robustnessEdgeName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::Po: return "po";
+      case EdgeKind::Rf: return "rf";
+      case EdgeKind::Co: return "co";
+      case EdgeKind::Fr: return "fr";
+    }
+    panic("robustnessEdgeName: bad kind %d", static_cast<int>(kind));
+}
+
+RobustnessResult
+checkRobustness(const std::vector<MemOp> &ops,
+                const std::vector<OpId> &visibilityOrder)
+{
+    static obs::Counter cChecks = obs::counter("robustness.checks");
+    static obs::Counter cViolations =
+        obs::counter("robustness.violations");
+    static obs::Counter cOps = obs::counter("robustness.ops");
+    obs::Span span("robustness.check");
+    cChecks.inc();
+    cOps.add(ops.size());
+
+    RobustnessResult res;
+    if (ops.empty())
+        return res;
+
+    const OpId last = static_cast<OpId>(ops.size() - 1);
+    const Graph full = buildGraph(ops, visibilityOrder, last);
+    res.nodes = full.n;
+    res.edges = full.edges;
+    if (acyclic(full))
+        return res;
+
+    // Not robust: binary-search the shortest cyclic prefix.  The
+    // smallest limit whose graph is cyclic identifies the first
+    // operation no SC order can accommodate.
+    OpId lo = 0;
+    OpId hi = last;
+    while (lo < hi) {
+        const OpId mid = lo + (hi - lo) / 2;
+        if (acyclic(buildGraph(ops, visibilityOrder, mid)))
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    res.robust = false;
+    res.violatingOp = lo;
+    res.cycle = findCycle(buildGraph(ops, visibilityOrder, lo));
+    cViolations.inc();
+    return res;
+}
+
+RobustnessResult
+checkRobustness(const ExecutionResult &res)
+{
+    return checkRobustness(res.ops, res.visibilityOrder);
+}
+
+namespace {
+
+std::string
+opText(const std::vector<MemOp> &ops, OpId id)
+{
+    if (id >= ops.size())
+        return strformat("#%llu", static_cast<unsigned long long>(id));
+    const MemOp &op = ops[id];
+    return strformat("#%llu P%u %s%s [%llu]=%lld",
+                     static_cast<unsigned long long>(id), op.proc,
+                     op.sync ? "sync " : "",
+                     op.kind == OpKind::Read ? "read" : "write",
+                     static_cast<unsigned long long>(op.addr),
+                     static_cast<long long>(op.value));
+}
+
+} // namespace
+
+std::string
+formatRobustnessReport(const RobustnessResult &r,
+                       const std::vector<MemOp> &ops)
+{
+    if (r.robust) {
+        return strformat("robustness: ROBUST — the execution has a "
+                         "sequentially consistent equivalent "
+                         "(%zu ops, %zu constraint edges)\n",
+                         r.nodes, r.edges);
+    }
+    std::string text = strformat(
+        "robustness: VIOLATION — no sequentially consistent "
+        "equivalent exists\n  first non-SC operation: %s\n"
+        "  witness cycle (po u rf u co u fr):\n",
+        opText(ops, r.violatingOp).c_str());
+    for (const auto &e : r.cycle) {
+        text += strformat("    %s  --%s-->  %s\n",
+                          opText(ops, e.from).c_str(),
+                          std::string(robustnessEdgeName(e.kind))
+                              .c_str(),
+                          opText(ops, e.to).c_str());
+    }
+    return text;
+}
+
+} // namespace wmr

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dynamic robustness checking: does the observed execution have a
+ * sequentially consistent equivalent at all?
+ *
+ * An execution is ROBUST (Shasha/Snir trace equivalence, as used by
+ * the dynamic-robustness line of work in PAPERS.md) when some total
+ * order of its memory operations simultaneously respects
+ *
+ *   po  — each processor's program order,
+ *   rf  — every read placed after the write it observed, with no
+ *         other write to the address in between,
+ *   co  — the witnessed per-address coherence order (the order the
+ *         simulator actually made writes globally visible),
+ *
+ * which is the case iff the relation po u rf u co u fr is acyclic,
+ * where fr (from-read) points each read at the co-successor of its
+ * observed write.  The simulator supplies the co witness
+ * (ExecutionResult::visibilityOrder), so the check is a linear graph
+ * build plus one topological sort — O(n + e) per execution, cheap
+ * enough to run inline with detection.
+ *
+ * Relation to the paper's machinery: the issue-order staleness flag
+ * (MemOp::stale) witnesses SC per-execution too, but only against
+ * the ISSUE interleaving.  An execution with zero stale reads is
+ * always robust (the issue order itself is the SC witness — tests
+ * assert this containment); a stale read, however, does not imply
+ * non-robustness (a different interleaving may explain it), and a
+ * non-robust execution can even have zero stale reads (pure
+ * write-write coherence inversions).  Robustness is therefore the
+ * exact per-execution question, and Condition 3.4 the guarantee that
+ * on DRF programs it never fails.
+ *
+ * Note the weaker rf-only question ("is there an SC execution with
+ * the same reads-from, for ANY coherence order?") is NP-hard in
+ * general; preserving the witnessed co is both what trace
+ * equivalence asks and what keeps the check linear.
+ */
+
+#ifndef WMR_DETECT_ROBUSTNESS_HH
+#define WMR_DETECT_ROBUSTNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/executor.hh"
+#include "sim/mem_op.hh"
+
+namespace wmr {
+
+/** One edge of the robustness-violation witness cycle. */
+struct RobustnessEdge
+{
+    enum class Kind : std::uint8_t { Po, Rf, Co, Fr };
+
+    OpId from = kNoOp;
+    OpId to = kNoOp;
+    Kind kind = Kind::Po;
+};
+
+/** @return short name ("po"/"rf"/"co"/"fr") of @p kind. */
+std::string_view robustnessEdgeName(RobustnessEdge::Kind kind);
+
+/** Verdict of the per-execution robustness check. */
+struct RobustnessResult
+{
+    /** po u rf u co u fr acyclic: an SC-equivalent exists. */
+    bool robust = true;
+
+    /**
+     * When not robust: the first operation (smallest issue id) whose
+     * inclusion makes the execution prefix non-SC — every proper
+     * prefix before it still has an SC-equivalent.  kNoOp if robust.
+     */
+    OpId violatingOp = kNoOp;
+
+    /** When not robust: a witness cycle through violatingOp's
+     *  prefix, as consecutive edges (last edge closes the cycle). */
+    std::vector<RobustnessEdge> cycle;
+
+    /** Operations / edges in the full constraint graph (stats). */
+    std::size_t nodes = 0;
+    std::size_t edges = 0;
+};
+
+/**
+ * Check robustness of an operation stream against the witnessed
+ * coherence order @p visibilityOrder (write ids in global-visibility
+ * order; per-address restriction = co).  Writes missing from the
+ * witness are treated as visible in issue order at the end.
+ */
+RobustnessResult checkRobustness(const std::vector<MemOp> &ops,
+                                 const std::vector<OpId> &visibilityOrder);
+
+/** Convenience overload over a full simulator execution. */
+RobustnessResult checkRobustness(const ExecutionResult &res);
+
+/** Human-readable verdict block (stable format, golden-testable). */
+std::string formatRobustnessReport(const RobustnessResult &r,
+                                   const std::vector<MemOp> &ops);
+
+} // namespace wmr
+
+#endif // WMR_DETECT_ROBUSTNESS_HH

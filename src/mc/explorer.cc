@@ -145,7 +145,8 @@ class McRunner
               case Opcode::CmpLtI:
                 regs[i.dst] = regs[i.a] < i.imm;
                 break;
-              case Opcode::Fence: break; // SC: no-op
+              case Opcode::Fence: break;   // SC: no-op
+              case Opcode::FenceSS: break; // SC: no-op
               case Opcode::Branch:
                 if (regs[i.a] != 0)
                     next = i.target;

@@ -308,9 +308,12 @@ assemble(std::string_view source)
             if (ea.indexed)
                 ctx.err("syncstorei does not support indexed addressing");
             tb->syncstorei(ea.base, parseImm(ctx, ops[1]));
-        } else if (mnem == "fence") {
+        } else if (mnem == "fence" || mnem == "mfence") {
             expectArity(ctx, ops, 0, mnem);
             tb->fence();
+        } else if (mnem == "sfence") {
+            expectArity(ctx, ops, 0, mnem);
+            tb->sfence();
         } else if (mnem == "bnz") {
             expectArity(ctx, ops, 2, mnem);
             Value pc = 0;

@@ -192,6 +192,13 @@ ThreadBuilder::fence()
 }
 
 ThreadBuilder &
+ThreadBuilder::sfence()
+{
+    emit({.op = Opcode::FenceSS});
+    return *this;
+}
+
+ThreadBuilder &
 ThreadBuilder::bnz(RegId reg, const std::string &target)
 {
     emit({.op = Opcode::Branch, .a = reg});

@@ -61,6 +61,7 @@ class ThreadBuilder
     ThreadBuilder &syncstore(Addr addr, RegId src);
     ThreadBuilder &syncstorei(Addr addr, Value imm);
     ThreadBuilder &fence();
+    ThreadBuilder &sfence();
 
     ThreadBuilder &bnz(RegId reg, const std::string &target);
     ThreadBuilder &bz(RegId reg, const std::string &target);

@@ -30,6 +30,7 @@ opcodeName(Opcode op)
       case Opcode::SyncStore: return "syncstore";
       case Opcode::SyncStoreI: return "syncstorei";
       case Opcode::Fence: return "fence";
+      case Opcode::FenceSS: return "sfence";
       case Opcode::Branch: return "bnz";
       case Opcode::BranchZ: return "bz";
       case Opcode::Jump: return "jmp";
@@ -123,6 +124,9 @@ disassemble(const Instr &i)
         break;
       case Opcode::Fence:
         text = "fence";
+        break;
+      case Opcode::FenceSS:
+        text = "sfence";
         break;
       case Opcode::Branch:
         text = strformat("bnz r%u, %u", i.a, i.target);

@@ -54,7 +54,9 @@ enum class Opcode : std::uint8_t {
     SyncStore,  ///< mem[ea] = r[b]         (release write)
     SyncStoreI, ///< mem[ea] = imm          (release write)
 
-    Fence,      ///< full fence: drain and stall
+    Fence,      ///< full fence (mfence): drain and stall
+    FenceSS,    ///< store-store fence (sfence): order stores across
+                ///< it without stalling; no-op on SC/TSO
 
     // Control flow.
     Branch,     ///< if (r[a] != 0) goto target

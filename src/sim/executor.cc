@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace wmr {
 
@@ -307,6 +308,9 @@ Executor::run(const Program &prog, const ExecOptions &opts)
               case Opcode::Fence:
                 cost += model->fence(pid);
                 break;
+              case Opcode::FenceSS:
+                cost += model->fenceStoreStore(pid);
+                break;
 
               case Opcode::Branch:
                 if (ps.taintOf(i.a))
@@ -351,11 +355,19 @@ Executor::run(const Program &prog, const ExecOptions &opts)
     }
 
     model->drainAll();
+    res.visibilityOrder = model->visibilityOrder();
     res.completed = runnable.empty();
     if (!res.completed) {
         warn("execution hit maxSteps=%llu before all threads halted",
              static_cast<unsigned long long>(opts.maxSteps));
     }
+
+    static obs::Counter cRuns = obs::counter("sim.executions");
+    static obs::Counter cOps = obs::counter("sim.ops");
+    static obs::Counter cStale = obs::counter("sim.stale_reads");
+    cRuns.add(1);
+    cOps.add(res.ops.size());
+    cStale.add(res.staleReads);
 
     res.procCycles.resize(nprocs);
     res.finalRegs.resize(nprocs);

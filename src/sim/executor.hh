@@ -125,6 +125,14 @@ struct ExecutionResult
      */
     std::vector<ProcId> stepOrder;
 
+    /**
+     * Witnessed coherence order: ids of every program write in the
+     * order the model made it globally visible (per-address
+     * restriction = the co relation).  Input to the dynamic
+     * robustness check (detect/robustness.hh).
+     */
+    std::vector<OpId> visibilityOrder;
+
     /** @return the final value of @p addr (0 if out of range). */
     Value
     memAt(Addr addr) const

@@ -112,6 +112,8 @@ InvalidateModel::writeData(ProcId proc, Addr addr, Value value, OpId id)
     shadowWriter_[addr] = id;
     memory_[addr] = value;
     lastWriter_[addr] = id;
+    if (id != kNoOp)
+        visibility_.push_back(id);
     caches_[proc][addr] = {value, id};
     broadcastInval(proc, addr);
     WriteResult w;
@@ -158,6 +160,8 @@ InvalidateModel::writeSync(ProcId proc, Addr addr, Value value, OpId id,
     shadowWriter_[addr] = id;
     memory_[addr] = value;
     lastWriter_[addr] = id;
+    if (id != kNoOp)
+        visibility_.push_back(id);
     caches_[proc][addr] = {value, id};
     broadcastInval(proc, addr);
     WriteResult w;
@@ -175,6 +179,15 @@ InvalidateModel::fence(ProcId proc)
     return flushCost(flushInbox(proc)) + 1;
 }
 
+Tick
+InvalidateModel::fenceStoreStore(ProcId proc)
+{
+    // Write-through memory makes every store visible at issue, so
+    // store-store order always holds; nothing to do.
+    (void)proc;
+    return 1;
+}
+
 void
 InvalidateModel::tick(Rng &rng)
 {
@@ -186,7 +199,10 @@ InvalidateModel::tick(Rng &rng)
             continue;
         if (rng.chance(drainLaziness_))
             continue;
-        const std::size_t idx = rng.below(box.size());
+        // TSO delivers invalidations in send order (the store buffer
+        // behind them is FIFO); other models deliver randomly.
+        const std::size_t idx =
+            policy_.fifoDrain ? 0 : rng.below(box.size());
         caches_[p].erase(box[idx]);
         box.erase(box.begin() + static_cast<std::ptrdiff_t>(idx));
     }

@@ -20,9 +20,11 @@
  *    otherwise fetches from memory and caches the line;
  *  - background ticks apply random inbox entries (drainLaziness
  *    semantics match the store-buffer model);
- *  - acquire operations flush the processor's whole inbox before
- *    reading (WO/DRF0 flush on every sync operation), which is what
- *    restores sequential consistency across paired synchronization;
+ *  - EVERY acquire flushes the processor's whole inbox before
+ *    reading, on every weak model — that is what restores sequential
+ *    consistency across paired synchronization; models with
+ *    drainOnAllSync (WO, DRF0, TSO, PSO) additionally flush on
+ *    non-acquire sync operations (sync writes);
  *  - under SC invalidations apply instantly, so reads are always
  *    fresh.
  *
@@ -42,7 +44,7 @@
 
 namespace wmr {
 
-/** Invalidation-queue based memory model (all five kinds). */
+/** Invalidation-queue based memory model (all seven kinds). */
 class InvalidateModel : public MemoryModel
 {
   public:
@@ -58,11 +60,16 @@ class InvalidateModel : public MemoryModel
     WriteResult writeSync(ProcId proc, Addr addr, Value value, OpId id,
                           bool release) override;
     Tick fence(ProcId proc) override;
+    Tick fenceStoreStore(ProcId proc) override;
     void tick(Rng &rng) override;
     void drainAll() override;
     void drainAddr(ProcId proc, Addr addr) override;
     std::size_t pendingStores(ProcId proc) const override;
     Value globalValue(Addr addr) const override;
+    const std::vector<OpId> &visibilityOrder() const override
+    {
+        return visibility_;
+    }
 
   private:
     /** One cached copy of a word. */
@@ -95,6 +102,10 @@ class InvalidateModel : public MemoryModel
 
     std::vector<std::unordered_map<Addr, Line>> caches_;
     std::vector<std::vector<Addr>> inbox_;
+
+    /** Witnessed coherence order: write-through memory makes every
+     *  write visible at issue, so this is the write issue order. */
+    std::vector<OpId> visibility_;
 };
 
 } // namespace wmr

@@ -2,8 +2,9 @@
  * @file
  * Memory-model interface and the catalog of implemented models.
  *
- * The five models of the paper are realized as policies over a
- * per-processor pending-store buffer (see store_buffer_model.hh):
+ * The five models of the paper — plus two hardware-flavored ones —
+ * are realized as policies over a per-processor pending-store buffer
+ * (see store_buffer_model.hh):
  *
  *  - SC:   no buffering; every operation stalls to global completion.
  *  - WO:   data stores buffer (unordered drain); EVERY sync operation
@@ -15,10 +16,24 @@
  *          acquire from release) but with a pipelined drain cost —
  *          a more aggressive implementation of the same contract.
  *  - DRF1: same ordering rules as RCsc with the pipelined drain cost.
+ *  - TSO:  x86-style total store order: a strictly FIFO buffer, so
+ *          only W->R reordering is visible (reads bypass and forward
+ *          from the buffer); sync (atomic) operations flush, like
+ *          x86 locked instructions.
+ *  - PSO:  SPARC-style partial store order: per-location FIFO only,
+ *          so W->W reordering is also visible; the store-store fence
+ *          (sfence) restores write order, and sync operations flush.
  *
- * All four weak models violate SC only when a stale value becomes
+ * All weak models violate SC only when a stale value becomes
  * observable through a data race, which is exactly the mechanism
  * behind Theorem 3.5; tests verify Condition 3.4 holds.
+ *
+ * Every model additionally records the WITNESSED COHERENCE ORDER:
+ * the sequence of write OpIds in the order they became globally
+ * visible.  Restricted to one address this is the execution's co
+ * relation — the raw material for the dynamic robustness check
+ * (detect/robustness.hh), which decides whether the observed
+ * execution has an SC-equivalent at all.
  */
 
 #ifndef WMR_SIM_MODEL_HH
@@ -34,15 +49,16 @@
 namespace wmr {
 
 /** The memory models the simulator implements. */
-enum class ModelKind : std::uint8_t { SC, WO, RCsc, DRF0, DRF1 };
+enum class ModelKind : std::uint8_t { SC, WO, RCsc, DRF0, DRF1, TSO, PSO };
 
 /** @return human-readable model name. */
 std::string_view modelName(ModelKind kind);
 
-/** All models, in paper order, for parameterized tests/benches. */
+/** All models — the paper's five in paper order, then the
+ *  hardware-flavored pair — for parameterized tests/benches. */
 inline constexpr ModelKind kAllModels[] = {
     ModelKind::SC, ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
-    ModelKind::DRF1,
+    ModelKind::DRF1, ModelKind::TSO, ModelKind::PSO,
 };
 
 /** Latency parameters of the simulated memory system (in cycles). */
@@ -106,8 +122,18 @@ class MemoryModel
     virtual WriteResult writeSync(ProcId proc, Addr addr, Value value,
                                   OpId id, bool release) = 0;
 
-    /** Full fence: drain everything and stall. */
+    /** Full fence (x86 mfence): drain everything and stall. */
     virtual Tick fence(ProcId proc) = 0;
+
+    /**
+     * Store-store fence (x86 sfence / SPARC membar #StoreStore):
+     * stores issued before it become globally visible before stores
+     * issued after it, WITHOUT stalling for the drain.  A no-op on
+     * models whose buffers are already write-ordered (SC, TSO) and
+     * on the invalidation realization (write-through memory is
+     * always write-ordered).
+     */
+    virtual Tick fenceStoreStore(ProcId proc) = 0;
 
     /**
      * Background activity between instructions: drain buffered
@@ -131,6 +157,14 @@ class MemoryModel
 
     /** @return current globally visible value of @p addr. */
     virtual Value globalValue(Addr addr) const = 0;
+
+    /**
+     * Witnessed coherence order: ids of every program write in the
+     * order it became globally visible (initial-image writes with
+     * the kNoOp id are not recorded).  Restricted to one address
+     * this is the co relation of the execution.
+     */
+    virtual const std::vector<OpId> &visibilityOrder() const = 0;
 };
 
 /**

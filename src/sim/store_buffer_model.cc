@@ -1,5 +1,7 @@
 #include "sim/store_buffer_model.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace wmr {
@@ -13,6 +15,8 @@ modelName(ModelKind kind)
       case ModelKind::RCsc: return "RCsc";
       case ModelKind::DRF0: return "DRF0";
       case ModelKind::DRF1: return "DRF1";
+      case ModelKind::TSO: return "TSO";
+      case ModelKind::PSO: return "PSO";
     }
     panic("modelName: bad kind %d", static_cast<int>(kind));
 }
@@ -44,6 +48,17 @@ policyFor(ModelKind kind)
         p.drainOnRelease = true;
         p.pipelinedDrain = true;
         break;
+      case ModelKind::TSO:
+        // x86: FIFO buffer (only W->R reordering observable); locked
+        // (sync) instructions flush the buffer.
+        p.drainOnAllSync = true;
+        p.fifoDrain = true;
+        break;
+      case ModelKind::PSO:
+        // SPARC: per-location FIFO only (W->W reordering observable
+        // until an sfence); atomics flush like TSO.
+        p.drainOnAllSync = true;
+        break;
     }
     return p;
 }
@@ -62,7 +77,7 @@ StoreBufferModel::StoreBufferModel(ModelPolicy policy, ProcId procs,
     : policy_(policy), cost_(cost), drainLaziness_(drainLaziness),
       memory_(words, 0), lastWriter_(words, kNoOp),
       shadowMemory_(words, 0), shadowWriter_(words, kNoOp),
-      buffers_(procs)
+      buffers_(procs), epochs_(procs, 0)
 {
 }
 
@@ -82,6 +97,22 @@ StoreBufferModel::shadowWrite(Addr addr, OpId id, Value value)
 {
     shadowMemory_[addr] = value;
     shadowWriter_[addr] = id;
+}
+
+void
+StoreBufferModel::witnessVisible(OpId id)
+{
+    if (id != kNoOp)
+        visibility_.push_back(id);
+}
+
+std::uint32_t
+StoreBufferModel::minEpoch(ProcId proc) const
+{
+    std::uint32_t m = epochs_[proc];
+    for (const auto &st : buffers_[proc])
+        m = std::min(m, st.epoch);
+    return m;
 }
 
 ReadResult
@@ -126,9 +157,10 @@ StoreBufferModel::writeData(ProcId proc, Addr addr, Value value, OpId id)
     if (policy_.noBuffer) {
         memory_[addr] = value;
         lastWriter_[addr] = id;
+        witnessVisible(id);
         w.cost = cost_.writeLatency;
     } else {
-        buffers_[proc].push_back({addr, value, id});
+        buffers_[proc].push_back({addr, value, id, epochs_[proc]});
         w.cost = cost_.bufferInsert;
     }
     return w;
@@ -164,6 +196,7 @@ StoreBufferModel::writeSync(ProcId proc, Addr addr, Value value, OpId id,
     // through, so delaying them would only delay the pairing).
     memory_[addr] = value;
     lastWriter_[addr] = id;
+    witnessVisible(id);
     WriteResult w;
     w.cost = (policy_.noBuffer ? cost_.writeLatency : cost_.syncAccess) +
              extra;
@@ -178,6 +211,20 @@ StoreBufferModel::fence(ProcId proc)
     return drainCost(drainProc(proc)) + 1;
 }
 
+Tick
+StoreBufferModel::fenceStoreStore(ProcId proc)
+{
+    // Ordering-only: nothing drains and the processor does not
+    // stall; stores issued after the fence just may not become
+    // visible before the ones already buffered.  FIFO (TSO) and
+    // unbuffered (SC) models are already store-store ordered.
+    if (!policy_.noBuffer && !policy_.fifoDrain &&
+        !buffers_[proc].empty()) {
+        ++epochs_[proc];
+    }
+    return 1;
+}
+
 void
 StoreBufferModel::tick(Rng &rng)
 {
@@ -189,9 +236,18 @@ StoreBufferModel::tick(Rng &rng)
             continue;
         if (rng.chance(drainLaziness_))
             continue;
+        if (policy_.fifoDrain) {
+            // TSO: only the oldest pending store may drain.
+            drainEntry(p, 0);
+            continue;
+        }
         // Pick a random drainable entry: the OLDEST pending store to
-        // its address (per-location coherence), any address.
-        const std::size_t pick = rng.below(buf.size());
+        // its address (per-location coherence) within the oldest
+        // sfence epoch still buffered, any address.
+        const std::uint32_t epoch = minEpoch(p);
+        std::size_t pick = rng.below(buf.size());
+        while (buf[pick].epoch != epoch)
+            pick = (pick + 1) % buf.size();
         std::size_t idx = pick;
         for (std::size_t i = 0; i < pick; ++i) {
             if (buf[i].addr == buf[pick].addr) {
@@ -211,6 +267,7 @@ StoreBufferModel::drainEntry(ProcId proc, std::size_t idx)
     const PendingStore st = buf[idx];
     memory_[st.addr] = st.value;
     lastWriter_[st.addr] = st.id;
+    witnessVisible(st.id);
     buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(idx));
 }
 
@@ -224,6 +281,7 @@ StoreBufferModel::drainProc(ProcId proc)
     for (const auto &st : buf) {
         memory_[st.addr] = st.value;
         lastWriter_[st.addr] = st.id;
+        witnessVisible(st.id);
     }
     buf.clear();
     return n;
@@ -247,7 +305,28 @@ StoreBufferModel::drainAddr(ProcId proc, Addr addr)
     auto &buf = buffers_.at(proc);
     for (std::size_t i = 0; i < buf.size(); ++i) {
         if (buf[i].addr == addr) {
-            drainEntry(proc, i); // oldest entry first: coherence
+            if (policy_.fifoDrain) {
+                // TSO: everything older must become visible first.
+                for (std::size_t k = 0; k <= i; ++k)
+                    drainEntry(proc, 0);
+            } else {
+                // Ordering fences still apply to scripted drains:
+                // flush earlier-epoch entries before the target.
+                const std::uint32_t epoch = buf[i].epoch;
+                std::size_t k = 0;
+                while (k < buf.size()) {
+                    if (buf[k].epoch < epoch)
+                        drainEntry(proc, k);
+                    else
+                        ++k;
+                }
+                for (std::size_t j = 0; j < buf.size(); ++j) {
+                    if (buf[j].addr == addr) {
+                        drainEntry(proc, j); // oldest first: coherence
+                        break;
+                    }
+                }
+            }
             return;
         }
     }

@@ -10,7 +10,10 @@
  * to the SAME word by the same processor drain in program order
  * (per-location coherence).  Unordered drain is what lets another
  * processor observe "write(y) before write(x)" — the Figure 1a / 2b
- * violation shape.
+ * violation shape.  Two policy refinements restrict drain order
+ * further: ModelPolicy::fifoDrain (TSO) makes the whole buffer FIFO,
+ * and store-store fence epochs (PSO sfence) forbid draining a store
+ * while an earlier-epoch store of the same processor is buffered.
  *
  * A processor's own reads forward from its newest pending store to
  * the address; remote reads see only the global array.  Sync
@@ -37,7 +40,7 @@
 
 namespace wmr {
 
-/** Policy knobs distinguishing the five models. */
+/** Policy knobs distinguishing the seven models. */
 struct ModelPolicy
 {
     ModelKind kind = ModelKind::WO;
@@ -45,7 +48,7 @@ struct ModelPolicy
     /** No buffering at all: SC. */
     bool noBuffer = false;
 
-    /** Drain before EVERY sync operation (WO, DRF0). */
+    /** Drain before EVERY sync operation (WO, DRF0, TSO, PSO). */
     bool drainOnAllSync = true;
 
     /** Drain before release writes (all weak models). */
@@ -53,12 +56,20 @@ struct ModelPolicy
 
     /** Pipelined drain cost accounting (DRF0, DRF1). */
     bool pipelinedDrain = false;
+
+    /**
+     * The buffer drains strictly first-in-first-out (TSO): only the
+     * oldest pending store is ever drainable, so remote processors
+     * can never observe W->W reordering — only W->R (a read bypasses
+     * the buffered stores of its own processor via forwarding).
+     */
+    bool fifoDrain = false;
 };
 
 /** @return the policy implementing @p kind. */
 ModelPolicy policyFor(ModelKind kind);
 
-/** Store-buffer based memory model (all five kinds). */
+/** Store-buffer based memory model (all seven kinds). */
 class StoreBufferModel : public MemoryModel
 {
   public:
@@ -74,11 +85,16 @@ class StoreBufferModel : public MemoryModel
     WriteResult writeSync(ProcId proc, Addr addr, Value value, OpId id,
                           bool release) override;
     Tick fence(ProcId proc) override;
+    Tick fenceStoreStore(ProcId proc) override;
     void tick(Rng &rng) override;
     void drainAll() override;
     void drainAddr(ProcId proc, Addr addr) override;
     std::size_t pendingStores(ProcId proc) const override;
     Value globalValue(Addr addr) const override;
+    const std::vector<OpId> &visibilityOrder() const override
+    {
+        return visibility_;
+    }
 
   private:
     /** One store waiting in a processor's buffer. */
@@ -87,6 +103,10 @@ class StoreBufferModel : public MemoryModel
         Addr addr;
         Value value;
         OpId id;
+
+        /** Store-store fence epoch: a store may only drain once no
+         *  earlier-epoch store of its processor remains buffered. */
+        std::uint32_t epoch = 0;
     };
 
     void ensureAddr(Addr addr);
@@ -102,6 +122,12 @@ class StoreBufferModel : public MemoryModel
 
     /** Record a write in the issue-order shadow memory. */
     void shadowWrite(Addr addr, OpId id, Value value);
+
+    /** Make @p id globally visible in the witnessed coherence order. */
+    void witnessVisible(OpId id);
+
+    /** @return the smallest sfence epoch still buffered by @p proc. */
+    std::uint32_t minEpoch(ProcId proc) const;
 
     /** Build a ReadResult for @p proc reading @p addr globally. */
     ReadResult globalRead(ProcId proc, Addr addr, Tick cost);
@@ -119,6 +145,12 @@ class StoreBufferModel : public MemoryModel
     std::vector<OpId> shadowWriter_;
 
     std::vector<std::vector<PendingStore>> buffers_;
+
+    /** Per-processor current sfence epoch for newly issued stores. */
+    std::vector<std::uint32_t> epochs_;
+
+    /** Witnessed coherence order (see MemoryModel::visibilityOrder). */
+    std::vector<OpId> visibility_;
 };
 
 } // namespace wmr

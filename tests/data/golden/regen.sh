@@ -48,6 +48,10 @@ sim fig1b_drf1_s3 figure1b DRF1 3    # properly labeled: race-free
 sim dekker_sc_s1 dekker SC 1         # Dekker under SC
 sim dekker_wo_s2 dekker WO 2         # Dekker broken by weak order
 sim queue_wo_s5 queue_buggy WO 5     # the buggy work-queue
+sim tso_fig1a_s7 figure1a TSO 7      # Fig.1a on x86-style TSO
+sim tso_dekker_s2 dekker TSO 2       # Dekker on TSO (SB relaxation)
+sim pso_fig1b_s3 figure1b PSO 3      # race-free stays clean on PSO
+sim pso_queue_s5 queue_buggy PSO 5   # work-queue with split buffers
 
 # --- synthetic traces: analysis-side shapes the programs can't ----
 "$WMRACE" gen-trace synth_p2.trace --procs 2 --events 120 \

@@ -53,6 +53,48 @@ TEST(InvalidateModel, AcquireFlushesInbox)
     EXPECT_EQ(m->readData(1, 1).value, 42);
 }
 
+TEST(InvalidateModel, AcquireFlushesInboxOnEveryWeakModel)
+{
+    // The header's contract: EVERY acquire flushes the whole inbox
+    // before reading, on every weak model kind — including the
+    // store-ordered TSO/PSO realizations.
+    for (const ModelKind kind : kAllModels) {
+        if (kind == ModelKind::SC)
+            continue;
+        auto m = makeModelOf(Realization::Invalidate, kind, 2, 4,
+                             {}, 1.0);
+        m->readData(1, 1); // cache the line
+        m->writeData(0, 1, 42, 7);
+        ASSERT_EQ(m->pendingStores(1), 1u) << modelName(kind);
+        m->readSync(1, 2, /*acquire=*/true);
+        EXPECT_EQ(m->pendingStores(1), 0u) << modelName(kind);
+        EXPECT_EQ(m->readData(1, 1).value, 42) << modelName(kind);
+    }
+}
+
+TEST(InvalidateModel, NonAcquireSyncFlushesOnlyOnDrainAllModels)
+{
+    // The second half of the contract: sync WRITES flush the inbox
+    // exactly on the drainOnAllSync models (WO, DRF0, TSO, PSO) and
+    // leave it queued on RCsc/DRF1.
+    for (const ModelKind kind : kAllModels) {
+        if (kind == ModelKind::SC)
+            continue;
+        auto m = makeModelOf(Realization::Invalidate, kind, 2, 4,
+                             {}, 1.0);
+        m->readData(1, 1);
+        m->writeData(0, 1, 42, 7);
+        ASSERT_EQ(m->pendingStores(1), 1u) << modelName(kind);
+        m->writeSync(1, 3, 1, 8, /*release=*/false);
+        const bool drains = kind == ModelKind::WO ||
+                            kind == ModelKind::DRF0 ||
+                            kind == ModelKind::TSO ||
+                            kind == ModelKind::PSO;
+        EXPECT_EQ(m->pendingStores(1), drains ? 0u : 1u)
+            << modelName(kind);
+    }
+}
+
 TEST(InvalidateModel, TickEventuallyDelivers)
 {
     auto m = makeModelOf(Realization::Invalidate, ModelKind::WO, 2, 4,

@@ -8,7 +8,13 @@
  *    zero stale reads) — Condition 3.4(1);
  *  - racy patterns never violate Condition 3.4(2);
  *  - detection verdicts are model-independent for the same program
- *    family (races exist on SC iff they exist on weak models).
+ *    family (races exist on SC iff they exist on weak models);
+ *  - the figure programs' hb1 verdicts agree on every cell of the
+ *    matrix (racy always reported, DRF never);
+ *  - robustness: DRF programs are robust on every cell, zero stale
+ *    reads implies robust everywhere, SC executions are always
+ *    robust while every weak model exhibits violations on the
+ *    dekker shape under fully lazy drains.
  */
 
 #include <gtest/gtest.h>
@@ -16,8 +22,10 @@
 #include <tuple>
 
 #include "detect/analysis.hh"
+#include "detect/robustness.hh"
 #include "workload/patterns.hh"
 #include "workload/random_gen.hh"
+#include "workload/scenarios.hh"
 
 namespace wmr {
 namespace {
@@ -109,6 +117,141 @@ TEST_P(ModelMatrix, RaceVerdictMatchesScVerdict)
         const Program p = randomRaceFreeProgram(seed);
         EXPECT_FALSE(analyzeExecution(run(p, seed)).anyDataRace())
             << "seed " << seed;
+    }
+}
+
+TEST_P(ModelMatrix, FigureVerdictsAgreeAcrossMatrix)
+{
+    // hb1 verdicts on the paper's figure programs are a property of
+    // the program, not of the memory model the execution ran on:
+    // figure 1(a) has no synchronization at all (its conflicting
+    // accesses are unordered in every execution), figure 1(b) and
+    // the corrected queue are DRF by construction.
+    QueueParams fixedQueue;
+    fixedQueue.withTestAndSet = true;
+    fixedQueue.regionSize = 4;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        EXPECT_TRUE(
+            analyzeExecution(run(figure1a(), seed)).anyDataRace())
+            << "seed " << seed;
+        EXPECT_FALSE(
+            analyzeExecution(run(figure1b(), seed)).anyDataRace())
+            << "seed " << seed;
+        EXPECT_FALSE(analyzeExecution(run(figure2Queue(fixedQueue),
+                                          seed))
+                         .anyDataRace())
+            << "seed " << seed;
+    }
+}
+
+TEST_P(ModelMatrix, DrfProgramsAlwaysRobust)
+{
+    // Condition 3.4(1) restated through the robustness lens: every
+    // execution of a DRF program has an SC-equivalent, on every
+    // model and both realizations, even under fully lazy drains.
+    const Program programs[] = {figure1b(), messagePassing(4, false),
+                                ticketLock(2, 2)};
+    for (const Program &p : programs) {
+        for (std::uint64_t seed = 0; seed < 4; ++seed) {
+            const auto res = run(p, seed, /*laziness=*/1.0);
+            ASSERT_TRUE(res.completed);
+            EXPECT_EQ(res.staleReads, 0u);
+            EXPECT_TRUE(checkRobustness(res).robust)
+                << modelName(model()) << " seed " << seed;
+        }
+    }
+}
+
+TEST_P(ModelMatrix, NoStaleReadsImpliesRobustOnRacyPrograms)
+{
+    // Containment direction on racy inputs: an execution with zero
+    // stale reads is explained by its own issue order, so the
+    // robustness check must accept it.  (The converse is false —
+    // stale reads do not imply non-robustness.)
+    const Program programs[] = {figure1a(), dekkerDataFlags()};
+    for (const Program &p : programs) {
+        for (std::uint64_t seed = 0; seed < 6; ++seed) {
+            const auto res = run(p, seed);
+            if (!res.completed || res.staleReads != 0)
+                continue;
+            EXPECT_TRUE(checkRobustness(res).robust)
+                << modelName(model()) << " seed " << seed;
+        }
+    }
+}
+
+/** The verdict's witness cycle must actually close. */
+void
+expectClosedCycle(const RobustnessResult &verdict)
+{
+    ASSERT_NE(verdict.violatingOp, kNoOp);
+    ASSERT_GE(verdict.cycle.size(), 2u);
+    for (std::size_t i = 0; i < verdict.cycle.size(); ++i) {
+        EXPECT_EQ(verdict.cycle[i].to,
+                  verdict.cycle[(i + 1) % verdict.cycle.size()]
+                      .from);
+    }
+}
+
+TEST(RobustnessMatrix, ScAlwaysRobustEveryWeakModelViolates)
+{
+    // SC executions are robust by definition (stores apply
+    // instantly, so the issue order is the witness), on both
+    // realizations, across racy programs.
+    const Program racy[] = {figure1a(), dekkerDataFlags()};
+    for (const Realization realization : kAllRealizations) {
+        for (const Program &p : racy) {
+            for (std::uint64_t seed = 0; seed < 10; ++seed) {
+                ExecOptions opts;
+                opts.model = ModelKind::SC;
+                opts.realization = realization;
+                opts.seed = seed;
+                const auto res = runProgram(p, opts);
+                ASSERT_TRUE(res.completed);
+                EXPECT_TRUE(checkRobustness(res).robust);
+            }
+        }
+    }
+
+    // Store-buffer realization: the dekker shape under fully lazy
+    // drains violates on every weak model (both stores stay
+    // buffered, both entrants read the other's flag as 0 — the
+    // classic SB non-SC outcome).
+    const Program dekker = dekkerDataFlags();
+    for (const ModelKind model : kAllModels) {
+        if (model == ModelKind::SC)
+            continue;
+        std::size_t violations = 0;
+        for (std::uint64_t seed = 0; seed < 10; ++seed) {
+            ExecOptions opts;
+            opts.model = model;
+            opts.seed = seed;
+            opts.drainLaziness = 1.0;
+            const auto res = runProgram(dekker, opts);
+            ASSERT_TRUE(res.completed);
+            const auto verdict = checkRobustness(res);
+            if (verdict.robust)
+                continue;
+            ++violations;
+            expectClosedCycle(verdict);
+        }
+        EXPECT_GT(violations, 0u) << modelName(model);
+    }
+
+    // Invalidate realization: a fresh cache miss always fetches the
+    // current memory image (write-through), so the SB shape cannot
+    // relax — staleness needs a warmed cache.  The staged figure
+    // 1(a) scenario warms P2's copy of x and must come back
+    // non-robust on every weak model.
+    for (const ModelKind model : kAllModels) {
+        if (model == ModelKind::SC)
+            continue;
+        const auto s = stageInvalidateFigure1a(model);
+        ASSERT_TRUE(s.result.completed);
+        const auto verdict = checkRobustness(s.result);
+        EXPECT_FALSE(verdict.robust) << modelName(model);
+        if (!verdict.robust)
+            expectClosedCycle(verdict);
     }
 }
 

@@ -18,15 +18,32 @@
  *    with zero violations over a seeded generator sweep, and the
  *    rendered family report is byte-identical at --jobs 1/2/8 and
  *    with observability on or off.
+ *  - TsoPsoContainment.*: TSO behaviors are contained in PSO's —
+ *    TSO forbids the message-passing reorder PSO exhibits, and
+ *    every sampled TSO outcome of the litmus shapes also occurs
+ *    under PSO.
+ *  - FenceRestoresSc.*: a fully fenced program is robust on every
+ *    model and realization, and sfence alone restores store order
+ *    on PSO.
+ *  - RobustnessDeterminism.*: the robustness verdict and rendered
+ *    report are byte-identical across repeated runs, concurrent
+ *    checker threads, and observability on/off.
  */
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <thread>
+
 #include "detect/analysis.hh"
+#include "detect/robustness.hh"
 #include "engines/family.hh"
 #include "mc/explorer.hh"
 #include "mc/scp_witness.hh"
 #include "obs/obs.hh"
+#include "prog/builder.hh"
+#include "workload/patterns.hh"
 #include "workload/random_gen.hh"
 #include "workload/scenarios.hh"
 #include "workload/synthetic_trace.hh"
@@ -76,7 +93,7 @@ TEST(Condition341, RaceFreeProgramsStayScOnWeakModels)
 
         for (const auto kind :
              {ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
-              ModelKind::DRF1}) {
+              ModelKind::DRF1, ModelKind::TSO, ModelKind::PSO}) {
             for (std::uint64_t es = 0; es < 10; ++es) {
                 ExecOptions opts;
                 opts.model = kind;
@@ -217,7 +234,7 @@ TEST(Condition34, HoldsAcrossModelsAndWorkloads)
     for (std::uint64_t seed = 0; seed < 20; ++seed) {
         for (const auto kind :
              {ModelKind::WO, ModelKind::RCsc, ModelKind::DRF0,
-              ModelKind::DRF1}) {
+              ModelKind::DRF1, ModelKind::TSO, ModelKind::PSO}) {
             const Program p = randomRacyProgram(seed);
             ExecOptions opts;
             opts.model = kind;
@@ -334,6 +351,226 @@ TEST(EngineFamily, ReportIsDeterministicAcrossJobsAndObs)
         engines::formatFamilyReport(runFamilyAll(trace, 2));
     obs::setEnabled(true);
     EXPECT_EQ(obsOff, base);
+}
+
+// ---------------------------------------------------------------
+// TSO/PSO litmus properties and robustness.
+// ---------------------------------------------------------------
+
+/** Message passing as raw data ops: P0 writes data then flag, P1
+ *  reads flag (r0) then data (r1).  @p withSfence separates P0's
+ *  writes with a store-store fence. */
+Program
+mpLitmus(bool withSfence)
+{
+    ProgramBuilder pb;
+    pb.var("data", 0).var("flag", 1);
+    ThreadBuilder writer;
+    writer.storei(0, 42);
+    if (withSfence)
+        writer.sfence();
+    writer.storei(1, 1).halt();
+    ThreadBuilder reader;
+    reader.load(0, 1)  // r0 = flag
+        .load(1, 0)    // r1 = data
+        .halt();
+    pb.thread(writer).thread(reader);
+    return pb.build();
+}
+
+/** Store buffering (the dekker core): each proc writes its own
+ *  variable then reads the other's into r0. */
+Program
+sbLitmus()
+{
+    ProgramBuilder pb;
+    pb.var("x", 0).var("y", 1);
+    ThreadBuilder t0;
+    t0.storei(0, 1).load(0, 1).halt(); // r0 = y
+    ThreadBuilder t1;
+    t1.storei(1, 1).load(0, 0).halt(); // r0 = x
+    pb.thread(t0).thread(t1);
+    return pb.build();
+}
+
+/** Run @p p under the store-buffer realization of @p model. */
+ExecutionResult
+runLitmus(const Program &p, ModelKind model, std::uint64_t seed,
+          double laziness)
+{
+    ExecOptions opts;
+    opts.model = model;
+    opts.seed = seed;
+    opts.drainLaziness = laziness;
+    return runProgram(p, opts);
+}
+
+TEST(TsoPsoContainment, TsoForbidsMpReorderPsoExhibitsIt)
+{
+    // TSO's FIFO buffer preserves W->W order, so a reader that sees
+    // flag==1 always sees data==42; PSO's per-location buffers let
+    // the flag store drain first, and some seed exhibits it.
+    const Program mp = mpLitmus(false);
+    std::size_t psoReorders = 0;
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const auto tso =
+            runLitmus(mp, ModelKind::TSO, seed, 0.5);
+        ASSERT_TRUE(tso.completed);
+        if (tso.finalRegs[1][0] == 1)
+            EXPECT_EQ(tso.finalRegs[1][1], 42) << "seed " << seed;
+
+        const auto pso =
+            runLitmus(mp, ModelKind::PSO, seed, 0.5);
+        ASSERT_TRUE(pso.completed);
+        if (pso.finalRegs[1][0] == 1 && pso.finalRegs[1][1] == 0) {
+            ++psoReorders;
+            // The non-SC outcome must be flagged by the checker.
+            EXPECT_FALSE(checkRobustness(pso).robust)
+                << "seed " << seed;
+        }
+    }
+    EXPECT_GT(psoReorders, 0u);
+}
+
+TEST(TsoPsoContainment, SampledTsoOutcomesOccurUnderPso)
+{
+    // Outcome-set containment on the litmus shapes: every final
+    // register fingerprint TSO produces, PSO produces too (sampled
+    // over a wider PSO sweep; the converse fails by the MP test
+    // above).  Both exhibit the W->R store-buffering outcome.
+    const Program shapes[] = {mpLitmus(false), sbLitmus()};
+    for (const Program &p : shapes) {
+        std::set<std::string> tsoOutcomes;
+        std::set<std::string> psoOutcomes;
+        const auto fingerprint = [](const ExecutionResult &res) {
+            std::string fp;
+            for (const auto &regs : res.finalRegs) {
+                for (const Value v : regs)
+                    fp += std::to_string(v) + ",";
+                fp += ";";
+            }
+            return fp;
+        };
+        for (const double laziness : {0.5, 1.0}) {
+            for (std::uint64_t seed = 0; seed < 150; ++seed) {
+                tsoOutcomes.insert(fingerprint(
+                    runLitmus(p, ModelKind::TSO, seed, laziness)));
+            }
+            for (std::uint64_t seed = 0; seed < 300; ++seed) {
+                psoOutcomes.insert(fingerprint(
+                    runLitmus(p, ModelKind::PSO, seed, laziness)));
+            }
+        }
+        for (const std::string &fp : tsoOutcomes)
+            EXPECT_TRUE(psoOutcomes.count(fp)) << fp;
+    }
+
+    // Both models exhibit SB's non-SC outcome r0==r0==0 under fully
+    // lazy drains (W->R reordering is common to TSO and PSO).
+    for (const ModelKind model : {ModelKind::TSO, ModelKind::PSO}) {
+        const auto res = runLitmus(sbLitmus(), model, 0, 1.0);
+        EXPECT_EQ(res.finalRegs[0][0], 0) << modelName(model);
+        EXPECT_EQ(res.finalRegs[1][0], 0) << modelName(model);
+        EXPECT_FALSE(checkRobustness(res).robust)
+            << modelName(model);
+    }
+}
+
+TEST(FenceRestoresSc, FullyFencedProgramsAlwaysRobust)
+{
+    // A full fence after every memory operation restores SC
+    // *equivalence* on every model: each op is globally visible
+    // before its proc proceeds, so the commit order is an SC
+    // witness and every execution is robust, both realizations,
+    // even fully lazy.  (Zero stale reads is NOT implied: a read
+    // may still land between a remote write's issue and its
+    // fence-drain — the issue order flags it stale, but an SC
+    // order simply places the read first.)
+    ProgramBuilder pb;
+    pb.var("data", 0).var("flag", 1).var("x", 2);
+    ThreadBuilder t0;
+    t0.storei(0, 42).fence().storei(1, 1).fence().load(0, 2)
+        .fence().halt();
+    ThreadBuilder t1;
+    t1.storei(2, 7).fence().load(0, 1).fence().load(1, 0).fence()
+        .halt();
+    pb.thread(t0).thread(t1);
+    const Program fenced = pb.build();
+
+    for (const ModelKind model : kAllModels) {
+        for (const Realization realization : kAllRealizations) {
+            for (std::uint64_t seed = 0; seed < 10; ++seed) {
+                ExecOptions opts;
+                opts.model = model;
+                opts.realization = realization;
+                opts.seed = seed;
+                opts.drainLaziness = 1.0;
+                const auto res = runProgram(fenced, opts);
+                ASSERT_TRUE(res.completed);
+                EXPECT_TRUE(checkRobustness(res).robust)
+                    << modelName(model) << " seed " << seed;
+            }
+        }
+    }
+}
+
+TEST(FenceRestoresSc, SfenceRestoresStoreOrderOnPso)
+{
+    // The store-store fence alone is enough for message passing on
+    // PSO: with it, no seed exhibits the reorder and every
+    // execution is robust; without it the reorder occurs (checked
+    // in TsoForbidsMpReorderPsoExhibitsIt).
+    const Program mp = mpLitmus(true);
+    for (std::uint64_t seed = 0; seed < 100; ++seed) {
+        const auto res = runLitmus(mp, ModelKind::PSO, seed, 0.5);
+        ASSERT_TRUE(res.completed);
+        if (res.finalRegs[1][0] == 1)
+            EXPECT_EQ(res.finalRegs[1][1], 42) << "seed " << seed;
+        EXPECT_TRUE(checkRobustness(res).robust) << "seed " << seed;
+    }
+}
+
+TEST(RobustnessDeterminism, VerdictStableAcrossRunsThreadsAndObs)
+{
+    ExecOptions opts;
+    opts.model = ModelKind::PSO;
+    opts.seed = 3;
+    opts.drainLaziness = 1.0;
+    const auto res = runProgram(dekkerDataFlags(), opts);
+    ASSERT_TRUE(res.completed);
+
+    const auto base = checkRobustness(res);
+    const std::string baseReport =
+        formatRobustnessReport(base, res.ops);
+    ASSERT_FALSE(base.robust);
+
+    // Repeated serial runs.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(formatRobustnessReport(checkRobustness(res),
+                                         res.ops),
+                  baseReport);
+    }
+
+    // Concurrent checkers over the same execution.
+    std::vector<std::string> reports(4);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < reports.size(); ++t) {
+        threads.emplace_back([&, t] {
+            reports[t] = formatRobustnessReport(
+                checkRobustness(res), res.ops);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    for (const std::string &r : reports)
+        EXPECT_EQ(r, baseReport);
+
+    // Observability toggled off must not perturb one output byte.
+    obs::setEnabled(false);
+    const std::string obsOff =
+        formatRobustnessReport(checkRobustness(res), res.ops);
+    obs::setEnabled(true);
+    EXPECT_EQ(obsOff, baseReport);
 }
 
 } // namespace

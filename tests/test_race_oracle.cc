@@ -28,19 +28,29 @@
  *                       the containment races(shb) ⊆ races(wcp)
  *                       holds oracle-side too — over the figure
  *                       programs, the shared trace spread, and 200+
- *                       seeded random small traces.
+ *                       seeded random small traces;
+ *  - RobustnessOracle.*: checkRobustness() (linear acyclicity of
+ *                       po u rf u co u fr) equals a brute-force
+ *                       backtracking search for an SC-equivalent
+ *                       total order — over 200+ seeded executions
+ *                       across all seven models and both
+ *                       realizations, with zero disagreements, and
+ *                       the reported first non-SC operation is the
+ *                       exact prefix boundary the brute force finds.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "detect/analysis.hh"
+#include "detect/robustness.hh"
 #include "engines/clock_hist.hh"
 #include "engines/family.hh"
 #include "hb/hb_graph.hh"
@@ -569,6 +579,241 @@ TEST(EngineOracle, ChainEnginesMatchBruteForceOnRandomSmallTraces)
         ++checked;
     }
     EXPECT_GE(checked, 200u);
+}
+
+// ---------------------------------------------------------------
+// RobustnessOracle: checkRobustness against a brute-force search
+// for an SC-equivalent total order.
+// ---------------------------------------------------------------
+
+/**
+ * Brute-force SC-equivalence (trace equivalence) oracle: does ANY
+ * total order of the ops respect program order, place every write to
+ * an address in the witnessed coherence order, and place every read
+ * while its observed write is the latest placed write to its
+ * address?  Memoized backtracking over per-processor frontiers —
+ * the set of placed ops is exactly determined by the frontier
+ * vector, so dead-state memoization bounds the search by
+ * prod_p(|po_p| + 1) states regardless of branching.
+ *
+ * Mirrors buildGraph()'s co construction exactly: the visibility
+ * witness deduplicated and restricted to the op range, with any
+ * missed writes appended in issue order.
+ */
+bool
+bruteScEquivalent(const std::vector<MemOp> &ops,
+                  const std::vector<OpId> &visibility)
+{
+    const std::size_t n = ops.size();
+    if (n == 0)
+        return true;
+
+    // Per-processor program-order streams.
+    std::vector<std::vector<OpId>> po;
+    for (OpId id = 0; id < n; ++id) {
+        if (ops[id].proc >= po.size())
+            po.resize(ops[id].proc + 1);
+        po[ops[id].proc].push_back(id);
+    }
+
+    // coRank[w] = position of write w in its address's co sequence.
+    std::vector<bool> witnessed(n, false);
+    std::vector<OpId> vis;
+    for (const OpId id : visibility) {
+        if (id < n && !witnessed[id]) {
+            witnessed[id] = true;
+            vis.push_back(id);
+        }
+    }
+    for (OpId id = 0; id < n; ++id) {
+        if (ops[id].kind == OpKind::Write && !witnessed[id])
+            vis.push_back(id);
+    }
+    std::unordered_map<Addr, std::size_t> coLen;
+    std::vector<std::size_t> coRank(n, 0);
+    for (const OpId id : vis)
+        coRank[id] = coLen[ops[id].addr]++;
+
+    // Search state, mutated in place and undone on backtrack.
+    std::vector<std::size_t> frontier(po.size(), 0);
+    std::unordered_map<Addr, std::size_t> writesPlaced;
+    std::unordered_map<Addr, OpId> lastWriter;
+    std::unordered_set<std::uint64_t> dead;
+
+    const auto stateKey = [&]() {
+        std::uint64_t key = 0;
+        for (const std::size_t f : frontier)
+            key = key * 131 + f;
+        return key;
+    };
+    const auto placeable = [&](OpId id) {
+        const MemOp &op = ops[id];
+        if (op.kind == OpKind::Write)
+            return coRank[id] == writesPlaced[op.addr];
+        const auto it = lastWriter.find(op.addr);
+        const OpId last = it == lastWriter.end() ? kNoOp : it->second;
+        return last == op.observedWrite;
+    };
+
+    std::size_t placed = 0;
+    // Explicit DFS would obscure the undo logic; recursion depth is
+    // bounded by n (tiny here).
+    const std::function<bool()> search = [&]() -> bool {
+        if (placed == n)
+            return true;
+        if (dead.count(stateKey()))
+            return false;
+        for (std::size_t p = 0; p < po.size(); ++p) {
+            if (frontier[p] == po[p].size())
+                continue;
+            const OpId id = po[p][frontier[p]];
+            if (!placeable(id))
+                continue;
+            const MemOp &op = ops[id];
+            const bool isWrite = op.kind == OpKind::Write;
+            const OpId savedWriter =
+                lastWriter.count(op.addr) ? lastWriter[op.addr]
+                                          : kNoOp;
+            ++frontier[p];
+            ++placed;
+            if (isWrite) {
+                ++writesPlaced[op.addr];
+                lastWriter[op.addr] = id;
+            }
+            if (search())
+                return true;
+            --frontier[p];
+            --placed;
+            if (isWrite) {
+                --writesPlaced[op.addr];
+                if (savedWriter == kNoOp)
+                    lastWriter.erase(op.addr);
+                else
+                    lastWriter[op.addr] = savedWriter;
+            }
+        }
+        dead.insert(stateKey());
+        return false;
+    };
+    return search();
+}
+
+/** The small random programs the robustness sweep executes: pure
+ *  data ops (no locks), 2-3 procs, a handful of ops each. */
+Program
+robustnessSweepProgram(std::uint64_t seed)
+{
+    RandomProgConfig cfg;
+    cfg.seed = seed;
+    cfg.procs = static_cast<ProcId>(2 + seed % 2);
+    cfg.blocksPerProc = 1;
+    cfg.opsPerBlock = 3;
+    cfg.dataWords = 2;
+    cfg.numLocks = 1;
+    cfg.unlockedProb = 1.0;
+    return randomProgram(cfg);
+}
+
+TEST(RobustnessOracle, MatchesBruteForceOnSeededTraces)
+{
+    std::size_t checked = 0;
+    std::size_t violations = 0;
+    for (std::uint64_t progSeed = 0; progSeed < 12; ++progSeed) {
+        const Program p = robustnessSweepProgram(progSeed);
+        for (const ModelKind model : kAllModels) {
+            for (const Realization realization : kAllRealizations) {
+                for (std::uint64_t seed = 0; seed < 2; ++seed) {
+                    for (const double laziness : {0.5, 1.0}) {
+                        ExecOptions opts;
+                        opts.model = model;
+                        opts.realization = realization;
+                        opts.seed = seed;
+                        opts.drainLaziness = laziness;
+                        const auto res = runProgram(p, opts);
+                        if (!res.completed || res.ops.size() > 24)
+                            continue;
+                        const auto verdict = checkRobustness(res);
+                        EXPECT_EQ(verdict.robust,
+                                  bruteScEquivalent(
+                                      res.ops, res.visibilityOrder))
+                            << "prog " << progSeed << " "
+                            << modelName(model) << " seed " << seed
+                            << " laziness " << laziness;
+                        ++checked;
+                        violations += !verdict.robust;
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_GE(checked, 200u);
+    // The sweep must exercise both outcomes or the comparison is
+    // vacuous.
+    EXPECT_GT(violations, 0u);
+    EXPECT_LT(violations, checked);
+}
+
+TEST(RobustnessOracle, FirstViolationIsExactPrefixBoundary)
+{
+    // For every non-robust execution, the brute force agrees that
+    // the prefix up to (excluding) violatingOp still has an
+    // SC-equivalent and the prefix including it does not.
+    std::size_t boundaries = 0;
+    const Program p = dekkerDataFlags();
+    for (const ModelKind model :
+         {ModelKind::WO, ModelKind::TSO, ModelKind::PSO}) {
+        for (std::uint64_t seed = 0; seed < 6; ++seed) {
+            ExecOptions opts;
+            opts.model = model;
+            opts.seed = seed;
+            opts.drainLaziness = 1.0;
+            const auto res = runProgram(p, opts);
+            ASSERT_TRUE(res.completed);
+            const auto verdict = checkRobustness(res);
+            if (verdict.robust)
+                continue;
+            ASSERT_NE(verdict.violatingOp, kNoOp);
+            const std::vector<MemOp> upTo(
+                res.ops.begin(),
+                res.ops.begin() + verdict.violatingOp + 1);
+            EXPECT_FALSE(
+                bruteScEquivalent(upTo, res.visibilityOrder))
+                << modelName(model) << " seed " << seed;
+            const std::vector<MemOp> before(
+                res.ops.begin(),
+                res.ops.begin() + verdict.violatingOp);
+            EXPECT_TRUE(
+                bruteScEquivalent(before, res.visibilityOrder))
+                << modelName(model) << " seed " << seed;
+            ++boundaries;
+        }
+    }
+    EXPECT_GT(boundaries, 0u);
+}
+
+TEST(RobustnessOracle, NoStaleReadsImpliesRobust)
+{
+    // The issue order itself is the SC witness when nothing went
+    // stale — the containment documented in robustness.hh, checked
+    // against both the linear checker and the brute force.
+    for (std::uint64_t progSeed = 0; progSeed < 8; ++progSeed) {
+        const Program p = robustnessSweepProgram(progSeed);
+        for (const ModelKind model : kAllModels) {
+            ExecOptions opts;
+            opts.model = model;
+            opts.seed = progSeed + 13;
+            opts.drainLaziness = 0.5;
+            const auto res = runProgram(p, opts);
+            if (!res.completed || res.staleReads != 0)
+                continue;
+            EXPECT_TRUE(checkRobustness(res).robust)
+                << "prog " << progSeed << " " << modelName(model);
+            if (res.ops.size() <= 24) {
+                EXPECT_TRUE(bruteScEquivalent(res.ops,
+                                              res.visibilityOrder));
+            }
+        }
+    }
 }
 
 } // namespace

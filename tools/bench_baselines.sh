@@ -24,8 +24,9 @@ SMOKE=0
 [ "${1:-}" = "--smoke" ] && SMOKE=1
 
 BENCHES="bench_analysis_scaling bench_batch_throughput \
-         bench_detector_family bench_obs_overhead \
-         bench_serve_throughput bench_stream_memory"
+         bench_detector_family bench_model_matrix \
+         bench_obs_overhead bench_serve_throughput \
+         bench_stream_memory"
 
 status=0
 for bench in $BENCHES; do

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Chaos soak harness: replay the golden corpus through the five
-# analysis paths (serve/submit, check --stream, batch, record, and
-# the detector family via check --engine all) under
+# Chaos soak harness: replay the golden corpus through the six
+# analysis paths (serve/submit, check --stream, batch, record, the
+# detector family via check --engine all, and the weak-model
+# simulator via run --model/--robustness) under
 # seeded random fault schedules (docs/FAULTS.md) and check the one
 # invariant on every run:
 #
@@ -91,6 +92,17 @@ ENGINE_POOL=(
     "trace.read.short|damage"
     "trace.read.bitflip|damage"
 )
+# The model replay re-simulates a blessed (program, model, seed)
+# fixture with --robustness and re-checks the written trace: the
+# write-side faults must be invisible (simulation is a pure function
+# of its seed), the read-side damage may surface as a typed error or
+# salvage — never as a silently different report.
+MODEL_POOL=(
+    "trace.seg.write.eintr|benign"
+    "trace.seg.write.short|benign"
+    "trace.read.short|damage"
+    "trace.read.bitflip|damage"
+)
 RECORD_POOL=(
     "trace.seg.write.eintr|benign"
     "trace.seg.write.short|benign"
@@ -143,7 +155,7 @@ buildSchedule() {
 
 FAILS=0
 declare -A MODE_RUNS=([serve]=0 [stream]=0 [batch]=0 [record]=0
-                      [engine]=0)
+                      [engine]=0 [model]=0)
 
 fail() { # fail RUN MODE MSG [LOGFILE...]
     local run=$1 mode=$2 msg=$3; shift 3
@@ -350,16 +362,79 @@ runEngine() {
     rm -f "$got" "$WORK/engine.$run.err"
 }
 
+# The committed TSO/PSO sim fixtures: base / program / model / seed
+# (regen.sh is the source of truth for these tuples).
+MODEL_FIXTURES=(
+    "tso_fig1a_s7 figure1a TSO 7"
+    "tso_dekker_s2 dekker TSO 2"
+    "pso_fig1b_s3 figure1b PSO 3"
+    "pso_queue_s5 queue_buggy PSO 5"
+)
+PROGRAMS="$(dirname "$0")/../programs"
+
+runModel() {
+    local run=$1 pick base prog model seed status
+    pick=${MODEL_FIXTURES[$(rand ${#MODEL_FIXTURES[@]})]}
+    read -r base prog model seed <<< "$pick"
+    local got="$WORK/model.$run"
+
+    # Re-simulate the fixture under faults, robustness check inline.
+    WMR_FAULT="$SCHED" WMR_FAULT_SEED=$RUNSEED \
+        timeout 30 "$WMRACE" run "$PROGRAMS/$prog.wm" \
+        --model "$model" --seed "$seed" --robustness \
+        --trace "$got.trace" > "$got.out" 2> "$got.err"
+    status=$?
+    if crashed "$status"; then
+        fail "$run" model "run $base: status $status (hang/signal)" "$got.err"
+    elif [ $status -gt 1 ] ||
+         { [ $status -le 1 ] && typedError "$got.out" "$got.err"; }; then
+        [ "$CLASS" = "benign" ] &&
+            fail "$run" model "run $base: typed error under a benign-only schedule" \
+                "$got.err"
+    else
+        # The simulation is a pure function of (program, model,
+        # seed): no injected I/O fault may perturb the verdict or
+        # the recorded trace.
+        grep -q "^robustness: " "$got.out" ||
+            fail "$run" model "run $base: no robustness verdict in output" "$got.out"
+        cmp -s "$GOLDEN/$base.trace" "$got.trace" ||
+            fail "$run" model "run $base: written trace differs from golden" "$got.err"
+
+        # Re-check the freshly written trace under the same schedule:
+        # byte-identical blessed report or a clean typed error.
+        WMR_FAULT="$SCHED" WMR_FAULT_SEED=$RUNSEED \
+            timeout 30 "$WMRACE" check "$got.trace" \
+            > "$got.check.out" 2> "$got.check.err"
+        status=$?
+        if crashed "$status"; then
+            fail "$run" model "check $base: status $status (hang/signal)" "$got.check.err"
+        elif [ $status -gt 1 ] ||
+             { [ $status -le 1 ] && typedError "$got.check.out" "$got.check.err"; }; then
+            [ "$CLASS" = "benign" ] &&
+                fail "$run" model "check $base: typed error under a benign-only schedule" \
+                    "$got.check.err"
+        elif ! cmp -s "$GOLDEN/$base.expected.txt" "$got.check.out"; then
+            if [ "$CLASS" = "benign" ] ||
+               ! grep -q "^SALVAGED trace:" "$got.check.out"; then
+                fail "$run" model "check $base: report differs, not salvage-marked" \
+                    "$got.check.out"
+            fi
+        fi
+    fi
+    rm -f "$got".*
+}
+
 echo "chaos: $RUNS run(s), master seed $SEED$( [ $SMOKE -eq 1 ] && echo ' (smoke)')"
 for (( run = 0; run < RUNS; run++ )); do
     RUNSEED=$(( (SEED + run * 2654435761) & 0x7FFFFFFFFFFFFFFF ))
     srand "$RUNSEED"
-    case "$(rand 5)" in
+    case "$(rand 6)" in
         0) MODE=serve ;;
         1) MODE=stream ;;
         2) MODE=batch ;;
         3) MODE=record ;;
         4) MODE=engine ;;
+        5) MODE=model ;;
     esac
     [ "$MODE" = record ] && [ -z "$DEMO" ] && MODE=batch
     case "$MODE" in
@@ -368,11 +443,12 @@ for (( run = 0; run < RUNS; run++ )); do
         batch)  buildSchedule BATCH_POOL;  runBatch "$run" ;;
         record) buildSchedule RECORD_POOL; runRecord "$run" ;;
         engine) buildSchedule ENGINE_POOL; runEngine "$run" ;;
+        model)  buildSchedule MODEL_POOL;  runModel "$run" ;;
     esac
     MODE_RUNS[$MODE]=$(( MODE_RUNS[$MODE] + 1 ))
 done
 
 echo "chaos: $RUNS run(s) (serve=${MODE_RUNS[serve]} stream=${MODE_RUNS[stream]}" \
      "batch=${MODE_RUNS[batch]} record=${MODE_RUNS[record]}" \
-     "engine=${MODE_RUNS[engine]}), $FAILS failure(s)"
+     "engine=${MODE_RUNS[engine]} model=${MODE_RUNS[model]}), $FAILS failure(s)"
 [ $FAILS -eq 0 ]

@@ -17,10 +17,11 @@
  *   wmrace submit <trace> --server A   analyze via a running server
  *
  * Options of `run`:
- *   --model SC|WO|RCsc|DRF0|DRF1   memory model      (default WO)
+ *   --model SC|WO|RCsc|DRF0|DRF1|TSO|PSO  memory model (default WO)
  *   --realization buffer|invalidate hardware flavor  (default buffer)
  *   --seed N                       scheduler/drain seed (default 1)
  *   --laziness X                   drain laziness 0..1  (default 0.5)
+ *   --robustness                   SC-equivalence verdict first
  *   --trace FILE                   write the event trace file
  *   --dot FILE                     write the G' graph as DOT
  *   --events                       include per-event detail in report
@@ -156,6 +157,7 @@
 #include "detect/analysis.hh"
 #include "detect/dot_export.hh"
 #include "detect/report.hh"
+#include "detect/robustness.hh"
 #include "engines/family.hh"
 #include "engines/shb_engine.hh"
 #include "obs/export.hh"
@@ -360,15 +362,45 @@ class TraceOut
     std::string path_;
 };
 
-ModelKind
-parseModel(const std::string &name)
+/**
+ * Parse a strict `--model` value into @p model (untouched when the
+ * flag is absent; the caller's default stands).  Same philosophy as
+ * parseJobs/parseEngine: an unknown model name is a typed error
+ * listing every valid model (the caller exits 2), never a silent
+ * fallback.  Matching is case-insensitive ("tso" == "TSO").
+ */
+bool
+parseModel(const Args &args, const char *cmd, ModelKind &model)
 {
+    if (!args.has("model"))
+        return true;
+    const std::string v = args.get("model");
+    const auto matches = [&](std::string_view name) {
+        if (v.size() != name.size())
+            return false;
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(v[i])) !=
+                std::tolower(static_cast<unsigned char>(name[i])))
+                return false;
+        }
+        return true;
+    };
     for (const auto kind : kAllModels) {
-        if (name == modelName(kind))
-            return kind;
+        if (matches(modelName(kind))) {
+            model = kind;
+            return true;
+        }
     }
-    fatal("unknown memory model '%s' (try SC, WO, RCsc, DRF0, DRF1)",
-          name.c_str());
+    std::string valid;
+    for (const auto kind : kAllModels) {
+        if (!valid.empty())
+            valid += ", ";
+        valid += modelName(kind);
+    }
+    std::fprintf(stderr,
+                 "%s: unknown --model '%s': expected one of %s\n",
+                 cmd, v.c_str(), valid.c_str());
+    return false;
 }
 
 Realization
@@ -390,7 +422,8 @@ cmdRun(const Args &args)
     const Program prog = assembleFile(args.positional()[0]);
 
     ExecOptions opts;
-    opts.model = parseModel(args.get("model", "WO"));
+    if (!parseModel(args, "run", opts.model))
+        return 2;
     opts.realization =
         parseRealization(args.get("realization", "buffer"));
     opts.seed = std::strtoull(args.get("seed", "1").c_str(), nullptr,
@@ -433,6 +466,12 @@ cmdRun(const Args &args)
         const auto trace = buildTrace(res, {.keepMemberOps = true});
         std::printf("%s",
                     renderTimeline(trace, &prog, &res).c_str());
+    }
+
+    if (args.has("robustness")) {
+        const RobustnessResult rob = checkRobustness(res);
+        std::printf("%s",
+                    formatRobustnessReport(rob, res.ops).c_str());
     }
 
     const DetectionResult det = analyzeExecution(res);
@@ -1347,6 +1386,15 @@ cmdModels()
                 "drains)\n");
     std::printf("  DRF1  data-race-free-1 [Adve/Hill 91] (release/"
                 "acquire + pipelined)\n");
+    std::printf("  TSO   total store order (x86-style FIFO buffer; "
+                "only W->R reordering)\n");
+    std::printf("  PSO   partial store order (SPARC-style "
+                "per-location FIFO; W->W too)\n");
+    std::printf("fences:\n");
+    std::printf("  fence   full fence (mfence): drain everything "
+                "and stall\n");
+    std::printf("  sfence  store-store fence: order stores across "
+                "it without stalling\n");
     std::printf("realizations:\n");
     std::printf("  buffer       per-processor unordered store "
                 "buffers (delayed visibility)\n");
@@ -1584,6 +1632,10 @@ usage()
         "usage: wmrace <command> [args]\n"
         "  run <prog.wm>      simulate on a weak model and detect "
         "races\n"
+        "                     (--model SC|WO|RCsc|DRF0|DRF1|TSO|PSO;"
+        "\n"
+        "                     --robustness: check the execution has "
+        "an SC-equivalent)\n"
         "  check <trace.bin>  post-mortem analysis of a trace file\n"
         "                     (--stream: bounded-memory streaming "
         "engine;\n"
